@@ -1,0 +1,75 @@
+//! Criterion bench for the online estimators (the feature module): the
+//! per-sample ingest cost of each built-in analytic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use storm_estimators::cluster::OnlineKMeans;
+use storm_estimators::kde::{KdeEstimator, Kernel};
+use storm_estimators::text::SpaceSaving;
+use storm_estimators::trajectory::TrajectoryBuilder;
+use storm_estimators::OnlineStat;
+use storm_geo::{Point2, Rect2, StPoint};
+
+fn estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimators");
+
+    group.bench_function("online-stat-push", |b| {
+        let mut stat = OnlineStat::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.7;
+            stat.push(x % 37.0);
+            stat.mean()
+        });
+    });
+
+    group.bench_function("kde-push-64x64", |b| {
+        let bounds = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(100.0, 100.0));
+        let mut kde = KdeEstimator::new(bounds, 64, 64, Kernel::Epanechnikov { bandwidth: 5.0 });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            kde.push(&Point2::xy((i % 100) as f64, (i * 7 % 100) as f64));
+            kde.n()
+        });
+    });
+
+    group.bench_function("kmeans-push-k8", |b| {
+        let mut km = OnlineKMeans::new(8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            km.push(&Point2::xy((i % 97) as f64, (i * 13 % 89) as f64));
+            km.n()
+        });
+    });
+
+    group.bench_function("spacesaving-push-text", |b| {
+        let mut ss = SpaceSaving::new(256);
+        let texts = [
+            "snow and ice everywhere tonight",
+            "power outage on the east side",
+            "coffee before work this morning",
+            "traffic is completely stuck again",
+        ];
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            ss.push_text(texts[i % texts.len()]);
+            ss.n()
+        });
+    });
+
+    group.bench_function("trajectory-push", |b| {
+        let mut t = TrajectoryBuilder::new();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            t.push(StPoint::new(i as f64 * 0.01, (i % 50) as f64, i * 37 % 100_000));
+            t.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, estimators);
+criterion_main!(benches);

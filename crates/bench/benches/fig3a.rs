@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 3(a): time to draw `k` online samples with
+//! each method, fixed query with q/N = 10%.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use storm_bench::{draw_k, fig3_setup, FIG3A_METHODS};
+
+fn fig3a(c: &mut Criterion) {
+    let n = 100_000;
+    let mut setup = fig3_setup(n, 0.10, 42);
+    let mut group = c.benchmark_group("fig3a");
+    group.sample_size(10);
+    for method in FIG3A_METHODS {
+        for k in [16usize, 256, 1024] {
+            group.bench_with_input(
+                BenchmarkId::new(method.to_string(), k),
+                &k,
+                |b, &k| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        draw_k(&mut setup, *method, k, seed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3a);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for the substrates: Hilbert keys, R-tree construction,
+//! range queries, and canonical sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use storm_geo::curve::{hilbert_key, HilbertCurve, SpaceFillingCurve};
+use storm_rtree::{BulkMethod, RTree, RTreeConfig};
+use storm_workload::{osm, queries};
+
+fn substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+
+    group.bench_function("hilbert-2d-key", |b| {
+        let curve = HilbertCurve::new(16).unwrap();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            curve.index_of_cell(i & 0xFFFF, (i >> 16) & 0xFFFF)
+        });
+    });
+
+    group.bench_function("hilbert-3d-key", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(2654435761);
+            hilbert_key([i & 0xFFFF, (i >> 8) & 0xFFFF, (i >> 16) & 0xFFFF], 21)
+        });
+    });
+
+    let data = osm::generate(100_000, 42);
+    for method in [BulkMethod::Str, BulkMethod::Hilbert, BulkMethod::ZOrder] {
+        group.bench_with_input(
+            BenchmarkId::new("bulk-load-100k", format!("{method:?}")),
+            &method,
+            |b, &method| {
+                b.iter(|| {
+                    RTree::bulk_load(data.items.clone(), RTreeConfig::with_fanout(64), method)
+                        .len()
+                });
+            },
+        );
+    }
+
+    let tree = RTree::bulk_load(
+        data.items.clone(),
+        RTreeConfig::with_fanout(64),
+        BulkMethod::Hilbert,
+    );
+    let (query, _q) = queries::rect_with_selectivity(&data.items, 0.05, 7).unwrap();
+    group.bench_function("range-report-5pct", |b| {
+        b.iter(|| tree.query(&query).len());
+    });
+    group.bench_function("count-5pct", |b| {
+        b.iter(|| tree.count_in(&query));
+    });
+    group.bench_function("canonical-set-5pct", |b| {
+        b.iter(|| tree.canonical_set(&query).total);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, substrate);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for E7: ad-hoc update cost on the ST-indexes (the
+//! paper's "updates" demo component).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+use storm_core::{LsTree, RsTree, RsTreeConfig};
+use storm_geo::Point2;
+use storm_rtree::{BulkMethod, Item, RTree, RTreeConfig};
+use storm_workload::osm;
+
+const N: usize = 50_000;
+
+fn updates(c: &mut Criterion) {
+    let data = osm::generate(N, 42);
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(20);
+
+    group.bench_function("rtree-insert+delete", |b| {
+        let mut tree = RTree::bulk_load(
+            data.items.clone(),
+            RTreeConfig::with_fanout(64),
+            BulkMethod::Hilbert,
+        );
+        let mut next = N as u64;
+        b.iter(|| {
+            next += 1;
+            let item = Item::new(Point2::xy((next % 360) as f64 - 180.0, 0.0), next);
+            tree.insert(item);
+            assert!(tree.remove(&item.point, item.id));
+        });
+    });
+
+    group.bench_function("ls-insert+delete", |b| {
+        let mut ls = LsTree::bulk_load(data.items.clone(), RTreeConfig::with_fanout(64), 42);
+        let mut next = N as u64;
+        b.iter(|| {
+            next += 1;
+            let item = Item::new(Point2::xy((next % 360) as f64 - 180.0, 0.0), next);
+            ls.insert(item);
+            assert!(ls.remove(&item.point, item.id));
+        });
+    });
+
+    group.bench_function("rs-insert+delete(buffered)", |b| {
+        let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(64));
+        let mut rng = StdRng::seed_from_u64(7);
+        rs.prefill(&mut rng);
+        let mut next = N as u64;
+        b.iter(|| {
+            next += 1;
+            let item = Item::new(Point2::xy((next % 360) as f64 - 180.0, 0.0), next);
+            rs.insert(item, &mut rng);
+            assert!(rs.remove(&item.point, item.id, &mut rng));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, updates);
+criterion_main!(benches);

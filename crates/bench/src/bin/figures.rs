@@ -1,0 +1,115 @@
+//! Regenerates every figure of the STORM paper as text tables.
+//!
+//! ```text
+//! cargo run --release -p storm-bench --bin figures -- all
+//! cargo run --release -p storm-bench --bin figures -- fig3a --n 2000000
+//! ```
+//!
+//! Subcommands: `fig3a fig3b fig5 fig6a fig6b updates io ablate crossover
+//! all`. `--n <N>` scales the data set (default 200 000; the paper used
+//! ~10⁹ OSM points on a cluster — shapes, not absolute numbers, are the
+//! reproduction target). `--seed <S>` changes the workload seed.
+
+use storm_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut n = 200_000usize;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                n = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--n needs an integer"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            cmd if command.is_none() && !cmd.starts_with("--") => {
+                command = Some(cmd.to_owned());
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    let command = command.unwrap_or_else(|| usage("missing subcommand"));
+
+    let run = |name: &str| {
+        println!("{}", dispatch(name, n, seed));
+    };
+    match command.as_str() {
+        "all" => {
+            for name in [
+                "fig3a", "fig3b", "fig5", "fig6a", "fig6b", "updates", "io", "ablate",
+                "crossover", "scaling",
+            ] {
+                run(name);
+            }
+        }
+        name => run(name),
+    }
+}
+
+fn dispatch(name: &str, n: usize, seed: u64) -> String {
+    match name {
+        "fig3a" => format_table(
+            &format!("Figure 3(a) — online sample generation cost (N={n}, q/N=10%)"),
+            &run_fig3a(n, &[0.0001, 0.001, 0.01, 0.02, 0.04, 0.06, 0.08, 0.10], seed),
+        ),
+        "fig3b" => format_table(
+            &format!("Figure 3(b) — relative error of AVG(altitude) over time (N={n})"),
+            &run_fig3b(n, &[0.2, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0], seed),
+        ),
+        "fig5" => format_table(
+            "Figure 5 — online KDE density error vs samples (Atlanta zoom & USA)",
+            &run_fig5(n.max(50_000), &[50, 100, 250, 500, 1000, 2500, 5000], seed),
+        ),
+        "fig6a" => format_table(
+            "Figure 6(a) — online approximate trajectory deviation vs sampled fraction",
+            &run_fig6a(n.max(50_000), &[0.02, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0], seed),
+        ),
+        "fig6b" => format_table(
+            "Figure 6(b) — Atlanta-snow top-term precision vs sampled tweets",
+            &run_fig6b(n.max(50_000), &[10, 25, 50, 100, 250, 500, 1000], seed),
+        ),
+        "updates" => format_table(
+            &format!("E7 — ad-hoc update throughput (N={n})"),
+            &run_updates(n, (n / 10).max(100), seed),
+        ),
+        "io" => format_table(
+            &format!("E8 — simulated I/O per method and block size (N={n}, q/N=10%)"),
+            &run_io(n, &[64, 256, 1024, 4096], seed),
+        ),
+        "ablate" => format_table(
+            &format!("E9 — RS-tree ablation (N={n}, k=1024)"),
+            &run_ablation(n, 1024, seed),
+        ),
+        "scaling" => format_table(
+            &format!("E11 — distributed scaling (N={n}, k=2048)"),
+            &run_scaling(n, 2048, seed),
+        ),
+        "crossover" => format_table(
+            &format!("E10 — SampleFirst vs RS-tree crossover (N={n}, k=64)"),
+            &run_crossover(n, 64, seed),
+        ),
+        other => usage(&format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!(
+        "usage: figures <fig3a|fig3b|fig5|fig6a|fig6b|updates|io|ablate|crossover|scaling|all> \
+         [--n N] [--seed S]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,801 @@
+//! Experiment implementations for every figure of the STORM paper.
+//!
+//! Each `run_*` function regenerates one paper artifact (see DESIGN.md §3)
+//! and returns printable rows; the `figures` binary formats them as the
+//! same series the paper plots, and the Criterion benches reuse the same
+//! setup code for statistically rigorous timing of the hot paths.
+//!
+//! Absolute numbers will differ from the paper (their testbed was a
+//! MongoDB cluster over 1B+ OSM points; this is an in-process simulator) —
+//! the *shapes* are what must match: who wins, by how much, where the
+//! crossovers sit.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use rand::{rngs::StdRng, SeedableRng};
+use storm_core::{
+    LsTree, QueryFirst, RandomPath, RsTree, RsTreeConfig, SampleFirst, SampleMode, SamplerKind,
+    SelectorKind, SpatialSampler,
+};
+use storm_estimators::kde::{KdeEstimator, Kernel};
+use storm_estimators::text::SpaceSaving;
+use storm_estimators::trajectory::TrajectoryBuilder;
+use storm_estimators::OnlineStat;
+use storm_geo::{Point2, Rect2, StPoint, TimeRange};
+use storm_rtree::{BulkMethod, Item, RTree, RTreeConfig};
+use storm_workload::{osm, queries, tweets};
+
+/// Standard fanout (block size `B`) for experiment trees.
+pub const FANOUT: usize = 64;
+
+/// A generic result row: a label plus named numeric columns.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Series / method name.
+    pub label: String,
+    /// `(column name, value)` pairs.
+    pub values: Vec<(&'static str, f64)>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, values: Vec<(&'static str, f64)>) -> Self {
+        Row {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// Renders rows as an aligned text table.
+pub fn format_table(title: &str, rows: &[Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    if rows.is_empty() {
+        let _ = writeln!(out, "(no rows)");
+        return out;
+    }
+    let label_w = rows.iter().map(|r| r.label.len()).max().unwrap_or(5).max(6);
+    let _ = write!(out, "{:<label_w$}", "series");
+    for (name, _) in &rows[0].values {
+        let _ = write!(out, " {name:>14}");
+    }
+    let _ = writeln!(out);
+    for row in rows {
+        let _ = write!(out, "{:<label_w$}", row.label);
+        for (_, v) in &row.values {
+            if v.abs() >= 1e6 || (v.abs() < 1e-3 && *v != 0.0) {
+                let _ = write!(out, " {v:>14.3e}");
+            } else {
+                let _ = write!(out, " {v:>14.4}");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// The prepared Figure-3 workload: OSM-like points indexed every way the
+/// experiment needs, plus a fixed query at the requested selectivity.
+pub struct Fig3Setup {
+    /// The generated data.
+    pub data: osm::OsmData,
+    /// Plain Hilbert R-tree (RandomPath + RangeReport).
+    pub plain: RTree<2>,
+    /// The RS-tree.
+    pub rs: RsTree<2>,
+    /// The LS forest.
+    pub ls: LsTree<2>,
+    /// The fixed query rectangle.
+    pub query: Rect2,
+    /// Exact `q = |P ∩ Q|`.
+    pub q: usize,
+}
+
+/// Builds the Figure-3 workload: `n` OSM-like points and a query with
+/// selectivity `q_frac` (the paper fixes a query with `q = 10^9`; we fix
+/// the same *relative* size, `q/N ≈ 10%`).
+pub fn fig3_setup(n: usize, q_frac: f64, seed: u64) -> Fig3Setup {
+    let data = osm::generate(n, seed);
+    let (query, q) =
+        queries::rect_with_selectivity(&data.items, q_frac, seed ^ 0xABCD).expect("non-empty");
+    let plain = RTree::bulk_load(
+        data.items.clone(),
+        RTreeConfig::with_fanout(FANOUT),
+        BulkMethod::Hilbert,
+    );
+    let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(FANOUT));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    rs.prefill(&mut rng);
+    let ls = LsTree::bulk_load(
+        data.items.clone(),
+        RTreeConfig::with_fanout(FANOUT),
+        seed ^ 0x15,
+    );
+    Fig3Setup {
+        data,
+        plain,
+        rs,
+        ls,
+        query,
+        q,
+    }
+}
+
+/// The four methods of Figure 3(a) (plus SampleFirst as a bonus series).
+pub const FIG3A_METHODS: &[SamplerKind] = &[
+    SamplerKind::RandomPath,
+    SamplerKind::RsTree,
+    SamplerKind::QueryFirst,
+    SamplerKind::LsTree,
+    SamplerKind::SampleFirst,
+];
+
+/// Draws `k` samples with the given method; returns `(seconds, io_reads)`.
+pub fn draw_k(setup: &mut Fig3Setup, method: SamplerKind, k: usize, seed: u64) -> (f64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let io = match method {
+        SamplerKind::LsTree => setup.ls.io_handle(),
+        SamplerKind::RsTree => setup.rs.io_handle(),
+        _ => setup.plain.io_handle(),
+    };
+    let before = io.reads();
+    let start = Instant::now();
+    let drawn = match method {
+        SamplerKind::QueryFirst => {
+            let mut s = QueryFirst::new(&setup.plain, &setup.query, SampleMode::WithoutReplacement);
+            s.draw(k, &mut rng).len()
+        }
+        SamplerKind::SampleFirst => {
+            let mut s =
+                SampleFirst::new(&setup.data.items, setup.query, SampleMode::WithoutReplacement)
+                    .with_io(setup.plain.io_handle());
+            s.draw(k, &mut rng).len()
+        }
+        SamplerKind::RandomPath => {
+            let mut s =
+                RandomPath::new(&setup.plain, setup.query, SampleMode::WithoutReplacement);
+            s.draw(k, &mut rng).len()
+        }
+        SamplerKind::LsTree => {
+            let mut s = setup.ls.sampler(setup.query);
+            s.draw(k, &mut rng).len()
+        }
+        SamplerKind::RsTree => {
+            let mut s = setup.rs.sampler(setup.query, SampleMode::WithoutReplacement);
+            s.draw(k, &mut rng).len()
+        }
+    };
+    let secs = start.elapsed().as_secs_f64();
+    assert!(
+        drawn >= k.min(setup.q) * 9 / 10,
+        "{method} drew only {drawn}/{k}"
+    );
+    (secs, io.reads() - before)
+}
+
+/// E1 / Figure 3(a): time and simulated I/Os to draw increasing `k`, as a
+/// fraction of `q`.
+pub fn run_fig3a(n: usize, fractions: &[f64], seed: u64) -> Vec<Row> {
+    let mut setup = fig3_setup(n, 0.10, seed);
+    let q = setup.q;
+    let mut rows = Vec::new();
+    for method in FIG3A_METHODS {
+        for &f in fractions {
+            let k = ((q as f64 * f) as usize).max(1);
+            let (secs, ios) = draw_k(&mut setup, *method, k, seed ^ k as u64);
+            rows.push(Row::new(
+                format!("{method}"),
+                vec![
+                    ("k/q(%)", f * 100.0),
+                    ("k", k as f64),
+                    ("time(s)", secs),
+                    ("sim-IOs", ios as f64),
+                ],
+            ));
+        }
+    }
+    rows
+}
+
+/// E2 / Figure 3(b): relative error of `AVG(altitude)` vs elapsed time for
+/// the LS-tree and RS-tree, averaged over `FIG3B_REPS` independent runs
+/// (a single run's absolute error fluctuates; the paper plots the trend).
+pub fn run_fig3b(n: usize, checkpoints_ms: &[f64], seed: u64) -> Vec<Row> {
+    let mut setup = fig3_setup(n, 0.10, seed);
+    let truth = setup
+        .data
+        .exact_avg_altitude(&setup.query)
+        .expect("non-empty query");
+    let mut rows = Vec::new();
+    for method in [SamplerKind::LsTree, SamplerKind::RsTree] {
+        // err_sum[i], n_sum[i] accumulate over repetitions.
+        let mut err_sum = vec![0.0f64; checkpoints_ms.len()];
+        let mut n_sum = vec![0.0f64; checkpoints_ms.len()];
+        for rep in 0..FIG3B_REPS {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF ^ (rep as u64) << 32);
+            let altitudes = &setup.data.altitudes;
+            let mut stat = OnlineStat::without_replacement(setup.q);
+            let mut checkpoint = 0usize;
+            let start = Instant::now();
+            // The two samplers have different types; run the identical
+            // loop on a trait object.
+            let mut ls_sampler;
+            let mut rs_sampler;
+            let sampler: &mut dyn SpatialSampler<2> = match method {
+                SamplerKind::LsTree => {
+                    ls_sampler = setup.ls.sampler(setup.query);
+                    &mut ls_sampler
+                }
+                _ => {
+                    rs_sampler = setup.rs.sampler(setup.query, SampleMode::WithoutReplacement);
+                    &mut rs_sampler
+                }
+            };
+            let mut record = |i: usize, stat: &OnlineStat| {
+                err_sum[i] += (stat.mean() - truth).abs() / truth.abs().max(f64::MIN_POSITIVE);
+                n_sum[i] += stat.n() as f64;
+            };
+            while checkpoint < checkpoints_ms.len() {
+                match sampler.next_sample(&mut rng) {
+                    Some(item) => stat.push(altitudes[item.id as usize]),
+                    None => break,
+                }
+                while checkpoint < checkpoints_ms.len()
+                    && start.elapsed().as_secs_f64() * 1e3 >= checkpoints_ms[checkpoint]
+                {
+                    record(checkpoint, &stat);
+                    checkpoint += 1;
+                }
+            }
+            // Flush checkpoints the stream ended before reaching (exact
+            // now: all q points consumed).
+            while checkpoint < checkpoints_ms.len() {
+                record(checkpoint, &stat);
+                checkpoint += 1;
+            }
+        }
+        for (i, &ms) in checkpoints_ms.iter().enumerate() {
+            rows.push(Row::new(
+                format!("{method}"),
+                vec![
+                    ("time(ms)", ms),
+                    ("samples", n_sum[i] / FIG3B_REPS as f64),
+                    ("rel-err(%)", err_sum[i] / FIG3B_REPS as f64 * 100.0),
+                ],
+            ));
+        }
+    }
+    rows
+}
+
+/// Repetitions averaged by [`run_fig3b`].
+pub const FIG3B_REPS: usize = 5;
+
+/// E3 / Figure 5: online KDE density quality vs samples, at a city zoom
+/// (Atlanta) and country zoom (USA).
+pub fn run_fig5(n_tweets: usize, sample_counts: &[usize], seed: u64) -> Vec<Row> {
+    let cfg = tweets::TweetConfig {
+        tweets: n_tweets,
+        seed,
+        ..Default::default()
+    };
+    let records = tweets::generate(&cfg);
+    let regions: [(&str, Rect2); 2] = [
+        (
+            "Atlanta",
+            Rect2::from_corners(Point2::xy(-85.4, 32.8), Point2::xy(-83.4, 34.8)),
+        ),
+        ("USA", tweets::us_bounds()),
+    ];
+    let mut rows = Vec::new();
+    for (name, rect) in regions {
+        let in_region: Vec<Point2> = records
+            .iter()
+            .filter(|r| rect.contains_point(&r.point.xy))
+            .map(|r| r.point.xy)
+            .collect();
+        if in_region.is_empty() {
+            continue;
+        }
+        let bandwidth = rect.extent(0).max(rect.extent(1)) * 0.05;
+        let kernel = Kernel::Epanechnikov { bandwidth };
+        let exact = KdeEstimator::exact_map(rect, 32, 32, kernel, &in_region);
+        let peak = exact.iter().cloned().fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+        // Sample in random order (the estimator sees a WOR stream).
+        let mut order: Vec<usize> = (0..in_region.len()).collect();
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51);
+        order.shuffle(&mut rng);
+        let mut kde = KdeEstimator::new(rect, 32, 32, kernel).with_population(in_region.len());
+        let mut consumed = 0usize;
+        for &target in sample_counts {
+            let target = target.min(in_region.len());
+            while consumed < target {
+                kde.push(&in_region[order[consumed]]);
+                consumed += 1;
+            }
+            rows.push(Row::new(
+                name,
+                vec![
+                    ("samples", consumed as f64),
+                    ("L1-err(rel)", kde.l1_distance(&exact) / peak),
+                ],
+            ));
+        }
+    }
+    rows
+}
+
+/// E4 / Figure 6(a): trajectory reconstruction deviation vs sampled
+/// fraction of one user's tweets.
+pub fn run_fig6a(n_tweets: usize, fractions: &[f64], seed: u64) -> Vec<Row> {
+    let cfg = tweets::TweetConfig {
+        tweets: n_tweets,
+        users: 20, // few users → long per-user histories
+        with_anomaly: false,
+        seed,
+        ..Default::default()
+    };
+    let records = tweets::generate(&cfg);
+    let user_points: Vec<StPoint> = records
+        .iter()
+        .filter(|r| r.body.get("user").and_then(|v| v.as_str()) == Some("user_3"))
+        .map(|r| r.point)
+        .collect();
+    assert!(user_points.len() > 50, "user_3 has too few tweets");
+    let mut reference = TrajectoryBuilder::new();
+    for p in &user_points {
+        reference.push(*p);
+    }
+    let (t0, t1) = (user_points[0].t, user_points[user_points.len() - 1].t);
+    use rand::seq::SliceRandom;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6A);
+    let mut order: Vec<usize> = (0..user_points.len()).collect();
+    order.shuffle(&mut rng);
+    let mut rows = Vec::new();
+    let mut builder = TrajectoryBuilder::new();
+    let mut consumed = 0usize;
+    for &f in fractions {
+        let target = ((user_points.len() as f64 * f) as usize).clamp(2, user_points.len());
+        while consumed < target {
+            builder.push(user_points[order[consumed]]);
+            consumed += 1;
+        }
+        let deviation = builder
+            .mean_deviation(&reference, t0, t1, 256)
+            .expect("both trajectories non-empty");
+        rows.push(Row::new(
+            "user_3",
+            vec![
+                ("sampled(%)", f * 100.0),
+                ("waypoints", consumed as f64),
+                ("deviation(deg)", deviation),
+            ],
+        ));
+    }
+    rows
+}
+
+/// E5 / Figure 6(b): top-term precision on the Atlanta snowstorm window vs
+/// number of sampled tweets.
+pub fn run_fig6b(n_tweets: usize, sample_counts: &[usize], seed: u64) -> Vec<Row> {
+    let cfg = tweets::TweetConfig {
+        tweets: n_tweets,
+        seed,
+        ..Default::default()
+    };
+    let records = tweets::generate(&cfg);
+    let window = tweets::atlanta_snow_window();
+    let atlanta = Rect2::from_corners(Point2::xy(-84.6, 33.5), Point2::xy(-84.2, 34.0));
+    let texts: Vec<&str> = records
+        .iter()
+        .filter(|r| window.contains(r.point.t) && atlanta.contains_point(&r.point.xy))
+        .filter_map(|r| r.body.get("text").and_then(|v| v.as_str()))
+        .collect();
+    assert!(!texts.is_empty(), "anomaly window empty");
+    // Ground truth top-10 terms over all window tweets.
+    let mut exact = SpaceSaving::new(4096);
+    for t in &texts {
+        exact.push_text(t);
+    }
+    let truth: std::collections::HashSet<String> =
+        exact.top(10).into_iter().map(|h| h.term).collect();
+    use rand::seq::SliceRandom;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6B);
+    let mut order: Vec<usize> = (0..texts.len()).collect();
+    order.shuffle(&mut rng);
+    let mut ss = SpaceSaving::new(512);
+    let mut consumed = 0usize;
+    let mut rows = Vec::new();
+    for &target in sample_counts {
+        let target = target.min(texts.len());
+        while consumed < target {
+            ss.push_text(texts[order[consumed]]);
+            consumed += 1;
+        }
+        let got: std::collections::HashSet<String> =
+            ss.top(10).into_iter().map(|h| h.term).collect();
+        let hit = got.intersection(&truth).count();
+        rows.push(Row::new(
+            "atlanta-snow",
+            vec![
+                ("samples", consumed as f64),
+                ("precision@10", hit as f64 / 10.0),
+            ],
+        ));
+    }
+    rows
+}
+
+/// E7: update throughput for the two ST-indexes.
+pub fn run_updates(n: usize, batch: usize, seed: u64) -> Vec<Row> {
+    let data = osm::generate(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0D);
+    let mut rows = Vec::new();
+
+    // LS-tree updates.
+    let mut ls = LsTree::bulk_load(data.items.clone(), RTreeConfig::with_fanout(FANOUT), seed);
+    let start = Instant::now();
+    for i in 0..batch {
+        ls.insert(Item::new(
+            Point2::xy((i % 360) as f64 - 180.0, (i % 180) as f64 - 90.0),
+            (n + i) as u64,
+        ));
+    }
+    let ins = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for item in data.items.iter().take(batch) {
+        assert!(ls.remove(&item.point, item.id));
+    }
+    let del = start.elapsed().as_secs_f64();
+    rows.push(Row::new(
+        "LS-tree",
+        vec![
+            ("inserts/s", batch as f64 / ins),
+            ("deletes/s", batch as f64 / del),
+        ],
+    ));
+
+    // RS-tree updates (with reservoir buffer maintenance).
+    let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(FANOUT));
+    rs.prefill(&mut rng);
+    let start = Instant::now();
+    for i in 0..batch {
+        rs.insert(
+            Item::new(
+                Point2::xy((i % 360) as f64 - 180.0, (i % 180) as f64 - 90.0),
+                (n + i) as u64,
+            ),
+            &mut rng,
+        );
+    }
+    let ins = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for item in data.items.iter().take(batch) {
+        assert!(rs.remove(&item.point, item.id, &mut rng));
+    }
+    let del = start.elapsed().as_secs_f64();
+    rows.push(Row::new(
+        "RS-tree",
+        vec![
+            ("inserts/s", batch as f64 / ins),
+            ("deletes/s", batch as f64 / del),
+        ],
+    ));
+    rows
+}
+
+/// E8: simulated I/O per method as `k` grows (the `O(k/B)` vs `Ω(k)`
+/// analysis), for two block sizes.
+pub fn run_io(n: usize, ks: &[usize], seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for fanout in [32usize, 128] {
+        let data = osm::generate(n, seed);
+        let (query, q) =
+            queries::rect_with_selectivity(&data.items, 0.10, seed ^ 0xABCD).expect("non-empty");
+        let plain = RTree::bulk_load(
+            data.items.clone(),
+            RTreeConfig::with_fanout(fanout),
+            BulkMethod::Hilbert,
+        );
+        let mut rs = RsTree::bulk_load(data.items.clone(), {
+            let mut cfg = RsTreeConfig::with_fanout(fanout);
+            cfg.buffer_size = fanout;
+            cfg
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        rs.prefill(&mut rng);
+        let ls = LsTree::bulk_load(data.items.clone(), RTreeConfig::with_fanout(fanout), seed);
+        for &k in ks {
+            let k = k.min(q);
+            // RandomPath
+            let before = plain.io().reads();
+            let mut s = RandomPath::new(&plain, query, SampleMode::WithoutReplacement);
+            s.draw(k, &mut rng);
+            let rp = plain.io().reads() - before;
+            // LS
+            let before = ls.io().reads();
+            let mut s = ls.sampler(query);
+            s.draw(k, &mut rng);
+            let lsio = ls.io().reads() - before;
+            // RS
+            let rs_io = rs.io_handle();
+            let before = rs_io.reads();
+            let mut s = rs.sampler(query, SampleMode::WithoutReplacement);
+            s.draw(k, &mut rng);
+            drop(s);
+            let rsio = rs_io.reads() - before;
+            for (label, ios) in [("RandomPath", rp), ("LS-tree", lsio), ("RS-tree", rsio)] {
+                rows.push(Row::new(
+                    format!("{label}/B={fanout}"),
+                    vec![
+                        ("k", k as f64),
+                        ("sim-IOs", ios as f64),
+                        ("IOs/sample", ios as f64 / k as f64),
+                    ],
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// E9 ablation: RS-tree design choices — part selector and buffering.
+pub fn run_ablation(n: usize, k: usize, seed: u64) -> Vec<Row> {
+    let data = osm::generate(n, seed);
+    let (query, q) =
+        queries::rect_with_selectivity(&data.items, 0.10, seed ^ 0xABCD).expect("non-empty");
+    let k = k.min(q);
+    let mut rows = Vec::new();
+    for (label, selector, prefill) in [
+        ("alias+buffers", SelectorKind::Alias, true),
+        ("A/R+buffers", SelectorKind::AcceptReject, true),
+        ("linear+buffers", SelectorKind::Linear, true),
+        ("alias,cold", SelectorKind::Alias, false),
+    ] {
+        let mut cfg = RsTreeConfig::with_fanout(FANOUT);
+        cfg.selector = selector;
+        let mut rs = RsTree::bulk_load(data.items.clone(), cfg);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x42);
+        if prefill {
+            rs.prefill(&mut rng);
+        }
+        let before = rs.io().reads();
+        let start = Instant::now();
+        let mut s = rs.sampler(query, SampleMode::WithoutReplacement);
+        let drawn = s.draw(k, &mut rng).len();
+        let secs = start.elapsed().as_secs_f64();
+        drop(s);
+        rows.push(Row::new(
+            label,
+            vec![
+                ("k", drawn as f64),
+                ("time(s)", secs),
+                ("sim-IOs", (rs.io().reads() - before) as f64),
+            ],
+        ));
+    }
+    rows
+}
+
+/// E10: the SampleFirst / index-sampler crossover as selectivity rises,
+/// plus what the optimizer picks at each point.
+pub fn run_crossover(n: usize, k: usize, seed: u64) -> Vec<Row> {
+    use storm_core::cost::{self, CostInputs};
+    let data = osm::generate(n, seed);
+    let plain = RTree::bulk_load(
+        data.items.clone(),
+        RTreeConfig::with_fanout(FANOUT),
+        BulkMethod::Hilbert,
+    );
+    let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(FANOUT));
+    let mut rng = StdRng::seed_from_u64(seed);
+    rs.prefill(&mut rng);
+    let mut rows = Vec::new();
+    for frac in [0.01, 0.05, 0.2, 0.5, 0.9] {
+        let Some((query, q)) = queries::rect_with_selectivity(&data.items, frac, seed ^ 7) else {
+            continue;
+        };
+        let k = k.min(q).max(1);
+        // SampleFirst wall time.
+        let start = Instant::now();
+        let mut s = SampleFirst::new(&data.items, query, SampleMode::WithReplacement);
+        let got = s.draw(k, &mut rng).len();
+        let sf = if got == k {
+            start.elapsed().as_secs_f64()
+        } else {
+            f64::INFINITY
+        };
+        // RS wall time.
+        let start = Instant::now();
+        let mut s = rs.sampler(query, SampleMode::WithReplacement);
+        s.draw(k, &mut rng);
+        let rst = start.elapsed().as_secs_f64();
+        drop(s);
+        let pick = cost::recommend(
+            &CostInputs {
+                n,
+                q_est: q,
+                k_est: k,
+                block: FANOUT,
+                height: plain.height(),
+            },
+            SampleMode::WithReplacement,
+        );
+        rows.push(Row::new(
+            format!("q/N={frac}"),
+            vec![
+                ("SampleFirst(s)", sf),
+                ("RS-tree(s)", rst),
+                (
+                    "opt=SF",
+                    if pick == SamplerKind::SampleFirst { 1.0 } else { 0.0 },
+                ),
+            ],
+        ));
+    }
+    rows
+}
+
+/// E11: distributed scaling — total cluster work vs critical-path I/O as
+/// the shard count grows (the paper's "cluster of commodity machines").
+pub fn run_scaling(n: usize, k: usize, seed: u64) -> Vec<Row> {
+    use storm_core::DistributedRsTree;
+    let data = osm::generate(n, seed);
+    let (query, q) =
+        queries::rect_with_selectivity(&data.items, 0.10, seed ^ 0xABCD).expect("non-empty");
+    let k = k.min(q);
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4, 8, 16, 32] {
+        let mut cluster = DistributedRsTree::bulk_load(
+            data.items.clone(),
+            shards,
+            RsTreeConfig::with_fanout(FANOUT),
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ shards as u64);
+        cluster.prefill(&mut rng);
+        cluster.reset_io();
+        let start = Instant::now();
+        let mut s = cluster.sampler(query, SampleMode::WithoutReplacement);
+        let drawn = s.draw(k, &mut rng).len();
+        let secs = start.elapsed().as_secs_f64();
+        drop(s);
+        rows.push(Row::new(
+            format!("{shards} shards"),
+            vec![
+                ("k", drawn as f64),
+                ("time(s)", secs),
+                ("total-IOs", cluster.total_reads() as f64),
+                ("critical-path", cluster.max_shard_reads() as f64),
+            ],
+        ));
+    }
+    rows
+}
+
+/// Formats a [`TimeRange`] compactly (shared by examples).
+pub fn fmt_time(range: TimeRange) -> String {
+    format!("[{}, {})", range.start(), range.end())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3a_shapes_hold_at_small_scale() {
+        // LS and RS beat RandomPath and RangeReport on I/Os at small k/q.
+        let rows = run_fig3a(30_000, &[0.001, 0.01], 42);
+        let io_of = |method: &str, frac: f64| -> f64 {
+            rows.iter()
+                .find(|r| r.label == method && (r.values[0].1 - frac * 100.0).abs() < 1e-9)
+                .map(|r| r.values[3].1)
+                .expect("row exists")
+        };
+        for frac in [0.001, 0.01] {
+            let rs = io_of("RS-tree", frac);
+            let ls = io_of("LS-tree", frac);
+            let rp = io_of("RandomPath", frac);
+            let rr = io_of("QueryFirst", frac);
+            assert!(rs < rp, "RS {rs} !< RandomPath {rp} at {frac}");
+            assert!(ls < rr, "LS {ls} !< RangeReport {rr} at {frac}");
+        }
+    }
+
+    #[test]
+    fn fig3b_error_decreases_over_time() {
+        let rows = run_fig3b(30_000, &[2.0, 20.0, 120.0], 42);
+        for method in ["LS-tree", "RS-tree"] {
+            let series: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.label == method)
+                .map(|r| r.values[2].1)
+                .collect();
+            assert_eq!(series.len(), 3);
+            assert!(
+                series[2] <= series[0] + 1e-9,
+                "{method} error grew: {series:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_error_shrinks_with_samples() {
+        let rows = run_fig5(20_000, &[50, 2000], 42);
+        for region in ["Atlanta", "USA"] {
+            let series: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.label == region)
+                .map(|r| r.values[1].1)
+                .collect();
+            assert!(series.len() >= 2);
+            assert!(series[1] < series[0], "{region}: {series:?}");
+        }
+    }
+
+    #[test]
+    fn fig6a_deviation_shrinks() {
+        let rows = run_fig6a(20_000, &[0.05, 0.8], 42);
+        assert!(rows[1].values[2].1 <= rows[0].values[2].1);
+    }
+
+    #[test]
+    fn fig6b_precision_improves() {
+        let rows = run_fig6b(30_000, &[20, 500], 42);
+        let first = rows[0].values[1].1;
+        let last = rows[rows.len() - 1].values[1].1;
+        assert!(last >= first);
+        assert!(last >= 0.7, "final precision {last}");
+    }
+
+    #[test]
+    fn io_per_sample_shapes() {
+        // RandomPath pays ≥1 I/O per sample; LS/RS pay ≪ 1 amortised.
+        let rows = run_io(30_000, &[256], 42);
+        for fanout in [32, 128] {
+            let get = |m: &str| {
+                rows.iter()
+                    .find(|r| r.label == format!("{m}/B={fanout}"))
+                    .unwrap()
+                    .values[2]
+                    .1
+            };
+            assert!(get("RandomPath") >= 1.0);
+            assert!(get("LS-tree") < get("RandomPath"));
+            assert!(get("RS-tree") < get("RandomPath"));
+        }
+    }
+
+    #[test]
+    fn scaling_critical_path_improves() {
+        // With a compact query only the shards overlapping it share the
+        // load, so the curve plateaus — but the BEST multi-shard
+        // configuration must beat the single machine.
+        let rows = run_scaling(30_000, 1024, 42);
+        let single = rows[0].values[3].1;
+        let best = rows[1..]
+            .iter()
+            .map(|r| r.values[3].1)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best < single,
+            "no multi-shard config beat 1 shard: {single} vs best {best}"
+        );
+    }
+
+    #[test]
+    fn table_formatting_is_stable() {
+        let rows = vec![
+            Row::new("a", vec![("x", 1.0), ("y", 2.5)]),
+            Row::new("bb", vec![("x", 1e-9), ("y", 3e7)]),
+        ];
+        let s = format_table("demo", &rows);
+        assert!(s.contains("## demo"));
+        assert!(s.contains("series"));
+        assert!(s.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,231 @@
+//! CSV/TSV data source (RFC-4180-style quoting).
+
+use std::io::{BufRead, BufReader, Read};
+
+use storm_store::Value;
+
+use crate::{ConnectorError, DataSource};
+
+/// Streams CSV (or TSV) rows as flat objects keyed by the header row.
+///
+/// Values are typed eagerly: integers, floats, booleans, and `null`/empty
+/// become their typed [`Value`]s; everything else stays a string. STORM's
+/// schema discovery then refines the types across records.
+pub struct CsvSource<R: Read> {
+    reader: BufReader<R>,
+    delimiter: char,
+    header: Option<Vec<String>>,
+    line_no: usize,
+}
+
+impl<R: Read> CsvSource<R> {
+    /// Creates a comma-separated source; the first row is the header.
+    pub fn new(input: R) -> Self {
+        CsvSource {
+            reader: BufReader::new(input),
+            delimiter: ',',
+            header: None,
+            line_no: 0,
+        }
+    }
+
+    /// Creates a tab-separated source.
+    pub fn tsv(input: R) -> Self {
+        let mut s = Self::new(input);
+        s.delimiter = '\t';
+        s
+    }
+
+    /// Reads one raw line, `None` at EOF.
+    fn read_line(&mut self) -> Option<Result<String, ConnectorError>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Err(e) => return Some(Err(e.into())),
+                Ok(0) => return None,
+                Ok(_) => {
+                    self.line_no += 1;
+                    let trimmed = line.trim_end_matches(['\n', '\r']);
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    return Some(Ok(trimmed.to_owned()));
+                }
+            }
+        }
+    }
+
+    /// Splits a record line into fields, honouring quotes.
+    fn split(&self, line: &str) -> Result<Vec<String>, ConnectorError> {
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut chars = line.chars().peekable();
+        let mut in_quotes = false;
+        while let Some(c) = chars.next() {
+            if in_quotes {
+                match c {
+                    '"' => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next();
+                            field.push('"');
+                        } else {
+                            in_quotes = false;
+                        }
+                    }
+                    c => field.push(c),
+                }
+            } else if c == '"' {
+                if field.is_empty() {
+                    in_quotes = true;
+                } else {
+                    field.push(c); // interior quote in unquoted field
+                }
+            } else if c == self.delimiter {
+                fields.push(std::mem::take(&mut field));
+            } else {
+                field.push(c);
+            }
+        }
+        if in_quotes {
+            return Err(ConnectorError::Parse {
+                record: self.line_no,
+                message: "unterminated quoted field".into(),
+            });
+        }
+        fields.push(field);
+        Ok(fields)
+    }
+}
+
+/// Types a raw CSV cell.
+fn type_cell(cell: &str) -> Value {
+    let trimmed = cell.trim();
+    if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("null") {
+        return Value::Null;
+    }
+    if trimmed.eq_ignore_ascii_case("true") {
+        return Value::Bool(true);
+    }
+    if trimmed.eq_ignore_ascii_case("false") {
+        return Value::Bool(false);
+    }
+    if let Ok(i) = trimmed.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = trimmed.parse::<f64>() {
+        if f.is_finite() {
+            return Value::Float(f);
+        }
+    }
+    Value::Str(cell.to_owned())
+}
+
+impl<R: Read> DataSource for CsvSource<R> {
+    fn next_record(&mut self) -> Option<Result<Value, ConnectorError>> {
+        if self.header.is_none() {
+            match self.read_line()? {
+                Err(e) => return Some(Err(e)),
+                Ok(line) => match self.split(&line) {
+                    Err(e) => return Some(Err(e)),
+                    Ok(cols) => {
+                        self.header = Some(cols.iter().map(|c| c.trim().to_owned()).collect());
+                    }
+                },
+            }
+        }
+        let line = match self.read_line()? {
+            Err(e) => return Some(Err(e)),
+            Ok(line) => line,
+        };
+        let fields = match self.split(&line) {
+            Err(e) => return Some(Err(e)),
+            Ok(f) => f,
+        };
+        let header = self.header.as_ref().expect("header parsed above");
+        if fields.len() != header.len() {
+            return Some(Err(ConnectorError::Parse {
+                record: self.line_no,
+                message: format!(
+                    "expected {} fields, found {}",
+                    header.len(),
+                    fields.len()
+                ),
+            }));
+        }
+        let pairs = header
+            .iter()
+            .zip(fields)
+            .map(|(k, v)| (k.clone(), type_cell(&v)));
+        Some(Ok(Value::object(pairs)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(text: &str) -> CsvSource<&[u8]> {
+        CsvSource::new(text.as_bytes())
+    }
+
+    #[test]
+    fn parses_typed_rows() {
+        let mut s = source("station,temp,active,note\nKSLC,21.5,true,ok\nKPVU,-3,false,\n");
+        let rows = s.collect_records().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("station").unwrap().as_str(), Some("KSLC"));
+        assert_eq!(rows[0].get("temp").unwrap().as_float(), Some(21.5));
+        assert_eq!(rows[0].get("active").unwrap().as_bool(), Some(true));
+        assert_eq!(rows[1].get("temp").unwrap().as_int(), Some(-3));
+        assert!(rows[1].get("note").unwrap().is_null());
+    }
+
+    #[test]
+    fn quoted_fields_with_delimiters_and_quotes() {
+        let mut s = source("a,b\n\"x, y\",\"he said \"\"hi\"\"\"\n");
+        let rows = s.collect_records().unwrap();
+        assert_eq!(rows[0].get("a").unwrap().as_str(), Some("x, y"));
+        assert_eq!(rows[0].get("b").unwrap().as_str(), Some("he said \"hi\""));
+    }
+
+    #[test]
+    fn tsv_mode() {
+        let mut s = CsvSource::tsv("a\tb\n1\ttwo\n".as_bytes());
+        let rows = s.collect_records().unwrap();
+        assert_eq!(rows[0].get("a").unwrap().as_int(), Some(1));
+        assert_eq!(rows[0].get("b").unwrap().as_str(), Some("two"));
+    }
+
+    #[test]
+    fn field_count_mismatch_is_an_error() {
+        let mut s = source("a,b\n1\n");
+        assert!(matches!(
+            s.next_record(),
+            Some(Err(ConnectorError::Parse { .. }))
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let mut s = source("a\n\"oops\n");
+        assert!(s.next_record().is_some_and(|r| r.is_err()));
+    }
+
+    #[test]
+    fn blank_lines_and_crlf_are_tolerated() {
+        let mut s = source("a,b\r\n\r\n1,2\r\n\n3,4\n");
+        let rows = s.collect_records().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("a").unwrap().as_int(), Some(3));
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        let mut s = source("");
+        assert!(s.next_record().is_none());
+        // Header only:
+        let mut s = source("a,b\n");
+        assert!(s.next_record().is_none());
+    }
+}

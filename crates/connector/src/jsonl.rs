@@ -1,0 +1,78 @@
+//! JSON-lines data source.
+
+use std::io::{BufRead, BufReader, Read};
+
+use storm_store::{json, Value};
+
+use crate::{ConnectorError, DataSource};
+
+/// Streams one JSON object per line (the format MongoDB exports and the
+/// native format of STORM's storage engine).
+pub struct JsonLinesSource<R: Read> {
+    reader: BufReader<R>,
+    line_no: usize,
+}
+
+impl<R: Read> JsonLinesSource<R> {
+    /// Creates a JSON-lines source.
+    pub fn new(input: R) -> Self {
+        JsonLinesSource {
+            reader: BufReader::new(input),
+            line_no: 0,
+        }
+    }
+}
+
+impl<R: Read> DataSource for JsonLinesSource<R> {
+    fn next_record(&mut self) -> Option<Result<Value, ConnectorError>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Err(e) => return Some(Err(e.into())),
+                Ok(0) => return None,
+                Ok(_) => {
+                    self.line_no += 1;
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    return Some(json::parse(line.trim()).map_err(|e| ConnectorError::Parse {
+                        record: self.line_no,
+                        message: e.to_string(),
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_objects() {
+        let text = "{\"a\":1}\n{\"a\":2, \"b\":\"x\"}\n\n{\"a\":3}\n";
+        let mut s = JsonLinesSource::new(text.as_bytes());
+        let rows = s.collect_records().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].get("b").unwrap().as_str(), Some("x"));
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let text = "{\"ok\":true}\nnot json\n";
+        let mut s = JsonLinesSource::new(text.as_bytes());
+        assert!(s.next_record().unwrap().is_ok());
+        match s.next_record().unwrap() {
+            Err(ConnectorError::Parse { record, .. }) => assert_eq!(record, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut s = JsonLinesSource::new("".as_bytes());
+        assert!(s.next_record().is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! The STORM data connector.
+//!
+//! "To make it easy for users and different applications to enjoy the
+//! benefit of spatio-temporal online analytics ... STORM also implements a
+//! data connector, so that it can easily import data in different formats
+//! and schemas" (paper §1). The connector has three layers:
+//!
+//! * [`DataSource`] — a uniform record-stream abstraction with
+//!   implementations for CSV/TSV ([`csv::CsvSource`]) and JSON-lines
+//!   ([`jsonl::JsonLinesSource`]); additional engines plug in by
+//!   implementing the trait ("additional storage engines can be added by
+//!   extending the code-base for the data connector", §3.2);
+//! * [`schema`] — schema discovery: field-type inference over a sample of
+//!   records;
+//! * [`mapping`] — the declarative bridge from discovered fields to
+//!   STORM's spatio-temporal schema (`x`, `y`, `t`, measures, text, user).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod jsonl;
+pub mod mapping;
+pub mod schema;
+
+pub use csv::CsvSource;
+pub use jsonl::JsonLinesSource;
+pub use mapping::{FieldMapping, StRecord};
+pub use schema::{FieldType, Schema};
+
+use storm_store::Value;
+
+/// Errors raised while importing external data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConnectorError {
+    /// Input could not be read.
+    Io(String),
+    /// A record failed to parse.
+    Parse {
+        /// 1-based record (line) number.
+        record: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The field mapping references a field the record lacks.
+    MissingField {
+        /// 1-based record number.
+        record: usize,
+        /// The missing field.
+        field: String,
+    },
+}
+
+impl std::fmt::Display for ConnectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectorError::Io(e) => write!(f, "I/O error: {e}"),
+            ConnectorError::Parse { record, message } => {
+                write!(f, "parse error in record {record}: {message}")
+            }
+            ConnectorError::MissingField { record, field } => {
+                write!(f, "record {record} is missing mapped field '{field}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConnectorError {}
+
+impl From<std::io::Error> for ConnectorError {
+    fn from(e: std::io::Error) -> Self {
+        ConnectorError::Io(e.to_string())
+    }
+}
+
+/// A source of records from some external storage engine.
+///
+/// Sources are consumed once, like an import cursor.
+pub trait DataSource {
+    /// Fetches the next record, or `None` at the end.
+    fn next_record(&mut self) -> Option<Result<Value, ConnectorError>>;
+
+    /// Collects every remaining record (convenience for small imports).
+    fn collect_records(&mut self) -> Result<Vec<Value>, ConnectorError> {
+        let mut out = Vec::new();
+        while let Some(record) = self.next_record() {
+            out.push(record?);
+        }
+        Ok(out)
+    }
+}

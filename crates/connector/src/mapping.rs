@@ -1,0 +1,168 @@
+//! Field mapping: from arbitrary schemas to STORM's spatio-temporal shape.
+
+use storm_geo::StPoint;
+use storm_store::Value;
+
+use crate::ConnectorError;
+
+/// Declares which record fields carry the spatio-temporal schema.
+///
+/// STORM indexes `(x, y, t)`; everything else rides along as attributes
+/// that estimators read by name. A mapping is what the import wizard in the
+/// paper's "data import" demo component produces.
+#[derive(Debug, Clone)]
+pub struct FieldMapping {
+    /// Field holding the x coordinate (longitude).
+    pub x: String,
+    /// Field holding the y coordinate (latitude).
+    pub y: String,
+    /// Field holding the integer timestamp; `None` for purely spatial data
+    /// (timestamp defaults to 0).
+    pub t: Option<String>,
+    /// Whether records with missing/invalid coordinates are skipped
+    /// (`true`) or reported as errors (`false`).
+    pub skip_invalid: bool,
+}
+
+impl FieldMapping {
+    /// A mapping with the given coordinate fields and optional time field.
+    pub fn new(x: impl Into<String>, y: impl Into<String>, t: Option<&str>) -> Self {
+        FieldMapping {
+            x: x.into(),
+            y: y.into(),
+            t: t.map(str::to_owned),
+            skip_invalid: false,
+        }
+    }
+
+    /// Makes the import skip records with missing coordinates instead of
+    /// failing.
+    #[must_use]
+    pub fn lenient(mut self) -> Self {
+        self.skip_invalid = true;
+        self
+    }
+
+    /// Extracts the spatio-temporal point from a record.
+    ///
+    /// Returns `Ok(None)` when the record lacks usable coordinates and the
+    /// mapping is lenient.
+    pub fn extract(&self, record: &Value, record_no: usize) -> Result<Option<StRecord>, ConnectorError> {
+        let coord = |field: &str| -> Result<Option<f64>, ConnectorError> {
+            match record.get_path(field).and_then(Value::as_float) {
+                Some(v) if v.is_finite() => Ok(Some(v)),
+                _ if self.skip_invalid => Ok(None),
+                _ => Err(ConnectorError::MissingField {
+                    record: record_no,
+                    field: field.to_owned(),
+                }),
+            }
+        };
+        let Some(x) = coord(&self.x)? else {
+            return Ok(None);
+        };
+        let Some(y) = coord(&self.y)? else {
+            return Ok(None);
+        };
+        let t = match &self.t {
+            None => 0,
+            Some(field) => match record.get_path(field).and_then(Value::as_int) {
+                Some(t) => t,
+                None if self.skip_invalid => return Ok(None),
+                None => {
+                    return Err(ConnectorError::MissingField {
+                        record: record_no,
+                        field: field.clone(),
+                    })
+                }
+            },
+        };
+        Ok(Some(StRecord {
+            point: StPoint::new(x, y, t),
+            body: record.clone(),
+        }))
+    }
+}
+
+/// A record after mapping: the indexable point plus the original body.
+#[derive(Debug, Clone)]
+pub struct StRecord {
+    /// The spatio-temporal location to index.
+    pub point: StPoint,
+    /// The full record, for attribute lookups.
+    pub body: Value,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet(lat: f64, lon: f64, t: i64) -> Value {
+        Value::object([
+            ("lat".into(), Value::Float(lat)),
+            ("lon".into(), Value::Float(lon)),
+            ("created_at".into(), Value::Int(t)),
+            ("text".into(), Value::from("hello")),
+        ])
+    }
+
+    #[test]
+    fn extracts_mapped_fields() {
+        let m = FieldMapping::new("lon", "lat", Some("created_at"));
+        let r = m.extract(&tweet(40.7, -111.9, 1_390_000_000), 1).unwrap().unwrap();
+        assert_eq!(r.point.xy.x(), -111.9);
+        assert_eq!(r.point.xy.y(), 40.7);
+        assert_eq!(r.point.t, 1_390_000_000);
+        assert_eq!(r.body.get("text").unwrap().as_str(), Some("hello"));
+    }
+
+    #[test]
+    fn nested_paths_work() {
+        let m = FieldMapping::new("geo.lon", "geo.lat", None);
+        let record = Value::object([(
+            "geo".into(),
+            Value::object([
+                ("lat".into(), Value::Float(1.0)),
+                ("lon".into(), Value::Float(2.0)),
+            ]),
+        )]);
+        let r = m.extract(&record, 1).unwrap().unwrap();
+        assert_eq!(r.point.xy.x(), 2.0);
+        assert_eq!(r.point.t, 0);
+    }
+
+    #[test]
+    fn strict_mapping_reports_missing_fields() {
+        let m = FieldMapping::new("lon", "lat", Some("created_at"));
+        let record = Value::object([("lat".into(), Value::Float(1.0))]);
+        match m.extract(&record, 7) {
+            Err(ConnectorError::MissingField { record, field }) => {
+                assert_eq!(record, 7);
+                assert_eq!(field, "lon");
+            }
+            other => panic!("expected MissingField, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mapping_skips_bad_records() {
+        let m = FieldMapping::new("lon", "lat", Some("created_at")).lenient();
+        let record = Value::object([("lat".into(), Value::Float(1.0))]);
+        assert!(m.extract(&record, 1).unwrap().is_none());
+        // Non-finite coordinates are also skipped.
+        let record = tweet(f64::NAN, 0.0, 1);
+        let m2 = FieldMapping::new("lon", "lat", Some("created_at")).lenient();
+        assert!(m2.extract(&record, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn integer_coordinates_widen() {
+        let m = FieldMapping::new("x", "y", None);
+        let record = Value::object([
+            ("x".into(), Value::Int(3)),
+            ("y".into(), Value::Int(4)),
+        ]);
+        let r = m.extract(&record, 1).unwrap().unwrap();
+        assert_eq!(r.point.xy.x(), 3.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Schema discovery.
+//!
+//! "The data connector uses schema discovery and data parser for a number
+//! of data sources ... in order to import and index a data source from a
+//! specified storage engine" (paper §3.2). Discovery scans (a sample of)
+//! the records, unions the observed types per field, and flags which
+//! fields could serve as coordinates or timestamps.
+
+use std::collections::BTreeMap;
+
+use storm_store::Value;
+
+/// The inferred type of one field, the least upper bound of everything
+/// observed for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldType {
+    /// Only booleans seen.
+    Bool,
+    /// Only integers seen.
+    Int,
+    /// Integers and/or floats seen.
+    Float,
+    /// Strings (or a mix that only strings can hold).
+    String,
+    /// Arrays.
+    Array,
+    /// Nested objects.
+    Object,
+    /// Only nulls seen.
+    Null,
+}
+
+impl FieldType {
+    /// Least upper bound of two observed types.
+    fn join(self, other: FieldType) -> FieldType {
+        use FieldType::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Null, t) | (t, Null) => t,
+            (Int, Float) | (Float, Int) => Float,
+            _ => String,
+        }
+    }
+}
+
+/// Statistics about one discovered field.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// Inferred type.
+    pub ty: FieldType,
+    /// In how many records the field appeared (non-null).
+    pub present: usize,
+    /// Minimum numeric value seen (for numeric fields).
+    pub min: Option<f64>,
+    /// Maximum numeric value seen.
+    pub max: Option<f64>,
+}
+
+/// A discovered schema: field name → info.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    fields: BTreeMap<String, FieldInfo>,
+    records: usize,
+}
+
+impl Schema {
+    /// Discovers a schema from records (typically a prefix sample of the
+    /// source).
+    pub fn discover<'a, I: IntoIterator<Item = &'a Value>>(records: I) -> Schema {
+        let mut schema = Schema::default();
+        for record in records {
+            schema.records += 1;
+            if let Value::Object(map) = record {
+                for (key, value) in map {
+                    schema.observe(key, value);
+                }
+            }
+        }
+        schema
+    }
+
+    fn observe(&mut self, key: &str, value: &Value) {
+        let ty = match value {
+            Value::Null => FieldType::Null,
+            Value::Bool(_) => FieldType::Bool,
+            Value::Int(_) => FieldType::Int,
+            Value::Float(_) => FieldType::Float,
+            Value::Str(_) => FieldType::String,
+            Value::Array(_) => FieldType::Array,
+            Value::Object(_) => FieldType::Object,
+        };
+        let numeric = value.as_float();
+        let entry = self.fields.entry(key.to_owned()).or_insert(FieldInfo {
+            ty,
+            present: 0,
+            min: None,
+            max: None,
+        });
+        entry.ty = entry.ty.join(ty);
+        if !value.is_null() {
+            entry.present += 1;
+        }
+        if let Some(x) = numeric {
+            entry.min = Some(entry.min.map_or(x, |m| m.min(x)));
+            entry.max = Some(entry.max.map_or(x, |m| m.max(x)));
+        }
+    }
+
+    /// Number of records scanned.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Info for one field.
+    pub fn field(&self, name: &str) -> Option<&FieldInfo> {
+        self.fields.get(name)
+    }
+
+    /// All fields, sorted by name.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &FieldInfo)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Field names that look like geographic coordinates: numeric, present
+    /// in most records, with a plausible lat/lon range.
+    pub fn coordinate_candidates(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|(_, info)| {
+                matches!(info.ty, FieldType::Int | FieldType::Float)
+                    && info.present * 2 > self.records
+                    && info.min.is_some_and(|m| m >= -180.0)
+                    && info.max.is_some_and(|m| m <= 180.0)
+            })
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Field names that look like epoch timestamps: integers, large and
+    /// positive.
+    pub fn timestamp_candidates(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|(_, info)| {
+                info.ty == FieldType::Int && info.min.is_some_and(|m| m > 1_000_000.0)
+            })
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(pairs: Vec<(&str, Value)>) -> Value {
+        Value::object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)))
+    }
+
+    #[test]
+    fn infers_types_and_ranges() {
+        let rows = vec![
+            record(vec![
+                ("lat", Value::Float(40.5)),
+                ("n", Value::Int(3)),
+                ("name", Value::from("a")),
+            ]),
+            record(vec![
+                ("lat", Value::Float(41.5)),
+                ("n", Value::Float(2.5)),
+                ("name", Value::Null),
+            ]),
+        ];
+        let s = Schema::discover(&rows);
+        assert_eq!(s.records(), 2);
+        assert_eq!(s.field("lat").unwrap().ty, FieldType::Float);
+        assert_eq!(s.field("n").unwrap().ty, FieldType::Float); // Int ⊔ Float
+        assert_eq!(s.field("name").unwrap().ty, FieldType::String); // String ⊔ Null
+        assert_eq!(s.field("name").unwrap().present, 1);
+        assert_eq!(s.field("lat").unwrap().min, Some(40.5));
+        assert_eq!(s.field("lat").unwrap().max, Some(41.5));
+    }
+
+    #[test]
+    fn incompatible_types_fall_back_to_string() {
+        let rows = vec![
+            record(vec![("x", Value::Int(1))]),
+            record(vec![("x", Value::from("two"))]),
+        ];
+        let s = Schema::discover(&rows);
+        assert_eq!(s.field("x").unwrap().ty, FieldType::String);
+    }
+
+    #[test]
+    fn coordinate_and_timestamp_detection() {
+        let rows: Vec<Value> = (0..10)
+            .map(|i| {
+                record(vec![
+                    ("lat", Value::Float(40.0 + i as f64 * 0.1)),
+                    ("lon", Value::Float(-111.0 - i as f64 * 0.1)),
+                    ("created_at", Value::Int(1_390_000_000 + i)),
+                    ("retweets", Value::Int(i)),
+                    ("text", Value::from("hello")),
+                ])
+            })
+            .collect();
+        let s = Schema::discover(&rows);
+        let coords = s.coordinate_candidates();
+        assert!(coords.contains(&"lat") && coords.contains(&"lon"));
+        assert!(!coords.contains(&"created_at"));
+        assert_eq!(s.timestamp_candidates(), vec!["created_at"]);
+    }
+}

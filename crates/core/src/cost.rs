@@ -1,0 +1,199 @@
+//! The sampler cost model.
+//!
+//! STORM's query optimizer "implements a set of basic query optimization
+//! rules for deciding which method the sampler should use when generating
+//! spatial online samples for a given query" (paper §3.2). The rules here
+//! score each method in estimated simulated block I/Os — the same unit the
+//! paper's §3.1 analysis uses — from three statistics that are cheap to
+//! obtain before running the query: `N`, an estimate of `q = |P ∩ Q|`
+//! (from aggregate counts), and a hint of how many samples `k` the caller
+//! expects to need (from the accuracy target; unbounded if unknown).
+
+use crate::{SampleMode, SamplerKind};
+
+/// Inputs to the cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostInputs {
+    /// Data set size `N`.
+    pub n: usize,
+    /// Estimated result size `q` (exact when derived from counts).
+    pub q_est: usize,
+    /// Expected number of samples the consumer will pull.
+    pub k_est: usize,
+    /// Block size `B` (tree fanout).
+    pub block: usize,
+    /// Height of the base R-tree.
+    pub height: u32,
+}
+
+impl CostInputs {
+    fn b(&self) -> f64 {
+        self.block.max(2) as f64
+    }
+
+    /// Estimated node visits of a full range report: root path + boundary
+    /// perimeter + output, the standard 2-D R-tree bound
+    /// `O(sqrt(N/B) + q/B)`.
+    fn report_cost(&self, q: f64) -> f64 {
+        self.height as f64 + (self.n as f64 / self.b()).sqrt() + q / self.b()
+    }
+}
+
+/// Estimated simulated-I/O cost of serving `k_est` samples with `kind`.
+///
+/// Infinite for method/query combinations that diverge (SampleFirst with
+/// `q = 0`).
+pub fn io_cost(kind: SamplerKind, inp: &CostInputs) -> f64 {
+    let n = inp.n as f64;
+    let q = inp.q_est as f64;
+    let k = inp.k_est as f64;
+    let b = inp.b();
+    let h = inp.height as f64;
+    match kind {
+        SamplerKind::QueryFirst => inp.report_cost(q),
+        SamplerKind::SampleFirst => {
+            if inp.q_est == 0 {
+                f64::INFINITY
+            } else {
+                k * n / q
+            }
+        }
+        SamplerKind::RandomPath => k * h.max(1.0),
+        SamplerKind::LsTree => {
+            // Levels touched: from the top (~log2(N/B) levels) down to the
+            // level where the coin-flip sample exceeds k, i.e. 2^-j q ≈ k.
+            let levels = (n / b).log2().max(1.0);
+            let stop = (q / k.max(1.0)).log2().clamp(0.0, levels);
+            let touched = (levels - stop).max(1.0);
+            // Each touched level pays a (progressively smaller) report; the
+            // geometric series is dominated by a couple of terms.
+            touched * (h + (n / b).sqrt() / (1u64 << stop as u32) as f64) + k / b
+        }
+        SamplerKind::RsTree => {
+            // Canonical set + one buffer read per sample block + descent
+            // refills amortised over the buffer size.
+            let canonical = h + (n / b).sqrt();
+            canonical + k / b + (k / b) * h
+        }
+    }
+}
+
+/// Picks the cheapest applicable method for the query.
+///
+/// Rules beyond raw cost, mirroring STORM's optimizer:
+/// * the LS-tree only produces without-replacement streams;
+/// * when the consumer will read (nearly) the whole result anyway
+///   (`k_est >= q_est`), QueryFirst is never worse — the exact answer costs
+///   the same as the samples;
+/// * SampleFirst is excluded for empty-estimate queries (divergence).
+pub fn recommend(inp: &CostInputs, mode: SampleMode) -> SamplerKind {
+    if inp.k_est >= inp.q_est {
+        return SamplerKind::QueryFirst;
+    }
+    let mut candidates = vec![
+        SamplerKind::QueryFirst,
+        SamplerKind::SampleFirst,
+        SamplerKind::RandomPath,
+        SamplerKind::RsTree,
+    ];
+    if mode == SampleMode::WithoutReplacement {
+        candidates.push(SamplerKind::LsTree);
+    }
+    candidates
+        .into_iter()
+        .map(|kind| (kind, io_cost(kind, inp)))
+        .filter(|(_, c)| c.is_finite())
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(kind, _)| kind)
+        .unwrap_or(SamplerKind::QueryFirst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(n: usize, q: usize, k: usize) -> CostInputs {
+        CostInputs {
+            n,
+            q_est: q,
+            k_est: k,
+            block: 64,
+            height: (n as f64).log(64.0).ceil().max(1.0) as u32,
+        }
+    }
+
+    #[test]
+    fn selective_small_k_prefers_an_index_sampler() {
+        // 10M points, q = 1M, k = 100: RS or LS should win by a mile.
+        let inp = inputs(10_000_000, 1_000_000, 100);
+        let pick = recommend(&inp, SampleMode::WithoutReplacement);
+        assert!(
+            matches!(pick, SamplerKind::RsTree | SamplerKind::LsTree),
+            "picked {pick}"
+        );
+        assert!(io_cost(pick, &inp) * 10.0 < io_cost(SamplerKind::QueryFirst, &inp));
+    }
+
+    #[test]
+    fn reading_everything_prefers_query_first() {
+        let inp = inputs(1_000_000, 5_000, 5_000);
+        assert_eq!(
+            recommend(&inp, SampleMode::WithoutReplacement),
+            SamplerKind::QueryFirst
+        );
+        // k > q as well.
+        let inp = inputs(1_000_000, 5_000, 50_000);
+        assert_eq!(
+            recommend(&inp, SampleMode::WithReplacement),
+            SamplerKind::QueryFirst
+        );
+    }
+
+    #[test]
+    fn whole_space_queries_make_sample_first_viable() {
+        // q ≈ N and few samples: N/q ≈ 1 probe per sample beats walking the
+        // tree (h I/Os per sample).
+        let inp = inputs(10_000_000, 9_900_000, 50);
+        let cost_sf = io_cost(SamplerKind::SampleFirst, &inp);
+        assert!(cost_sf < io_cost(SamplerKind::RandomPath, &inp));
+        assert!(cost_sf < io_cost(SamplerKind::QueryFirst, &inp));
+        let pick = recommend(&inp, SampleMode::WithReplacement);
+        assert_eq!(pick, SamplerKind::SampleFirst);
+    }
+
+    #[test]
+    fn empty_estimate_never_picks_sample_first() {
+        let inp = inputs(1_000_000, 0, 100);
+        let pick = recommend(&inp, SampleMode::WithReplacement);
+        assert_ne!(pick, SamplerKind::SampleFirst);
+    }
+
+    #[test]
+    fn with_replacement_never_recommends_ls() {
+        for (q, k) in [(1_000_000, 10), (100_000, 1000), (10_000, 10)] {
+            let inp = inputs(10_000_000, q, k);
+            assert_ne!(
+                recommend(&inp, SampleMode::WithReplacement),
+                SamplerKind::LsTree
+            );
+        }
+    }
+
+    #[test]
+    fn costs_grow_with_k_for_per_sample_methods() {
+        let a = inputs(1_000_000, 100_000, 10);
+        let b = inputs(1_000_000, 100_000, 10_000);
+        for kind in [
+            SamplerKind::SampleFirst,
+            SamplerKind::RandomPath,
+            SamplerKind::RsTree,
+        ] {
+            assert!(io_cost(kind, &b) > io_cost(kind, &a), "{kind}");
+        }
+        // QueryFirst is flat in k.
+        assert_eq!(
+            io_cost(SamplerKind::QueryFirst, &a),
+            io_cost(SamplerKind::QueryFirst, &b)
+        );
+    }
+}

@@ -1,0 +1,668 @@
+//! The RS-tree: a sample-buffered Hilbert R-tree.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+use storm_geo::{Point, Rect};
+use storm_rtree::{
+    BulkMethod, CanonicalPart, IoStats, Item, NodeId, RTree, RTreeConfig, UpdateEvent,
+};
+
+use crate::weighted::{SelectorKind, WeightedSelector};
+use crate::{SampleMode, SamplerKind, SpatialSampler};
+
+/// Tuning for the [`RsTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct RsTreeConfig {
+    /// Configuration of the underlying Hilbert R-tree.
+    pub rtree: RTreeConfig,
+    /// Target size of each node's sample buffer `S(u)` (one block's worth
+    /// by default, so reading a buffer costs one I/O like any node).
+    pub buffer_size: usize,
+    /// Part-selection algorithm over the canonical set.
+    pub selector: SelectorKind,
+    /// Subtrees at or below this count are materialised whole on refill
+    /// instead of sampled by repeated descent.
+    pub small_subtree: usize,
+}
+
+impl Default for RsTreeConfig {
+    fn default() -> Self {
+        let rtree = RTreeConfig::default();
+        RsTreeConfig {
+            rtree,
+            buffer_size: rtree.max_entries,
+            selector: SelectorKind::default(),
+            small_subtree: rtree.max_entries * 4,
+        }
+    }
+}
+
+impl RsTreeConfig {
+    /// Config with a given R-tree fanout; buffers sized to one block.
+    pub fn with_fanout(fanout: usize) -> Self {
+        let rtree = RTreeConfig::with_fanout(fanout);
+        RsTreeConfig {
+            rtree,
+            buffer_size: fanout,
+            selector: SelectorKind::default(),
+            small_subtree: fanout * 4,
+        }
+    }
+}
+
+/// The second ST-indexing structure of paper §3.1: a **single Hilbert
+/// R-tree** over `P` where each node `u` carries a buffer `S(u)` of random
+/// samples of `P(u)`, integrating the paper's three ideas:
+///
+/// * **Sample buffering** — `S(u)` is consumed by queries and replenished
+///   by count-weighted descent, so most samples cost one block read;
+/// * **Lazy exploration** — per-node counts let the sampler decide *how
+///   many* samples each canonical subtree owes without opening it;
+/// * **Acceptance/rejection sampling** — canonical parts are drawn
+///   proportional to `|P(u)|` with A/R (or the alias method), so large
+///   subtrees are located quickly and small ones are rarely explored.
+///
+/// Buffer entries deplete across queries — by design: consuming
+/// precomputed randomness is what makes successive queries' samples
+/// independent of each other (the inter-query independence property of
+/// Hu et al. [8] that the paper cites).
+///
+/// Ad-hoc updates keep every surviving buffer a uniform sample of its
+/// subtree: inserts perform a reservoir replacement along the update path,
+/// deletes evict the removed record, and splits/frees drop the affected
+/// buffers (they are rebuilt lazily on next use).
+#[derive(Debug)]
+pub struct RsTree<const D: usize> {
+    tree: RTree<D>,
+    buffers: HashMap<NodeId, Vec<Item<D>>>,
+    cfg: RsTreeConfig,
+}
+
+impl<const D: usize> RsTree<D> {
+    /// Bulk loads the Hilbert R-tree; buffers are created lazily on first
+    /// use (call [`RsTree::prefill`] to precompute them instead).
+    pub fn bulk_load(items: Vec<Item<D>>, cfg: RsTreeConfig) -> Self {
+        RsTree {
+            tree: RTree::bulk_load(items, cfg.rtree, BulkMethod::Hilbert),
+            buffers: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Number of data points.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// The underlying R-tree (read-only).
+    pub fn tree(&self) -> &RTree<D> {
+        &self.tree
+    }
+
+    /// The simulated-I/O counter.
+    pub fn io(&self) -> &IoStats {
+        self.tree.io()
+    }
+
+    /// A shared handle to the I/O counter.
+    pub fn io_handle(&self) -> std::sync::Arc<IoStats> {
+        self.tree.io_handle()
+    }
+
+    /// Exact `|P ∩ Q|` from aggregate counts.
+    pub fn exact_count(&self, query: &Rect<D>) -> usize {
+        self.tree.count_in(query)
+    }
+
+    /// Number of nodes currently holding a non-empty buffer.
+    pub fn buffered_nodes(&self) -> usize {
+        self.buffers.values().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Eagerly fills the sample buffer of every inner node (the
+    /// construction-time behaviour of the paper's RS-tree, where `S(u)` is
+    /// computed from the canonical cover of `u` at build time).
+    pub fn prefill(&mut self, rng: &mut dyn Rng) {
+        let Some(root) = self.tree.root_id() else {
+            return;
+        };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let view = self.tree.view_free_of_charge(id);
+            if view.count > self.cfg.small_subtree {
+                let empty = HashSet::new();
+                let buf = self.fill_buffer(id, rng, &empty);
+                self.buffers.insert(id, buf);
+            }
+            stack.extend(view.children());
+        }
+    }
+
+    /// Inserts a point, maintaining buffers along the way (reservoir
+    /// replacement on the insertion path, eviction on splits).
+    pub fn insert(&mut self, item: Item<D>, rng: &mut dyn Rng) {
+        let mut events = Vec::new();
+        self.tree.insert_with(item, &mut |e| events.push(e));
+        self.apply_events(&events, Some(item), None, rng);
+    }
+
+    /// Removes a point, evicting it from any buffer that holds it.
+    pub fn remove(&mut self, point: &Point<D>, id: u64, rng: &mut dyn Rng) -> bool {
+        let mut events = Vec::new();
+        let removed = self.tree.remove_with(point, id, &mut |e| events.push(e));
+        if removed {
+            self.apply_events(&events, None, Some(id), rng);
+        }
+        removed
+    }
+
+    fn apply_events(
+        &mut self,
+        events: &[UpdateEvent],
+        inserted: Option<Item<D>>,
+        removed: Option<u64>,
+        rng: &mut dyn Rng,
+    ) {
+        let rng = &mut *rng;
+        for &event in events {
+            match event {
+                UpdateEvent::Gained(u) => {
+                    if !self.tree.is_live(u) {
+                        continue;
+                    }
+                    let Some(item) = inserted else { continue };
+                    let n = self.tree.view_free_of_charge(u).count as u64;
+                    if let Some(buf) = self.buffers.get_mut(&u) {
+                        if buf.is_empty() || buf.iter().any(|b| b.id == item.id) {
+                            continue;
+                        }
+                        // Reservoir: keep `S(u)` a uniform |buf|-sample of
+                        // the grown subtree.
+                        if n > 0 && rng.random_range(0..n) < buf.len() as u64 {
+                            let victim = rng.random_range(0..buf.len());
+                            buf[victim] = item;
+                        }
+                    }
+                }
+                UpdateEvent::Lost(u) => {
+                    let Some(id) = removed else { continue };
+                    if let Some(buf) = self.buffers.get_mut(&u) {
+                        buf.retain(|b| b.id != id);
+                    }
+                }
+                UpdateEvent::Split { from, new } => {
+                    self.buffers.remove(&from);
+                    self.buffers.remove(&new);
+                }
+                UpdateEvent::Freed(u) => {
+                    self.buffers.remove(&u);
+                }
+            }
+        }
+    }
+
+    /// Pops one not-yet-`seen` sample of `P(u)`, refilling `S(u)` when dry.
+    ///
+    /// Reading the buffer is charged as one block access; refills charge
+    /// their descent/materialisation reads through the tree.
+    fn pop_from_node(
+        &mut self,
+        u: NodeId,
+        rng: &mut dyn Rng,
+        seen: &HashSet<u64>,
+    ) -> Option<Item<D>> {
+        self.tree.io().record_reads(1);
+        loop {
+            let buf = self.buffers.entry(u).or_default();
+            match buf.pop() {
+                Some(item) if !seen.contains(&item.id) => return Some(item),
+                Some(_) => continue, // consumed stale entry
+                None => {
+                    let fresh = self.fill_buffer(u, rng, seen);
+                    if fresh.is_empty() {
+                        return None;
+                    }
+                    self.buffers.insert(u, fresh);
+                }
+            }
+        }
+    }
+
+    /// Builds a fresh buffer for `u`: small subtrees are materialised in
+    /// full; large ones are sampled by repeated count-weighted descent.
+    /// Entries are distinct, exclude `seen`, and arrive pre-shuffled.
+    fn fill_buffer(
+        &self,
+        u: NodeId,
+        rng: &mut dyn Rng,
+        seen: &HashSet<u64>,
+    ) -> Vec<Item<D>> {
+        let rng = &mut *rng;
+        let count = self.tree.visit(u).count;
+        let mut buf: Vec<Item<D>>;
+        if count <= self.cfg.small_subtree {
+            buf = Vec::with_capacity(count);
+            let mut stack = vec![u];
+            while let Some(id) = stack.pop() {
+                let view = self.tree.visit(id);
+                if view.is_leaf() {
+                    buf.extend(view.items().iter().filter(|it| !seen.contains(&it.id)));
+                } else {
+                    stack.extend(view.children());
+                }
+            }
+            buf.shuffle(rng);
+        } else {
+            buf = Vec::with_capacity(self.cfg.buffer_size);
+            let mut in_buf: HashSet<u64> = HashSet::with_capacity(self.cfg.buffer_size);
+            // Distinct draws get rare only when the buffer approaches the
+            // subtree size; `small_subtree >= 4 * buffer_size` keeps the
+            // collision rate below 25%, so a modest attempt cap suffices.
+            let max_attempts = self.cfg.buffer_size * 8;
+            for _ in 0..max_attempts {
+                if buf.len() >= self.cfg.buffer_size {
+                    break;
+                }
+                let item = self.descend_uniform(u, rng);
+                if !seen.contains(&item.id) && in_buf.insert(item.id) {
+                    buf.push(item);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Exact uniform draw from `P(u)` by count-weighted root-to-leaf
+    /// descent (no query restriction needed: canonical nodes are fully
+    /// inside `Q`).
+    fn descend_uniform(&self, u: NodeId, rng: &mut dyn Rng) -> Item<D> {
+        let rng = &mut *rng;
+        let mut id = u;
+        loop {
+            let view = self.tree.visit(id);
+            if view.is_leaf() {
+                let items = view.items();
+                return items[rng.random_range(0..items.len())];
+            }
+            let total = view.count as u64;
+            let mut target = rng.random_range(0..total);
+            let mut next = None;
+            for &c in view.children() {
+                let cnt = self.tree.view_free_of_charge(c).count as u64;
+                if target < cnt {
+                    next = Some(c);
+                    break;
+                }
+                target -= cnt;
+            }
+            id = next.expect("child counts must sum to the node count");
+        }
+    }
+
+    /// Opens a sampling stream for `query`.
+    ///
+    /// The stream borrows the RS-tree mutably because it consumes buffer
+    /// entries — precomputed randomness is spent, never reused, which is
+    /// what makes samples independent across queries.
+    pub fn sampler(&mut self, query: Rect<D>, mode: SampleMode) -> RsSampler<'_, D> {
+        let canonical = self.tree.canonical_set(&query);
+        let mut parts = Vec::with_capacity(canonical.parts.len());
+        let mut weights = Vec::with_capacity(canonical.parts.len());
+        for part in canonical.parts {
+            match part {
+                CanonicalPart::Node { id, count } => {
+                    parts.push(Part::Node(id));
+                    weights.push(count as u64);
+                }
+                CanonicalPart::Item(item) => {
+                    parts.push(Part::Single(item));
+                    weights.push(1);
+                }
+            }
+        }
+        let selector = WeightedSelector::new(weights.clone(), self.cfg.selector);
+        RsSampler {
+            rs: self,
+            mode,
+            parts,
+            remaining: weights,
+            total_remaining: canonical.total as u64,
+            total: canonical.total,
+            selector,
+            seen: HashSet::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Part<const D: usize> {
+    Node(NodeId),
+    Single(Item<D>),
+}
+
+/// The RS-tree's online sample stream for one query.
+#[derive(Debug)]
+pub struct RsSampler<'a, const D: usize> {
+    rs: &'a mut RsTree<D>,
+    mode: SampleMode,
+    parts: Vec<Part<D>>,
+    /// Unemitted points left in each part (for without-replacement).
+    remaining: Vec<u64>,
+    total_remaining: u64,
+    total: usize,
+    selector: Option<WeightedSelector>,
+    seen: HashSet<u64>,
+}
+
+impl<const D: usize> SpatialSampler<D> for RsSampler<'_, D> {
+    fn next_sample(&mut self, rng: &mut dyn Rng) -> Option<Item<D>> {
+        let selector = self.selector.as_ref()?;
+        let rng2 = &mut *rng;
+        match self.mode {
+            SampleMode::WithReplacement => {
+                // Independent draws: part ∝ count, then an exact uniform
+                // element of the part (descent; buffers are not consumed so
+                // repeated draws stay independent).
+                let i = selector.pick(rng2);
+                match self.parts[i] {
+                    Part::Single(item) => Some(item),
+                    Part::Node(u) => Some(self.rs.descend_uniform(u, rng2)),
+                }
+            }
+            SampleMode::WithoutReplacement => {
+                let mut spins = 0u64;
+                loop {
+                    spins += 1;
+                    assert!(
+                        spins <= 100_000_000,
+                        "RS-tree WOR sampling failed to make progress \
+                         (remaining {} of {}; {} parts)",
+                        self.total_remaining,
+                        self.total,
+                        self.parts.len()
+                    );
+                    if self.total_remaining == 0 {
+                        return None;
+                    }
+                    let i = selector.pick(rng2);
+                    // Dynamic thinning: the static selector draws ∝ the
+                    // original count; accepting with probability
+                    // remaining/original makes the effective weight the
+                    // *remaining* count, which is what keeps the stream
+                    // uniform over the unseen points.
+                    let original = selector.weight(i);
+                    let rem = self.remaining[i];
+                    if rem == 0 {
+                        continue;
+                    }
+                    if rem < original && rng2.random_range(0..original) >= rem {
+                        continue;
+                    }
+                    let item = match self.parts[i] {
+                        Part::Single(item) => item,
+                        Part::Node(u) => match self.rs.pop_from_node(u, rng2, &self.seen) {
+                            Some(item) => item,
+                            None => {
+                                // Defensive: bookkeeping says points remain
+                                // but the subtree is exhausted (possible
+                                // when a refill's distinct-draw attempt cap
+                                // is hit on a nearly-consumed subtree).
+                                self.total_remaining -= self.remaining[i];
+                                self.remaining[i] = 0;
+                                continue;
+                            }
+                        },
+                    };
+                    self.remaining[i] -= 1;
+                    self.total_remaining -= 1;
+                    self.seen.insert(item.id);
+                    return Some(item);
+                }
+            }
+        }
+    }
+
+    fn kind(&self) -> SamplerKind {
+        SamplerKind::RsTree
+    }
+
+    fn result_size(&self) -> Option<usize> {
+        Some(self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use storm_geo::{Point2, Rect2};
+
+    fn grid_items(n: usize) -> Vec<Item<2>> {
+        (0..n)
+            .map(|i| Item::new(Point2::xy((i % 100) as f64, (i / 100) as f64), i as u64))
+            .collect()
+    }
+
+    fn rs(n: usize) -> RsTree<2> {
+        RsTree::bulk_load(grid_items(n), RsTreeConfig::with_fanout(16))
+    }
+
+    #[test]
+    fn result_size_is_exact() {
+        let mut t = rs(5000);
+        let q = Rect2::from_corners(Point2::xy(10.0, 5.0), Point2::xy(60.0, 30.0));
+        let expected = t.tree().query(&q).len();
+        let s = t.sampler(q, SampleMode::WithoutReplacement);
+        assert_eq!(s.result_size(), Some(expected));
+    }
+
+    #[test]
+    fn without_replacement_is_a_permutation() {
+        let mut t = rs(3000);
+        let q = Rect2::from_corners(Point2::xy(7.0, 3.0), Point2::xy(55.0, 21.0));
+        let expected: std::collections::HashSet<u64> =
+            t.tree().query(&q).iter().map(|i| i.id).collect();
+        let mut s = t.sampler(q, SampleMode::WithoutReplacement);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut got = std::collections::HashSet::new();
+        while let Some(item) = s.next_sample(&mut rng) {
+            assert!(q.contains_point(&item.point));
+            assert!(got.insert(item.id), "duplicate {}", item.id);
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn with_replacement_streams_independently() {
+        let mut t = rs(1000);
+        let q = Rect2::everything();
+        let mut s = t.sampler(q, SampleMode::WithReplacement);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let item = s.next_sample(&mut rng).unwrap();
+            distinct.insert(item.id);
+        }
+        // Birthday bound: 500 WR draws from 1000 should repeat sometimes
+        // but cover a lot.
+        assert!(distinct.len() > 300 && distinct.len() < 500);
+    }
+
+    #[test]
+    fn empty_query_returns_none() {
+        let mut t = rs(500);
+        let q = Rect2::from_corners(Point2::xy(1e6, 1e6), Point2::xy(1e6 + 1.0, 1e6 + 1.0));
+        let mut s = t.sampler(q, SampleMode::WithoutReplacement);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(s.next_sample(&mut rng).is_none());
+        assert_eq!(s.result_size(), Some(0));
+    }
+
+    #[test]
+    fn first_sample_is_uniform_over_the_result() {
+        // Chi-square over the first emitted sample across many queries on a
+        // fresh tree each time (buffers consumed across repeats would skew
+        // *which entries* come first but not their distribution; fresh
+        // trees isolate the per-query guarantee).
+        let items = grid_items(400);
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(19.0, 1.0));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 20_000;
+        for _ in 0..trials {
+            let mut t = RsTree::bulk_load(items.clone(), RsTreeConfig::with_fanout(8));
+            let mut s = t.sampler(q, SampleMode::WithoutReplacement);
+            let item = s.next_sample(&mut rng).unwrap();
+            *counts.entry(item.id).or_insert(0usize) += 1;
+        }
+        let q_size = 40;
+        assert_eq!(counts.len(), q_size);
+        let expected = trials as f64 / q_size as f64;
+        let chi: f64 = counts
+            .values()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // chi² 39 dof, p=0.001 critical ≈ 72.05.
+        assert!(chi < 72.05, "chi² = {chi}");
+    }
+
+    #[test]
+    fn buffers_amortise_io_across_queries() {
+        let mut t = rs(100_000);
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(99.0, 600.0));
+        let mut rng = StdRng::seed_from_u64(5);
+        // First query pays for refills.
+        t.io().reset();
+        let mut s = t.sampler(q, SampleMode::WithoutReplacement);
+        for _ in 0..32 {
+            s.next_sample(&mut rng).unwrap();
+        }
+        drop(s);
+        let first = t.io().reads();
+        // Second identical query mostly rides the buffers.
+        t.io().reset();
+        let mut s = t.sampler(q, SampleMode::WithoutReplacement);
+        for _ in 0..32 {
+            s.next_sample(&mut rng).unwrap();
+        }
+        drop(s);
+        let second = t.io().reads();
+        assert!(
+            second < first,
+            "second query ({second}) should be cheaper than first ({first})"
+        );
+    }
+
+    #[test]
+    fn prefill_builds_buffers_up_front() {
+        let mut t = rs(20_000);
+        assert_eq!(t.buffered_nodes(), 0);
+        let mut rng = StdRng::seed_from_u64(6);
+        t.prefill(&mut rng);
+        assert!(t.buffered_nodes() > 0);
+        // Prefilled queries need almost no descent I/O.
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(99.0, 150.0));
+        t.io().reset();
+        let mut s = t.sampler(q, SampleMode::WithoutReplacement);
+        for _ in 0..16 {
+            s.next_sample(&mut rng).unwrap();
+        }
+        drop(s);
+        let reads = t.io().reads();
+        assert!(reads < 200, "prefilled sampling cost {reads} reads");
+    }
+
+    #[test]
+    fn updates_keep_the_stream_correct() {
+        let mut t = rs(2000);
+        let mut rng = StdRng::seed_from_u64(7);
+        t.prefill(&mut rng);
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(15.0, 10.0));
+        // Delete everything in Q, insert 7 fresh points.
+        for it in t.tree().query(&q) {
+            assert!(t.remove(&it.point, it.id, &mut rng));
+        }
+        for j in 0..7u64 {
+            t.insert(
+                Item::new(Point2::xy(2.0 + j as f64, 3.0), 900_000 + j),
+                &mut rng,
+            );
+        }
+        let mut s = t.sampler(q, SampleMode::WithoutReplacement);
+        let mut got = std::collections::HashSet::new();
+        while let Some(item) = s.next_sample(&mut rng) {
+            got.insert(item.id);
+        }
+        let expected: std::collections::HashSet<u64> = (0..7).map(|j| 900_000 + j).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn reservoir_keeps_buffers_fresh_under_inserts() {
+        // Insert a block of new points; the root buffer should eventually
+        // contain some of them (reservoir property), without rebuilding.
+        let mut t = rs(4000);
+        let mut rng = StdRng::seed_from_u64(8);
+        t.prefill(&mut rng);
+        let root = t.tree().root_id().unwrap();
+        for j in 0..4000u64 {
+            t.insert(
+                Item::new(
+                    Point2::xy((j % 100) as f64 + 0.5, (j / 100) as f64 + 0.5),
+                    500_000 + j,
+                ),
+                &mut rng,
+            );
+        }
+        // Root may have split; find the current root's buffer.
+        let root_now = t.tree().root_id().unwrap();
+        let buf = t.buffers.get(&root_now).or_else(|| t.buffers.get(&root));
+        if let Some(buf) = buf {
+            let fresh = buf.iter().filter(|it| it.id >= 500_000).count();
+            // Half the data is new; a uniform buffer should reflect that.
+            assert!(
+                fresh * 10 >= buf.len(),
+                "only {fresh}/{} fresh entries in root buffer",
+                buf.len()
+            );
+        }
+        // Regardless of buffers, streams must be exact.
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(3.0, 3.0));
+        let expected = t.tree().query(&q).len();
+        let mut s = t.sampler(q, SampleMode::WithoutReplacement);
+        let mut n = 0usize;
+        while s.next_sample(&mut rng).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn selector_variants_all_work() {
+        for kind in [
+            SelectorKind::Linear,
+            SelectorKind::AcceptReject,
+            SelectorKind::Alias,
+        ] {
+            let mut cfg = RsTreeConfig::with_fanout(8);
+            cfg.selector = kind;
+            let mut t = RsTree::bulk_load(grid_items(1000), cfg);
+            let q = Rect2::from_corners(Point2::xy(5.0, 1.0), Point2::xy(40.0, 8.0));
+            let expected = t.tree().query(&q).len();
+            let mut s = t.sampler(q, SampleMode::WithoutReplacement);
+            let mut rng = StdRng::seed_from_u64(9);
+            let got = s.draw(10_000, &mut rng);
+            assert_eq!(got.len(), expected, "{kind:?}");
+        }
+    }
+}

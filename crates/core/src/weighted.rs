@@ -1,0 +1,264 @@
+//! Weighted selection over canonical-set parts.
+//!
+//! The RS-tree must repeatedly pick a canonical part proportionally to its
+//! subtree count. The paper names **acceptance/rejection sampling** as the
+//! mechanism that "quickly locates large subtrees in `R_Q`" while never
+//! opening small ones; we additionally provide a linear scan (the naive
+//! baseline the A/R idea beats, used in the ablation experiment E9) and
+//! Vose's alias method (an `O(1)`-per-draw refinement).
+
+use rand::{Rng, RngExt};
+
+/// Which weighted-selection algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectorKind {
+    /// `O(parts)` per draw: walk the cumulative sum.
+    Linear,
+    /// The paper's acceptance/rejection: pick a part uniformly, accept with
+    /// probability `count/max_count`. `O(1)` memory, expected
+    /// `parts·max/total` trials per draw (trials are in-memory only — no
+    /// I/O — which is the point).
+    AcceptReject,
+    /// Vose's alias method: `O(parts)` setup, exact `O(1)` per draw.
+    #[default]
+    Alias,
+}
+
+/// A sampler over indices `0..n` with fixed positive weights.
+#[derive(Debug, Clone)]
+pub struct WeightedSelector {
+    kind: SelectorKind,
+    weights: Vec<u64>,
+    total: u64,
+    max: u64,
+    // Alias tables (built only for SelectorKind::Alias).
+    alias_prob: Vec<f64>,
+    alias_idx: Vec<u32>,
+}
+
+impl WeightedSelector {
+    /// Builds a selector; weights must be non-empty with a positive total.
+    ///
+    /// Returns `None` for an empty or all-zero weight vector.
+    pub fn new(weights: Vec<u64>, kind: SelectorKind) -> Option<Self> {
+        let total: u64 = weights.iter().sum();
+        if weights.is_empty() || total == 0 {
+            return None;
+        }
+        let max = *weights.iter().max().expect("non-empty");
+        let (alias_prob, alias_idx) = if kind == SelectorKind::Alias {
+            build_alias(&weights, total)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Some(WeightedSelector {
+            kind,
+            weights,
+            total,
+            max,
+            alias_prob,
+            alias_idx,
+        })
+    }
+
+    /// Number of weighted entries.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when there are no entries (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Weight of entry `i`.
+    pub fn weight(&self, i: usize) -> u64 {
+        self.weights[i]
+    }
+
+    /// Draws an index with probability `weight[i] / total`.
+    pub fn pick(&self, rng: &mut dyn Rng) -> usize {
+        let rng = &mut *rng;
+        match self.kind {
+            SelectorKind::Linear => {
+                let mut target = rng.random_range(0..self.total);
+                for (i, &w) in self.weights.iter().enumerate() {
+                    if target < w {
+                        return i;
+                    }
+                    target -= w;
+                }
+                unreachable!("cumulative walk exceeded total")
+            }
+            SelectorKind::AcceptReject => loop {
+                let i = rng.random_range(0..self.weights.len());
+                let w = self.weights[i];
+                if w == self.max || rng.random_range(0..self.max) < w {
+                    return i;
+                }
+            },
+            SelectorKind::Alias => {
+                let i = rng.random_range(0..self.alias_prob.len());
+                if rng.random_range(0.0..1.0) < self.alias_prob[i] {
+                    i
+                } else {
+                    self.alias_idx[i] as usize
+                }
+            }
+        }
+    }
+}
+
+/// Vose's alias-table construction.
+fn build_alias(weights: &[u64], total: u64) -> (Vec<f64>, Vec<u32>) {
+    let n = weights.len();
+    let mut prob = vec![0.0f64; n];
+    let mut alias = vec![0u32; n];
+    let scale = n as f64 / total as f64;
+    let scaled: Vec<f64> = weights.iter().map(|&w| w as f64 * scale).collect();
+    let mut small: Vec<u32> = Vec::new();
+    let mut large: Vec<u32> = Vec::new();
+    for (i, &s) in scaled.iter().enumerate() {
+        if s < 1.0 {
+            small.push(i as u32);
+        } else {
+            large.push(i as u32);
+        }
+    }
+    let mut scaled = scaled;
+    while let Some(s) = small.pop() {
+        // NB: the donor must only leave `large` after the pairing — popping
+        // both stacks in one tuple pattern would silently drop an index
+        // when `small` runs dry first.
+        let Some(&l) = large.last() else {
+            // Rounding left a ~1.0 cell with no donor.
+            prob[s as usize] = 1.0;
+            continue;
+        };
+        prob[s as usize] = scaled[s as usize];
+        alias[s as usize] = l;
+        scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+        if scaled[l as usize] < 1.0 {
+            large.pop();
+            small.push(l);
+        }
+    }
+    for i in large {
+        prob[i as usize] = 1.0;
+    }
+    (prob, alias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(WeightedSelector::new(vec![], SelectorKind::Linear).is_none());
+        assert!(WeightedSelector::new(vec![0, 0], SelectorKind::Alias).is_none());
+    }
+
+    #[test]
+    fn single_entry_always_selected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [SelectorKind::Linear, SelectorKind::AcceptReject, SelectorKind::Alias] {
+            let s = WeightedSelector::new(vec![5], kind).unwrap();
+            for _ in 0..10 {
+                assert_eq!(s.pick(&mut rng), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_entries_never_selected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for kind in [SelectorKind::Linear, SelectorKind::AcceptReject, SelectorKind::Alias] {
+            let s = WeightedSelector::new(vec![0, 7, 0, 3], kind).unwrap();
+            for _ in 0..200 {
+                let i = s.pick(&mut rng);
+                assert!(i == 1 || i == 3, "{kind:?} selected zero-weight {i}");
+            }
+        }
+    }
+
+    /// Chi-square goodness of fit against the target distribution.
+    fn chi_square(kind: SelectorKind, weights: Vec<u64>, draws: usize, seed: u64) -> f64 {
+        let s = WeightedSelector::new(weights.clone(), kind).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[s.pick(&mut rng)] += 1;
+        }
+        let total: u64 = weights.iter().sum();
+        let mut chi = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if w == 0 {
+                assert_eq!(counts[i], 0);
+                continue;
+            }
+            let expected = draws as f64 * w as f64 / total as f64;
+            let d = counts[i] as f64 - expected;
+            chi += d * d / expected;
+        }
+        chi
+    }
+
+    #[test]
+    fn all_selectors_match_the_target_distribution() {
+        // 7 non-zero cells → 6 dof; chi² critical value at p=0.001 is 22.46.
+        let weights = vec![1u64, 2, 4, 8, 16, 100, 1000];
+        for (kind, seed) in [
+            (SelectorKind::Linear, 10),
+            (SelectorKind::AcceptReject, 11),
+            (SelectorKind::Alias, 12),
+        ] {
+            let chi = chi_square(kind, weights.clone(), 200_000, seed);
+            assert!(chi < 22.46, "{kind:?}: chi² = {chi}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_with_alias_stay_exact() {
+        let weights = vec![1u64, 1_000_000];
+        let s = WeightedSelector::new(weights, SelectorKind::Alias).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ones = 0usize;
+        let draws = 2_000_000;
+        for _ in 0..draws {
+            if s.pick(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        let frac = ones as f64 / draws as f64;
+        assert!(frac > 0.999_99 - 3e-4, "frac = {frac}");
+    }
+}
+
+#[cfg(test)]
+mod alias_regression_tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Regression: with all-equal weights, every index must be reachable
+    /// (a tuple-pattern `while let` in the alias construction used to drop
+    /// the last index of the `large` stack).
+    #[test]
+    fn equal_weights_cover_all_indices() {
+        for n in [2usize, 3, 25, 100] {
+            let s = WeightedSelector::new(vec![1u64; n], SelectorKind::Alias).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut seen = vec![0usize; n];
+            for _ in 0..n * 500 {
+                seen[s.pick(&mut rng)] += 1;
+            }
+            assert!(seen.iter().all(|&c| c > 0), "n={n}: {seen:?}");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Interactive analytics: a background session runner whose running query
+//! can be pre-empted by the next one.
+//!
+//! Paper §1: "user can change his/her query condition without the need of
+//! waiting for the current query to complete". The runner owns the engine
+//! on a worker thread; submitting a query while another is running cancels
+//! the running one, and progress/outcome events stream back on a channel.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::session::{CancelToken, Progress, QueryOutcome};
+use crate::StormEngine;
+
+/// Events streamed from the worker.
+#[derive(Debug)]
+pub enum Event {
+    /// A progress tick from the currently running query.
+    Progress {
+        /// Which submission this belongs to.
+        query_id: u64,
+        /// The snapshot.
+        progress: Progress,
+    },
+    /// A query finished (any stop reason, including cancellation).
+    Finished {
+        /// Which submission this belongs to.
+        query_id: u64,
+        /// The outcome.
+        outcome: QueryOutcome,
+    },
+    /// A query failed to parse/plan/run.
+    Error {
+        /// Which submission this belongs to.
+        query_id: u64,
+        /// The stringified error.
+        message: String,
+    },
+}
+
+enum Command {
+    Run { query_id: u64, ql: String },
+    Shutdown,
+}
+
+/// Handle to an interactive STORM session.
+#[derive(Debug)]
+pub struct InteractiveSession {
+    commands: Sender<Command>,
+    events: Receiver<Event>,
+    next_id: u64,
+    worker: Option<JoinHandle<StormEngine>>,
+}
+
+impl InteractiveSession {
+    /// Moves `engine` onto a worker thread and opens the session.
+    pub fn start(engine: StormEngine) -> Self {
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let (evt_tx, evt_rx) = unbounded::<Event>();
+        let worker = std::thread::spawn(move || worker_loop(engine, &cmd_rx, &evt_tx));
+        InteractiveSession {
+            commands: cmd_tx,
+            events: evt_rx,
+            next_id: 0,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submits a query. A query already running is cancelled as soon as it
+    /// next checks for pre-emption. Returns the submission id that tags
+    /// this query's events.
+    pub fn submit(&mut self, ql: &str) -> u64 {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.commands
+            .send(Command::Run {
+                query_id: id,
+                ql: ql.to_owned(),
+            })
+            .expect("worker alive while session exists");
+        id
+    }
+
+    /// The event stream.
+    pub fn events(&self) -> &Receiver<Event> {
+        &self.events
+    }
+
+    /// Blocks until the given submission finishes (drops earlier events).
+    pub fn wait_for(&self, query_id: u64) -> Option<Event> {
+        for event in self.events.iter() {
+            match &event {
+                Event::Finished { query_id: id, .. } | Event::Error { query_id: id, .. }
+                    if *id == query_id =>
+                {
+                    return Some(event)
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Shuts the worker down and returns the engine.
+    pub fn shutdown(mut self) -> StormEngine {
+        let _ = self.commands.send(Command::Shutdown);
+        self.worker
+            .take()
+            .expect("worker present until shutdown")
+            .join()
+            .expect("worker thread panicked")
+    }
+}
+
+impl Drop for InteractiveSession {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            let _ = self.commands.send(Command::Shutdown);
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(
+    mut engine: StormEngine,
+    commands: &Receiver<Command>,
+    events: &Sender<Event>,
+) -> StormEngine {
+    let mut pending: Option<Command> = None;
+    loop {
+        let command = match pending.take() {
+            Some(c) => c,
+            None => match commands.recv() {
+                Ok(c) => c,
+                Err(_) => return engine, // session handle dropped
+            },
+        };
+        match command {
+            Command::Shutdown => return engine,
+            Command::Run { query_id, ql } => {
+                let cancel = CancelToken::new();
+                let result = {
+                    let cancel_inner = cancel.clone();
+                    let mut on_progress = |p: &Progress| {
+                        // Pre-emption: a newer command cancels this query.
+                        match commands.try_recv() {
+                            Ok(next) => {
+                                pending = Some(next);
+                                cancel_inner.cancel();
+                            }
+                            Err(TryRecvError::Empty) => {}
+                            Err(TryRecvError::Disconnected) => cancel_inner.cancel(),
+                        }
+                        let _ = events.send(Event::Progress {
+                            query_id,
+                            progress: p.clone(),
+                        });
+                    };
+                    engine.execute_with(&ql, &cancel, &mut on_progress)
+                };
+                let event = match result {
+                    Ok(outcome) => Event::Finished { query_id, outcome },
+                    Err(e) => Event::Error {
+                        query_id,
+                        message: e.to_string(),
+                    },
+                };
+                let _ = events.send(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::session::StopReason;
+    use storm_connector::StRecord;
+    use storm_geo::StPoint;
+    use storm_store::Value;
+
+    fn engine(n: usize) -> StormEngine {
+        let mut e = StormEngine::new(1);
+        let records = (0..n)
+            .map(|i| StRecord {
+                point: StPoint::new((i % 100) as f64, (i / 100) as f64, i as i64),
+                body: Value::object([("v".into(), Value::Float((i % 5) as f64))]),
+            })
+            .collect();
+        e.create_dataset("d", records, DatasetConfig {
+            fanout: 16,
+            ..Default::default()
+        })
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn runs_a_query_to_completion() {
+        let mut session = InteractiveSession::start(engine(2_000));
+        let id = session.submit("ESTIMATE AVG(v) FROM d SAMPLES 500");
+        match session.wait_for(id) {
+            Some(Event::Finished { outcome, .. }) => {
+                assert!(outcome.samples >= 500);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        session.shutdown();
+    }
+
+    #[test]
+    fn a_new_query_preempts_the_running_one() {
+        let mut session = InteractiveSession::start(engine(200_000));
+        // Unbounded query (runs until exhaustion of 200k points)...
+        let first = session.submit("ESTIMATE AVG(v) FROM d");
+        // ...pre-empted right away.
+        let second = session.submit("ESTIMATE AVG(v) FROM d SAMPLES 100");
+        let mut first_reason = None;
+        let mut second_done = false;
+        for event in session.events().iter() {
+            match event {
+                Event::Finished { query_id, outcome } if query_id == first => {
+                    first_reason = Some(outcome.reason);
+                }
+                Event::Finished { query_id, .. } if query_id == second => {
+                    second_done = true;
+                    break;
+                }
+                Event::Error { message, .. } => panic!("{message}"),
+                _ => {}
+            }
+        }
+        assert_eq!(first_reason, Some(StopReason::Cancelled));
+        assert!(second_done);
+        session.shutdown();
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut session = InteractiveSession::start(engine(100));
+        let id = session.submit("ESTIMATE AVG(v) FROM nonexistent");
+        match session.wait_for(id) {
+            Some(Event::Error { message, .. }) => {
+                assert!(message.contains("nonexistent"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Session still usable.
+        let id = session.submit("ESTIMATE COUNT FROM d");
+        assert!(matches!(session.wait_for(id), Some(Event::Finished { .. })));
+        session.shutdown();
+    }
+}

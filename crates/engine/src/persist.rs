@@ -1,0 +1,233 @@
+//! Data-set persistence: save/load a data set (records + locations) as
+//! JSON-lines, so an engine can be restarted without re-importing from the
+//! original source.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use storm_connector::StRecord;
+use storm_geo::StPoint;
+use storm_store::{json, DocId, Value};
+
+use crate::dataset::{Dataset, DatasetConfig};
+use crate::{EngineError, StormEngine};
+
+/// Reserved keys carrying the indexed location in the persisted format.
+const KEY_X: &str = "_x";
+const KEY_Y: &str = "_y";
+const KEY_T: &str = "_t";
+
+impl StormEngine {
+    /// Writes a data set as JSON-lines: the record body plus `_x`/`_y`/`_t`
+    /// location keys per line.
+    pub fn save_dataset(&self, name: &str, path: &Path) -> Result<(), EngineError> {
+        let ds = self.dataset(name)?;
+        let file = std::fs::File::create(path).map_err(io_err)?;
+        let mut out = BufWriter::new(file);
+        // Deterministic order: by record id.
+        let mut items: Vec<_> = ds.items().to_vec();
+        items.sort_by_key(|it| it.id);
+        for item in items {
+            let doc = ds
+                .collection()
+                .get(DocId(item.id))
+                .expect("scan file and collection in sync");
+            let mut map = match &doc.body {
+                Value::Object(map) => map.clone(),
+                other => {
+                    let mut m = std::collections::BTreeMap::new();
+                    m.insert("_value".to_owned(), other.clone());
+                    m
+                }
+            };
+            map.insert(KEY_X.to_owned(), Value::Float(item.point.get(0)));
+            map.insert(KEY_Y.to_owned(), Value::Float(item.point.get(1)));
+            map.insert(KEY_T.to_owned(), Value::Int(item.point.get(2) as i64));
+            writeln!(out, "{}", json::to_string(&Value::Object(map))).map_err(io_err)?;
+        }
+        out.flush().map_err(io_err)
+    }
+
+    /// Loads a data set saved by [`StormEngine::save_dataset`], rebuilding
+    /// storage and every index.
+    pub fn load_dataset(
+        &mut self,
+        name: &str,
+        path: &Path,
+        cfg: DatasetConfig,
+    ) -> Result<usize, EngineError> {
+        if self.dataset(name).is_ok() {
+            return Err(EngineError::DatasetExists(name.to_owned()));
+        }
+        let file = std::fs::File::open(path).map_err(io_err)?;
+        let reader = BufReader::new(file);
+        let mut records = Vec::new();
+        for (line_no, line) in reader.lines().enumerate() {
+            let line = line.map_err(io_err)?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value = json::parse(&line).map_err(|e| {
+                EngineError::Connector(storm_connector::ConnectorError::Parse {
+                    record: line_no + 1,
+                    message: e.to_string(),
+                })
+            })?;
+            let Value::Object(mut map) = value else {
+                return Err(EngineError::Connector(
+                    storm_connector::ConnectorError::Parse {
+                        record: line_no + 1,
+                        message: "expected a JSON object per line".into(),
+                    },
+                ));
+            };
+            let coord = |v: Option<Value>, key: &str| -> Result<f64, EngineError> {
+                v.as_ref().and_then(Value::as_float).ok_or_else(|| {
+                    EngineError::Connector(storm_connector::ConnectorError::MissingField {
+                        record: line_no + 1,
+                        field: key.to_owned(),
+                    })
+                })
+            };
+            let x = coord(map.remove(KEY_X), KEY_X)?;
+            let y = coord(map.remove(KEY_Y), KEY_Y)?;
+            let t = map
+                .remove(KEY_T)
+                .as_ref()
+                .and_then(Value::as_int)
+                .unwrap_or(0);
+            records.push(StRecord {
+                point: StPoint::new(x, y, t),
+                body: Value::Object(map),
+            });
+        }
+        let n = records.len();
+        let ds = Dataset::build(name, records, cfg);
+        self.insert_dataset(name, ds);
+        Ok(n)
+    }
+}
+
+fn io_err(e: std::io::Error) -> EngineError {
+    EngineError::Connector(storm_connector::ConnectorError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::TaskResult;
+
+    fn engine_with_data() -> StormEngine {
+        let records: Vec<StRecord> = (0..800)
+            .map(|i| StRecord {
+                point: StPoint::new((i % 40) as f64, (i / 40) as f64, i as i64),
+                body: Value::object([
+                    ("v".into(), Value::Float((i % 9) as f64)),
+                    ("tag".into(), Value::from(format!("t{}", i % 4))),
+                ]),
+            })
+            .collect();
+        let mut e = StormEngine::new(31);
+        e.create_dataset("src", records, DatasetConfig::default())
+            .unwrap();
+        e
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("storm-engine-persist-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_answers() {
+        let mut e = engine_with_data();
+        let path = tmp("roundtrip");
+        e.save_dataset("src", &path).unwrap();
+        let n = e
+            .load_dataset("copy", &path, DatasetConfig::default())
+            .unwrap();
+        assert_eq!(n, 800);
+        let a = e
+            .execute("ESTIMATE AVG(v) FROM src RANGE 3 3 30 15 TIME 100 700")
+            .unwrap();
+        let b = e
+            .execute("ESTIMATE AVG(v) FROM copy RANGE 3 3 30 15 TIME 100 700")
+            .unwrap();
+        // Both exhaust → exact up to summation order.
+        assert!((a.estimate().unwrap().value - b.estimate().unwrap().value).abs() < 1e-9);
+        assert_eq!(a.q, b.q);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn loading_over_an_existing_name_fails() {
+        let mut e = engine_with_data();
+        let path = tmp("dup");
+        e.save_dataset("src", &path).unwrap();
+        assert!(matches!(
+            e.load_dataset("src", &path, DatasetConfig::default()),
+            Err(EngineError::DatasetExists(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_lines_are_reported_with_position() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "{\"_x\":1.0,\"_y\":2.0,\"_t\":3}\nnot json\n").unwrap();
+        let mut e = StormEngine::new(1);
+        match e.load_dataset("bad", &path, DatasetConfig::default()) {
+            Err(EngineError::Connector(storm_connector::ConnectorError::Parse {
+                record, ..
+            })) => assert_eq!(record, 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_location_keys_fail_cleanly() {
+        let path = tmp("noloc");
+        std::fs::write(&path, "{\"v\":1}\n").unwrap();
+        let mut e = StormEngine::new(1);
+        assert!(matches!(
+            e.load_dataset("bad", &path, DatasetConfig::default()),
+            Err(EngineError::Connector(
+                storm_connector::ConnectorError::MissingField { .. }
+            ))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn explain_reports_the_optimizers_view() {
+        let e = engine_with_data();
+        let text = e
+            .explain("ESTIMATE AVG(v) FROM src RANGE 0 0 10 10 SAMPLES 50")
+            .unwrap();
+        assert!(text.contains("dataset: src"));
+        assert!(text.contains("chosen"));
+        assert!(text.contains("QueryFirst"));
+        assert!(text.contains("RS-tree"));
+        // Forcing a method is reported.
+        let text = e
+            .explain("ESTIMATE COUNT FROM src METHOD randompath")
+            .unwrap();
+        assert!(text.contains("forced"));
+        // COUNT queries still explain fine (they short-circuit at run time).
+        let _ = e.explain("ESTIMATE COUNT FROM src").unwrap();
+    }
+
+    #[test]
+    fn loaded_dataset_supports_all_tasks() {
+        let mut e = engine_with_data();
+        let path = tmp("alltasks");
+        e.save_dataset("src", &path).unwrap();
+        e.load_dataset("copy", &path, DatasetConfig::default())
+            .unwrap();
+        let outcome = e.execute("DENSITY FROM copy GRID 8 8 SAMPLES 300").unwrap();
+        assert!(matches!(outcome.result, TaskResult::Density { .. }));
+        let outcome = e.execute("CLUSTER 2 FROM copy SAMPLES 200").unwrap();
+        assert!(matches!(outcome.result, TaskResult::Cluster { .. }));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,168 @@
+//! Online query sessions: progressive results and termination modes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use storm_core::SamplerKind;
+use storm_estimators::text::HeavyHitter;
+use storm_estimators::Estimate;
+use storm_geo::{Point2, StPoint};
+
+/// A cooperative cancellation flag shared with a running query — the
+/// mechanism behind "the user can immediately change the query condition
+/// to stop the first query and start the second query" (paper §1).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// True once cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The (progressive or final) result of an analytical task.
+#[derive(Debug, Clone)]
+pub enum TaskResult {
+    /// An aggregate estimate with its confidence interval.
+    Aggregate {
+        /// The current estimate.
+        estimate: Estimate,
+        /// Confidence level used for reporting.
+        confidence: f64,
+    },
+    /// Per-group aggregate estimates (the `BY` clause).
+    Groups {
+        /// `(group key, estimate)` pairs, largest groups first.
+        groups: Vec<(String, Estimate)>,
+        /// Confidence level used for reporting.
+        confidence: f64,
+    },
+    /// An exact result-cardinality count.
+    Count {
+        /// `|P ∩ Q|`.
+        q: usize,
+    },
+    /// A density map snapshot.
+    Density {
+        /// Grid resolution.
+        grid: (usize, usize),
+        /// Row-major cell densities.
+        map: Vec<f64>,
+        /// Mean per-cell CI half-width relative to the peak density —
+        /// the map-wide quality measure.
+        mean_ci: f64,
+    },
+    /// Cluster centers.
+    Cluster {
+        /// The current centers.
+        centers: Vec<Point2>,
+        /// Running mean squared distance to the nearest center.
+        inertia: f64,
+    },
+    /// A reconstructed trajectory.
+    Trajectory {
+        /// Time-ordered waypoints.
+        waypoints: Vec<StPoint>,
+    },
+    /// Top terms from sampled short text.
+    Terms {
+        /// Heavy hitters, most frequent first.
+        top: Vec<HeavyHitter>,
+    },
+}
+
+/// A progress snapshot passed to the caller's callback while the query
+/// runs — what STORM's UI renders as the estimate ticks toward the truth.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    /// Samples consumed so far.
+    pub samples: u64,
+    /// Wall-clock time since the query started.
+    pub elapsed: Duration,
+    /// The current result snapshot.
+    pub result: TaskResult,
+}
+
+/// Why the online loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The sampler exhausted `P ∩ Q` — the result is now exact.
+    Exhausted,
+    /// The requested `ERROR` target was met.
+    QualityReached,
+    /// The `WITHIN` time budget elapsed (best-effort mode).
+    TimeBudget,
+    /// The `SAMPLES` budget was consumed.
+    SampleBudget,
+    /// The user cancelled (interactive mode).
+    Cancelled,
+}
+
+/// The final outcome of one query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The final result.
+    pub result: TaskResult,
+    /// Total samples consumed.
+    pub samples: u64,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Which sampling method ran (after optimization).
+    pub sampler: SamplerKind,
+    /// Simulated index block reads charged to this query.
+    pub io_reads: u64,
+    /// Exact result size `q` when known.
+    pub q: Option<usize>,
+    /// Why the query stopped.
+    pub reason: StopReason,
+}
+
+impl QueryOutcome {
+    /// The aggregate estimate, if this was an aggregate query.
+    pub fn estimate(&self) -> Option<Estimate> {
+        match &self.result {
+            TaskResult::Aggregate { estimate, .. } => Some(*estimate),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_flags() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let t2 = t.clone();
+        t2.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn outcome_estimate_accessor() {
+        let outcome = QueryOutcome {
+            result: TaskResult::Count { q: 5 },
+            samples: 0,
+            elapsed: Duration::ZERO,
+            sampler: SamplerKind::RsTree,
+            io_reads: 0,
+            q: Some(5),
+            reason: StopReason::Exhausted,
+        };
+        assert!(outcome.estimate().is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! The visualizer: terminal and image rendering of online results.
+//!
+//! STORM's visualizer "implements a number of basic visualization tools to
+//! enable visualizing the results from an online estimator, such as
+//! visualizing density estimate from KDE" (paper §3.2). The deployed demo
+//! renders onto a web map; here density maps render as ASCII heat maps and
+//! PPM images, and trajectories as ASCII plots.
+
+use std::io::Write;
+use std::path::Path;
+
+use storm_geo::StPoint;
+
+/// Density ramp from cold to hot.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a row-major density map as an ASCII heat map, highest values
+/// darkest. Rows are emitted top-to-bottom (larger `y` first), matching
+/// map orientation.
+pub fn ascii_heatmap(map: &[f64], nx: usize, ny: usize) -> String {
+    assert_eq!(map.len(), nx * ny, "map size must be nx*ny");
+    let peak = map.iter().cloned().fold(0.0, f64::max);
+    let mut out = String::with_capacity((nx + 1) * ny);
+    for iy in (0..ny).rev() {
+        for ix in 0..nx {
+            let v = map[iy * nx + ix];
+            let idx = if peak > 0.0 {
+                ((v / peak) * (RAMP.len() - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            out.push(RAMP[idx.min(RAMP.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a density map as a binary PPM image with a blue→red heat
+/// palette (larger `y` at the top).
+pub fn write_ppm(map: &[f64], nx: usize, ny: usize, path: &Path) -> std::io::Result<()> {
+    assert_eq!(map.len(), nx * ny, "map size must be nx*ny");
+    let peak = map.iter().cloned().fold(0.0, f64::max);
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(out, "P6\n{nx} {ny}\n255\n")?;
+    for iy in (0..ny).rev() {
+        for ix in 0..nx {
+            let t = if peak > 0.0 { map[iy * nx + ix] / peak } else { 0.0 };
+            let (r, g, b) = heat_color(t);
+            out.write_all(&[r, g, b])?;
+        }
+    }
+    out.flush()
+}
+
+/// Blue → cyan → yellow → red heat palette.
+fn heat_color(t: f64) -> (u8, u8, u8) {
+    let t = t.clamp(0.0, 1.0);
+    let segment = (t * 3.0).min(2.999);
+    let f = segment.fract();
+    match segment as u32 {
+        0 => (0, (f * 255.0) as u8, 255),                       // blue → cyan
+        1 => ((f * 255.0) as u8, 255, (255.0 * (1.0 - f)) as u8), // cyan → yellow
+        _ => (255, (255.0 * (1.0 - f)) as u8, 0),               // yellow → red
+    }
+}
+
+/// Plots a trajectory as ASCII: waypoints as `o`, connected order implied
+/// by the time sort; start marked `S`, end marked `E`.
+pub fn ascii_trajectory(waypoints: &[StPoint], width: usize, height: usize) -> String {
+    assert!(width >= 2 && height >= 2, "canvas too small");
+    if waypoints.is_empty() {
+        return String::from("(empty trajectory)\n");
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for p in waypoints {
+        x0 = x0.min(p.xy.x());
+        x1 = x1.max(p.xy.x());
+        y0 = y0.min(p.xy.y());
+        y1 = y1.max(p.xy.y());
+    }
+    let to_cell = |p: &StPoint| -> (usize, usize) {
+        let fx = if x1 > x0 { (p.xy.x() - x0) / (x1 - x0) } else { 0.5 };
+        let fy = if y1 > y0 { (p.xy.y() - y0) / (y1 - y0) } else { 0.5 };
+        (
+            ((fx * (width - 1) as f64).round() as usize).min(width - 1),
+            ((fy * (height - 1) as f64).round() as usize).min(height - 1),
+        )
+    };
+    let mut grid = vec![b' '; width * height];
+    // Draw simple line segments between consecutive waypoints.
+    for pair in waypoints.windows(2) {
+        let (ax, ay) = to_cell(&pair[0]);
+        let (bx, by) = to_cell(&pair[1]);
+        let steps = ax.abs_diff(bx).max(ay.abs_diff(by)).max(1);
+        for s in 0..=steps {
+            let t = s as f64 / steps as f64;
+            let x = (ax as f64 + t * (bx as f64 - ax as f64)).round() as usize;
+            let y = (ay as f64 + t * (by as f64 - ay as f64)).round() as usize;
+            grid[y * width + x] = b'.';
+        }
+    }
+    for p in waypoints {
+        let (x, y) = to_cell(p);
+        grid[y * width + x] = b'o';
+    }
+    let (sx, sy) = to_cell(&waypoints[0]);
+    let (ex, ey) = to_cell(waypoints.last().expect("non-empty"));
+    grid[sy * width + sx] = b'S';
+    grid[ey * width + ex] = b'E';
+
+    let mut out = String::with_capacity((width + 1) * height);
+    for y in (0..height).rev() {
+        for x in 0..width {
+            out.push(grid[y * width + x] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_marks_the_peak() {
+        let mut map = vec![0.0; 16];
+        map[5] = 1.0; // (x=1, y=1) in a 4x4 grid
+        let art = ascii_heatmap(&map, 4, 4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // y=1 renders on the third line from the top (rows reversed).
+        assert_eq!(lines[2].as_bytes()[1], b'@');
+        assert_eq!(lines[0].trim(), "");
+    }
+
+    #[test]
+    fn all_zero_map_renders_blank() {
+        let art = ascii_heatmap(&[0.0; 9], 3, 3);
+        assert!(art.chars().all(|c| c == ' ' || c == '\n'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nx*ny")]
+    fn size_mismatch_panics() {
+        ascii_heatmap(&[0.0; 5], 2, 2);
+    }
+
+    #[test]
+    fn ppm_has_valid_header_and_size() {
+        let path = std::env::temp_dir().join(format!("storm-viz-{}.ppm", std::process::id()));
+        let map: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        write_ppm(&map, 8, 8, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n8 8\n255\n"));
+        assert_eq!(bytes.len(), 11 + 8 * 8 * 3);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn heat_palette_endpoints() {
+        assert_eq!(heat_color(0.0), (0, 0, 255));
+        let (r, g, b) = heat_color(1.0);
+        assert_eq!(r, 255);
+        assert!(g < 5);
+        assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn trajectory_plot_marks_start_and_end() {
+        let points = vec![
+            StPoint::new(0.0, 0.0, 0),
+            StPoint::new(5.0, 5.0, 1),
+            StPoint::new(10.0, 0.0, 2),
+        ];
+        let art = ascii_trajectory(&points, 21, 11);
+        assert!(art.contains('S'));
+        assert!(art.contains('E'));
+        assert!(art.contains('o') || art.contains('.'));
+    }
+
+    #[test]
+    fn empty_trajectory_is_handled() {
+        assert!(ascii_trajectory(&[], 10, 10).contains("empty"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Online spatial clustering over samples.
+//!
+//! "Other spatial analytics tasks, such as clustering, can also be
+//! performed on a sample of points. Intuitively, the clustering quality
+//! also improves as the sample size increases." (paper §3.2)
+
+use storm_geo::Point2;
+
+/// Online (sequential) k-means in the style of MacQueen/Bottou: centers are
+/// seeded from the first `k` distinct samples, then each subsequent sample
+/// nudges its nearest center by a decaying per-center learning rate.
+#[derive(Debug, Clone)]
+pub struct OnlineKMeans {
+    k: usize,
+    centers: Vec<Point2>,
+    /// Number of points assigned to each center so far.
+    counts: Vec<u64>,
+    /// Running mean of squared distance to the nearest center.
+    inertia_mean: f64,
+    n: u64,
+}
+
+impl OnlineKMeans {
+    /// Creates a clusterer with `k` clusters.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        OnlineKMeans {
+            k,
+            centers: Vec::with_capacity(k),
+            counts: Vec::with_capacity(k),
+            inertia_mean: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Number of samples consumed.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The current centers (fewer than `k` until enough distinct seeds
+    /// have arrived).
+    pub fn centers(&self) -> &[Point2] {
+        &self.centers
+    }
+
+    /// Per-center assignment counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Running estimate of the mean squared distance to the nearest center
+    /// (the per-point inertia; an online analogue of the k-means
+    /// objective).
+    pub fn mean_inertia(&self) -> f64 {
+        self.inertia_mean
+    }
+
+    /// Index and squared distance of the center nearest to `p`.
+    pub fn assign(&self, p: &Point2) -> Option<(usize, f64)> {
+        self.centers
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.dist_sq(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Feeds one spatial sample.
+    pub fn push(&mut self, p: &Point2) {
+        self.n += 1;
+        if self.centers.len() < self.k {
+            // Seed from distinct points so two identical first samples do
+            // not collapse two clusters.
+            if !self.centers.iter().any(|c| c.dist_sq(p) == 0.0) {
+                self.centers.push(*p);
+                self.counts.push(1);
+                return;
+            }
+        }
+        if self.centers.is_empty() {
+            return;
+        }
+        let (best, d2) = self.assign(p).expect("centers not empty");
+        self.counts[best] += 1;
+        let lr = 1.0 / self.counts[best] as f64;
+        self.centers[best] = self.centers[best].lerp(p, lr);
+        // Online mean of the pre-update squared distance.
+        self.inertia_mean += (d2 - self.inertia_mean) / self.n as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs.
+    fn blob_points(n: usize) -> Vec<Point2> {
+        let centers = [(0.0, 0.0), (10.0, 0.0), (5.0, 8.0)];
+        (0..n)
+            .map(|i| {
+                let (cx, cy) = centers[i % 3];
+                let jitter_x = ((i * 37) % 100) as f64 / 100.0 - 0.5;
+                let jitter_y = ((i * 61) % 100) as f64 / 100.0 - 0.5;
+                Point2::xy(cx + jitter_x, cy + jitter_y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let mut km = OnlineKMeans::new(3);
+        for p in blob_points(3000) {
+            km.push(&p);
+        }
+        assert_eq!(km.centers().len(), 3);
+        // Every true blob center has a recovered center within distance 1.
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (5.0, 8.0)] {
+            let target = Point2::xy(cx, cy);
+            let nearest = km
+                .centers()
+                .iter()
+                .map(|c| c.dist(&target))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 1.0, "no center near ({cx},{cy}): {nearest}");
+        }
+    }
+
+    #[test]
+    fn inertia_improves_with_more_samples() {
+        let points = blob_points(3000);
+        let mut km = OnlineKMeans::new(3);
+        for p in &points[..30] {
+            km.push(p);
+        }
+        let early = km.mean_inertia();
+        for p in &points[30..] {
+            km.push(p);
+        }
+        let late = km.mean_inertia();
+        assert!(
+            late <= early + 0.5,
+            "inertia should not blow up: early {early}, late {late}"
+        );
+        // With 3 tight blobs and k=3 the steady-state inertia is small.
+        assert!(late < 2.0, "late inertia {late}");
+    }
+
+    #[test]
+    fn duplicate_seeds_are_rejected() {
+        let mut km = OnlineKMeans::new(2);
+        km.push(&Point2::xy(1.0, 1.0));
+        km.push(&Point2::xy(1.0, 1.0)); // identical — must not seed cluster 2
+        assert_eq!(km.centers().len(), 1);
+        km.push(&Point2::xy(5.0, 5.0));
+        assert_eq!(km.centers().len(), 2);
+    }
+
+    #[test]
+    fn assign_picks_nearest() {
+        let mut km = OnlineKMeans::new(2);
+        km.push(&Point2::xy(0.0, 0.0));
+        km.push(&Point2::xy(10.0, 0.0));
+        let (idx, d2) = km.assign(&Point2::xy(9.0, 0.0)).unwrap();
+        assert_eq!(idx, 1);
+        assert!((d2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        OnlineKMeans::new(0);
+    }
+}

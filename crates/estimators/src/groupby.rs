@@ -1,0 +1,121 @@
+//! Per-group online aggregates.
+//!
+//! Online aggregation literature extends single aggregates to group-by
+//! estimates (Xu et al. [19], cited in the paper's related work); STORM's
+//! feature module exposes the same capability over spatial samples — e.g.
+//! "average temperature per station network" within a region.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::online::{Estimate, OnlineStat};
+
+/// Running per-group means with confidence intervals.
+#[derive(Debug, Clone)]
+pub struct GroupedMeans<K: Eq + Hash> {
+    groups: HashMap<K, OnlineStat>,
+    n: u64,
+}
+
+impl<K: Eq + Hash> Default for GroupedMeans<K> {
+    fn default() -> Self {
+        GroupedMeans {
+            groups: HashMap::new(),
+            n: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> GroupedMeans<K> {
+    /// Creates an empty group-by accumulator.
+    pub fn new() -> Self {
+        GroupedMeans::default()
+    }
+
+    /// Feeds one observation for `key`.
+    pub fn push(&mut self, key: K, value: f64) {
+        self.n += 1;
+        self.groups.entry(key).or_default().push(value);
+    }
+
+    /// Total observations across all groups.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of groups seen.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The current estimate for one group.
+    pub fn estimate(&self, key: &K) -> Option<Estimate> {
+        self.groups.get(key).map(OnlineStat::mean_estimate)
+    }
+
+    /// All `(key, estimate)` pairs, largest groups first.
+    pub fn estimates(&self) -> Vec<(K, Estimate)> {
+        let mut out: Vec<(K, Estimate)> = self
+            .groups
+            .iter()
+            .map(|(k, s)| (k.clone(), s.mean_estimate()))
+            .collect();
+        out.sort_by(|a, b| b.1.n.cmp(&a.1.n));
+        out
+    }
+
+    /// Estimated fraction of the population in each group (the group's
+    /// share of the samples — itself an unbiased proportion estimator).
+    pub fn share(&self, key: &K) -> Option<f64> {
+        let stat = self.groups.get(key)?;
+        Some(stat.n() as f64 / self.n.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_accumulate_independently() {
+        let mut g: GroupedMeans<&str> = GroupedMeans::new();
+        for i in 0..100 {
+            g.push("a", 10.0 + (i % 3) as f64);
+            if i % 2 == 0 {
+                g.push("b", 50.0);
+            }
+        }
+        assert_eq!(g.num_groups(), 2);
+        assert_eq!(g.n(), 150);
+        let a = g.estimate(&"a").unwrap();
+        assert!((a.value - 11.0).abs() < 0.1);
+        let b = g.estimate(&"b").unwrap();
+        assert_eq!(b.value, 50.0);
+        assert!(g.estimate(&"missing").is_none());
+    }
+
+    #[test]
+    fn estimates_sorted_by_group_size() {
+        let mut g: GroupedMeans<u32> = GroupedMeans::new();
+        for _ in 0..5 {
+            g.push(1, 1.0);
+        }
+        for _ in 0..20 {
+            g.push(2, 2.0);
+        }
+        let est = g.estimates();
+        assert_eq!(est[0].0, 2);
+        assert_eq!(est[1].0, 1);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut g: GroupedMeans<char> = GroupedMeans::new();
+        for i in 0..90 {
+            g.push(['x', 'y', 'z'][i % 3], i as f64);
+        }
+        let total: f64 = ['x', 'y', 'z'].iter().map(|k| g.share(k).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((g.share(&'x').unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

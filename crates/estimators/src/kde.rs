@@ -1,0 +1,353 @@
+//! Online kernel density estimation (the Figure 5 estimator).
+//!
+//! The density at a point `p` is `f(p) = (1/q) Σ_{e ∈ P_Q} κ(d(e, p))` —
+//! an *average* over the query result (paper §3.2) — so each grid cell's
+//! density can be estimated by the sample mean of `κ(d(sample, cell))`,
+//! with a per-cell confidence interval, improving online as samples arrive.
+
+use storm_geo::{Point2, Rect2};
+
+use crate::online::{Estimate, Population};
+
+/// The kernel function `κ` modelling a sample's influence at distance `d`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `exp(-d²/2h²) / (2πh²)` — smooth, infinite support (evaluated out to
+    /// `3h` and treated as zero beyond).
+    Gaussian {
+        /// Bandwidth `h`.
+        bandwidth: f64,
+    },
+    /// `(2/πh²)·(1 − d²/h²)` for `d < h` — compact support, cheap.
+    Epanechnikov {
+        /// Bandwidth `h`.
+        bandwidth: f64,
+    },
+}
+
+impl Kernel {
+    /// Kernel value at distance `d`.
+    pub fn eval(&self, d: f64) -> f64 {
+        match *self {
+            Kernel::Gaussian { bandwidth: h } => {
+                let z = d / h;
+                (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI * h * h)
+            }
+            Kernel::Epanechnikov { bandwidth: h } => {
+                if d >= h {
+                    0.0
+                } else {
+                    let z = d / h;
+                    2.0 / (std::f64::consts::PI * h * h) * (1.0 - z * z)
+                }
+            }
+        }
+    }
+
+    /// Distance beyond which the kernel is treated as zero.
+    pub fn support_radius(&self) -> f64 {
+        match *self {
+            Kernel::Gaussian { bandwidth } => 3.0 * bandwidth,
+            Kernel::Epanechnikov { bandwidth } => bandwidth,
+        }
+    }
+
+    /// The bandwidth `h`.
+    pub fn bandwidth(&self) -> f64 {
+        match *self {
+            Kernel::Gaussian { bandwidth } | Kernel::Epanechnikov { bandwidth } => bandwidth,
+        }
+    }
+}
+
+/// Scott's rule-of-thumb bandwidth for 2-D data: `n^(-1/6) · σ`.
+pub fn scott_bandwidth(n: usize, std_dev: f64) -> f64 {
+    (n.max(2) as f64).powf(-1.0 / 6.0) * std_dev.max(f64::MIN_POSITIVE)
+}
+
+/// An online density map over a regular grid.
+///
+/// `push` updates only the cells within the kernel's support radius; cells
+/// untouched by a sample implicitly observed `κ = 0`, which the estimator
+/// accounts for by tracking a global sample count.
+#[derive(Debug, Clone)]
+pub struct KdeEstimator {
+    bounds: Rect2,
+    nx: usize,
+    ny: usize,
+    kernel: Kernel,
+    /// Per-cell running sums of kernel values and their squares.
+    sum: Vec<f64>,
+    sum_sq: Vec<f64>,
+    n: u64,
+    population: Population,
+}
+
+impl KdeEstimator {
+    /// Creates an estimator over `bounds` with an `nx × ny` cell grid.
+    ///
+    /// # Panics
+    /// Panics when the grid is empty.
+    pub fn new(bounds: Rect2, nx: usize, ny: usize, kernel: Kernel) -> Self {
+        assert!(nx > 0 && ny > 0, "KDE grid must be non-empty");
+        KdeEstimator {
+            bounds,
+            nx,
+            ny,
+            kernel,
+            sum: vec![0.0; nx * ny],
+            sum_sq: vec![0.0; nx * ny],
+            n: 0,
+            population: Population::Infinite,
+        }
+    }
+
+    /// Declares the exact result size `q` (enables the finite-population
+    /// correction on the per-cell intervals).
+    #[must_use]
+    pub fn with_population(mut self, q: usize) -> Self {
+        self.population = Population::Finite(q);
+        self
+    }
+
+    /// Grid width in cells.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in cells.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of samples consumed.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Center of cell `(ix, iy)`.
+    pub fn cell_center(&self, ix: usize, iy: usize) -> Point2 {
+        let fx = (ix as f64 + 0.5) / self.nx as f64;
+        let fy = (iy as f64 + 0.5) / self.ny as f64;
+        Point2::xy(
+            self.bounds.lo().x() + fx * self.bounds.extent(0),
+            self.bounds.lo().y() + fy * self.bounds.extent(1),
+        )
+    }
+
+    /// Feeds one spatial sample.
+    pub fn push(&mut self, p: &Point2) {
+        self.n += 1;
+        let radius = self.kernel.support_radius();
+        let cell_w = self.bounds.extent(0) / self.nx as f64;
+        let cell_h = self.bounds.extent(1) / self.ny as f64;
+        // Index window covering the kernel support.
+        let (ix0, ix1) = index_window(p.x(), self.bounds.lo().x(), cell_w, radius, self.nx);
+        let (iy0, iy1) = index_window(p.y(), self.bounds.lo().y(), cell_h, radius, self.ny);
+        for iy in iy0..=iy1 {
+            for ix in ix0..=ix1 {
+                let c = self.cell_center(ix, iy);
+                let k = self.kernel.eval(c.dist(p));
+                if k > 0.0 {
+                    let idx = iy * self.nx + ix;
+                    self.sum[idx] += k;
+                    self.sum_sq[idx] += k * k;
+                }
+            }
+        }
+    }
+
+    /// The density estimate for cell `(ix, iy)`.
+    pub fn cell_estimate(&self, ix: usize, iy: usize) -> Estimate {
+        let idx = iy * self.nx + ix;
+        let n = self.n as f64;
+        if self.n < 2 {
+            return Estimate {
+                value: if self.n == 0 { 0.0 } else { self.sum[idx] },
+                std_err: f64::INFINITY,
+                n: self.n,
+            };
+        }
+        let mean = self.sum[idx] / n;
+        // Var over all n observations, including the implicit zeros.
+        let var = (self.sum_sq[idx] / n - mean * mean).max(0.0) * n / (n - 1.0);
+        let mut se2 = var / n;
+        if let Population::Finite(q) = self.population {
+            let q = q as f64;
+            if q > 1.0 && n < q {
+                se2 *= (q - n) / (q - 1.0);
+            } else {
+                se2 = 0.0;
+            }
+        }
+        Estimate {
+            value: mean,
+            std_err: se2.sqrt(),
+            n: self.n,
+        }
+    }
+
+    /// The full density map, row-major (`iy * nx + ix`).
+    pub fn density_map(&self) -> Vec<f64> {
+        if self.n == 0 {
+            return vec![0.0; self.nx * self.ny];
+        }
+        self.sum.iter().map(|s| s / self.n as f64).collect()
+    }
+
+    /// Mean absolute per-cell difference to another map (used to measure
+    /// online convergence against the exact density).
+    pub fn l1_distance(&self, reference: &[f64]) -> f64 {
+        assert_eq!(reference.len(), self.nx * self.ny);
+        let map = self.density_map();
+        let total: f64 = map
+            .iter()
+            .zip(reference)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        total / map.len() as f64
+    }
+
+    /// Computes the exact density map for a full result set (ground truth
+    /// for experiments).
+    pub fn exact_map(
+        bounds: Rect2,
+        nx: usize,
+        ny: usize,
+        kernel: Kernel,
+        points: &[Point2],
+    ) -> Vec<f64> {
+        let mut kde = KdeEstimator::new(bounds, nx, ny, kernel);
+        for p in points {
+            kde.push(p);
+        }
+        kde.density_map()
+    }
+}
+
+/// Clamped cell-index window `[lo, hi]` covering `center ± radius`.
+fn index_window(v: f64, lo: f64, cell: f64, radius: f64, n: usize) -> (usize, usize) {
+    let first = ((v - radius - lo) / cell).floor().max(0.0) as usize;
+    let last = ((v + radius - lo) / cell).ceil().max(0.0) as usize;
+    (first.min(n - 1), last.min(n - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_bounds() -> Rect2 {
+        Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(1.0, 1.0))
+    }
+
+    #[test]
+    fn kernels_are_normalised_enough() {
+        // Numeric integral of each kernel over the plane ≈ 1.
+        for kernel in [
+            Kernel::Gaussian { bandwidth: 0.1 },
+            Kernel::Epanechnikov { bandwidth: 0.1 },
+        ] {
+            let step = 0.002;
+            let mut total = 0.0;
+            let r = kernel.support_radius() * 1.5;
+            let cells = (2.0 * r / step) as i64;
+            for i in 0..cells {
+                for j in 0..cells {
+                    let x = -r + i as f64 * step;
+                    let y = -r + j as f64 * step;
+                    total += kernel.eval((x * x + y * y).sqrt()) * step * step;
+                }
+            }
+            assert!((total - 1.0).abs() < 0.02, "{kernel:?} integrates to {total}");
+        }
+    }
+
+    #[test]
+    fn epanechnikov_has_compact_support() {
+        let k = Kernel::Epanechnikov { bandwidth: 0.5 };
+        assert_eq!(k.eval(0.5), 0.0);
+        assert_eq!(k.eval(1.0), 0.0);
+        assert!(k.eval(0.49) > 0.0);
+    }
+
+    #[test]
+    fn density_concentrates_where_samples_are() {
+        let mut kde = KdeEstimator::new(
+            unit_bounds(),
+            16,
+            16,
+            Kernel::Gaussian { bandwidth: 0.05 },
+        );
+        for i in 0..500 {
+            // Cluster near (0.25, 0.25).
+            let jitter = (i % 10) as f64 * 0.004;
+            kde.push(&Point2::xy(0.25 + jitter, 0.25 - jitter));
+        }
+        let map = kde.density_map();
+        let near = map[4 * 16 + 4]; // cell containing (0.28, 0.28)
+        let far = map[12 * 16 + 12];
+        assert!(near > far * 10.0, "near {near} far {far}");
+    }
+
+    #[test]
+    fn online_map_converges_to_exact_map() {
+        // Ground truth over 2000 points; sampling prefixes must approach it.
+        let points: Vec<Point2> = (0..2000)
+            .map(|i| {
+                let t = i as f64 / 2000.0;
+                Point2::xy(0.5 + 0.3 * (t * 37.0).sin(), 0.5 + 0.3 * (t * 53.0).cos())
+            })
+            .collect();
+        let kernel = Kernel::Epanechnikov { bandwidth: 0.15 };
+        let exact = KdeEstimator::exact_map(unit_bounds(), 12, 12, kernel, &points);
+        // "Sample" = deterministic shuffled order.
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        let mut s = 12345u64;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let mut kde = KdeEstimator::new(unit_bounds(), 12, 12, kernel);
+        let mut errs = Vec::new();
+        for (cnt, &i) in order.iter().enumerate() {
+            kde.push(&points[i]);
+            if [50, 200, 1000].contains(&(cnt + 1)) {
+                errs.push(kde.l1_distance(&exact));
+            }
+        }
+        assert!(errs[0] > errs[2], "error must shrink: {errs:?}");
+        assert!(errs[2] < 0.05 * exact.iter().cloned().fold(0.0, f64::max));
+    }
+
+    #[test]
+    fn per_cell_intervals_tighten() {
+        let mut kde = KdeEstimator::new(
+            unit_bounds(),
+            8,
+            8,
+            Kernel::Gaussian { bandwidth: 0.2 },
+        ).with_population(10_000);
+        let mut widths = Vec::new();
+        for i in 0..400 {
+            let t = i as f64 * 0.618;
+            kde.push(&Point2::xy(t.fract(), (t * 1.37).fract()));
+            if i == 20 || i == 399 {
+                widths.push(kde.cell_estimate(4, 4).half_width(0.95));
+            }
+        }
+        assert!(widths[1] < widths[0], "{widths:?}");
+    }
+
+    #[test]
+    fn scott_rule_shrinks_with_n() {
+        assert!(scott_bandwidth(100, 1.0) > scott_bandwidth(100_000, 1.0));
+        assert!(scott_bandwidth(100, 2.0) > scott_bandwidth(100, 1.0));
+    }
+
+    #[test]
+    fn zero_samples_give_zero_map() {
+        let kde = KdeEstimator::new(unit_bounds(), 4, 4, Kernel::Gaussian { bandwidth: 0.1 });
+        assert!(kde.density_map().iter().all(|&v| v == 0.0));
+        assert_eq!(kde.cell_estimate(0, 0).n, 0);
+    }
+}

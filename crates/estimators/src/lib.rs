@@ -1,0 +1,37 @@
+//! Online estimators for STORM.
+//!
+//! Spatial online aggregation is "a direct product of spatial online
+//! sampling" (paper §2): unbiased estimators, tailored to each analytical
+//! query, are built over the online sample stream, and their confidence
+//! intervals tighten as samples keep arriving. This crate provides the
+//! paper's feature module:
+//!
+//! * [`OnlineStat`] / [`Estimate`] — running mean/variance (Welford) with
+//!   CLT confidence intervals and finite-population correction for
+//!   without-replacement streams — the machinery behind `AVG`, `SUM`,
+//!   `COUNT` (paper §3.2's `E[X̄] = µ` discussion);
+//! * [`kde::KdeEstimator`] — online kernel density estimation over a grid,
+//!   each cell an average with its own confidence interval (Figure 5);
+//! * [`cluster::OnlineKMeans`] — spatial clustering over samples;
+//! * [`text::SpaceSaving`] + [`text::tokenize`] — online short-text term
+//!   analysis (Figure 6(b));
+//! * [`trajectory::TrajectoryBuilder`] — online approximate trajectory
+//!   reconstruction (Figure 6(a));
+//! * [`quantile::QuantileEstimator`] — online quantiles with
+//!   distribution-free order-statistic intervals (`MEDIAN`/`QUANTILE`);
+//! * [`groupby::GroupedMeans`] — per-group online aggregates;
+//! * [`stats`] — the underlying normal-distribution helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod groupby;
+pub mod kde;
+mod online;
+pub mod quantile;
+pub mod stats;
+pub mod text;
+pub mod trajectory;
+
+pub use online::{Estimate, OnlineStat, Population};

@@ -1,0 +1,309 @@
+//! Running aggregates with confidence intervals.
+
+use crate::stats::z_value;
+
+/// What the sample was drawn from, which determines the variance formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Population {
+    /// With-replacement (or effectively infinite population): the plain
+    /// CLT standard error `σ/√k`.
+    #[default]
+    Infinite,
+    /// Without replacement from a population of known size `q`: the finite
+    /// population correction `√((q-k)/(q-1))` shrinks the interval, and the
+    /// error hits exactly zero once every point has been seen — the paper's
+    /// "quality improves continuously over time until the exact result is
+    /// obtained in the end".
+    Finite(usize),
+}
+
+/// A point estimate with its uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The estimated value.
+    pub value: f64,
+    /// Standard error of the estimate (0 when exact).
+    pub std_err: f64,
+    /// Number of samples the estimate is based on.
+    pub n: u64,
+}
+
+impl Estimate {
+    /// The `confidence`-level interval half-width (`z · std_err`).
+    pub fn half_width(&self, confidence: f64) -> f64 {
+        z_value(confidence) * self.std_err
+    }
+
+    /// The `confidence`-level interval `(lo, hi)`.
+    pub fn ci(&self, confidence: f64) -> (f64, f64) {
+        let h = self.half_width(confidence);
+        (self.value - h, self.value + h)
+    }
+
+    /// Relative half-width (`half_width / |value|`); infinite when the
+    /// value is zero. The query-termination criterion "stop when the
+    /// relative error at 95% confidence drops below ε" uses this.
+    pub fn relative_error(&self, confidence: f64) -> f64 {
+        if self.value == 0.0 {
+            if self.std_err == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.half_width(confidence) / self.value.abs()
+        }
+    }
+}
+
+/// Welford running mean/variance over an online sample stream.
+///
+/// The sample mean is an unbiased estimator of the population mean
+/// (paper §3.2), and by the CLT `X̄ − µ → Normal(0, σ²/k)`, so the
+/// reported standard error shrinks as `1/√k`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStat {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    population: Population,
+}
+
+impl OnlineStat {
+    /// A fresh accumulator for a with-replacement / infinite stream.
+    pub fn new() -> Self {
+        OnlineStat::default()
+    }
+
+    /// A fresh accumulator for a without-replacement stream over a
+    /// population of exactly `q` points.
+    pub fn without_replacement(q: usize) -> Self {
+        OnlineStat {
+            population: Population::Finite(q),
+            ..Default::default()
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The running sample mean (0 before any data).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`None` with fewer than 2 observations).
+    pub fn variance(&self) -> Option<f64> {
+        (self.n >= 2).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Standard error of the mean, including the finite-population
+    /// correction when applicable.
+    pub fn std_err(&self) -> Option<f64> {
+        let var = self.variance()?;
+        let mut se2 = var / self.n as f64;
+        if let Population::Finite(q) = self.population {
+            let q = q as f64;
+            let k = self.n as f64;
+            if q <= 1.0 || k >= q {
+                return Some(0.0);
+            }
+            se2 *= (q - k) / (q - 1.0);
+        }
+        Some(se2.sqrt())
+    }
+
+    /// The current estimate of the population **mean**.
+    ///
+    /// With fewer than 2 samples the standard error is unknown; it is
+    /// reported as infinite so no termination criterion can fire early.
+    pub fn mean_estimate(&self) -> Estimate {
+        Estimate {
+            value: self.mean,
+            std_err: self.std_err().unwrap_or(f64::INFINITY),
+            n: self.n,
+        }
+    }
+
+    /// The current estimate of the population **sum**, `q · X̄`, available
+    /// when the population size `q` is known (from the sampler's canonical
+    /// count). Its standard error scales accordingly.
+    pub fn sum_estimate(&self, q: usize) -> Estimate {
+        let scale = q as f64;
+        let base = self.mean_estimate();
+        Estimate {
+            value: scale * base.value,
+            std_err: scale * base.std_err,
+            n: self.n,
+        }
+    }
+
+    /// Merges another accumulator (Chan's parallel combination).
+    pub fn merge(&mut self, other: &OnlineStat) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_two_pass_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStat::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.n(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Two-pass sample variance = 32/7.
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_samples_give_unknown_error() {
+        let mut s = OnlineStat::new();
+        assert!(s.variance().is_none());
+        s.push(1.0);
+        assert!(s.std_err().is_none());
+        assert_eq!(s.mean_estimate().std_err, f64::INFINITY);
+        s.push(3.0);
+        assert!(s.std_err().is_some());
+    }
+
+    #[test]
+    fn fpc_shrinks_error_and_hits_zero_at_exhaustion() {
+        let q = 10;
+        let mut wr = OnlineStat::new();
+        let mut wor = OnlineStat::without_replacement(q);
+        for i in 0..q {
+            let x = i as f64;
+            wr.push(x);
+            wor.push(x);
+        }
+        assert!(wor.std_err().unwrap() < wr.std_err().unwrap());
+        assert_eq!(wor.std_err().unwrap(), 0.0, "all q points consumed");
+    }
+
+    #[test]
+    fn ci_widths_use_the_right_z() {
+        let mut s = OnlineStat::new();
+        for i in 0..100 {
+            s.push((i % 10) as f64);
+        }
+        let est = s.mean_estimate();
+        let (lo, hi) = est.ci(0.95);
+        assert!((hi - lo - 2.0 * 1.959_964 * est.std_err).abs() < 1e-6);
+        assert!(lo < est.value && est.value < hi);
+        // Wider confidence → wider interval.
+        assert!(est.half_width(0.99) > est.half_width(0.95));
+    }
+
+    #[test]
+    fn sum_estimate_scales_by_population() {
+        let mut s = OnlineStat::without_replacement(1000);
+        for i in 0..50 {
+            s.push(10.0 + (i % 5) as f64);
+        }
+        let mean = s.mean_estimate();
+        let sum = s.sum_estimate(1000);
+        assert!((sum.value - 1000.0 * mean.value).abs() < 1e-9);
+        assert!((sum.std_err - 1000.0 * mean.std_err).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..57).map(|i| ((i * 37) % 23) as f64).collect();
+        let mut all = OnlineStat::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let (left, right) = xs.split_at(20);
+        let mut a = OnlineStat::new();
+        let mut b = OnlineStat::new();
+        left.iter().for_each(|&x| a.push(x));
+        right.iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance().unwrap() - all.variance().unwrap()).abs() < 1e-9);
+        assert_eq!(a.n(), all.n());
+    }
+
+    #[test]
+    fn relative_error_semantics() {
+        let est = Estimate {
+            value: 100.0,
+            std_err: 5.0,
+            n: 10,
+        };
+        assert!((est.relative_error(0.95) - 1.959_964 * 5.0 / 100.0).abs() < 1e-6);
+        let zero = Estimate {
+            value: 0.0,
+            std_err: 1.0,
+            n: 10,
+        };
+        assert!(zero.relative_error(0.95).is_infinite());
+        let exact_zero = Estimate {
+            value: 0.0,
+            std_err: 0.0,
+            n: 10,
+        };
+        assert_eq!(exact_zero.relative_error(0.95), 0.0);
+    }
+
+    #[test]
+    fn ci_coverage_is_near_nominal() {
+        // Simulation: sample means of a known population; ~95% of the 95%
+        // intervals must cover the true mean. Deterministic LCG sampling.
+        let population: Vec<f64> = (0..10_000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let true_mean = population.iter().sum::<f64>() / population.len() as f64;
+        let mut lcg: u64 = 42;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (lcg >> 33) as usize
+        };
+        let trials = 1000;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let mut s = OnlineStat::new();
+            for _ in 0..100 {
+                s.push(population[next() % population.len()]);
+            }
+            let (lo, hi) = s.mean_estimate().ci(0.95);
+            if lo <= true_mean && true_mean <= hi {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        assert!((0.92..=0.98).contains(&rate), "coverage = {rate}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Online quantile estimation with distribution-free confidence intervals.
+//!
+//! Beyond `SUM`/`AVG`, online aggregation classically supports quantiles:
+//! the sample `p`-quantile estimates the population `p`-quantile, and the
+//! binomial distribution of "how many samples fall below the true
+//! quantile" gives an exact, distribution-free confidence interval from
+//! order statistics — no variance estimation needed. This powers the
+//! `MEDIAN`/`QUANTILE` verbs of STORM-QL.
+
+use crate::online::Estimate;
+use crate::stats::z_value;
+
+/// An online estimator of the population `p`-quantile.
+///
+/// Keeps the samples (sorting lazily on inspection); memory is `O(k)`,
+/// which matches the online-aggregation setting where `k ≪ N`.
+#[derive(Debug, Clone)]
+pub struct QuantileEstimator {
+    p: f64,
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl QuantileEstimator {
+    /// Creates an estimator for the `p`-quantile.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile p must be in (0,1), got {p}");
+        QuantileEstimator {
+            p,
+            values: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// The median (`p = 0.5`).
+    pub fn median() -> Self {
+        QuantileEstimator::new(0.5)
+    }
+
+    /// The target quantile level.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of samples so far.
+    pub fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Feeds one observation (NaN values are ignored — they have no order).
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        // Stay lazily sorted: only clear the flag when order is broken.
+        if self.sorted && self.values.last().is_some_and(|&last| x < last) {
+            self.sorted = false;
+        }
+        self.values.push(x);
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            // pdqsort is near-linear on the mostly-sorted runs this
+            // work load produces.
+            self.values.sort_unstable_by(f64::total_cmp);
+            self.sorted = true;
+        }
+    }
+
+    /// The current point estimate (`None` before any data).
+    pub fn quantile(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        if self.values.is_empty() {
+            return None;
+        }
+        let idx = ((self.values.len() as f64 - 1.0) * self.p).round() as usize;
+        Some(self.values[idx.min(self.values.len() - 1)])
+    }
+
+    /// A `confidence`-level interval from order statistics: the number of
+    /// samples below the true quantile is Binomial(k, p), so
+    /// `[X_(l), X_(u)]` with `l,u = k·p ∓ z·√(k·p·(1−p))` covers it with
+    /// the requested probability (normal approximation of the binomial).
+    pub fn ci(&mut self, confidence: f64) -> Option<(f64, f64)> {
+        self.ensure_sorted();
+        let k = self.values.len();
+        if k < 2 {
+            return None;
+        }
+        let z = z_value(confidence);
+        let kp = k as f64 * self.p;
+        let spread = z * (k as f64 * self.p * (1.0 - self.p)).sqrt();
+        let lo = (kp - spread).floor().max(0.0) as usize;
+        let hi = ((kp + spread).ceil() as usize).min(k - 1);
+        Some((self.values[lo.min(k - 1)], self.values[hi]))
+    }
+
+    /// An [`Estimate`] view: the point estimate with a pseudo standard
+    /// error derived from the CI width (`(hi − lo) / 2z`), so quantile
+    /// queries plug into the same termination machinery as means.
+    pub fn estimate(&mut self, confidence: f64) -> Estimate {
+        let n = self.n() as u64;
+        let value = self.quantile().unwrap_or(0.0);
+        let std_err = match self.ci(confidence) {
+            Some((lo, hi)) => (hi - lo) / (2.0 * z_value(confidence)),
+            None => f64::INFINITY,
+        };
+        Estimate { value, std_err, n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "quantile p")]
+    fn rejects_degenerate_p() {
+        QuantileEstimator::new(1.0);
+    }
+
+    #[test]
+    fn median_of_known_sequence() {
+        let mut q = QuantileEstimator::median();
+        for x in [5.0, 1.0, 9.0, 3.0, 7.0] {
+            q.push(x);
+        }
+        assert_eq!(q.quantile(), Some(5.0));
+        assert_eq!(q.n(), 5);
+    }
+
+    #[test]
+    fn extreme_quantiles() {
+        let mut q10 = QuantileEstimator::new(0.1);
+        let mut q90 = QuantileEstimator::new(0.9);
+        for i in 0..1000 {
+            q10.push(i as f64);
+            q90.push(i as f64);
+        }
+        assert!((q10.quantile().unwrap() - 100.0).abs() < 5.0);
+        assert!((q90.quantile().unwrap() - 900.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut q = QuantileEstimator::median();
+        q.push(1.0);
+        q.push(f64::NAN);
+        q.push(3.0);
+        assert_eq!(q.n(), 2);
+        assert!(q.quantile().unwrap().is_finite());
+    }
+
+    #[test]
+    fn empty_estimator_is_honest() {
+        let mut q = QuantileEstimator::median();
+        assert!(q.quantile().is_none());
+        assert!(q.ci(0.95).is_none());
+        assert_eq!(q.estimate(0.95).std_err, f64::INFINITY);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let mut widths = Vec::new();
+        let mut q = QuantileEstimator::median();
+        let mut lcg = 1u64;
+        for i in 1..=10_000 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            q.push((lcg >> 33) as f64 / (1u64 << 31) as f64);
+            if i == 100 || i == 10_000 {
+                let (lo, hi) = q.ci(0.95).unwrap();
+                widths.push(hi - lo);
+            }
+        }
+        assert!(widths[1] < widths[0] / 3.0, "{widths:?}");
+    }
+
+    #[test]
+    fn ci_coverage_is_near_nominal() {
+        // True median of Uniform(0,1) is 0.5; ~95% of 95% CIs must cover.
+        let mut lcg = 99u64;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (lcg >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let trials = 500;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let mut q = QuantileEstimator::median();
+            for _ in 0..200 {
+                q.push(next());
+            }
+            let (lo, hi) = q.ci(0.95).unwrap();
+            if lo <= 0.5 && 0.5 <= hi {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        assert!((0.90..=0.99).contains(&rate), "coverage = {rate}");
+    }
+
+    #[test]
+    fn unsorted_pushes_are_handled_lazily() {
+        let mut q = QuantileEstimator::new(0.25);
+        for i in (0..100).rev() {
+            q.push(i as f64);
+        }
+        assert!((q.quantile().unwrap() - 25.0).abs() <= 1.0);
+        // Push after sorting stays correct.
+        q.push(-100.0);
+        assert!(q.quantile().unwrap() < 25.0);
+    }
+}

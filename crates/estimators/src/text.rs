@@ -1,0 +1,196 @@
+//! Online short-text understanding (the Figure 6(b) estimator).
+//!
+//! STORM's demo runs a "short-text understanding online estimator" over
+//! sampled tweets in a spatio-temporal window — during the February 2014
+//! Atlanta snowstorm it surfaces *snow, ice, outage, …* as the dominant
+//! terms. The online primitive behind it is heavy-hitter tracking over the
+//! token stream of the sampled texts, implemented here with the
+//! SpaceSaving summary (Metwally et al.), which guarantees every term with
+//! true frequency above `n/capacity` is retained.
+
+use std::collections::HashMap;
+
+/// English stop words filtered out of term statistics.
+const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has",
+    "have", "he", "her", "his", "i", "if", "in", "is", "it", "its", "just", "me", "my",
+    "no", "not", "of", "on", "or", "our", "she", "so", "that", "the", "their", "them",
+    "then", "there", "they", "this", "to", "was", "we", "were", "what", "when", "who",
+    "will", "with", "you", "your", "rt", "im", "dont", "get", "got", "going", "one", "up",
+    "out", "all", "can", "do", "about", "now", "like",
+];
+
+/// Splits a short text into lowercase alphanumeric tokens, dropping stop
+/// words and single characters.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric() && c != '\'')
+        .map(|w| w.trim_matches('\'').to_lowercase())
+        .filter(|w| w.len() > 1 && !STOP_WORDS.contains(&w.as_str()))
+        .collect()
+}
+
+/// One tracked heavy hitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeavyHitter {
+    /// The term.
+    pub term: String,
+    /// Estimated count (an overestimate by at most `error`).
+    pub count: u64,
+    /// Maximum overestimation.
+    pub error: u64,
+}
+
+/// The SpaceSaving heavy-hitters summary.
+///
+/// Tracks at most `capacity` terms; any term whose true frequency exceeds
+/// `n / capacity` is guaranteed to be present, and every reported count
+/// overestimates the truth by at most the reported `error`.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// term → (count, error)
+    counters: HashMap<String, (u64, u64)>,
+    n: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a summary tracking up to `capacity` terms.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SpaceSaving {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            n: 0,
+        }
+    }
+
+    /// Total tokens observed.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Observes one token.
+    pub fn push(&mut self, term: &str) {
+        self.n += 1;
+        if let Some(entry) = self.counters.get_mut(term) {
+            entry.0 += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(term.to_owned(), (1, 0));
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count as
+        // both value and error bound.
+        let (min_term, min_count) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, (c, _))| *c)
+            .map(|(t, (c, _))| (t.clone(), *c))
+            .expect("counters non-empty at capacity");
+        self.counters.remove(&min_term);
+        self.counters
+            .insert(term.to_owned(), (min_count + 1, min_count));
+    }
+
+    /// Observes every token of a text.
+    pub fn push_text(&mut self, text: &str) {
+        for token in tokenize(text) {
+            self.push(&token);
+        }
+    }
+
+    /// The top `k` terms by estimated count, descending.
+    pub fn top(&self, k: usize) -> Vec<HeavyHitter> {
+        let mut items: Vec<HeavyHitter> = self
+            .counters
+            .iter()
+            .map(|(t, &(count, error))| HeavyHitter {
+                term: t.clone(),
+                count,
+                error,
+            })
+            .collect();
+        items.sort_by(|a, b| b.count.cmp(&a.count).then(a.term.cmp(&b.term)));
+        items.truncate(k);
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_lowercases_and_filters() {
+        let toks = tokenize("The SNOW is falling, the ice-storm's power outage!!");
+        assert_eq!(toks, vec!["snow", "falling", "ice", "storm's", "power", "outage"]);
+    }
+
+    #[test]
+    fn tokenizer_drops_short_and_stop_words() {
+        assert!(tokenize("I a x to the of").is_empty());
+    }
+
+    #[test]
+    fn exact_counts_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for _ in 0..5 {
+            ss.push("snow");
+        }
+        for _ in 0..3 {
+            ss.push("ice");
+        }
+        ss.push("cold");
+        let top = ss.top(3);
+        assert_eq!(top[0].term, "snow");
+        assert_eq!(top[0].count, 5);
+        assert_eq!(top[0].error, 0);
+        assert_eq!(top[1].term, "ice");
+        assert_eq!(top[2].term, "cold");
+    }
+
+    #[test]
+    fn heavy_hitters_survive_eviction_noise() {
+        let mut ss = SpaceSaving::new(20);
+        // 3 heavy terms amid a long tail of distinct noise terms.
+        for i in 0..3000usize {
+            match i % 10 {
+                0..=3 => ss.push("snow"),
+                4..=6 => ss.push("ice"),
+                7 => ss.push("outage"),
+                _ => ss.push(&format!("noise{i}")),
+            }
+        }
+        let top: Vec<String> = ss.top(3).into_iter().map(|h| h.term).collect();
+        assert_eq!(top, vec!["snow", "ice", "outage"]);
+    }
+
+    #[test]
+    fn counts_never_underestimate() {
+        // SpaceSaving invariant: reported count >= true count.
+        let mut ss = SpaceSaving::new(4);
+        let stream = ["a1", "b1", "a1", "c1", "d1", "e1", "a1", "f1", "a1"];
+        let mut truth: HashMap<&str, u64> = HashMap::new();
+        for t in stream {
+            ss.push(t);
+            *truth.entry(t).or_default() += 1;
+        }
+        for h in ss.top(10) {
+            let t = truth.get(h.term.as_str()).copied().unwrap_or(0);
+            assert!(h.count >= t, "{}: {} < {t}", h.term, h.count);
+            assert!(h.count - h.error <= t, "{}: lower bound broken", h.term);
+        }
+    }
+
+    #[test]
+    fn push_text_integrates_tokenizer() {
+        let mut ss = SpaceSaving::new(50);
+        ss.push_text("Snow snow SNOW in Atlanta");
+        assert_eq!(ss.top(1)[0].term, "snow");
+        assert_eq!(ss.top(1)[0].count, 3);
+    }
+}

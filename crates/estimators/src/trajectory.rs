@@ -1,0 +1,180 @@
+//! Online approximate trajectory reconstruction (the Figure 6(a)
+//! estimator).
+//!
+//! STORM's demo builds "an online, approximate trajectory using spatial
+//! online samples for a given twitter user for a specified time range".
+//! Each sampled (location, timestamp) pair refines a piecewise-linear
+//! estimate of the user's path; the approximation error against the true
+//! path shrinks as more of the user's points are sampled.
+
+use storm_geo::{Point2, StPoint};
+
+/// An online piecewise-linear trajectory estimate.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryBuilder {
+    /// Waypoints kept sorted by timestamp.
+    points: Vec<StPoint>,
+}
+
+impl TrajectoryBuilder {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        TrajectoryBuilder::default()
+    }
+
+    /// Number of waypoints so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no waypoints have arrived.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Adds one sampled (location, time) observation, keeping time order.
+    pub fn push(&mut self, p: StPoint) {
+        let idx = self.points.partition_point(|q| q.t <= p.t);
+        self.points.insert(idx, p);
+    }
+
+    /// The waypoints in time order.
+    pub fn waypoints(&self) -> &[StPoint] {
+        &self.points
+    }
+
+    /// The estimated position at time `t`: linear interpolation between the
+    /// surrounding waypoints, clamped to the ends. `None` while empty.
+    pub fn position_at(&self, t: i64) -> Option<Point2> {
+        let (first, last) = (self.points.first()?, self.points.last()?);
+        if t <= first.t {
+            return Some(first.xy);
+        }
+        if t >= last.t {
+            return Some(last.xy);
+        }
+        let idx = self.points.partition_point(|q| q.t <= t);
+        let (a, b) = (&self.points[idx - 1], &self.points[idx]);
+        if b.t == a.t {
+            return Some(b.xy);
+        }
+        let f = (t - a.t) as f64 / (b.t - a.t) as f64;
+        Some(a.xy.lerp(&b.xy, f))
+    }
+
+    /// Total path length of the reconstruction.
+    pub fn path_length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].xy.dist(&w[1].xy))
+            .sum()
+    }
+
+    /// Mean distance between this reconstruction and a reference
+    /// trajectory, evaluated at `steps` evenly spaced times across
+    /// `[t0, t1]` — the convergence metric for experiment E4.
+    pub fn mean_deviation(&self, reference: &TrajectoryBuilder, t0: i64, t1: i64, steps: usize) -> Option<f64> {
+        if steps == 0 || t1 <= t0 {
+            return None;
+        }
+        let mut total = 0.0;
+        for i in 0..steps {
+            let t = t0 + ((t1 - t0) as f64 * i as f64 / (steps - 1).max(1) as f64) as i64;
+            let a = self.position_at(t)?;
+            let b = reference.position_at(t)?;
+            total += a.dist(&b);
+        }
+        Some(total / steps as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_line(n: usize) -> TrajectoryBuilder {
+        // x = t/10, y = 0 for t in 0..100
+        let mut t = TrajectoryBuilder::new();
+        for i in 0..n {
+            let ts = (i * 100 / (n - 1).max(1)) as i64;
+            t.push(StPoint::new(ts as f64 / 10.0, 0.0, ts));
+        }
+        t
+    }
+
+    #[test]
+    fn push_keeps_time_order_regardless_of_arrival() {
+        let mut t = TrajectoryBuilder::new();
+        for &ts in &[50i64, 10, 90, 30, 70] {
+            t.push(StPoint::new(ts as f64, 0.0, ts));
+        }
+        let times: Vec<i64> = t.waypoints().iter().map(|p| p.t).collect();
+        assert_eq!(times, vec![10, 30, 50, 70, 90]);
+    }
+
+    #[test]
+    fn interpolation_is_linear_between_waypoints() {
+        let mut t = TrajectoryBuilder::new();
+        t.push(StPoint::new(0.0, 0.0, 0));
+        t.push(StPoint::new(10.0, 20.0, 100));
+        let mid = t.position_at(50).unwrap();
+        assert!((mid.x() - 5.0).abs() < 1e-12);
+        assert!((mid.y() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_outside_the_observed_range() {
+        let mut t = TrajectoryBuilder::new();
+        t.push(StPoint::new(1.0, 2.0, 10));
+        t.push(StPoint::new(3.0, 4.0, 20));
+        assert_eq!(t.position_at(0).unwrap(), Point2::xy(1.0, 2.0));
+        assert_eq!(t.position_at(99).unwrap(), Point2::xy(3.0, 4.0));
+    }
+
+    #[test]
+    fn empty_trajectory_has_no_position() {
+        let t = TrajectoryBuilder::new();
+        assert!(t.position_at(0).is_none());
+        assert_eq!(t.path_length(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_do_not_panic() {
+        let mut t = TrajectoryBuilder::new();
+        t.push(StPoint::new(0.0, 0.0, 5));
+        t.push(StPoint::new(9.0, 9.0, 5));
+        assert!(t.position_at(5).is_some());
+    }
+
+    #[test]
+    fn deviation_shrinks_with_more_samples() {
+        // Reference: a sine path sampled densely.
+        let mut reference = TrajectoryBuilder::new();
+        for i in 0..=1000i64 {
+            reference.push(StPoint::new(i as f64, (i as f64 / 50.0).sin() * 10.0, i));
+        }
+        // Sparse and denser reconstructions from subsets.
+        let mut sparse = TrajectoryBuilder::new();
+        let mut dense = TrajectoryBuilder::new();
+        for i in 0..=1000i64 {
+            if i % 250 == 0 {
+                sparse.push(StPoint::new(i as f64, (i as f64 / 50.0).sin() * 10.0, i));
+            }
+            if i % 25 == 0 {
+                dense.push(StPoint::new(i as f64, (i as f64 / 50.0).sin() * 10.0, i));
+            }
+        }
+        let d_sparse = sparse.mean_deviation(&reference, 0, 1000, 200).unwrap();
+        let d_dense = dense.mean_deviation(&reference, 0, 1000, 200).unwrap();
+        assert!(
+            d_dense < d_sparse / 2.0,
+            "dense {d_dense} vs sparse {d_sparse}"
+        );
+    }
+
+    #[test]
+    fn path_length_of_straight_line() {
+        let t = straight_line(11);
+        assert!((t.path_length() - 10.0).abs() < 1e-9);
+    }
+}

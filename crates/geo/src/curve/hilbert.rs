@@ -1,0 +1,168 @@
+//! The 2-D Hilbert curve.
+
+use super::SpaceFillingCurve;
+
+/// A 2-D Hilbert curve over a `2^order × 2^order` grid.
+///
+/// The Hilbert curve has the best locality of the classical space-filling
+/// curves: points close on the curve are close in space, and (unlike
+/// Z-order) there are no long "jumps". STORM uses it to pack the RS-tree's
+/// leaves and to range-partition data across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HilbertCurve {
+    order: u32,
+}
+
+/// Maximum supported order; `2 * 31 = 62` index bits fit in a `u64`.
+pub const MAX_ORDER: u32 = 31;
+
+impl HilbertCurve {
+    /// Creates a curve with `order` bits per dimension (`1..=31`).
+    pub fn new(order: u32) -> Option<Self> {
+        if (1..=MAX_ORDER).contains(&order) {
+            Some(HilbertCurve { order })
+        } else {
+            None
+        }
+    }
+
+    /// Number of cells along one side of the grid.
+    pub fn side(&self) -> u64 {
+        1u64 << self.order
+    }
+
+    /// Total number of cells (`side²`).
+    pub fn cells(&self) -> u64 {
+        1u64 << (2 * self.order)
+    }
+
+    #[inline]
+    fn rotate(s: u64, x: &mut u64, y: &mut u64, rx: u64, ry: u64) {
+        if ry == 0 {
+            if rx == 1 {
+                *x = s - 1 - *x;
+                *y = s - 1 - *y;
+            }
+            std::mem::swap(x, y);
+        }
+    }
+}
+
+impl SpaceFillingCurve for HilbertCurve {
+    fn order(&self) -> u32 {
+        self.order
+    }
+
+    fn index_of_cell(&self, x: u32, y: u32) -> u64 {
+        debug_assert!(u64::from(x) < self.side() && u64::from(y) < self.side());
+        let mut x = u64::from(x);
+        let mut y = u64::from(y);
+        let mut d: u64 = 0;
+        let n = self.side();
+        let mut s = n / 2;
+        while s > 0 {
+            let rx = u64::from(x & s > 0);
+            let ry = u64::from(y & s > 0);
+            d += s * s * ((3 * rx) ^ ry);
+            // The reflection is about the full grid, not the current level.
+            Self::rotate(n, &mut x, &mut y, rx, ry);
+            s /= 2;
+        }
+        d
+    }
+
+    fn cell_of_index(&self, d: u64) -> (u32, u32) {
+        debug_assert!(d < self.cells());
+        let mut t = d;
+        let mut x: u64 = 0;
+        let mut y: u64 = 0;
+        let mut s: u64 = 1;
+        while s < self.side() {
+            let rx = 1 & (t / 2);
+            let ry = 1 & (t ^ rx);
+            Self::rotate(s, &mut x, &mut y, rx, ry);
+            x += s * rx;
+            y += s * ry;
+            t /= 4;
+            s *= 2;
+        }
+        (x as u32, y as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_orders() {
+        assert!(HilbertCurve::new(0).is_none());
+        assert!(HilbertCurve::new(32).is_none());
+        assert!(HilbertCurve::new(1).is_some());
+        assert!(HilbertCurve::new(31).is_some());
+    }
+
+    #[test]
+    fn order_one_is_the_textbook_u() {
+        let c = HilbertCurve::new(1).unwrap();
+        // The order-1 curve visits (0,0), (0,1), (1,1), (1,0).
+        assert_eq!(c.index_of_cell(0, 0), 0);
+        assert_eq!(c.index_of_cell(0, 1), 1);
+        assert_eq!(c.index_of_cell(1, 1), 2);
+        assert_eq!(c.index_of_cell(1, 0), 3);
+    }
+
+    #[test]
+    fn round_trip_small_orders() {
+        for order in 1..=6 {
+            let c = HilbertCurve::new(order).unwrap();
+            for d in 0..c.cells() {
+                let (x, y) = c.cell_of_index(d);
+                assert_eq!(c.index_of_cell(x, y), d, "order {order}, d {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn curve_is_a_bijection_visiting_every_cell_once() {
+        let c = HilbertCurve::new(5).unwrap();
+        let mut seen = vec![false; c.cells() as usize];
+        for x in 0..c.side() as u32 {
+            for y in 0..c.side() as u32 {
+                let d = c.index_of_cell(x, y) as usize;
+                assert!(!seen[d]);
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn consecutive_indices_are_adjacent_cells() {
+        // The defining property of the Hilbert curve: a unit step along the
+        // curve is a unit step on the grid.
+        let c = HilbertCurve::new(6).unwrap();
+        let mut prev = c.cell_of_index(0);
+        for d in 1..c.cells() {
+            let cur = c.cell_of_index(d);
+            let dx = (i64::from(cur.0) - i64::from(prev.0)).abs();
+            let dy = (i64::from(cur.1) - i64::from(prev.1)).abs();
+            assert_eq!(dx + dy, 1, "jump at d={d}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn high_order_round_trip_spot_checks() {
+        let c = HilbertCurve::new(31).unwrap();
+        for &(x, y) in &[
+            (0u32, 0u32),
+            (u32::MAX / 2, u32::MAX / 2),
+            (2_147_483_647, 0),
+            (123_456_789, 987_654_32),
+        ] {
+            let d = c.index_of_cell(x, y);
+            assert_eq!(c.cell_of_index(d), (x, y));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! N-dimensional Hilbert curve (Skilling's transform).
+//!
+//! STORM's ST-indexing packs *spatio-temporal* points — `(x, y, t)` in
+//! `R^3` — along a Hilbert curve, so the 2-D curve in
+//! [`hilbert`](super::hilbert) is not enough. This module implements John
+//! Skilling's compact transpose-based algorithm ("Programming the Hilbert
+//! curve", AIP Conf. Proc. 707, 2004), which generalises to any dimension.
+//!
+//! The curve is exposed through [`hilbert_key`], mapping a grid cell in
+//! `[0, 2^bits)^D` to its 1-D rank in `[0, 2^(D*bits))`. For `D * bits <= 64`
+//! the rank fits a `u64`.
+
+/// In-place: converts axis coordinates to the "transposed" Hilbert form.
+///
+/// After the call, bit `j` of the Hilbert index (counting from the most
+/// significant of the `dims*bits` index bits) lives in bit `bits-1-(j/dims)`
+/// of `x[j % dims]`.
+fn axes_to_transpose(x: &mut [u32], bits: u32) {
+    let n = x.len();
+    // Inverse undo
+    let mut q = 1u32 << (bits - 1);
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = 1u32 << (bits - 1);
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+}
+
+/// In-place inverse of [`axes_to_transpose`].
+fn transpose_to_axes(x: &mut [u32], bits: u32) {
+    let n = x.len();
+    // Gray decode
+    let mut t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work
+    let mut q = 2u32;
+    while q != (1u32 << bits) {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Maps a `D`-dimensional grid cell to its Hilbert rank.
+///
+/// `coords[i]` must be `< 2^bits` and `D * bits <= 64`.
+///
+/// # Panics
+/// Panics (in debug builds) when a coordinate exceeds the grid or the rank
+/// would overflow a `u64`.
+pub fn hilbert_key<const D: usize>(coords: [u32; D], bits: u32) -> u64 {
+    debug_assert!(bits >= 1 && (D as u32) * bits <= 64);
+    debug_assert!(coords.iter().all(|&c| bits == 32 || c < (1u32 << bits)));
+    let mut x = coords;
+    if bits == 1 && D == 1 {
+        return u64::from(x[0]);
+    }
+    axes_to_transpose(&mut x, bits);
+    // Interleave: MSB-first across dimensions.
+    let mut key: u64 = 0;
+    for j in (0..bits).rev() {
+        for v in x.iter().take(D) {
+            key = (key << 1) | u64::from((v >> j) & 1);
+        }
+    }
+    key
+}
+
+/// Inverse of [`hilbert_key`].
+pub fn hilbert_cell<const D: usize>(key: u64, bits: u32) -> [u32; D] {
+    debug_assert!(bits >= 1 && (D as u32) * bits <= 64);
+    let mut x = [0u32; D];
+    let total = (D as u32) * bits;
+    for j in 0..total {
+        let bit = (key >> (total - 1 - j)) & 1;
+        let dim = (j as usize) % D;
+        let pos = bits - 1 - (j / D as u32);
+        x[dim] |= (bit as u32) << pos;
+    }
+    if !(bits == 1 && D == 1) {
+        transpose_to_axes(&mut x, bits);
+    }
+    x
+}
+
+/// Default bit budget for a `D`-dimensional key in a `u64`.
+pub const fn default_bits(dims: usize) -> u32 {
+    let b = 64 / dims as u32;
+    if b > 31 {
+        31
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_2d_exhaustive() {
+        let bits = 4;
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                let k = hilbert_key([x, y], bits);
+                assert_eq!(hilbert_cell::<2>(k, bits), [x, y]);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_3d_exhaustive_small() {
+        let bits = 3;
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for z in 0..8u32 {
+                    let k = hilbert_key([x, y, z], bits);
+                    assert!(k < 1 << 9);
+                    assert_eq!(hilbert_cell::<3>(k, bits), [x, y, z]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_a_bijection_2d() {
+        let bits = 4;
+        let mut seen = vec![false; 256];
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                let k = hilbert_key([x, y], bits) as usize;
+                assert!(!seen[k]);
+                seen[k] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn consecutive_keys_are_grid_neighbours_3d() {
+        let bits = 3;
+        let mut prev = hilbert_cell::<3>(0, bits);
+        for k in 1..(1u64 << 9) {
+            let cur = hilbert_cell::<3>(k, bits);
+            let dist: i64 = (0..3)
+                .map(|i| (i64::from(cur[i]) - i64::from(prev[i])).abs())
+                .sum();
+            assert_eq!(dist, 1, "jump at key {k}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn high_bit_round_trip() {
+        // 2 dims × 31 bits, 3 dims × 21 bits
+        for &(x, y) in &[(0x7FFF_FFFFu32, 0u32), (0x1234_5678, 0x7ABC_DEF0 & 0x7FFF_FFFF)] {
+            let k = hilbert_key([x, y], 31);
+            assert_eq!(hilbert_cell::<2>(k, 31), [x, y]);
+        }
+        let c = [0x1F_FFFFu32, 0, 0x10_0000];
+        let k = hilbert_key(c, 21);
+        assert_eq!(hilbert_cell::<3>(k, 21), c);
+    }
+
+    #[test]
+    fn default_bits_fits_u64() {
+        assert_eq!(default_bits(2), 31);
+        assert_eq!(default_bits(3), 21);
+        assert_eq!(default_bits(4), 16);
+    }
+}

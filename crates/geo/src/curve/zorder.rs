@@ -1,0 +1,113 @@
+//! The Z-order (Morton) curve.
+
+use super::SpaceFillingCurve;
+
+/// A 2-D Z-order curve over a `2^order × 2^order` grid.
+///
+/// The Z-order index is simply the bit-interleaving of the cell
+/// coordinates. It is much cheaper to evaluate than the Hilbert curve but
+/// has weaker locality (long diagonal jumps between quadrants), which is
+/// exactly the trade-off STORM's ablation benchmark measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZOrderCurve {
+    order: u32,
+}
+
+impl ZOrderCurve {
+    /// Creates a curve with `order` bits per dimension (`1..=31`).
+    pub fn new(order: u32) -> Option<Self> {
+        if (1..=super::hilbert::MAX_ORDER).contains(&order) {
+            Some(ZOrderCurve { order })
+        } else {
+            None
+        }
+    }
+
+    /// Spreads the low 32 bits of `v` so bit `i` moves to bit `2i`.
+    #[inline]
+    fn spread(v: u32) -> u64 {
+        let mut x = u64::from(v);
+        x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+        x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+        x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+        x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+        x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+        x
+    }
+
+    /// Inverse of [`ZOrderCurve::spread`]: collects every other bit.
+    #[inline]
+    fn compact(v: u64) -> u32 {
+        let mut x = v & 0x5555_5555_5555_5555;
+        x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+        x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+        x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+        x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+        x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+        x as u32
+    }
+}
+
+impl SpaceFillingCurve for ZOrderCurve {
+    fn order(&self) -> u32 {
+        self.order
+    }
+
+    fn index_of_cell(&self, x: u32, y: u32) -> u64 {
+        debug_assert!(u64::from(x) < (1u64 << self.order));
+        debug_assert!(u64::from(y) < (1u64 << self.order));
+        Self::spread(x) | (Self::spread(y) << 1)
+    }
+
+    fn cell_of_index(&self, d: u64) -> (u32, u32) {
+        (Self::compact(d), Self::compact(d >> 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaving_small_values() {
+        let c = ZOrderCurve::new(4).unwrap();
+        assert_eq!(c.index_of_cell(0, 0), 0);
+        assert_eq!(c.index_of_cell(1, 0), 1);
+        assert_eq!(c.index_of_cell(0, 1), 2);
+        assert_eq!(c.index_of_cell(1, 1), 3);
+        assert_eq!(c.index_of_cell(2, 0), 4);
+        assert_eq!(c.index_of_cell(3, 3), 15);
+    }
+
+    #[test]
+    fn round_trip_exhaustive_order_5() {
+        let c = ZOrderCurve::new(5).unwrap();
+        for x in 0..32u32 {
+            for y in 0..32u32 {
+                let d = c.index_of_cell(x, y);
+                assert_eq!(c.cell_of_index(d), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_high_bits() {
+        let c = ZOrderCurve::new(31).unwrap();
+        for &(x, y) in &[(0x7FFF_FFFFu32, 0u32), (0, 0x7FFF_FFFF), (0x1234_5678, 0x7654_3210 & 0x7FFF_FFFF)] {
+            let d = c.index_of_cell(x, y);
+            assert_eq!(c.cell_of_index(d), (x, y));
+        }
+    }
+
+    #[test]
+    fn zorder_is_monotone_in_each_coordinate() {
+        let c = ZOrderCurve::new(8).unwrap();
+        // Fixing y, increasing x strictly increases the index.
+        let mut prev = c.index_of_cell(0, 7);
+        for x in 1..256u32 {
+            let cur = c.index_of_cell(x, 7);
+            assert!(cur > prev);
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Geometry substrate for the STORM system.
+//!
+//! This crate provides the low-level geometric building blocks every other
+//! STORM crate relies on:
+//!
+//! * [`Point`] — a `D`-dimensional point over `f64`, with the common 2-D and
+//!   3-D aliases [`Point2`] and [`Point3`];
+//! * [`Rect`] — axis-aligned bounding boxes with the full algebra an R-tree
+//!   needs (containment, intersection, enlargement, area, margin);
+//! * space-filling curves ([`curve::hilbert`], [`curve::zorder`]) used to
+//!   linearise 2-D space when bulk-loading Hilbert R-trees and when range
+//!   partitioning data across shards;
+//! * [`TimeRange`] and the spatio-temporal query shapes in [`stq`], which
+//!   combine a spatial rectangle with a temporal interval exactly as STORM's
+//!   query interface does ("a temporal range and a spatial region on a map").
+//!
+//! Everything here is deterministic and allocation-light; the types are
+//! `Copy` where possible so they can be passed around R-tree internals
+//! without indirection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curve;
+mod point;
+mod rect;
+pub mod stq;
+mod time;
+
+pub use point::{Point, Point2, Point3};
+pub use rect::{Rect, Rect2, Rect3};
+pub use stq::{StPoint, StQuery};
+pub use time::TimeRange;
+
+/// Errors produced by geometry constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeoError {
+    /// A rectangle was constructed with `lo[i] > hi[i]` for some axis `i`.
+    InvalidRect {
+        /// The axis on which the ordering was violated.
+        axis: usize,
+    },
+    /// A coordinate was not a finite number (NaN or infinity).
+    NonFiniteCoordinate,
+}
+
+impl std::fmt::Display for GeoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeoError::InvalidRect { axis } => {
+                write!(f, "invalid rectangle: lo > hi on axis {axis}")
+            }
+            GeoError::NonFiniteCoordinate => write!(f, "coordinate is NaN or infinite"),
+        }
+    }
+}
+
+impl std::error::Error for GeoError {}

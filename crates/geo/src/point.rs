@@ -1,0 +1,221 @@
+//! `D`-dimensional points over `f64`.
+
+use crate::GeoError;
+
+/// A point in `D`-dimensional Euclidean space.
+///
+/// STORM indexes points in `R^d` (paper, Definition 1); in practice the
+/// system uses `D = 2` for purely spatial data and `D = 3` for
+/// spatio-temporal data where the third axis is (scaled) time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point<const D: usize> {
+    coords: [f64; D],
+}
+
+/// A 2-dimensional point (longitude/latitude or planar x/y).
+pub type Point2 = Point<2>;
+/// A 3-dimensional point (x, y, time).
+pub type Point3 = Point<3>;
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from raw coordinates.
+    ///
+    /// Coordinates may be any `f64`, including non-finite values; use
+    /// [`Point::try_new`] when inputs are untrusted.
+    pub const fn new(coords: [f64; D]) -> Self {
+        Point { coords }
+    }
+
+    /// Creates a point, rejecting NaN and infinite coordinates.
+    pub fn try_new(coords: [f64; D]) -> Result<Self, GeoError> {
+        if coords.iter().all(|c| c.is_finite()) {
+            Ok(Point { coords })
+        } else {
+            Err(GeoError::NonFiniteCoordinate)
+        }
+    }
+
+    /// The point at the origin.
+    pub const fn origin() -> Self {
+        Point { coords: [0.0; D] }
+    }
+
+    /// Returns the raw coordinate array.
+    #[inline]
+    pub const fn coords(&self) -> [f64; D] {
+        self.coords
+    }
+
+    /// Returns the coordinate on `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= D`.
+    #[inline]
+    pub fn get(&self, axis: usize) -> f64 {
+        self.coords[axis]
+    }
+
+    /// Returns a copy with the coordinate on `axis` replaced by `value`.
+    #[inline]
+    pub fn with(&self, axis: usize, value: f64) -> Self {
+        let mut coords = self.coords;
+        coords[axis] = value;
+        Point { coords }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist_sq(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.coords[i] - other.coords[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Self) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Self) -> Self {
+        let mut coords = [0.0; D];
+        for i in 0..D {
+            coords[i] = self.coords[i].min(other.coords[i]);
+        }
+        Point { coords }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Self) -> Self {
+        let mut coords = [0.0; D];
+        for i in 0..D {
+            coords[i] = self.coords[i].max(other.coords[i]);
+        }
+        Point { coords }
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    pub fn lerp(&self, other: &Self, t: f64) -> Self {
+        let mut coords = [0.0; D];
+        for i in 0..D {
+            coords[i] = self.coords[i] + t * (other.coords[i] - self.coords[i]);
+        }
+        Point { coords }
+    }
+
+    /// True when every coordinate is finite.
+    pub fn is_finite(&self) -> bool {
+        self.coords.iter().all(|c| c.is_finite())
+    }
+}
+
+impl Point2 {
+    /// Convenience constructor for 2-D points.
+    pub const fn xy(x: f64, y: f64) -> Self {
+        Point::new([x, y])
+    }
+
+    /// The x (first) coordinate.
+    #[inline]
+    pub fn x(&self) -> f64 {
+        self.coords[0]
+    }
+
+    /// The y (second) coordinate.
+    #[inline]
+    pub fn y(&self) -> f64 {
+        self.coords[1]
+    }
+}
+
+impl Point3 {
+    /// Convenience constructor for 3-D points.
+    pub const fn xyz(x: f64, y: f64, z: f64) -> Self {
+        Point::new([x, y, z])
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Point::new(coords)
+    }
+}
+
+impl<const D: usize> Default for Point<D> {
+    fn default() -> Self {
+        Point::origin()
+    }
+}
+
+impl<const D: usize> std::fmt::Display for Point<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let p = Point2::xy(1.5, -2.0);
+        assert_eq!(p.x(), 1.5);
+        assert_eq!(p.y(), -2.0);
+        assert_eq!(p.get(0), 1.5);
+        assert_eq!(p.coords(), [1.5, -2.0]);
+        assert_eq!(Point::<2>::origin(), Point2::xy(0.0, 0.0));
+        assert_eq!(Point::<3>::from([1.0, 2.0, 3.0]), Point3::xyz(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite() {
+        assert!(Point2::try_new([f64::NAN, 0.0]).is_err());
+        assert!(Point2::try_new([0.0, f64::INFINITY]).is_err());
+        assert!(Point2::try_new([0.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point2::xy(0.0, 0.0);
+        let b = Point2::xy(3.0, 4.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn min_max_lerp() {
+        let a = Point2::xy(0.0, 4.0);
+        let b = Point2::xy(2.0, 1.0);
+        assert_eq!(a.min(&b), Point2::xy(0.0, 1.0));
+        assert_eq!(a.max(&b), Point2::xy(2.0, 4.0));
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point2::xy(1.0, 2.5));
+    }
+
+    #[test]
+    fn with_replaces_single_axis() {
+        let p = Point3::xyz(1.0, 2.0, 3.0);
+        assert_eq!(p.with(1, 9.0), Point3::xyz(1.0, 9.0, 3.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point2::xy(1.0, 2.0).to_string(), "(1, 2)");
+    }
+}

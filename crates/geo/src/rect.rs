@@ -1,0 +1,274 @@
+//! Axis-aligned rectangles (hyper-boxes) and the algebra an R-tree needs.
+
+use crate::{GeoError, Point};
+
+/// An axis-aligned, closed rectangle in `D` dimensions, `[lo, hi]` per axis.
+///
+/// Rectangles serve two roles in STORM: as bounding boxes inside R-tree
+/// nodes, and as the spatial component of a range query `Q`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect<const D: usize> {
+    lo: Point<D>,
+    hi: Point<D>,
+}
+
+/// A 2-dimensional rectangle.
+pub type Rect2 = Rect<2>;
+/// A 3-dimensional box (x, y, time).
+pub type Rect3 = Rect<3>;
+
+impl<const D: usize> Rect<D> {
+    /// Creates a rectangle, validating that `lo <= hi` on every axis.
+    pub fn new(lo: Point<D>, hi: Point<D>) -> Result<Self, GeoError> {
+        for axis in 0..D {
+            if lo.get(axis) > hi.get(axis) {
+                return Err(GeoError::InvalidRect { axis });
+            }
+        }
+        Ok(Rect { lo, hi })
+    }
+
+    /// Creates a rectangle from two arbitrary corner points, swapping
+    /// coordinates as needed so the result is always valid.
+    pub fn from_corners(a: Point<D>, b: Point<D>) -> Self {
+        Rect {
+            lo: a.min(&b),
+            hi: a.max(&b),
+        }
+    }
+
+    /// The degenerate rectangle containing exactly one point.
+    pub fn from_point(p: Point<D>) -> Self {
+        Rect { lo: p, hi: p }
+    }
+
+    /// The smallest rectangle enclosing every point in `points`.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn bounding(points: &[Point<D>]) -> Option<Self> {
+        let (first, rest) = points.split_first()?;
+        let mut r = Rect::from_point(*first);
+        for p in rest {
+            r = r.enlarged_to_point(p);
+        }
+        Some(r)
+    }
+
+    /// A rectangle covering all of representable space.
+    pub fn everything() -> Self {
+        Rect {
+            lo: Point::new([f64::NEG_INFINITY; D]),
+            hi: Point::new([f64::INFINITY; D]),
+        }
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub const fn lo(&self) -> Point<D> {
+        self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub const fn hi(&self) -> Point<D> {
+        self.hi
+    }
+
+    /// Extent along `axis` (`hi - lo`).
+    #[inline]
+    pub fn extent(&self, axis: usize) -> f64 {
+        self.hi.get(axis) - self.lo.get(axis)
+    }
+
+    /// The center point.
+    pub fn center(&self) -> Point<D> {
+        self.lo.lerp(&self.hi, 0.5)
+    }
+
+    /// True iff `p` lies inside the closed box.
+    #[inline]
+    pub fn contains_point(&self, p: &Point<D>) -> bool {
+        for axis in 0..D {
+            let c = p.get(axis);
+            if c < self.lo.get(axis) || c > self.hi.get(axis) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True iff `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect<D>) -> bool {
+        for axis in 0..D {
+            if other.lo.get(axis) < self.lo.get(axis) || other.hi.get(axis) > self.hi.get(axis) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True iff the closed boxes share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect<D>) -> bool {
+        for axis in 0..D {
+            if other.hi.get(axis) < self.lo.get(axis) || other.lo.get(axis) > self.hi.get(axis) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The intersection box, or `None` when disjoint.
+    pub fn intersection(&self, other: &Rect<D>) -> Option<Rect<D>> {
+        let lo = self.lo.max(&other.lo);
+        let hi = self.hi.min(&other.hi);
+        Rect::new(lo, hi).ok()
+    }
+
+    /// The smallest rectangle containing both boxes.
+    pub fn union(&self, other: &Rect<D>) -> Rect<D> {
+        Rect {
+            lo: self.lo.min(&other.lo),
+            hi: self.hi.max(&other.hi),
+        }
+    }
+
+    /// The smallest rectangle containing `self` and `p`.
+    pub fn enlarged_to_point(&self, p: &Point<D>) -> Rect<D> {
+        Rect {
+            lo: self.lo.min(p),
+            hi: self.hi.max(p),
+        }
+    }
+
+    /// Hyper-volume (`0` for degenerate boxes).
+    pub fn area(&self) -> f64 {
+        let mut a = 1.0;
+        for axis in 0..D {
+            a *= self.extent(axis);
+        }
+        a
+    }
+
+    /// Sum of extents — the R*-tree "margin" heuristic.
+    pub fn margin(&self) -> f64 {
+        (0..D).map(|axis| self.extent(axis)).sum()
+    }
+
+    /// How much `self.area()` would grow if enlarged to cover `other`.
+    ///
+    /// This is the classic Guttman `ChooseSubtree` metric.
+    pub fn enlargement(&self, other: &Rect<D>) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Squared distance from `p` to the nearest point of the box
+    /// (0 when `p` is inside).
+    pub fn dist_sq_to_point(&self, p: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for axis in 0..D {
+            let c = p.get(axis);
+            let d = if c < self.lo.get(axis) {
+                self.lo.get(axis) - c
+            } else if c > self.hi.get(axis) {
+                c - self.hi.get(axis)
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+impl<const D: usize> std::fmt::Display for Rect<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} .. {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point2;
+
+    fn r(ax: f64, ay: f64, bx: f64, by: f64) -> Rect2 {
+        Rect::new(Point2::xy(ax, ay), Point2::xy(bx, by)).unwrap()
+    }
+
+    #[test]
+    fn new_validates_ordering() {
+        assert!(Rect::new(Point2::xy(1.0, 0.0), Point2::xy(0.0, 1.0)).is_err());
+        assert_eq!(
+            Rect::new(Point2::xy(1.0, 0.0), Point2::xy(0.0, 1.0)).unwrap_err(),
+            GeoError::InvalidRect { axis: 0 }
+        );
+        assert!(Rect::new(Point2::xy(0.0, 0.0), Point2::xy(0.0, 0.0)).is_ok());
+    }
+
+    #[test]
+    fn from_corners_swaps() {
+        let a = Rect::from_corners(Point2::xy(2.0, 0.0), Point2::xy(0.0, 3.0));
+        assert_eq!(a, r(0.0, 0.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn containment() {
+        let big = r(0.0, 0.0, 10.0, 10.0);
+        assert!(big.contains_point(&Point2::xy(0.0, 0.0)));
+        assert!(big.contains_point(&Point2::xy(10.0, 10.0)));
+        assert!(!big.contains_point(&Point2::xy(10.0, 10.1)));
+        assert!(big.contains_rect(&r(1.0, 1.0, 9.0, 9.0)));
+        assert!(big.contains_rect(&big));
+        assert!(!big.contains_rect(&r(1.0, 1.0, 11.0, 9.0)));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = r(0.0, 0.0, 4.0, 4.0);
+        let b = r(2.0, 2.0, 6.0, 6.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b).unwrap(), r(2.0, 2.0, 4.0, 4.0));
+        assert_eq!(a.union(&b), r(0.0, 0.0, 6.0, 6.0));
+
+        let c = r(5.0, 5.0, 7.0, 7.0);
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_none());
+        // Touching edges count as intersecting (closed boxes).
+        let d = r(4.0, 0.0, 5.0, 4.0);
+        assert!(a.intersects(&d));
+        assert_eq!(a.intersection(&d).unwrap().area(), 0.0);
+    }
+
+    #[test]
+    fn metrics() {
+        let a = r(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(a.area(), 6.0);
+        assert_eq!(a.margin(), 5.0);
+        assert_eq!(a.center(), Point2::xy(1.0, 1.5));
+        assert_eq!(a.enlargement(&r(0.0, 0.0, 4.0, 3.0)), 6.0);
+        assert_eq!(a.enlargement(&r(1.0, 1.0, 2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn bounding_of_points() {
+        assert!(Rect2::bounding(&[]).is_none());
+        let pts = [Point2::xy(1.0, 5.0), Point2::xy(-1.0, 2.0), Point2::xy(3.0, 3.0)];
+        assert_eq!(Rect2::bounding(&pts).unwrap(), r(-1.0, 2.0, 3.0, 5.0));
+    }
+
+    #[test]
+    fn dist_to_point() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(a.dist_sq_to_point(&Point2::xy(1.0, 1.0)), 0.0);
+        assert_eq!(a.dist_sq_to_point(&Point2::xy(5.0, 2.0)), 9.0);
+        assert_eq!(a.dist_sq_to_point(&Point2::xy(5.0, 6.0)), 25.0);
+    }
+
+    #[test]
+    fn everything_contains_all() {
+        let e = Rect2::everything();
+        assert!(e.contains_point(&Point2::xy(1e308, -1e308)));
+    }
+}

@@ -1,0 +1,154 @@
+//! Spatio-temporal points and queries.
+//!
+//! STORM's query interface specifies "a temporal range and a spatial region
+//! (on a map)" (paper §3.2). This module provides those shapes and the
+//! embedding of `(space, time)` into a 3-D point so a single `R^3` R-tree
+//! can index both extents, as the ST-indexing module requires.
+
+use crate::{Point2, Point3, Rect2, Rect3, TimeRange};
+
+/// A spatio-temporal event: a 2-D location plus a timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StPoint {
+    /// Spatial location.
+    pub xy: Point2,
+    /// Timestamp (integer epoch; unit is up to the data set).
+    pub t: i64,
+}
+
+impl StPoint {
+    /// Creates a spatio-temporal point.
+    pub const fn new(x: f64, y: f64, t: i64) -> Self {
+        StPoint {
+            xy: Point2::xy(x, y),
+            t,
+        }
+    }
+
+    /// Embeds the point in `R^3` with time as the third coordinate.
+    ///
+    /// `i64` timestamps up to ±2^53 convert exactly; beyond that the cast
+    /// rounds, which is acceptable for epoch seconds/milliseconds through
+    /// year ~287396.
+    pub fn to_point3(&self) -> Point3 {
+        Point3::xyz(self.xy.x(), self.xy.y(), self.t as f64)
+    }
+}
+
+/// A spatio-temporal range query `Q`: a spatial rectangle plus a time range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StQuery {
+    /// The spatial region.
+    pub rect: Rect2,
+    /// The temporal extent.
+    pub time: TimeRange,
+}
+
+impl StQuery {
+    /// Creates a query from a spatial rectangle and time range.
+    pub const fn new(rect: Rect2, time: TimeRange) -> Self {
+        StQuery { rect, time }
+    }
+
+    /// A purely spatial query (any time).
+    pub const fn spatial(rect: Rect2) -> Self {
+        StQuery {
+            rect,
+            time: TimeRange::all(),
+        }
+    }
+
+    /// True iff the event satisfies both the spatial and temporal predicate.
+    #[inline]
+    pub fn contains(&self, p: &StPoint) -> bool {
+        self.time.contains(p.t) && self.rect.contains_point(&p.xy)
+    }
+
+    /// The query as a 3-D box matching [`StPoint::to_point3`].
+    ///
+    /// The time axis uses `[start, end - 1]` so the closed 3-D box matches
+    /// the half-open [`TimeRange`] on integer timestamps. Empty time ranges
+    /// yield `None`.
+    pub fn to_rect3(&self) -> Option<Rect3> {
+        if self.time.is_empty() {
+            return None;
+        }
+        let lo = Point3::xyz(
+            self.rect.lo().x(),
+            self.rect.lo().y(),
+            saturating_f64(self.time.start()),
+        );
+        let hi = Point3::xyz(
+            self.rect.hi().x(),
+            self.rect.hi().y(),
+            saturating_f64(self.time.end().saturating_sub(1)),
+        );
+        Rect3::new(lo, hi).ok()
+    }
+}
+
+/// Converts an i64 timestamp to f64, mapping the sentinels `i64::MIN/MAX`
+/// used by [`TimeRange::all`] to infinities so "all time" stays all time.
+fn saturating_f64(t: i64) -> f64 {
+    if t == i64::MIN {
+        f64::NEG_INFINITY
+    } else if t >= i64::MAX - 1 {
+        f64::INFINITY
+    } else {
+        t as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point2;
+
+    fn q(ax: f64, ay: f64, bx: f64, by: f64, t0: i64, t1: i64) -> StQuery {
+        StQuery::new(
+            Rect2::from_corners(Point2::xy(ax, ay), Point2::xy(bx, by)),
+            TimeRange::new(t0, t1),
+        )
+    }
+
+    #[test]
+    fn contains_checks_both_extents() {
+        let query = q(0.0, 0.0, 10.0, 10.0, 100, 200);
+        assert!(query.contains(&StPoint::new(5.0, 5.0, 150)));
+        assert!(!query.contains(&StPoint::new(5.0, 5.0, 200))); // time half-open
+        assert!(!query.contains(&StPoint::new(11.0, 5.0, 150)));
+        assert!(query.contains(&StPoint::new(10.0, 10.0, 100))); // space closed
+    }
+
+    #[test]
+    fn rect3_embedding_agrees_with_contains() {
+        let query = q(0.0, 0.0, 10.0, 10.0, 100, 200);
+        let r3 = query.to_rect3().unwrap();
+        for (p, expect) in [
+            (StPoint::new(5.0, 5.0, 150), true),
+            (StPoint::new(5.0, 5.0, 199), true),
+            (StPoint::new(5.0, 5.0, 200), false),
+            (StPoint::new(5.0, 5.0, 99), false),
+            (StPoint::new(-0.1, 5.0, 150), false),
+        ] {
+            assert_eq!(query.contains(&p), expect);
+            assert_eq!(r3.contains_point(&p.to_point3()), expect, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn empty_time_range_has_no_rect3() {
+        assert!(q(0.0, 0.0, 1.0, 1.0, 5, 5).to_rect3().is_none());
+    }
+
+    #[test]
+    fn all_time_maps_to_infinite_axis() {
+        let query = StQuery::spatial(Rect2::from_corners(
+            Point2::xy(0.0, 0.0),
+            Point2::xy(1.0, 1.0),
+        ));
+        let r3 = query.to_rect3().unwrap();
+        assert!(r3.contains_point(&StPoint::new(0.5, 0.5, i64::MAX / 2).to_point3()));
+        assert!(r3.contains_point(&StPoint::new(0.5, 0.5, i64::MIN / 2).to_point3()));
+    }
+}

@@ -1,0 +1,130 @@
+//! Temporal intervals.
+
+/// A half-open time interval `[start, end)` over integer timestamps
+/// (seconds or milliseconds — STORM is agnostic, it only compares).
+///
+/// Half-open intervals compose cleanly: adjacent ranges neither overlap nor
+/// leave gaps, which is what the update manager relies on when narrowing a
+/// query "down to the most recent time history" (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeRange {
+    start: i64,
+    end: i64,
+}
+
+impl TimeRange {
+    /// Creates `[start, end)`; callers may pass `start >= end` to denote an
+    /// empty range.
+    pub const fn new(start: i64, end: i64) -> Self {
+        TimeRange { start, end }
+    }
+
+    /// The range covering all representable time.
+    pub const fn all() -> Self {
+        TimeRange {
+            start: i64::MIN,
+            end: i64::MAX,
+        }
+    }
+
+    /// Inclusive lower bound.
+    pub const fn start(&self) -> i64 {
+        self.start
+    }
+
+    /// Exclusive upper bound.
+    pub const fn end(&self) -> i64 {
+        self.end
+    }
+
+    /// True when the range contains no instants.
+    pub const fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Number of instants in the range (0 for empty ranges).
+    pub const fn len(&self) -> i64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.end - self.start
+        }
+    }
+
+    /// True iff `t` lies in `[start, end)`.
+    #[inline]
+    pub const fn contains(&self, t: i64) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// True iff the two ranges share at least one instant.
+    pub const fn overlaps(&self, other: &TimeRange) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end
+            && other.start < self.end
+    }
+
+    /// The overlapping part of the two ranges (possibly empty).
+    pub fn intersection(&self, other: &TimeRange) -> TimeRange {
+        TimeRange {
+            start: self.start.max(other.start),
+            end: self.end.min(other.end),
+        }
+    }
+
+    /// True iff every instant of `other` lies in `self`.
+    pub const fn contains_range(&self, other: &TimeRange) -> bool {
+        other.is_empty() || (self.start <= other.start && other.end <= self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_open_semantics() {
+        let r = TimeRange::new(10, 20);
+        assert!(r.contains(10));
+        assert!(r.contains(19));
+        assert!(!r.contains(20));
+        assert!(!r.contains(9));
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn empty_ranges() {
+        assert!(TimeRange::new(5, 5).is_empty());
+        assert!(TimeRange::new(6, 5).is_empty());
+        assert_eq!(TimeRange::new(6, 5).len(), 0);
+        assert!(!TimeRange::new(5, 5).contains(5));
+        assert!(!TimeRange::new(5, 5).overlaps(&TimeRange::new(0, 10)));
+    }
+
+    #[test]
+    fn overlap_and_intersection() {
+        let a = TimeRange::new(0, 10);
+        let b = TimeRange::new(5, 15);
+        let c = TimeRange::new(10, 20);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // adjacent half-open ranges do not overlap
+        assert_eq!(a.intersection(&b), TimeRange::new(5, 10));
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn containment() {
+        let a = TimeRange::new(0, 100);
+        assert!(a.contains_range(&TimeRange::new(0, 100)));
+        assert!(a.contains_range(&TimeRange::new(10, 20)));
+        assert!(a.contains_range(&TimeRange::new(50, 50))); // empty is contained anywhere
+        assert!(!a.contains_range(&TimeRange::new(-1, 5)));
+    }
+
+    #[test]
+    fn all_covers_everything() {
+        assert!(TimeRange::all().contains(i64::MIN));
+        assert!(TimeRange::all().contains(i64::MAX - 1));
+    }
+}

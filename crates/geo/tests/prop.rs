@@ -1,0 +1,98 @@
+//! Property tests for the geometry substrate.
+
+use proptest::prelude::*;
+use storm_geo::curve::{HilbertCurve, SpaceFillingCurve, ZOrderCurve};
+use storm_geo::{Point2, Rect2, StPoint, StQuery, TimeRange};
+
+proptest! {
+    #[test]
+    fn hilbert_round_trip(order in 1u32..=31, x in 0u32..u32::MAX, y in 0u32..u32::MAX) {
+        let c = HilbertCurve::new(order).unwrap();
+        let mask = (c.side() - 1) as u32;
+        let (x, y) = (x & mask, y & mask);
+        let d = c.index_of_cell(x, y);
+        prop_assert!(d < c.cells());
+        prop_assert_eq!(c.cell_of_index(d), (x, y));
+    }
+
+    #[test]
+    fn zorder_round_trip(order in 1u32..=31, x in 0u32..u32::MAX, y in 0u32..u32::MAX) {
+        let c = ZOrderCurve::new(order).unwrap();
+        let mask = (1u64 << order) as u32 - 1;
+        let (x, y) = (x & mask, y & mask);
+        let d = c.index_of_cell(x, y);
+        prop_assert_eq!(c.cell_of_index(d), (x, y));
+    }
+
+    #[test]
+    fn rect_union_contains_both(
+        ax in -1e6f64..1e6, ay in -1e6f64..1e6, bx in -1e6f64..1e6, by in -1e6f64..1e6,
+        cx in -1e6f64..1e6, cy in -1e6f64..1e6, dx in -1e6f64..1e6, dy in -1e6f64..1e6,
+    ) {
+        let r1 = Rect2::from_corners(Point2::xy(ax, ay), Point2::xy(bx, by));
+        let r2 = Rect2::from_corners(Point2::xy(cx, cy), Point2::xy(dx, dy));
+        let u = r1.union(&r2);
+        prop_assert!(u.contains_rect(&r1));
+        prop_assert!(u.contains_rect(&r2));
+        prop_assert!(u.area() + 1e-9 >= r1.area().max(r2.area()));
+    }
+
+    #[test]
+    fn rect_intersection_symmetric_and_contained(
+        ax in -100f64..100.0, ay in -100f64..100.0, bx in -100f64..100.0, by in -100f64..100.0,
+        cx in -100f64..100.0, cy in -100f64..100.0, dx in -100f64..100.0, dy in -100f64..100.0,
+    ) {
+        let r1 = Rect2::from_corners(Point2::xy(ax, ay), Point2::xy(bx, by));
+        let r2 = Rect2::from_corners(Point2::xy(cx, cy), Point2::xy(dx, dy));
+        prop_assert_eq!(r1.intersects(&r2), r2.intersects(&r1));
+        match r1.intersection(&r2) {
+            Some(i) => {
+                prop_assert!(r1.intersects(&r2));
+                prop_assert!(r1.contains_rect(&i));
+                prop_assert!(r2.contains_rect(&i));
+            }
+            None => prop_assert!(!r1.intersects(&r2)),
+        }
+    }
+
+    #[test]
+    fn point_in_intersection_iff_in_both(
+        ax in -100f64..100.0, ay in -100f64..100.0, bx in -100f64..100.0, by in -100f64..100.0,
+        cx in -100f64..100.0, cy in -100f64..100.0, dx in -100f64..100.0, dy in -100f64..100.0,
+        px in -100f64..100.0, py in -100f64..100.0,
+    ) {
+        let r1 = Rect2::from_corners(Point2::xy(ax, ay), Point2::xy(bx, by));
+        let r2 = Rect2::from_corners(Point2::xy(cx, cy), Point2::xy(dx, dy));
+        let p = Point2::xy(px, py);
+        let in_both = r1.contains_point(&p) && r2.contains_point(&p);
+        let in_inter = r1.intersection(&r2).is_some_and(|i| i.contains_point(&p));
+        prop_assert_eq!(in_both, in_inter);
+    }
+
+    #[test]
+    fn st_query_agrees_with_rect3(
+        x in -100f64..100.0, y in -100f64..100.0, t in -1000i64..1000,
+        qx in -100f64..100.0, qy in -100f64..100.0, qw in 0f64..50.0, qh in 0f64..50.0,
+        t0 in -1000i64..1000, dur in 1i64..500,
+    ) {
+        let query = StQuery::new(
+            Rect2::from_corners(Point2::xy(qx, qy), Point2::xy(qx + qw, qy + qh)),
+            TimeRange::new(t0, t0 + dur),
+        );
+        let p = StPoint::new(x, y, t);
+        let via_rect3 = query.to_rect3().unwrap().contains_point(&p.to_point3());
+        prop_assert_eq!(query.contains(&p), via_rect3);
+    }
+
+    #[test]
+    fn time_range_intersection_is_tightest(
+        a0 in -1000i64..1000, al in 0i64..500,
+        b0 in -1000i64..1000, bl in 0i64..500,
+        t in -1500i64..1500,
+    ) {
+        let a = TimeRange::new(a0, a0 + al);
+        let b = TimeRange::new(b0, b0 + bl);
+        let i = a.intersection(&b);
+        prop_assert_eq!(i.contains(t), a.contains(t) && b.contains(t));
+    }
+}

@@ -1,0 +1,125 @@
+//! The STORM-QL abstract syntax tree.
+
+use storm_core::{SampleMode, SamplerKind};
+use storm_geo::{Rect2, TimeRange};
+
+/// Aggregation functions with unbiased sample estimators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggFunc {
+    /// Population mean of an attribute.
+    Avg,
+    /// Population sum of an attribute (`q · X̄`).
+    Sum,
+    /// Result cardinality `q` (exact, from index counts).
+    Count,
+    /// The population `p`-quantile of an attribute (order-statistic CI).
+    Quantile(f64),
+}
+
+/// The analytical task a query requests — the paper's built-in feature
+/// module entries plus the customized-analytics demos.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Task {
+    /// `ESTIMATE AVG(field)` / `SUM(field)` / `COUNT`, optionally with a
+    /// `BY group-field` clause (per-group online estimates, after the
+    /// group-by online aggregation of Xu et al. [19]).
+    Aggregate {
+        /// The aggregation function.
+        agg: AggFunc,
+        /// The attribute being aggregated (empty for `COUNT`).
+        field: String,
+        /// Group-by attribute (`None` for a single global aggregate).
+        by: Option<String>,
+    },
+    /// `DENSITY [GRID nx ny]` — online KDE density map (Figure 5).
+    Density {
+        /// Grid resolution `(nx, ny)`.
+        grid: (usize, usize),
+    },
+    /// `CLUSTER k` — online k-means (spatial clustering on samples).
+    Cluster {
+        /// Number of clusters.
+        k: usize,
+    },
+    /// `TRAJECTORY 'user'` — online approximate trajectory (Figure 6a).
+    Trajectory {
+        /// The user/entity whose path to reconstruct.
+        user: String,
+    },
+    /// `TERMS k` — online short-text heavy hitters (Figure 6b).
+    Terms {
+        /// How many top terms to report.
+        k: usize,
+    },
+}
+
+/// Why and when the online loop should stop — the paper's three modes:
+/// run-until-stopped (all `None`), stop-at-quality (`target_error`), and
+/// best-effort (`time_budget_ms`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Termination {
+    /// Confidence level for intervals (default 0.95).
+    pub confidence: Option<f64>,
+    /// Stop when the relative CI half-width drops below this.
+    pub target_error: Option<f64>,
+    /// Best-effort mode: stop after this many milliseconds.
+    pub time_budget_ms: Option<u64>,
+    /// Stop after this many samples.
+    pub sample_budget: Option<usize>,
+}
+
+impl Termination {
+    /// The effective confidence level.
+    pub fn confidence_level(&self) -> f64 {
+        self.confidence.unwrap_or(0.95)
+    }
+
+    /// True when no stopping rule was given (run until exhausted or
+    /// cancelled).
+    pub fn is_unbounded(&self) -> bool {
+        self.target_error.is_none() && self.time_budget_ms.is_none() && self.sample_budget.is_none()
+    }
+}
+
+/// A parsed STORM-QL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// What to compute.
+    pub task: Task,
+    /// Which data set to run on.
+    pub dataset: String,
+    /// Spatial region (`None` = the data set's full extent).
+    pub range: Option<Rect2>,
+    /// Temporal extent (`None` = all time).
+    pub time: Option<TimeRange>,
+    /// Stopping rules.
+    pub termination: Termination,
+    /// Forced sampling method (`None` = let the optimizer choose).
+    pub method: Option<SamplerKind>,
+    /// Sampling mode.
+    pub mode: SampleMode,
+}
+
+impl Query {
+    /// The effective time range.
+    pub fn time_range(&self) -> TimeRange {
+        self.time.unwrap_or_else(TimeRange::all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn termination_defaults() {
+        let t = Termination::default();
+        assert!(t.is_unbounded());
+        assert_eq!(t.confidence_level(), 0.95);
+        let t = Termination {
+            target_error: Some(0.01),
+            ..Default::default()
+        };
+        assert!(!t.is_unbounded());
+    }
+}

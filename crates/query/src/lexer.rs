@@ -1,0 +1,150 @@
+//! Tokeniser for STORM-QL.
+
+use crate::QlError;
+
+/// One token of a STORM-QL query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (case preserved; keyword matching is
+    /// case-insensitive).
+    Word(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+}
+
+impl Token {
+    /// The token as a lowercase keyword, if it is a word.
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            Token::Word(w) => Some(w.to_lowercase()),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenises a query string.
+pub fn lex(input: &str) -> Result<Vec<Token>, QlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(QlError::Lex {
+                        offset: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token::Str(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            '-' | '+' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')
+                {
+                    // Only allow sign right after an exponent marker.
+                    if matches!(bytes[i], b'-' | b'+')
+                        && !matches!(bytes[i - 1], b'e' | b'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text.parse::<f64>().map_err(|_| QlError::Lex {
+                    offset: start,
+                    message: format!("invalid number '{text}'"),
+                })?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Word(input[start..i].to_owned()));
+            }
+            c => {
+                return Err(QlError::Lex {
+                    offset: i,
+                    message: format!("unexpected character '{c}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_full_query() {
+        let toks = lex("ESTIMATE AVG(temp) FROM mesowest RANGE -112.3 40.1 -111.0 41.2").unwrap();
+        assert_eq!(toks[0], Token::Word("ESTIMATE".into()));
+        assert_eq!(toks[1], Token::Word("AVG".into()));
+        assert_eq!(toks[2], Token::LParen);
+        assert_eq!(toks[3], Token::Word("temp".into()));
+        assert_eq!(toks[4], Token::RParen);
+        assert_eq!(toks[7], Token::Word("RANGE".into()));
+        assert_eq!(toks[8], Token::Number(-112.3));
+    }
+
+    #[test]
+    fn lexes_strings_and_dotted_fields() {
+        let toks = lex("TRAJECTORY 'user 17' FROM t FIELD geo.lat").unwrap();
+        assert_eq!(toks[1], Token::Str("user 17".into()));
+        assert_eq!(toks[5], Token::Word("geo.lat".into()));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = lex("ERROR 1e-2").unwrap();
+        assert_eq!(toks[1], Token::Number(0.01));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("SELECT %").is_err());
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn keyword_is_case_insensitive() {
+        let toks = lex("estimate").unwrap();
+        assert_eq!(toks[0].keyword().unwrap(), "estimate");
+    }
+}

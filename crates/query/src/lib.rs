@@ -1,0 +1,72 @@
+//! STORM-QL: the keyword query language and query optimizer.
+//!
+//! STORM's "query interface supports a keyword based query language with a
+//! query parser, where predefined keywords are used to specify an
+//! aggregation or an analytical task" together with "a temporal range and
+//! a spatial region" (paper §3.2). This crate implements:
+//!
+//! * the [`lexer`] and recursive-descent [`parser`] producing an [`ast::Query`];
+//! * the [`plan`] module, which resolves a parsed query against a data
+//!   set's statistics and asks the cost model (in `storm-core`) which
+//!   sampling method to use — the paper's query optimizer.
+//!
+//! Example queries:
+//!
+//! ```text
+//! ESTIMATE AVG(temp) FROM mesowest RANGE -112.3 40.1 -111.0 41.2
+//!     TIME 1388534400 1391212800 CONFIDENCE 0.95 ERROR 0.01
+//! DENSITY FROM tweets RANGE -112 40 -111 41 GRID 64 64 WITHIN 500
+//! CLUSTER 5 FROM tweets RANGE -125 25 -66 49 SAMPLES 2000
+//! TRAJECTORY 'user_17' FROM tweets TIME 100 900
+//! TERMS 10 FROM tweets RANGE -84.6 33.6 -84.2 33.9 TIME 100 200
+//! ESTIMATE COUNT FROM osm RANGE 0 0 10 10 METHOD rstree
+//! ```
+//!
+//! Execution lives in `storm-engine`, which binds a [`plan::Plan`] to a
+//! concrete data set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{AggFunc, Query, Task, Termination};
+pub use parser::parse;
+pub use plan::{DatasetStats, Plan};
+
+/// Errors from parsing or planning STORM-QL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QlError {
+    /// The input could not be tokenised.
+    Lex {
+        /// Byte offset.
+        offset: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The token stream does not form a valid query.
+    Parse {
+        /// Explanation with context.
+        message: String,
+    },
+    /// The query is well-formed but cannot be planned.
+    Plan {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for QlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QlError::Lex { offset, message } => write!(f, "lex error at byte {offset}: {message}"),
+            QlError::Parse { message } => write!(f, "parse error: {message}"),
+            QlError::Plan { message } => write!(f, "planning error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QlError {}

@@ -1,0 +1,425 @@
+//! Recursive-descent parser for STORM-QL.
+
+use storm_core::{SampleMode, SamplerKind};
+use storm_geo::{Point2, Rect2, TimeRange};
+
+use crate::ast::{AggFunc, Query, Task, Termination};
+use crate::lexer::{lex, Token};
+use crate::QlError;
+
+/// Parses a STORM-QL query string.
+pub fn parse(input: &str) -> Result<Query, QlError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let query = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error("unexpected trailing tokens"));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: &str) -> QlError {
+        let context = self
+            .tokens
+            .get(self.pos)
+            .map(|t| format!("{message} (at {t:?})"))
+            .unwrap_or_else(|| format!("{message} (at end of input)"));
+        QlError::Parse { message: context }
+    }
+
+    fn peek_keyword(&self) -> Option<String> {
+        self.tokens.get(self.pos).and_then(Token::keyword)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), QlError> {
+        if self.peek_keyword().as_deref() == Some(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected keyword '{}'", kw.to_uppercase())))
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, QlError> {
+        match self.bump() {
+            Some(Token::Number(n)) => Ok(*n),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(&format!("expected a number for {what}")))
+            }
+        }
+    }
+
+    fn positive_int(&mut self, what: &str) -> Result<usize, QlError> {
+        let n = self.number(what)?;
+        if n >= 1.0 && n.fract() == 0.0 && n <= usize::MAX as f64 {
+            Ok(n as usize)
+        } else {
+            Err(self.error(&format!("{what} must be a positive integer")))
+        }
+    }
+
+    fn word(&mut self, what: &str) -> Result<String, QlError> {
+        match self.bump() {
+            Some(Token::Word(w)) => Ok(w.clone()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(&format!("expected an identifier for {what}")))
+            }
+        }
+    }
+
+    fn word_or_string(&mut self, what: &str) -> Result<String, QlError> {
+        match self.bump() {
+            Some(Token::Word(w)) => Ok(w.clone()),
+            Some(Token::Str(s)) => Ok(s.clone()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(&format!("expected a name for {what}")))
+            }
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, QlError> {
+        let task = self.task()?;
+        self.expect_keyword("from")?;
+        let dataset = self.word("the dataset name")?;
+        let mut query = Query {
+            task,
+            dataset,
+            range: None,
+            time: None,
+            termination: Termination::default(),
+            method: None,
+            mode: SampleMode::WithoutReplacement,
+        };
+        while let Some(kw) = self.peek_keyword() {
+            self.pos += 1;
+            match kw.as_str() {
+                "range" => {
+                    let x1 = self.number("RANGE x1")?;
+                    let y1 = self.number("RANGE y1")?;
+                    let x2 = self.number("RANGE x2")?;
+                    let y2 = self.number("RANGE y2")?;
+                    query.range =
+                        Some(Rect2::from_corners(Point2::xy(x1, y1), Point2::xy(x2, y2)));
+                }
+                "time" => {
+                    let t1 = self.number("TIME start")?;
+                    let t2 = self.number("TIME end")?;
+                    query.time = Some(TimeRange::new(t1 as i64, t2 as i64));
+                }
+                "grid" => {
+                    let nx = self.positive_int("GRID nx")?;
+                    let ny = self.positive_int("GRID ny")?;
+                    match &mut query.task {
+                        Task::Density { grid } => *grid = (nx, ny),
+                        _ => return Err(self.error("GRID only applies to DENSITY queries")),
+                    }
+                }
+                "confidence" => {
+                    let c = self.number("CONFIDENCE")?;
+                    if !(0.0..1.0).contains(&c) || c == 0.0 {
+                        return Err(self.error("CONFIDENCE must be in (0, 1)"));
+                    }
+                    query.termination.confidence = Some(c);
+                }
+                "error" => {
+                    let e = self.number("ERROR")?;
+                    if e <= 0.0 {
+                        return Err(self.error("ERROR must be positive"));
+                    }
+                    query.termination.target_error = Some(e);
+                }
+                "within" => {
+                    let ms = self.number("WITHIN (milliseconds)")?;
+                    if ms < 0.0 {
+                        return Err(self.error("WITHIN must be non-negative"));
+                    }
+                    query.termination.time_budget_ms = Some(ms as u64);
+                }
+                "samples" => {
+                    query.termination.sample_budget =
+                        Some(self.positive_int("SAMPLES")?);
+                }
+                "method" => {
+                    let name = self.word("METHOD")?.to_lowercase();
+                    query.method = Some(match name.as_str() {
+                        "queryfirst" | "rangereport" => SamplerKind::QueryFirst,
+                        "samplefirst" => SamplerKind::SampleFirst,
+                        "randompath" | "olken" => SamplerKind::RandomPath,
+                        "lstree" | "ls" => SamplerKind::LsTree,
+                        "rstree" | "rs" => SamplerKind::RsTree,
+                        other => {
+                            return Err(self.error(&format!("unknown METHOD '{other}'")))
+                        }
+                    });
+                }
+                "by" => {
+                    let group_field = self.word("the BY group field")?;
+                    match &mut query.task {
+                        Task::Aggregate { agg, by, .. }
+                            if matches!(agg, AggFunc::Avg | AggFunc::Sum) =>
+                        {
+                            *by = Some(group_field);
+                        }
+                        _ => {
+                            return Err(
+                                self.error("BY only applies to AVG/SUM aggregates")
+                            )
+                        }
+                    }
+                }
+                "mode" => {
+                    let name = self.word("MODE")?.to_lowercase();
+                    query.mode = match name.as_str() {
+                        "wr" | "withreplacement" => SampleMode::WithReplacement,
+                        "wor" | "withoutreplacement" => SampleMode::WithoutReplacement,
+                        other => return Err(self.error(&format!("unknown MODE '{other}'"))),
+                    };
+                }
+                other => return Err(self.error(&format!("unknown clause '{other}'"))),
+            }
+        }
+        Ok(query)
+    }
+
+    fn task(&mut self) -> Result<Task, QlError> {
+        let verb = self
+            .peek_keyword()
+            .ok_or_else(|| self.error("empty query"))?;
+        self.pos += 1;
+        match verb.as_str() {
+            "estimate" | "select" => self.aggregate(),
+            "density" => Ok(Task::Density { grid: (32, 32) }),
+            "cluster" => Ok(Task::Cluster {
+                k: self.positive_int("CLUSTER k")?,
+            }),
+            "trajectory" => Ok(Task::Trajectory {
+                user: self.word_or_string("TRAJECTORY user")?,
+            }),
+            "terms" => {
+                let k = if matches!(self.tokens.get(self.pos), Some(Token::Number(_))) {
+                    self.positive_int("TERMS k")?
+                } else {
+                    10
+                };
+                Ok(Task::Terms { k })
+            }
+            other => Err(self.error(&format!("unknown verb '{other}'"))),
+        }
+    }
+
+    fn aggregate(&mut self) -> Result<Task, QlError> {
+        let func = self.word("the aggregate function")?.to_lowercase();
+        match func.as_str() {
+            "count" => Ok(Task::Aggregate {
+                agg: AggFunc::Count,
+                field: String::new(),
+                by: None,
+            }),
+            "avg" | "sum" | "median" => {
+                let agg = match func.as_str() {
+                    "avg" => AggFunc::Avg,
+                    "sum" => AggFunc::Sum,
+                    _ => AggFunc::Quantile(0.5),
+                };
+                let field = self.parenthesised_field()?;
+                Ok(Task::Aggregate { agg, field, by: None })
+            }
+            "quantile" => {
+                // QUANTILE(field, p)
+                if self.bump() != Some(&Token::LParen) {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected '(' after QUANTILE"));
+                }
+                let field = self.word("the aggregated field")?;
+                if self.bump() != Some(&Token::Comma) {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected ',' after QUANTILE field"));
+                }
+                let p = self.number("the quantile level")?;
+                if !(0.0..1.0).contains(&p) || p == 0.0 {
+                    return Err(self.error("quantile level must be in (0, 1)"));
+                }
+                if self.bump() != Some(&Token::RParen) {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error("expected ')' after quantile level"));
+                }
+                Ok(Task::Aggregate {
+                    agg: AggFunc::Quantile(p),
+                    field,
+                    by: None,
+                })
+            }
+            other => Err(self.error(&format!("unknown aggregate '{other}'"))),
+        }
+    }
+
+    fn parenthesised_field(&mut self) -> Result<String, QlError> {
+        if self.bump() != Some(&Token::LParen) {
+            self.pos = self.pos.saturating_sub(1);
+            return Err(self.error("expected '(' after aggregate function"));
+        }
+        let field = self.word("the aggregated field")?;
+        if self.bump() != Some(&Token::RParen) {
+            self.pos = self.pos.saturating_sub(1);
+            return Err(self.error("expected ')' after field"));
+        }
+        Ok(field)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_canonical_aggregate_query() {
+        let q = parse(
+            "ESTIMATE AVG(temp) FROM mesowest RANGE -112.3 40.1 -111.0 41.2 \
+             TIME 1388534400 1391212800 CONFIDENCE 0.95 ERROR 0.01",
+        )
+        .unwrap();
+        assert_eq!(
+            q.task,
+            Task::Aggregate {
+                agg: AggFunc::Avg,
+                field: "temp".into(),
+                by: None,
+            }
+        );
+        assert_eq!(q.dataset, "mesowest");
+        let r = q.range.unwrap();
+        assert_eq!(r.lo().x(), -112.3);
+        assert_eq!(r.hi().y(), 41.2);
+        assert_eq!(q.time.unwrap(), TimeRange::new(1388534400, 1391212800));
+        assert_eq!(q.termination.confidence, Some(0.95));
+        assert_eq!(q.termination.target_error, Some(0.01));
+        assert!(q.method.is_none());
+    }
+
+    #[test]
+    fn parses_all_verbs() {
+        assert!(matches!(
+            parse("ESTIMATE COUNT FROM osm").unwrap().task,
+            Task::Aggregate { agg: AggFunc::Count, .. }
+        ));
+        assert!(matches!(
+            parse("ESTIMATE SUM(pop) FROM osm").unwrap().task,
+            Task::Aggregate { agg: AggFunc::Sum, .. }
+        ));
+        assert_eq!(
+            parse("DENSITY FROM tweets GRID 64 48").unwrap().task,
+            Task::Density { grid: (64, 48) }
+        );
+        assert_eq!(
+            parse("CLUSTER 5 FROM tweets").unwrap().task,
+            Task::Cluster { k: 5 }
+        );
+        assert_eq!(
+            parse("TRAJECTORY 'user 1' FROM tweets").unwrap().task,
+            Task::Trajectory { user: "user 1".into() }
+        );
+        assert_eq!(parse("TERMS FROM tweets").unwrap().task, Task::Terms { k: 10 });
+        assert_eq!(parse("TERMS 25 FROM tweets").unwrap().task, Task::Terms { k: 25 });
+    }
+
+    #[test]
+    fn parses_quantile_and_median() {
+        assert_eq!(
+            parse("ESTIMATE MEDIAN(temp) FROM x").unwrap().task,
+            Task::Aggregate {
+                agg: AggFunc::Quantile(0.5),
+                field: "temp".into(),
+                by: None,
+            }
+        );
+        assert_eq!(
+            parse("ESTIMATE QUANTILE(temp, 0.9) FROM x").unwrap().task,
+            Task::Aggregate {
+                agg: AggFunc::Quantile(0.9),
+                field: "temp".into(),
+                by: None,
+            }
+        );
+        assert!(parse("ESTIMATE QUANTILE(temp, 1.5) FROM x").is_err());
+        assert!(parse("ESTIMATE QUANTILE(temp) FROM x").is_err());
+    }
+
+    #[test]
+    fn parses_method_and_mode() {
+        let q = parse("ESTIMATE COUNT FROM osm METHOD lstree MODE wor").unwrap();
+        assert_eq!(q.method, Some(SamplerKind::LsTree));
+        assert_eq!(q.mode, SampleMode::WithoutReplacement);
+        let q = parse("ESTIMATE COUNT FROM osm METHOD samplefirst MODE wr").unwrap();
+        assert_eq!(q.method, Some(SamplerKind::SampleFirst));
+        assert_eq!(q.mode, SampleMode::WithReplacement);
+    }
+
+    #[test]
+    fn parses_group_by() {
+        let q = parse("ESTIMATE AVG(temp) FROM x BY station").unwrap();
+        assert_eq!(
+            q.task,
+            Task::Aggregate {
+                agg: AggFunc::Avg,
+                field: "temp".into(),
+                by: Some("station".into()),
+            }
+        );
+        assert!(parse("ESTIMATE COUNT FROM x BY station").is_err());
+        assert!(parse("ESTIMATE MEDIAN(t) FROM x BY station").is_err());
+        assert!(parse("DENSITY FROM x BY station").is_err());
+    }
+
+    #[test]
+    fn parses_budgets() {
+        let q = parse("DENSITY FROM tweets WITHIN 500 SAMPLES 1000").unwrap();
+        assert_eq!(q.termination.time_budget_ms, Some(500));
+        assert_eq!(q.termination.sample_budget, Some(1000));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for bad in [
+            "",
+            "FROM x",
+            "ESTIMATE AVG(temp)",               // no FROM
+            "ESTIMATE AVG temp FROM x",         // missing parens
+            "ESTIMATE MODE(t) FROM x",          // unknown aggregate
+            "CLUSTER FROM x",                   // missing k
+            "CLUSTER 0 FROM x",                 // k must be >= 1
+            "ESTIMATE COUNT FROM x CONFIDENCE 1.5",
+            "ESTIMATE COUNT FROM x ERROR -1",
+            "ESTIMATE COUNT FROM x METHOD quantum",
+            "ESTIMATE COUNT FROM x BOGUS 1",
+            "ESTIMATE COUNT FROM x GRID 4 4",   // GRID on non-density
+            "ESTIMATE COUNT FROM x RANGE 1 2 3", // incomplete range
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn range_corners_normalise() {
+        let q = parse("ESTIMATE COUNT FROM x RANGE 10 10 0 0").unwrap();
+        let r = q.range.unwrap();
+        assert_eq!(r.lo(), Point2::xy(0.0, 0.0));
+        assert_eq!(r.hi(), Point2::xy(10.0, 10.0));
+    }
+}

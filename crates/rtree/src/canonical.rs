@@ -1,0 +1,221 @@
+//! Canonical sets — the `R_Q` of the paper (Table 1).
+
+use storm_geo::Rect;
+
+use crate::node::{Entries, Item, NodeId, NIL};
+use crate::tree::RTree;
+
+/// One piece of the canonical decomposition of `P ∩ Q`.
+#[derive(Debug, Clone, Copy)]
+pub enum CanonicalPart<const D: usize> {
+    /// A maximal node whose subtree lies entirely inside the query; it
+    /// contributes `count` points without being opened.
+    Node {
+        /// The node id.
+        id: NodeId,
+        /// `|P(u)|` for that node.
+        count: usize,
+    },
+    /// A single qualifying point from a partially-overlapping leaf.
+    Item(Item<D>),
+}
+
+impl<const D: usize> CanonicalPart<D> {
+    /// Number of data points this part stands for.
+    pub fn count(&self) -> usize {
+        match self {
+            CanonicalPart::Node { count, .. } => *count,
+            CanonicalPart::Item(_) => 1,
+        }
+    }
+}
+
+/// The canonical set `R_Q`: a partition of `P ∩ Q` into `O(r(N))` disjoint
+/// pieces — whole subtrees plus boundary points. The RS-tree samples
+/// proportionally to the piece counts.
+#[derive(Debug, Clone, Default)]
+pub struct CanonicalSet<const D: usize> {
+    /// The disjoint pieces.
+    pub parts: Vec<CanonicalPart<D>>,
+    /// Exact `q = |P ∩ Q|`, the sum of the part counts.
+    pub total: usize,
+}
+
+impl<const D: usize> CanonicalSet<D> {
+    /// True when the query matches no points.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of pieces.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The largest piece count (used by acceptance/rejection sampling).
+    pub fn max_count(&self) -> usize {
+        self.parts.iter().map(CanonicalPart::count).max().unwrap_or(0)
+    }
+}
+
+impl<const D: usize> RTree<D> {
+    /// Computes the canonical set of `query`.
+    ///
+    /// Visits `O(r(N))` nodes: fully-contained children become
+    /// [`CanonicalPart::Node`] without descent; partially-cut paths are
+    /// followed down to leaves whose qualifying items become
+    /// [`CanonicalPart::Item`]s.
+    pub fn canonical_set(&self, query: &Rect<D>) -> CanonicalSet<D> {
+        let mut set = CanonicalSet::default();
+        if self.root == NIL {
+            return set;
+        }
+        // The root itself may be fully contained.
+        if query.contains_rect(&self.node(self.root).rect) {
+            self.io.record_reads(1);
+            let count = self.node(self.root).count;
+            set.parts.push(CanonicalPart::Node {
+                id: NodeId(self.root),
+                count,
+            });
+            set.total = count;
+            return set;
+        }
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            self.io.record_reads(1);
+            match &self.node(idx).entries {
+                Entries::Leaf(items) => {
+                    for item in items {
+                        if query.contains_point(&item.point) {
+                            set.parts.push(CanonicalPart::Item(*item));
+                            set.total += 1;
+                        }
+                    }
+                }
+                Entries::Inner(children) => {
+                    for &c in children {
+                        let child = self.node(c.0);
+                        if query.contains_rect(&child.rect) {
+                            set.parts.push(CanonicalPart::Node {
+                                id: c,
+                                count: child.count,
+                            });
+                            set.total += child.count;
+                        } else if query.intersects(&child.rect) {
+                            stack.push(c.0);
+                        }
+                    }
+                }
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{BulkMethod, RTreeConfig};
+    use storm_geo::{Point2, Rect2};
+
+    fn grid(n: usize) -> Vec<Item<2>> {
+        (0..n)
+            .map(|i| Item::new(Point2::xy((i % 100) as f64, (i / 100) as f64), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn canonical_total_equals_exact_count() {
+        let t = RTree::bulk_load(grid(5000), RTreeConfig::with_fanout(8), BulkMethod::Hilbert);
+        for q in [
+            Rect2::from_corners(Point2::xy(3.0, 3.0), Point2::xy(61.5, 40.2)),
+            Rect2::from_corners(Point2::xy(-5.0, -5.0), Point2::xy(200.0, 200.0)),
+            Rect2::from_corners(Point2::xy(500.0, 500.0), Point2::xy(600.0, 600.0)),
+            Rect2::from_point(Point2::xy(10.0, 10.0)),
+        ] {
+            let set = t.canonical_set(&q);
+            assert_eq!(set.total, t.query(&q).len(), "query {q}");
+            assert_eq!(
+                set.total,
+                set.parts.iter().map(CanonicalPart::count).sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
+    fn fully_covering_query_returns_single_root_part() {
+        let t = RTree::bulk_load(grid(1000), RTreeConfig::with_fanout(8), BulkMethod::Str);
+        let set = t.canonical_set(&Rect2::everything());
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.total, 1000);
+        assert!(matches!(set.parts[0], CanonicalPart::Node { count: 1000, .. }));
+    }
+
+    #[test]
+    fn canonical_parts_are_disjoint_and_complete() {
+        let t = RTree::bulk_load(grid(2000), RTreeConfig::with_fanout(8), BulkMethod::Str);
+        let q = Rect2::from_corners(Point2::xy(10.0, 2.0), Point2::xy(80.0, 15.0));
+        let set = t.canonical_set(&q);
+        let mut ids = Vec::new();
+        for part in &set.parts {
+            match part {
+                CanonicalPart::Item(item) => ids.push(item.id),
+                CanonicalPart::Node { id, count } => {
+                    // Expand the subtree.
+                    let mut stack = vec![*id];
+                    let mut found = 0usize;
+                    while let Some(nid) = stack.pop() {
+                        let v = t.view_free_of_charge(nid);
+                        if v.is_leaf() {
+                            for it in v.items() {
+                                assert!(q.contains_point(&it.point));
+                                ids.push(it.id);
+                                found += 1;
+                            }
+                        } else {
+                            stack.extend(v.children());
+                        }
+                    }
+                    assert_eq!(found, *count);
+                }
+            }
+        }
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "canonical parts overlap");
+        let mut expected: Vec<u64> = t.query(&q).iter().map(|it| it.id).collect();
+        expected.sort_unstable();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn canonical_is_cheap_relative_to_reporting() {
+        let t = RTree::bulk_load(grid(100_000), RTreeConfig::with_fanout(32), BulkMethod::Hilbert);
+        let q = Rect2::from_corners(Point2::xy(5.0, 5.0), Point2::xy(95.0, 900.0));
+        t.io().reset();
+        let _ = t.query(&q);
+        let report_io = t.io().reads();
+        t.io().reset();
+        let set = t.canonical_set(&q);
+        let canon_io = t.io().reads();
+        assert!(set.total > 0);
+        assert!(
+            canon_io <= report_io,
+            "canonical ({canon_io}) should not exceed full reporting ({report_io})"
+        );
+    }
+
+    #[test]
+    fn empty_query_yields_empty_set() {
+        let t = RTree::bulk_load(grid(100), RTreeConfig::with_fanout(8), BulkMethod::Str);
+        let set = t.canonical_set(&Rect2::from_corners(
+            Point2::xy(1000.0, 1000.0),
+            Point2::xy(1001.0, 1001.0),
+        ));
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.max_count(), 0);
+    }
+}

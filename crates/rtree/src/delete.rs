@@ -1,0 +1,274 @@
+//! Deletion with tree condensation (Guttman `Delete` + `CondenseTree`).
+
+use storm_geo::Point;
+
+use crate::events::{UpdateEvent, UpdateObserver};
+use crate::node::{Entries, Item, NodeId, NIL};
+use crate::tree::RTree;
+
+impl<const D: usize> RTree<D> {
+    /// Removes the item with the given location and id.
+    ///
+    /// Returns `false` when no such item exists. Under-full nodes on the
+    /// deletion path are dissolved and their points re-inserted, and subtree
+    /// counts are maintained exactly — STORM relies on this so the sampler
+    /// stays correct "with respect to the latest records" (paper §2).
+    pub fn remove(&mut self, point: &Point<D>, id: u64) -> bool {
+        self.remove_with(point, id, &mut |_| {})
+    }
+
+    /// Like [`RTree::remove`], reporting every structural effect to `obs`.
+    pub fn remove_with(
+        &mut self,
+        point: &Point<D>,
+        id: u64,
+        obs: &mut UpdateObserver<'_>,
+    ) -> bool {
+        let Some(leaf) = self.find_leaf(point, id) else {
+            return false;
+        };
+        // Every ancestor (root..=leaf) loses the item.
+        let mut path = Vec::new();
+        let mut cur = leaf;
+        loop {
+            path.push(cur);
+            let parent = self.node(cur).parent;
+            if parent == NIL {
+                break;
+            }
+            cur = parent;
+        }
+        for idx in path.into_iter().rev() {
+            obs(UpdateEvent::Lost(NodeId(idx)));
+        }
+        match &mut self.node_mut(leaf).entries {
+            Entries::Leaf(items) => {
+                let pos = items
+                    .iter()
+                    .position(|it| it.id == id && it.point == *point)
+                    .expect("find_leaf returned a leaf without the item");
+                items.swap_remove(pos);
+            }
+            Entries::Inner(_) => unreachable!(),
+        }
+        self.io.record_writes(1);
+        self.len -= 1;
+        self.condense(leaf, obs);
+        true
+    }
+
+    /// Depth-first search for the leaf containing the exact item.
+    fn find_leaf(&self, point: &Point<D>, id: u64) -> Option<u32> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            self.io.record_reads(1);
+            let node = self.node(idx);
+            if !node.rect.contains_point(point) {
+                continue;
+            }
+            match &node.entries {
+                Entries::Leaf(items) => {
+                    if items.iter().any(|it| it.id == id && it.point == *point) {
+                        return Some(idx);
+                    }
+                }
+                Entries::Inner(children) => {
+                    for &c in children {
+                        if self.node(c.0).rect.contains_point(point) {
+                            stack.push(c.0);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Walks from `start` to the root dissolving under-full nodes, then
+    /// re-inserts the orphaned points and shrinks the root if needed.
+    fn condense(&mut self, start: u32, obs: &mut UpdateObserver<'_>) {
+        let min = self.cfg.min_entries();
+        let mut orphans: Vec<Item<D>> = Vec::new();
+        let mut idx = start;
+        loop {
+            let parent = self.node(idx).parent;
+            if parent == NIL {
+                break;
+            }
+            if self.node(idx).fanout() < min {
+                // Detach from parent and dissolve the subtree.
+                match &mut self.node_mut(parent).entries {
+                    Entries::Inner(children) => {
+                        let pos = children
+                            .iter()
+                            .position(|c| c.0 == idx)
+                            .expect("parent/child link broken");
+                        children.swap_remove(pos);
+                    }
+                    Entries::Leaf(_) => unreachable!(),
+                }
+                self.io.record_writes(1);
+                self.collect_subtree(idx, &mut orphans, obs);
+            } else {
+                self.refresh(idx);
+            }
+            idx = parent;
+        }
+        self.refresh(idx); // the root
+
+        // Shrink: an inner root with a single child (or an empty tree).
+        loop {
+            let root = self.root;
+            if root == NIL {
+                break;
+            }
+            let node = self.node(root);
+            match &node.entries {
+                Entries::Inner(children) if children.len() == 1 => {
+                    let child = children[0].0;
+                    self.node_mut(child).parent = NIL;
+                    self.dealloc(root);
+                    obs(UpdateEvent::Freed(NodeId(root)));
+                    self.root = child;
+                }
+                Entries::Inner(children) if children.is_empty() => {
+                    self.dealloc(root);
+                    obs(UpdateEvent::Freed(NodeId(root)));
+                    self.root = NIL;
+                    break;
+                }
+                Entries::Leaf(items) if items.is_empty() => {
+                    self.dealloc(root);
+                    obs(UpdateEvent::Freed(NodeId(root)));
+                    self.root = NIL;
+                    break;
+                }
+                _ => break,
+            }
+        }
+
+        for item in orphans {
+            self.insert_impl(item, obs);
+        }
+    }
+
+    /// Moves every point under `idx` into `out` and frees the subtree.
+    fn collect_subtree(
+        &mut self,
+        idx: u32,
+        out: &mut Vec<Item<D>>,
+        obs: &mut UpdateObserver<'_>,
+    ) {
+        let mut stack = vec![idx];
+        while let Some(i) = stack.pop() {
+            self.io.record_reads(1);
+            match std::mem::replace(&mut self.node_mut(i).entries, Entries::Inner(Vec::new())) {
+                Entries::Leaf(mut items) => out.append(&mut items),
+                Entries::Inner(children) => stack.extend(children.iter().map(|c| c.0)),
+            }
+            self.dealloc(i);
+            obs(UpdateEvent::Freed(NodeId(i)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::node::Item;
+    use crate::tree::{BulkMethod, RTree, RTreeConfig};
+    use crate::validate;
+    use storm_geo::{Point2, Rect2};
+
+    fn scatter(n: u64) -> Vec<Item<2>> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 2_654_435_761) % 997) as f64;
+                let y = ((i * 40_503) % 991) as f64;
+                Item::new(Point2::xy(x, y), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let mut t = RTree::bulk_load(scatter(100), RTreeConfig::with_fanout(8), BulkMethod::Str);
+        assert!(!t.remove(&Point2::xy(-1.0, -1.0), 0));
+        assert!(!t.remove(&scatter(100)[5].point, 9999));
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn remove_then_queries_forget_the_point() {
+        let items = scatter(200);
+        let mut t = RTree::bulk_load(items.clone(), RTreeConfig::with_fanout(8), BulkMethod::Str);
+        let victim = items[37];
+        assert!(t.remove(&victim.point, victim.id));
+        assert_eq!(t.len(), 199);
+        let hits = t.query(&Rect2::from_point(victim.point));
+        assert!(!hits.iter().any(|it| it.id == victim.id));
+        validate::check(&t).unwrap();
+    }
+
+    #[test]
+    fn drain_entire_tree() {
+        let items = scatter(300);
+        let mut t = RTree::bulk_load(items.clone(), RTreeConfig::with_fanout(4), BulkMethod::Str);
+        for (i, it) in items.iter().enumerate() {
+            assert!(t.remove(&it.point, it.id), "failed to remove {}", it.id);
+            if i % 37 == 0 {
+                validate::check(&t).unwrap();
+            }
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.count_in(&Rect2::everything()), 0);
+    }
+
+    #[test]
+    fn tree_remains_usable_after_drain_and_refill() {
+        let items = scatter(64);
+        let mut t = RTree::bulk_load(items.clone(), RTreeConfig::with_fanout(4), BulkMethod::Str);
+        for it in &items {
+            assert!(t.remove(&it.point, it.id));
+        }
+        for it in &items {
+            t.insert(*it);
+        }
+        assert_eq!(t.len(), 64);
+        validate::check(&t).unwrap();
+        assert_eq!(t.count_in(&Rect2::everything()), 64);
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes_keep_counts_exact() {
+        let mut t: RTree<2> = RTree::new(RTreeConfig::with_fanout(4));
+        let mut live: Vec<Item<2>> = Vec::new();
+        let mut next_id = 0u64;
+        for round in 0..60u64 {
+            // Insert three, delete one.
+            for j in 0..3 {
+                let i = round * 3 + j;
+                let item = Item::new(
+                    Point2::xy(((i * 97) % 101) as f64, ((i * 31) % 103) as f64),
+                    next_id,
+                );
+                next_id += 1;
+                t.insert(item);
+                live.push(item);
+            }
+            let victim = live.swap_remove((round as usize * 13) % live.len());
+            assert!(t.remove(&victim.point, victim.id));
+            assert_eq!(t.len(), live.len());
+        }
+        validate::check(&t).unwrap();
+        assert_eq!(t.count_in(&Rect2::everything()), live.len());
+        // Every live item is still findable.
+        for it in &live {
+            let hits = t.query(&Rect2::from_point(it.point));
+            assert!(hits.iter().any(|h| h.id == it.id));
+        }
+    }
+}

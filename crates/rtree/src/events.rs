@@ -1,0 +1,35 @@
+//! Structural update events.
+//!
+//! STORM's RS-tree attaches a sample buffer `S(u)` to every R-tree node and
+//! must "properly update the associated samples" when the underlying data
+//! changes (paper §3.1). Rather than duplicating the R-tree logic inside the
+//! RS-tree, the substrate reports what happened during each update through
+//! an observer callback, and the sample layer reacts (reservoir updates,
+//! buffer eviction).
+
+use crate::node::NodeId;
+
+/// One structural effect of an insert or delete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateEvent {
+    /// The subtree rooted at this node *gained* the item being inserted
+    /// (emitted for every node on the insertion path, root to leaf).
+    Gained(NodeId),
+    /// The subtree rooted at this node *lost* the item being removed
+    /// (emitted for every node on the deletion path, root to leaf).
+    Lost(NodeId),
+    /// `from` was split; roughly half of its subtree now lives under `new`.
+    /// Samples cached for `from` are no longer a sample of its subtree.
+    Split {
+        /// The overflowing node that was halved.
+        from: NodeId,
+        /// The freshly created sibling.
+        new: NodeId,
+    },
+    /// The node was deallocated (its id may be reused later).
+    Freed(NodeId),
+}
+
+/// Observer alias used by [`RTree::insert_with`](crate::RTree::insert_with)
+/// and [`RTree::remove_with`](crate::RTree::remove_with).
+pub type UpdateObserver<'a> = dyn FnMut(UpdateEvent) + 'a;

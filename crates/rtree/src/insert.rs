@@ -1,0 +1,267 @@
+//! Dynamic insertion (Guttman `Insert` + `ChooseLeaf` + quadratic split).
+
+use storm_geo::{Point, Rect};
+
+use crate::events::{UpdateEvent, UpdateObserver};
+use crate::node::{Entries, Item, Node, NodeId, NIL};
+use crate::split::quadratic_split;
+use crate::tree::RTree;
+
+impl<const D: usize> RTree<D> {
+    /// Inserts one item, maintaining rectangles and subtree counts along the
+    /// insertion path (the counts are what keep the samplers correct after
+    /// ad-hoc updates, paper §3.1).
+    pub fn insert(&mut self, item: Item<D>) {
+        self.insert_with(item, &mut |_| {});
+    }
+
+    /// Like [`RTree::insert`], reporting every structural effect to `obs`
+    /// so sample layers (the RS-tree) can maintain their per-node buffers.
+    pub fn insert_with(&mut self, item: Item<D>, obs: &mut UpdateObserver<'_>) {
+        self.insert_impl(item, obs);
+        self.len += 1;
+    }
+
+    /// Insertion without touching `len` — shared with the delete path's
+    /// orphan re-insertion.
+    pub(crate) fn insert_impl(&mut self, item: Item<D>, obs: &mut UpdateObserver<'_>) {
+        if self.root == NIL {
+            self.root = self.alloc(Node::new_leaf(vec![item]));
+            obs(UpdateEvent::Gained(NodeId(self.root)));
+            return;
+        }
+        let leaf = self.choose_leaf(&item.point, obs);
+        match &mut self.node_mut(leaf).entries {
+            Entries::Leaf(items) => items.push(item),
+            Entries::Inner(_) => unreachable!("choose_leaf returned an inner node"),
+        }
+        self.io.record_writes(1);
+        if self.node(leaf).fanout() > self.cfg.max_entries {
+            self.split_overflowing(leaf, obs);
+        } else {
+            self.refresh_upward(leaf);
+        }
+    }
+
+    /// Walks from the root to the leaf whose enlargement is minimal at every
+    /// level (ties broken by smaller area, then smaller fanout), emitting a
+    /// [`UpdateEvent::Gained`] for every node on the path.
+    fn choose_leaf(&self, p: &Point<D>, obs: &mut UpdateObserver<'_>) -> u32 {
+        let target = Rect::from_point(*p);
+        let mut idx = self.root;
+        loop {
+            self.io.record_reads(1);
+            obs(UpdateEvent::Gained(NodeId(idx)));
+            match &self.node(idx).entries {
+                Entries::Leaf(_) => return idx,
+                Entries::Inner(children) => {
+                    let mut best = children[0].0;
+                    let mut best_key = self.choose_key(best, &target);
+                    for &c in &children[1..] {
+                        let key = self.choose_key(c.0, &target);
+                        if key < best_key {
+                            best_key = key;
+                            best = c.0;
+                        }
+                    }
+                    idx = best;
+                }
+            }
+        }
+    }
+
+    fn choose_key(&self, idx: u32, target: &Rect<D>) -> (f64, f64, usize) {
+        let node = self.node(idx);
+        (
+            node.rect.enlargement(target),
+            node.rect.area(),
+            node.fanout(),
+        )
+    }
+
+    /// Splits `idx`, inserting the new sibling into the parent; cascades
+    /// upward, growing a new root if the old root splits.
+    fn split_overflowing(&mut self, idx: u32, obs: &mut UpdateObserver<'_>) {
+        let min = self.cfg.min_entries();
+        let level = self.node(idx).level;
+        let parent = self.node(idx).parent;
+
+        // Partition the node's entries into two groups.
+        let sibling_entries: Entries<D>;
+        match std::mem::replace(&mut self.node_mut(idx).entries, Entries::Inner(Vec::new())) {
+            Entries::Leaf(items) => {
+                let (a, b) = quadratic_split(items, |it| Rect::from_point(it.point), min);
+                self.node_mut(idx).entries = Entries::Leaf(a);
+                sibling_entries = Entries::Leaf(b);
+            }
+            Entries::Inner(children) => {
+                let rects: Vec<(NodeId, Rect<D>)> = children
+                    .iter()
+                    .map(|&c| (c, self.node(c.0).rect))
+                    .collect();
+                let (a, b) = quadratic_split(rects, |(_, r)| *r, min);
+                self.node_mut(idx).entries =
+                    Entries::Inner(a.into_iter().map(|(c, _)| c).collect());
+                sibling_entries = Entries::Inner(b.into_iter().map(|(c, _)| c).collect());
+            }
+        }
+
+        let sibling = self.alloc(Node {
+            rect: Rect::from_point(Point::origin()),
+            count: 0,
+            level,
+            parent,
+            entries: sibling_entries,
+            free: false,
+        });
+        obs(UpdateEvent::Split {
+            from: NodeId(idx),
+            new: NodeId(sibling),
+        });
+        // Re-point children moved into the sibling.
+        if let Entries::Inner(children) = &self.node(sibling).entries {
+            let moved: Vec<u32> = children.iter().map(|c| c.0).collect();
+            for c in moved {
+                self.node_mut(c).parent = sibling;
+            }
+        }
+        self.refresh(idx);
+        self.refresh(sibling);
+
+        if parent == NIL {
+            // Root split: grow the tree by one level.
+            let new_root = self.alloc(Node {
+                rect: Rect::from_point(Point::origin()),
+                count: 0,
+                level: level + 1,
+                parent: NIL,
+                entries: Entries::Inner(vec![NodeId(idx), NodeId(sibling)]),
+                free: false,
+            });
+            self.node_mut(idx).parent = new_root;
+            self.node_mut(sibling).parent = new_root;
+            self.refresh(new_root);
+            self.root = new_root;
+            return;
+        }
+
+        match &mut self.node_mut(parent).entries {
+            Entries::Inner(children) => children.push(NodeId(sibling)),
+            Entries::Leaf(_) => unreachable!("parent of a node must be inner"),
+        }
+        self.io.record_writes(1);
+        if self.node(parent).fanout() > self.cfg.max_entries {
+            self.split_overflowing(parent, obs);
+        } else {
+            self.refresh_upward(parent);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTreeConfig;
+    use crate::validate;
+    use storm_geo::{Point2, Rect2};
+
+    fn item(x: f64, y: f64, id: u64) -> Item<2> {
+        Item::new(Point2::xy(x, y), id)
+    }
+
+    #[test]
+    fn insert_into_empty_tree() {
+        let mut t: RTree<2> = RTree::new(RTreeConfig::with_fanout(4));
+        t.insert(item(1.0, 2.0, 7));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        let found = t.query(&Rect2::from_point(Point2::xy(1.0, 2.0)));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id, 7);
+        validate::check(&t).unwrap();
+    }
+
+    #[test]
+    fn sequential_inserts_keep_tree_valid() {
+        let mut t: RTree<2> = RTree::new(RTreeConfig::with_fanout(4));
+        for i in 0..500u64 {
+            let x = (i % 31) as f64 * 3.7;
+            let y = (i % 17) as f64 * 5.1;
+            t.insert(item(x, y, i));
+            if i % 50 == 0 {
+                validate::check(&t).unwrap();
+            }
+        }
+        assert_eq!(t.len(), 500);
+        validate::check(&t).unwrap();
+        assert!(t.height() >= 3, "tree should have grown: {}", t.height());
+        assert_eq!(t.count_in(&Rect2::everything()), 500);
+    }
+
+    #[test]
+    fn inserted_points_are_all_findable() {
+        let mut t: RTree<2> = RTree::new(RTreeConfig::with_fanout(5));
+        let n = 300u64;
+        for i in 0..n {
+            // Deterministic scatter.
+            let x = ((i * 2_654_435_761) % 1000) as f64;
+            let y = ((i * 40_503) % 1000) as f64;
+            t.insert(item(x, y, i));
+        }
+        for i in 0..n {
+            let x = ((i * 2_654_435_761) % 1000) as f64;
+            let y = ((i * 40_503) % 1000) as f64;
+            let hits = t.query(&Rect2::from_point(Point2::xy(x, y)));
+            assert!(hits.iter().any(|it| it.id == i), "lost item {i}");
+        }
+    }
+
+    #[test]
+    fn counts_follow_inserts() {
+        let mut t: RTree<2> = RTree::new(RTreeConfig::with_fanout(4));
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(10.0, 10.0));
+        for i in 0..50u64 {
+            t.insert(item((i % 20) as f64, (i % 20) as f64, i));
+        }
+        let expected = (0..50u64).filter(|i| i % 20 <= 10).count();
+        assert_eq!(t.count_in(&q), expected);
+    }
+
+    #[test]
+    fn duplicate_locations_allowed() {
+        let mut t: RTree<2> = RTree::new(RTreeConfig::with_fanout(4));
+        for i in 0..100u64 {
+            t.insert(item(5.0, 5.0, i));
+        }
+        assert_eq!(t.len(), 100);
+        validate::check(&t).unwrap();
+        assert_eq!(t.query(&Rect2::from_point(Point2::xy(5.0, 5.0))).len(), 100);
+    }
+
+    #[test]
+    fn observer_sees_full_gain_path_and_splits() {
+        use crate::events::UpdateEvent;
+        let mut t: RTree<2> = RTree::new(RTreeConfig::with_fanout(4));
+        // Fill enough to force at least one split.
+        let mut split_seen = false;
+        for i in 0..40u64 {
+            let mut gains = 0usize;
+            let mut events = Vec::new();
+            t.insert_with(item(i as f64, (i * 3 % 11) as f64, i), &mut |e| {
+                events.push(e)
+            });
+            for e in &events {
+                match e {
+                    UpdateEvent::Gained(_) => gains += 1,
+                    UpdateEvent::Split { .. } => split_seen = true,
+                    _ => {}
+                }
+            }
+            // The gain path covers every level that existed during descent.
+            assert!(gains >= 1);
+            assert!(gains as u32 <= t.height() + 1);
+        }
+        assert!(split_seen, "40 inserts at fanout 4 must split");
+        validate::check(&t).unwrap();
+    }
+}

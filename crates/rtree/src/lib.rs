@@ -1,0 +1,43 @@
+//! R-tree substrate for the STORM system.
+//!
+//! STORM's ST-indexing module (paper §3.1) builds both of its sampling
+//! indexes — the LS-tree (a forest of R-trees over level samples) and the
+//! RS-tree (a single sample-augmented Hilbert R-tree) — on top of a plain
+//! R-tree. This crate provides that substrate, built from scratch:
+//!
+//! * arena-allocated nodes with configurable fanout `B` (the disk-block
+//!   analogue from the paper's cost model, Table 1);
+//! * **bulk loading** via Sort-Tile-Recursive packing and via Hilbert-curve
+//!   packing (the paper's RS-tree is "based on a single Hilbert R-tree");
+//! * **dynamic updates** — Guttman insertion with quadratic splits, and
+//!   deletion with tree condensation — maintaining, on every path, the
+//!   per-node subtree cardinalities `|P(u)|` that Olken-style random
+//!   descent and the RS-tree's weighted sampling require;
+//! * **canonical sets** `R_Q`: the maximal nodes fully contained in a query
+//!   rectangle plus the qualifying items of partially-cut leaves;
+//! * **simulated I/O accounting** ([`IoStats`]): every node visit counts as
+//!   one logical block access, so the `O(k/B)` vs `Ω(k)` behaviour the
+//!   paper analyses is directly measurable without a disk.
+//!
+//! The tree stores [`Item`]s — a point plus an opaque `u64` record id; the
+//! record payloads themselves live in the storage engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulk;
+mod events;
+mod canonical;
+mod delete;
+mod insert;
+mod io;
+mod node;
+mod split;
+mod tree;
+pub mod validate;
+
+pub use events::{UpdateEvent, UpdateObserver};
+pub use canonical::{CanonicalPart, CanonicalSet};
+pub use io::IoStats;
+pub use node::{Item, NodeId};
+pub use tree::{BulkMethod, NodeView, RTree, RTreeConfig};

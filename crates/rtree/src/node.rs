@@ -1,0 +1,88 @@
+//! Arena nodes.
+
+use storm_geo::{Point, Rect};
+
+/// A record stored in the tree: a location plus an opaque record id.
+///
+/// Payload attributes (the `e.x` of the paper's estimators) live in the
+/// storage engine and are looked up by `id`; keeping the tree entry at two
+/// words plus the point keeps nodes block-sized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item<const D: usize> {
+    /// The indexed location.
+    pub point: Point<D>,
+    /// Opaque record identifier (unique per data set).
+    pub id: u64,
+}
+
+impl<const D: usize> Item<D> {
+    /// Creates an item.
+    pub const fn new(point: Point<D>, id: u64) -> Self {
+        Item { point, id }
+    }
+}
+
+/// Opaque handle to a tree node. Valid only for the tree that produced it
+/// and only until the next structural update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Node contents: leaf items or child node ids.
+#[derive(Debug, Clone)]
+pub(crate) enum Entries<const D: usize> {
+    Leaf(Vec<Item<D>>),
+    Inner(Vec<NodeId>),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node<const D: usize> {
+    pub rect: Rect<D>,
+    /// `|P(u)|` — number of data points under this subtree (Table 1 of the
+    /// paper; the weight used by RandomPath and the RS-tree).
+    pub count: usize,
+    /// Distance from the leaf level (leaves are level 0).
+    pub level: u32,
+    pub parent: u32,
+    pub entries: Entries<D>,
+    /// True when the slot is on the free list.
+    pub free: bool,
+}
+
+impl<const D: usize> Node<D> {
+    pub fn new_leaf(items: Vec<Item<D>>) -> Self {
+        let rect = bounding_of_items(&items);
+        Node {
+            rect,
+            count: items.len(),
+            level: 0,
+            parent: NIL,
+            entries: Entries::Leaf(items),
+            free: false,
+        }
+    }
+
+    pub fn fanout(&self) -> usize {
+        match &self.entries {
+            Entries::Leaf(v) => v.len(),
+            Entries::Inner(v) => v.len(),
+        }
+    }
+}
+
+/// Bounding rect of a set of items; a degenerate rect at the origin for an
+/// empty set (never exposed: empty nodes are only transient during splits).
+pub(crate) fn bounding_of_items<const D: usize>(items: &[Item<D>]) -> Rect<D> {
+    let mut it = items.iter();
+    match it.next() {
+        None => Rect::from_point(Point::origin()),
+        Some(first) => {
+            let mut r = Rect::from_point(first.point);
+            for item in it {
+                r = r.enlarged_to_point(&item.point);
+            }
+            r
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Guttman's quadratic node split.
+
+use storm_geo::Rect;
+
+/// Splits `entries` into two groups using the quadratic-cost heuristic from
+/// Guttman's original R-tree paper: pick the pair of entries that would
+/// waste the most area if grouped together as seeds, then assign the rest
+/// greedily by enlargement preference, honouring the `min` fill bound.
+pub(crate) fn quadratic_split<T, const D: usize>(
+    mut entries: Vec<T>,
+    rect_of: impl Fn(&T) -> Rect<D>,
+    min: usize,
+) -> (Vec<T>, Vec<T>) {
+    debug_assert!(entries.len() >= 2 * min.max(1));
+
+    // Seed selection: maximise dead space.
+    let (mut seed_a, mut seed_b, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        let ri = rect_of(&entries[i]);
+        for j in (i + 1)..entries.len() {
+            let rj = rect_of(&entries[j]);
+            let waste = ri.union(&rj).area() - ri.area() - rj.area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    // Remove seeds (larger index first so the smaller stays valid).
+    let second = entries.swap_remove(seed_b.max(seed_a));
+    let first = entries.swap_remove(seed_b.min(seed_a));
+    let mut rect_a = rect_of(&first);
+    let mut rect_b = rect_of(&second);
+    let mut group_a = vec![first];
+    let mut group_b = vec![second];
+
+    while let Some(next) = pick_next(&entries, &rect_a, &rect_b, &rect_of) {
+        // If one group needs every remaining entry to reach `min`, dump.
+        let remaining = entries.len();
+        if group_a.len() + remaining <= min {
+            for e in entries.drain(..) {
+                rect_a = rect_a.union(&rect_of(&e));
+                group_a.push(e);
+            }
+            break;
+        }
+        if group_b.len() + remaining <= min {
+            for e in entries.drain(..) {
+                rect_b = rect_b.union(&rect_of(&e));
+                group_b.push(e);
+            }
+            break;
+        }
+
+        let entry = entries.swap_remove(next);
+        let r = rect_of(&entry);
+        let grow_a = rect_a.enlargement(&r);
+        let grow_b = rect_b.enlargement(&r);
+        let to_a = match grow_a.partial_cmp(&grow_b) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => match rect_a.area().partial_cmp(&rect_b.area()) {
+                Some(std::cmp::Ordering::Less) => true,
+                Some(std::cmp::Ordering::Greater) => false,
+                _ => group_a.len() <= group_b.len(),
+            },
+        };
+        if to_a {
+            rect_a = rect_a.union(&r);
+            group_a.push(entry);
+        } else {
+            rect_b = rect_b.union(&r);
+            group_b.push(entry);
+        }
+    }
+    (group_a, group_b)
+}
+
+/// Index of the entry with the strongest preference for one group, per
+/// Guttman's `PickNext`.
+fn pick_next<T, const D: usize>(
+    entries: &[T],
+    rect_a: &Rect<D>,
+    rect_b: &Rect<D>,
+    rect_of: &impl Fn(&T) -> Rect<D>,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, e) in entries.iter().enumerate() {
+        let r = rect_of(e);
+        let diff = (rect_a.enlargement(&r) - rect_b.enlargement(&r)).abs();
+        if best.is_none_or(|(_, d)| diff > d) {
+            best = Some((i, diff));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_geo::{Point2, Rect2};
+
+    fn rects(points: &[(f64, f64)]) -> Vec<Rect2> {
+        points
+            .iter()
+            .map(|&(x, y)| Rect2::from_point(Point2::xy(x, y)))
+            .collect()
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two well-separated clusters should land in different groups.
+        let entries = rects(&[
+            (0.0, 0.0),
+            (1.0, 0.5),
+            (0.5, 1.0),
+            (100.0, 100.0),
+            (101.0, 100.5),
+            (100.5, 101.0),
+        ]);
+        let (a, b) = quadratic_split(entries, |r| *r, 2);
+        assert_eq!(a.len() + b.len(), 6);
+        let near = |r: &Rect2| r.lo().x() < 50.0;
+        assert!(a.iter().all(near) != b.iter().all(near) || a.iter().all(near) || b.iter().all(near));
+        // All members of each group are from the same cluster.
+        assert!(a.iter().all(near) || a.iter().all(|r| !near(r)));
+        assert!(b.iter().all(near) || b.iter().all(|r| !near(r)));
+    }
+
+    #[test]
+    fn split_honours_min_fill() {
+        for n in [4usize, 5, 9, 16] {
+            let entries: Vec<Rect2> = (0..n)
+                .map(|i| Rect2::from_point(Point2::xy(i as f64, (i * 7 % 5) as f64)))
+                .collect();
+            let min = 2;
+            let (a, b) = quadratic_split(entries, |r| *r, min);
+            assert_eq!(a.len() + b.len(), n);
+            assert!(a.len() >= min, "group a has {} < {min}", a.len());
+            assert!(b.len() >= min, "group b has {} < {min}", b.len());
+        }
+    }
+
+    #[test]
+    fn split_handles_identical_entries() {
+        let entries = rects(&[(1.0, 1.0); 8]);
+        let (a, b) = quadratic_split(entries, |r| *r, 3);
+        assert_eq!(a.len() + b.len(), 8);
+        assert!(a.len() >= 3 && b.len() >= 3);
+    }
+}

@@ -1,0 +1,494 @@
+//! The `RTree` type: construction, queries, and node access for samplers.
+
+use std::sync::Arc;
+
+use storm_geo::{Rect, Point};
+
+use crate::io::IoStats;
+use crate::node::{Entries, Item, Node, NodeId, NIL};
+
+/// Tuning parameters for an [`RTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct RTreeConfig {
+    /// Maximum entries per node — the block size `B` of the paper's cost
+    /// model. A node is one simulated disk block.
+    pub max_entries: usize,
+    /// Minimum fill fraction enforced after splits and deletions
+    /// (`min_entries = max(2, max_entries * min_fill)`).
+    pub min_fill: f64,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        RTreeConfig {
+            max_entries: 64,
+            min_fill: 0.4,
+        }
+    }
+}
+
+impl RTreeConfig {
+    /// Creates a config with the given fanout and the default fill factor.
+    pub fn with_fanout(max_entries: usize) -> Self {
+        RTreeConfig {
+            max_entries,
+            ..Default::default()
+        }
+    }
+
+    /// Minimum entries per non-root node.
+    pub fn min_entries(&self) -> usize {
+        ((self.max_entries as f64 * self.min_fill) as usize).max(2)
+    }
+
+    fn validated(self) -> Self {
+        assert!(
+            self.max_entries >= 4,
+            "R-tree fanout must be at least 4, got {}",
+            self.max_entries
+        );
+        assert!(
+            (0.0..=0.5).contains(&self.min_fill),
+            "min_fill must be in [0, 0.5], got {}",
+            self.min_fill
+        );
+        self
+    }
+}
+
+/// Which bulk-loading algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BulkMethod {
+    /// Sort-Tile-Recursive packing.
+    Str,
+    /// Hilbert-curve packing (the paper's RS-tree substrate).
+    Hilbert,
+    /// Z-order (Morton) packing — cheaper keys, weaker locality; kept for
+    /// the curve ablation benchmark.
+    ZOrder,
+}
+
+/// A dynamic R-tree over `D`-dimensional points with per-node subtree
+/// counts and simulated I/O accounting.
+#[derive(Debug)]
+pub struct RTree<const D: usize> {
+    pub(crate) nodes: Vec<Node<D>>,
+    pub(crate) free_list: Vec<u32>,
+    pub(crate) root: u32,
+    pub(crate) len: usize,
+    pub(crate) cfg: RTreeConfig,
+    pub(crate) io: Arc<IoStats>,
+}
+
+/// A read-only view of one node, obtained via [`RTree::visit`].
+///
+/// Constructing the view records one simulated block read, so samplers that
+/// traverse the tree through `visit` are charged exactly like the query
+/// engine itself.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView<'a, const D: usize> {
+    /// Bounding rectangle of the subtree.
+    pub rect: Rect<D>,
+    /// `|P(u)|`, number of data points below this node.
+    pub count: usize,
+    /// Level above the leaves (0 = leaf).
+    pub level: u32,
+    children: Option<&'a [NodeId]>,
+    items: Option<&'a [Item<D>]>,
+}
+
+impl<'a, const D: usize> NodeView<'a, D> {
+    /// Child node ids (empty for leaves).
+    pub fn children(&self) -> &'a [NodeId] {
+        self.children.unwrap_or(&[])
+    }
+
+    /// Leaf items (empty for inner nodes).
+    pub fn items(&self) -> &'a [Item<D>] {
+        self.items.unwrap_or(&[])
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.items.is_some()
+    }
+}
+
+impl<const D: usize> RTree<D> {
+    /// Creates an empty tree with the given configuration.
+    pub fn new(cfg: RTreeConfig) -> Self {
+        Self::with_io(cfg, IoStats::shared())
+    }
+
+    /// Creates an empty tree sharing an existing I/O counter (used by the
+    /// LS-tree so the whole forest reports aggregate cost).
+    pub fn with_io(cfg: RTreeConfig, io: Arc<IoStats>) -> Self {
+        RTree {
+            nodes: Vec::new(),
+            free_list: Vec::new(),
+            root: NIL,
+            len: 0,
+            cfg: cfg.validated(),
+            io,
+        }
+    }
+
+    /// Bulk loads a tree from items.
+    pub fn bulk_load(items: Vec<Item<D>>, cfg: RTreeConfig, method: BulkMethod) -> Self {
+        Self::bulk_load_with_io(items, cfg, method, IoStats::shared())
+    }
+
+    /// Bulk loads a tree sharing an existing I/O counter.
+    pub fn bulk_load_with_io(
+        items: Vec<Item<D>>,
+        cfg: RTreeConfig,
+        method: BulkMethod,
+        io: Arc<IoStats>,
+    ) -> Self {
+        let mut tree = Self::with_io(cfg, io);
+        tree.bulk_fill(items, method);
+        tree
+    }
+
+    /// Number of data points stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels (0 for an empty tree, 1 for a single leaf root).
+    pub fn height(&self) -> u32 {
+        if self.root == NIL {
+            0
+        } else {
+            self.nodes[self.root as usize].level + 1
+        }
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> RTreeConfig {
+        self.cfg
+    }
+
+    /// Bounding rectangle of all stored points, or `None` when empty.
+    pub fn bounds(&self) -> Option<Rect<D>> {
+        (self.root != NIL).then(|| self.nodes[self.root as usize].rect)
+    }
+
+    /// The root node id, or `None` when empty.
+    pub fn root_id(&self) -> Option<NodeId> {
+        (self.root != NIL).then_some(NodeId(self.root))
+    }
+
+    /// The simulated-I/O counter.
+    pub fn io(&self) -> &IoStats {
+        &self.io
+    }
+
+    /// A clone of the shared I/O counter handle.
+    pub fn io_handle(&self) -> Arc<IoStats> {
+        Arc::clone(&self.io)
+    }
+
+    /// True when `id` refers to a currently allocated node. Sample layers
+    /// use this to discard references that a structural update freed.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id.0 as usize)
+            .is_some_and(|node| !node.free)
+    }
+
+    /// Reads a node, recording one simulated block read.
+    ///
+    /// # Panics
+    /// Panics if `id` is stale (points at a freed slot) or out of range.
+    pub fn visit(&self, id: NodeId) -> NodeView<'_, D> {
+        self.io.record_reads(1);
+        self.view_free_of_charge(id)
+    }
+
+    /// Reads a node *without* charging an I/O. Intended for planners that
+    /// consult cached statistics (counts are assumed to be cached in RAM,
+    /// as STORM's query optimizer does) — not for data traversal.
+    pub fn view_free_of_charge(&self, id: NodeId) -> NodeView<'_, D> {
+        let node = self.node(id.0);
+        let (children, items) = match &node.entries {
+            Entries::Leaf(v) => (None, Some(v.as_slice())),
+            Entries::Inner(v) => (Some(v.as_slice()), None),
+        };
+        NodeView {
+            rect: node.rect,
+            count: node.count,
+            level: node.level,
+            children,
+            items,
+        }
+    }
+
+    /// Reports all items inside `query` (the `RangeReport` baseline).
+    pub fn query(&self, query: &Rect<D>) -> Vec<Item<D>> {
+        let mut out = Vec::new();
+        self.for_each_in(query, |item| out.push(*item));
+        out
+    }
+
+    /// Visits every item inside `query`.
+    pub fn for_each_in<F: FnMut(&Item<D>)>(&self, query: &Rect<D>, mut f: F) {
+        if self.root == NIL {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            self.io.record_reads(1);
+            let node = self.node(idx);
+            match &node.entries {
+                Entries::Leaf(items) => {
+                    for item in items {
+                        if query.contains_point(&item.point) {
+                            f(item);
+                        }
+                    }
+                }
+                Entries::Inner(children) => {
+                    for &child in children {
+                        if query.intersects(&self.node(child.0).rect) {
+                            stack.push(child.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts items inside `query` using subtree counts: fully-contained
+    /// subtrees contribute `|P(u)|` without being descended, so the cost is
+    /// `O(r(N))` rather than `O(q)`.
+    pub fn count_in(&self, query: &Rect<D>) -> usize {
+        if self.root == NIL {
+            return 0;
+        }
+        let mut total = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            self.io.record_reads(1);
+            let node = self.node(idx);
+            match &node.entries {
+                Entries::Leaf(items) => {
+                    total += items
+                        .iter()
+                        .filter(|it| query.contains_point(&it.point))
+                        .count();
+                }
+                Entries::Inner(children) => {
+                    for &child in children {
+                        let c = self.node(child.0);
+                        if query.contains_rect(&c.rect) {
+                            total += c.count;
+                        } else if query.intersects(&c.rect) {
+                            stack.push(child.0);
+                        }
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// Visits every stored item (no I/O charge; used for ground truth and
+    /// tests).
+    pub fn for_each<F: FnMut(&Item<D>)>(&self, mut f: F) {
+        if self.root == NIL {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            match &self.node(idx).entries {
+                Entries::Leaf(items) => items.iter().for_each(&mut f),
+                Entries::Inner(children) => stack.extend(children.iter().map(|c| c.0)),
+            }
+        }
+    }
+
+    /// Collects every stored item into a vector.
+    pub fn items(&self) -> Vec<Item<D>> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each(|it| out.push(*it));
+        out
+    }
+
+    // ---- internal arena helpers -------------------------------------------------
+
+    pub(crate) fn node(&self, idx: u32) -> &Node<D> {
+        let node = &self.nodes[idx as usize];
+        assert!(!node.free, "stale NodeId {idx}");
+        node
+    }
+
+    pub(crate) fn node_mut(&mut self, idx: u32) -> &mut Node<D> {
+        let node = &mut self.nodes[idx as usize];
+        assert!(!node.free, "stale NodeId {idx}");
+        node
+    }
+
+    pub(crate) fn alloc(&mut self, node: Node<D>) -> u32 {
+        self.io.record_writes(1);
+        if let Some(idx) = self.free_list.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            let idx = u32::try_from(self.nodes.len()).expect("too many R-tree nodes");
+            self.nodes.push(node);
+            idx
+        }
+    }
+
+    pub(crate) fn dealloc(&mut self, idx: u32) {
+        let node = &mut self.nodes[idx as usize];
+        debug_assert!(!node.free);
+        node.free = true;
+        node.entries = Entries::Inner(Vec::new());
+        self.free_list.push(idx);
+    }
+
+    /// Recomputes `rect` and `count` of `idx` from its entries.
+    pub(crate) fn refresh(&mut self, idx: u32) {
+        let (rect, count) = match &self.node(idx).entries {
+            Entries::Leaf(items) => (crate::node::bounding_of_items(items), items.len()),
+            Entries::Inner(children) => {
+                let mut rect: Option<Rect<D>> = None;
+                let mut count = 0usize;
+                for &c in children {
+                    let child = self.node(c.0);
+                    count += child.count;
+                    rect = Some(match rect {
+                        None => child.rect,
+                        Some(r) => r.union(&child.rect),
+                    });
+                }
+                (
+                    rect.unwrap_or_else(|| Rect::from_point(Point::origin())),
+                    count,
+                )
+            }
+        };
+        let node = self.node_mut(idx);
+        node.rect = rect;
+        node.count = count;
+        self.io.record_writes(1);
+    }
+
+    /// Refreshes `idx` and all of its ancestors.
+    pub(crate) fn refresh_upward(&mut self, mut idx: u32) {
+        loop {
+            self.refresh(idx);
+            let parent = self.node(idx).parent;
+            if parent == NIL {
+                break;
+            }
+            idx = parent;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storm_geo::{Point2, Rect2};
+
+    fn pts(n: usize) -> Vec<Item<2>> {
+        // Deterministic pseudo-grid.
+        (0..n)
+            .map(|i| {
+                let x = (i % 100) as f64;
+                let y = (i / 100) as f64;
+                Item::new(Point2::xy(x, y), i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_basics() {
+        let t: RTree<2> = RTree::new(RTreeConfig::default());
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.bounds().is_none());
+        assert!(t.root_id().is_none());
+        assert!(t.query(&Rect2::everything()).is_empty());
+        assert_eq!(t.count_in(&Rect2::everything()), 0);
+    }
+
+    #[test]
+    fn config_validation_rejects_tiny_fanout() {
+        let result = std::panic::catch_unwind(|| {
+            RTree::<2>::new(RTreeConfig {
+                max_entries: 2,
+                min_fill: 0.4,
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn query_and_count_agree_after_bulk_load() {
+        let items = pts(1000);
+        for method in [BulkMethod::Str, BulkMethod::Hilbert] {
+            let t = RTree::bulk_load(items.clone(), RTreeConfig::with_fanout(8), method);
+            assert_eq!(t.len(), 1000);
+            let q = Rect2::from_corners(Point2::xy(10.0, 2.0), Point2::xy(30.0, 7.0));
+            let reported = t.query(&q);
+            let expected: Vec<_> = items
+                .iter()
+                .filter(|it| q.contains_point(&it.point))
+                .collect();
+            assert_eq!(reported.len(), expected.len());
+            assert_eq!(t.count_in(&q), expected.len());
+            crate::validate::check(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn count_in_is_cheaper_than_query() {
+        let items = pts(10_000);
+        let t = RTree::bulk_load(items, RTreeConfig::with_fanout(16), BulkMethod::Str);
+        let q = Rect2::from_corners(Point2::xy(5.0, 5.0), Point2::xy(95.0, 95.0));
+        t.io().reset();
+        let _ = t.query(&q);
+        let query_io = t.io().reads();
+        t.io().reset();
+        let _ = t.count_in(&q);
+        let count_io = t.io().reads();
+        assert!(
+            count_io < query_io / 2,
+            "count_in ({count_io}) should be far cheaper than query ({query_io})"
+        );
+    }
+
+    #[test]
+    fn visit_records_reads() {
+        let t = RTree::bulk_load(pts(100), RTreeConfig::with_fanout(8), BulkMethod::Str);
+        t.io().reset();
+        let root = t.root_id().unwrap();
+        let v = t.visit(root);
+        assert_eq!(t.io().reads(), 1);
+        assert_eq!(v.count, 100);
+        let _ = t.view_free_of_charge(root);
+        assert_eq!(t.io().reads(), 1);
+    }
+
+    #[test]
+    fn items_round_trip() {
+        let items = pts(500);
+        let t = RTree::bulk_load(items.clone(), RTreeConfig::with_fanout(8), BulkMethod::Hilbert);
+        let mut got = t.items();
+        got.sort_by_key(|it| it.id);
+        assert_eq!(got.len(), items.len());
+        for (a, b) in got.iter().zip(items.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.point, b.point);
+        }
+    }
+}

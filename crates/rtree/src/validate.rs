@@ -1,0 +1,99 @@
+//! Structural invariant checking (used heavily by tests and property tests).
+
+use crate::node::{Entries, NIL};
+use crate::tree::RTree;
+
+/// Checks every structural invariant of the tree:
+///
+/// * parent/child links are consistent;
+/// * levels decrease by exactly one per edge and leaves sit at level 0;
+/// * every node's rectangle tightly bounds its children;
+/// * every node's `count` equals the number of points beneath it;
+/// * fanout respects `max_entries` (root may hold fewer than the minimum);
+/// * the total count equals `len()` and no freed slot is reachable.
+///
+/// Returns a description of the first violation found.
+pub fn check<const D: usize>(tree: &RTree<D>) -> Result<(), String> {
+    if tree.root == NIL {
+        return if tree.len() == 0 {
+            Ok(())
+        } else {
+            Err(format!("empty root but len = {}", tree.len()))
+        };
+    }
+    let root = tree.root;
+    if tree.nodes[root as usize].parent != NIL {
+        return Err("root has a parent".into());
+    }
+    let total = check_node(tree, root)?;
+    if total != tree.len() {
+        return Err(format!("reachable points {} != len {}", total, tree.len()));
+    }
+    Ok(())
+}
+
+fn check_node<const D: usize>(tree: &RTree<D>, idx: u32) -> Result<usize, String> {
+    let node = &tree.nodes[idx as usize];
+    if node.free {
+        return Err(format!("node {idx} is on the free list but reachable"));
+    }
+    let fanout = node.fanout();
+    if fanout == 0 {
+        return Err(format!("node {idx} is empty"));
+    }
+    if fanout > tree.cfg.max_entries {
+        return Err(format!(
+            "node {idx} overflows: {fanout} > {}",
+            tree.cfg.max_entries
+        ));
+    }
+    match &node.entries {
+        Entries::Leaf(items) => {
+            if node.level != 0 {
+                return Err(format!("leaf {idx} at level {}", node.level));
+            }
+            for item in items {
+                if !node.rect.contains_point(&item.point) {
+                    return Err(format!("leaf {idx} rect does not cover item {}", item.id));
+                }
+            }
+            if node.count != items.len() {
+                return Err(format!(
+                    "leaf {idx} count {} != items {}",
+                    node.count,
+                    items.len()
+                ));
+            }
+            Ok(items.len())
+        }
+        Entries::Inner(children) => {
+            let mut total = 0usize;
+            for &c in children {
+                let child = &tree.nodes[c.0 as usize];
+                if child.parent != idx {
+                    return Err(format!(
+                        "child {} of {idx} has parent {}",
+                        c.0, child.parent
+                    ));
+                }
+                if child.level + 1 != node.level {
+                    return Err(format!(
+                        "child {} level {} under node {idx} level {}",
+                        c.0, child.level, node.level
+                    ));
+                }
+                if !node.rect.contains_rect(&child.rect) {
+                    return Err(format!("node {idx} rect does not cover child {}", c.0));
+                }
+                total += check_node(tree, c.0)?;
+            }
+            if node.count != total {
+                return Err(format!(
+                    "node {idx} count {} != subtree total {total}",
+                    node.count
+                ));
+            }
+            Ok(total)
+        }
+    }
+}

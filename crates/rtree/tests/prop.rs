@@ -1,0 +1,98 @@
+//! Property tests: the tree keeps its invariants and answers queries
+//! exactly under arbitrary interleavings of inserts and deletes.
+
+use proptest::prelude::*;
+use storm_geo::{Point2, Rect2};
+use storm_rtree::{validate, BulkMethod, Item, RTree, RTreeConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { x: f64, y: f64 },
+    DeleteNth(usize),
+    Query { x: f64, y: f64, w: f64, h: f64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Op::Insert { x, y }),
+        1 => (0usize..10_000).prop_map(Op::DeleteNth),
+        1 => (0.0..100.0f64, 0.0..100.0f64, 0.0..60.0f64, 0.0..60.0f64)
+            .prop_map(|(x, y, w, h)| Op::Query { x, y, w, h }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_update_sequences_stay_exact(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        fanout in 4usize..10,
+    ) {
+        let mut tree: RTree<2> = RTree::new(RTreeConfig::with_fanout(fanout));
+        let mut live: Vec<Item<2>> = Vec::new();
+        let mut next_id = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Insert { x, y } => {
+                    let item = Item::new(Point2::xy(x, y), next_id);
+                    next_id += 1;
+                    tree.insert(item);
+                    live.push(item);
+                }
+                Op::DeleteNth(n) => {
+                    if !live.is_empty() {
+                        let victim = live.swap_remove(n % live.len());
+                        prop_assert!(tree.remove(&victim.point, victim.id));
+                    }
+                }
+                Op::Query { x, y, w, h } => {
+                    let q = Rect2::from_corners(Point2::xy(x, y), Point2::xy(x + w, y + h));
+                    let mut got: Vec<u64> = tree.query(&q).iter().map(|i| i.id).collect();
+                    got.sort_unstable();
+                    let mut expected: Vec<u64> = live
+                        .iter()
+                        .filter(|i| q.contains_point(&i.point))
+                        .map(|i| i.id)
+                        .collect();
+                    expected.sort_unstable();
+                    prop_assert_eq!(got, expected);
+                    prop_assert_eq!(tree.count_in(&q), tree.query(&q).len());
+                    let canon = tree.canonical_set(&q);
+                    prop_assert_eq!(canon.total, tree.query(&q).len());
+                }
+            }
+            prop_assert_eq!(tree.len(), live.len());
+        }
+        validate::check(&tree).map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    #[test]
+    fn bulk_loads_match_reference_queries(
+        points in prop::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 0..300),
+        qx in 0.0..1000.0f64, qy in 0.0..1000.0f64, qw in 0.0..500.0f64, qh in 0.0..500.0f64,
+        fanout in 4usize..33,
+    ) {
+        let items: Vec<Item<2>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Item::new(Point2::xy(x, y), i as u64))
+            .collect();
+        let q = Rect2::from_corners(Point2::xy(qx, qy), Point2::xy(qx + qw, qy + qh));
+        let mut expected: Vec<u64> = items
+            .iter()
+            .filter(|i| q.contains_point(&i.point))
+            .map(|i| i.id)
+            .collect();
+        expected.sort_unstable();
+
+        for method in [BulkMethod::Str, BulkMethod::Hilbert] {
+            let tree = RTree::bulk_load(items.clone(), RTreeConfig::with_fanout(fanout), method);
+            validate::check(&tree).map_err(TestCaseError::fail)?;
+            let mut got: Vec<u64> = tree.query(&q).iter().map(|i| i.id).collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Block-oriented collections.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{DocId, Document, StoreError, Value};
+
+/// Logical block-access counters for a collection (the simulated-DFS view
+/// of the storage engine).
+#[derive(Debug, Default)]
+pub struct BlockStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl BlockStats {
+    /// Block reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Block writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counters.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A collection of documents packed into fixed-size logical blocks.
+///
+/// Documents are assigned monotonically increasing ids; a document's block
+/// is `id / docs_per_block`, mimicking an append-only segment file. Reads
+/// and writes charge the owning block once per operation.
+#[derive(Debug)]
+pub struct Collection {
+    name: String,
+    docs_per_block: usize,
+    /// Live documents; tombstoned ids are simply absent.
+    docs: HashMap<u64, Document>,
+    next_id: u64,
+    stats: BlockStats,
+}
+
+/// Default number of documents per logical block.
+pub const DEFAULT_DOCS_PER_BLOCK: usize = 64;
+
+impl Collection {
+    /// Creates an empty collection.
+    pub fn new(name: impl Into<String>) -> Self {
+        Collection::with_block_size(name, DEFAULT_DOCS_PER_BLOCK)
+    }
+
+    /// Creates an empty collection with a custom block size.
+    ///
+    /// # Panics
+    /// Panics when `docs_per_block == 0`.
+    pub fn with_block_size(name: impl Into<String>, docs_per_block: usize) -> Self {
+        assert!(docs_per_block > 0, "block size must be positive");
+        Collection {
+            name: name.into(),
+            docs_per_block,
+            docs: HashMap::new(),
+            next_id: 0,
+            stats: BlockStats::default(),
+        }
+    }
+
+    /// The collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Block-access counters.
+    pub fn stats(&self) -> &BlockStats {
+        &self.stats
+    }
+
+    /// Inserts a record body, returning its assigned id.
+    pub fn insert(&mut self, body: Value) -> DocId {
+        let id = DocId(self.next_id);
+        self.next_id += 1;
+        self.docs.insert(id.0, Document::new(id, body));
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Fetches a document (one block read).
+    pub fn get(&self, id: DocId) -> Option<&Document> {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.docs.get(&id.0)
+    }
+
+    /// Fetches a document or errors.
+    pub fn require(&self, id: DocId) -> Result<&Document, StoreError> {
+        self.get(id).ok_or(StoreError::NotFound(id))
+    }
+
+    /// Removes a document (one block write). Returns the removed document.
+    pub fn remove(&mut self, id: DocId) -> Option<Document> {
+        let doc = self.docs.remove(&id.0)?;
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        Some(doc)
+    }
+
+    /// Replaces a document body in place (one block write).
+    pub fn update(&mut self, id: DocId, body: Value) -> Result<(), StoreError> {
+        match self.docs.get_mut(&id.0) {
+            Some(doc) => {
+                doc.body = body;
+                self.stats.writes.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            None => Err(StoreError::NotFound(id)),
+        }
+    }
+
+    /// Iterates over live documents in unspecified order (a full scan;
+    /// charged one read per block).
+    pub fn scan(&self) -> impl Iterator<Item = &Document> {
+        let blocks = self.next_id.div_ceil(self.docs_per_block as u64);
+        self.stats.reads.fetch_add(blocks, Ordering::Relaxed);
+        self.docs.values()
+    }
+
+    /// The logical block a document id lives in.
+    pub fn block_of(&self, id: DocId) -> u64 {
+        id.0 / self.docs_per_block as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(v: i64) -> Value {
+        Value::object([("v".into(), Value::from(v))])
+    }
+
+    #[test]
+    fn insert_get_remove_cycle() {
+        let mut c = Collection::new("test");
+        let a = c.insert(body(1));
+        let b = c.insert(body(2));
+        assert_ne!(a, b);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(a).unwrap().int("v"), Some(1));
+        assert!(c.remove(a).is_some());
+        assert!(c.remove(a).is_none());
+        assert!(c.get(a).is_none());
+        assert!(matches!(c.require(a), Err(StoreError::NotFound(_))));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut c = Collection::new("test");
+        let a = c.insert(body(1));
+        c.remove(a);
+        let b = c.insert(body(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn update_replaces_body() {
+        let mut c = Collection::new("test");
+        let a = c.insert(body(1));
+        c.update(a, body(9)).unwrap();
+        assert_eq!(c.get(a).unwrap().int("v"), Some(9));
+        assert!(c.update(DocId(999), body(0)).is_err());
+    }
+
+    #[test]
+    fn scan_charges_block_reads() {
+        let mut c = Collection::with_block_size("test", 10);
+        for i in 0..95 {
+            c.insert(body(i));
+        }
+        c.stats().reset();
+        let n = c.scan().count();
+        assert_eq!(n, 95);
+        assert_eq!(c.stats().reads(), 10); // ceil(95/10)
+    }
+
+    #[test]
+    fn block_mapping() {
+        let mut c = Collection::with_block_size("test", 4);
+        let ids: Vec<DocId> = (0..9).map(|i| c.insert(body(i))).collect();
+        assert_eq!(c.block_of(ids[0]), 0);
+        assert_eq!(c.block_of(ids[3]), 0);
+        assert_eq!(c.block_of(ids[4]), 1);
+        assert_eq!(c.block_of(ids[8]), 2);
+    }
+}

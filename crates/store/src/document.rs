@@ -1,0 +1,69 @@
+//! Documents: identified records.
+
+use crate::Value;
+
+/// A stable document identifier within one collection. The same id links
+/// the record to its R-tree [`Item`](storm_geo::Point) entry, so samplers
+/// return `DocId`s that the estimators resolve to attribute values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u64);
+
+/// A record: an id plus its JSON-like body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Collection-unique identifier.
+    pub id: DocId,
+    /// The record body.
+    pub body: Value,
+}
+
+impl Document {
+    /// Creates a document.
+    pub fn new(id: DocId, body: Value) -> Self {
+        Document { id, body }
+    }
+
+    /// Numeric field access with integer widening (`None` when the field is
+    /// missing or non-numeric).
+    pub fn number(&self, field: &str) -> Option<f64> {
+        self.body.get_path(field)?.as_float()
+    }
+
+    /// String field access.
+    pub fn text(&self, field: &str) -> Option<&str> {
+        self.body.get_path(field)?.as_str()
+    }
+
+    /// Integer field access (exact ints only).
+    pub fn int(&self, field: &str) -> Option<i64> {
+        self.body.get_path(field)?.as_int()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_accessors() {
+        let doc = Document::new(
+            DocId(7),
+            Value::object([
+                ("temp".into(), Value::from(21.5)),
+                ("count".into(), Value::from(3i64)),
+                ("name".into(), Value::from("slc")),
+                (
+                    "geo".into(),
+                    Value::object([("lat".into(), Value::from(40.7))]),
+                ),
+            ]),
+        );
+        assert_eq!(doc.number("temp"), Some(21.5));
+        assert_eq!(doc.number("count"), Some(3.0));
+        assert_eq!(doc.int("count"), Some(3));
+        assert_eq!(doc.int("temp"), None);
+        assert_eq!(doc.text("name"), Some("slc"));
+        assert_eq!(doc.number("geo.lat"), Some(40.7));
+        assert_eq!(doc.number("missing"), None);
+    }
+}

@@ -1,0 +1,125 @@
+//! JSON-lines persistence for collections.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::{json, Collection, StoreError, Value};
+
+/// Writes every live document of `collection` as one JSON object per line.
+///
+/// Document ids are embedded under the reserved key `"_id"` so a reload
+/// restores them.
+pub fn save(collection: &Collection, path: &Path) -> Result<(), StoreError> {
+    let file = File::create(path)?;
+    let mut out = BufWriter::new(file);
+    let mut docs: Vec<_> = collection.scan().collect();
+    docs.sort_by_key(|d| d.id);
+    for doc in docs {
+        let mut body = match &doc.body {
+            Value::Object(map) => map.clone(),
+            other => {
+                // Non-object roots are wrapped to keep the line an object.
+                let mut map = std::collections::BTreeMap::new();
+                map.insert("_value".to_owned(), other.clone());
+                map
+            }
+        };
+        body.insert("_id".to_owned(), Value::Int(doc.id.0 as i64));
+        writeln!(out, "{}", json::to_string(&Value::Object(body)))?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a JSON-lines file produced by [`save`] into a fresh collection
+/// named `name`. Ids are re-assigned contiguously (documents keep their
+/// relative order); the original id is preserved under `"_orig_id"` when it
+/// differs.
+pub fn load(name: &str, path: &Path) -> Result<Collection, StoreError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut collection = Collection::new(name);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = json::parse(&line)?;
+        let mut map = match value {
+            Value::Object(map) => map,
+            other => {
+                let mut m = std::collections::BTreeMap::new();
+                m.insert("_value".to_owned(), other);
+                m
+            }
+        };
+        let orig = map.remove("_id");
+        let new_id = collection.insert(Value::Object(map.clone()));
+        if let Some(Value::Int(orig_id)) = orig {
+            if orig_id as u64 != new_id.0 {
+                map.insert("_orig_id".to_owned(), Value::Int(orig_id));
+                collection.update(new_id, Value::Object(map))?;
+            }
+        }
+    }
+    Ok(collection)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("storm-store-test-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut c = Collection::new("weather");
+        for i in 0..25i64 {
+            c.insert(Value::object([
+                ("temp".into(), Value::from(20.0 + i as f64)),
+                ("station".into(), Value::from(format!("s{i}"))),
+            ]));
+        }
+        let path = tmp("roundtrip");
+        save(&c, &path).unwrap();
+        let loaded = load("weather", &path).unwrap();
+        assert_eq!(loaded.len(), 25);
+        let doc = loaded.scan().find(|d| d.text("station") == Some("s7")).unwrap().clone();
+        assert_eq!(doc.number("temp"), Some(27.0));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn deleted_documents_do_not_survive() {
+        let mut c = Collection::new("t");
+        let a = c.insert(Value::object([("v".into(), Value::from(1i64))]));
+        c.insert(Value::object([("v".into(), Value::from(2i64))]));
+        c.remove(a);
+        let path = tmp("deleted");
+        save(&c, &path).unwrap();
+        let loaded = load("t", &path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.scan().next().unwrap().int("v"), Some(2));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_bad_json() {
+        let path = tmp("bad");
+        std::fs::write(&path, "{\"ok\":1}\nnot json\n").unwrap();
+        assert!(load("t", &path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let path = tmp("blank");
+        std::fs::write(&path, "{\"v\":1}\n\n{\"v\":2}\n").unwrap();
+        let loaded = load("t", &path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        std::fs::remove_file(path).ok();
+    }
+}

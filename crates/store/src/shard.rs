@@ -1,0 +1,148 @@
+//! Sharding: partitioning documents across simulated cluster nodes.
+//!
+//! STORM "builds on a cluster of commodity machines to achieve its
+//! scalability" and uses a *distributed Hilbert R-tree* (paper §3.1). The
+//! distribution substrate is the partitioner: hash partitioning spreads
+//! load uniformly; Hilbert-range partitioning keeps spatially adjacent
+//! records on the same shard so a spatial query touches few shards.
+
+use storm_geo::curve::{HilbertCurve, SpaceFillingCurve};
+use storm_geo::{Point2, Rect2};
+
+/// Assigns a shard to each record.
+pub trait Partitioner {
+    /// Number of shards.
+    fn shards(&self) -> usize;
+
+    /// The shard for a record with the given id and location.
+    fn route(&self, id: u64, location: Option<Point2>) -> usize;
+}
+
+/// Uniform hash partitioning on the record id (ignores geometry).
+#[derive(Debug, Clone, Copy)]
+pub struct HashPartitioner {
+    shards: usize,
+}
+
+impl HashPartitioner {
+    /// Creates a hash partitioner over `shards` nodes.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        HashPartitioner { shards }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn route(&self, id: u64, _location: Option<Point2>) -> usize {
+        // SplitMix64 finaliser as the hash.
+        let mut x = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((x ^ (x >> 31)) % self.shards as u64) as usize
+    }
+}
+
+/// Hilbert-range partitioning: the curve index space is cut into `shards`
+/// equal ranges; records route by the Hilbert index of their location.
+/// Records without a location fall back to hash routing.
+#[derive(Debug, Clone, Copy)]
+pub struct HilbertPartitioner {
+    bounds: Rect2,
+    curve: HilbertCurve,
+    shards: usize,
+}
+
+impl HilbertPartitioner {
+    /// Creates a Hilbert partitioner over `shards` nodes for data within
+    /// `bounds`.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`.
+    pub fn new(bounds: Rect2, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        HilbertPartitioner {
+            bounds,
+            curve: HilbertCurve::new(16).expect("order 16 is valid"),
+            shards,
+        }
+    }
+}
+
+impl Partitioner for HilbertPartitioner {
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn route(&self, id: u64, location: Option<Point2>) -> usize {
+        match location {
+            None => HashPartitioner::new(self.shards).route(id, None),
+            Some(p) => {
+                let d = self.curve.index_of_point(&self.bounds, &p);
+                let range = self.curve.cells().div_ceil(self.shards as u64);
+                ((d / range) as usize).min(self.shards - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioning_is_balanced() {
+        let p = HashPartitioner::new(8);
+        let mut counts = vec![0usize; 8];
+        for id in 0..8000u64 {
+            counts[p.route(id, None)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hilbert_partitioning_keeps_neighbours_together() {
+        let bounds = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(100.0, 100.0));
+        let p = HilbertPartitioner::new(bounds, 4);
+        // Points in a tiny neighbourhood land on one shard.
+        let base = p.route(0, Some(Point2::xy(10.0, 10.0)));
+        for d in 0..10 {
+            let shard = p.route(
+                d,
+                Some(Point2::xy(10.0 + d as f64 * 0.01, 10.0 + d as f64 * 0.01)),
+            );
+            assert_eq!(shard, base);
+        }
+    }
+
+    #[test]
+    fn hilbert_partitioning_covers_all_shards() {
+        let bounds = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(100.0, 100.0));
+        let p = HilbertPartitioner::new(bounds, 4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            for j in 0..100 {
+                seen.insert(p.route(0, Some(Point2::xy(i as f64, j as f64))));
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn missing_location_falls_back_to_hash() {
+        let bounds = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(1.0, 1.0));
+        let p = HilbertPartitioner::new(bounds, 4);
+        let s = p.route(42, None);
+        assert!(s < 4);
+        // Deterministic.
+        assert_eq!(s, p.route(42, None));
+    }
+}

@@ -1,0 +1,188 @@
+//! The JSON-like document data model.
+
+use std::collections::BTreeMap;
+
+/// A dynamically-typed record value, mirroring JSON's data model with a
+/// distinct integer type (timestamps and counts should not round-trip
+/// through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer number (no decimal point or exponent in the source).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with sorted keys (deterministic serialization).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Human-readable type name (for error messages and schema discovery).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers widen losslessly within ±2^53.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is one.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.get(key)
+    }
+
+    /// Dotted-path lookup: `get_path("user.location.lat")`.
+    pub fn get_path(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for part in path.split('.') {
+            cur = cur.get(part)?;
+        }
+        Some(cur)
+    }
+
+    /// Builds an object from key/value pairs.
+    pub fn object<I: IntoIterator<Item = (String, Value)>>(pairs: I) -> Value {
+        Value::Object(pairs.into_iter().collect())
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::object([
+            ("name".into(), Value::from("storm")),
+            ("year".into(), Value::from(2015i64)),
+            ("score".into(), Value::from(9.5)),
+            (
+                "loc".into(),
+                Value::object([
+                    ("lat".into(), Value::from(40.76)),
+                    ("lon".into(), Value::from(-111.89)),
+                ]),
+            ),
+            ("tags".into(), Value::Array(vec![Value::from("db"), Value::from("spatial")])),
+        ])
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let v = sample();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("storm"));
+        assert_eq!(v.get("year").unwrap().as_int(), Some(2015));
+        assert_eq!(v.get("year").unwrap().as_float(), Some(2015.0));
+        assert_eq!(v.get("score").unwrap().as_float(), Some(9.5));
+        assert_eq!(v.get("score").unwrap().as_int(), None);
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.get("tags").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn path_lookup() {
+        let v = sample();
+        assert_eq!(v.get_path("loc.lat").unwrap().as_float(), Some(40.76));
+        assert!(v.get_path("loc.alt").is_none());
+        assert!(v.get_path("name.x").is_none());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::from(1i64).type_name(), "int");
+        assert_eq!(Value::from(1.0).type_name(), "float");
+        assert_eq!(Value::from("x").type_name(), "string");
+        assert!(Value::Null.is_null());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the storage engine: JSON round-trips over arbitrary
+//! values and collection semantics under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use storm_store::{json, Collection, Value};
+
+/// Arbitrary JSON-like values (bounded depth/size).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: JSON has no NaN/Inf (serializer maps them to
+        // null by design, which would not round-trip).
+        (-1e15f64..1e15).prop_map(Value::Float),
+        "[ -~]{0,20}".prop_map(Value::from), // printable ASCII
+        "\\PC{0,8}".prop_map(Value::from),   // arbitrary unicode, short
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::btree_map("[a-z_]{1,8}", inner, 0..6).prop_map(Value::Object),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn json_round_trip(v in value_strategy()) {
+        let text = json::to_string(&v);
+        let back = json::parse(&text).expect("serializer output must parse");
+        prop_assert_eq!(&back, &v, "text was: {}", text);
+        // Second round trip is byte-stable (canonical form).
+        prop_assert_eq!(json::to_string(&back), text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(text in "\\PC{0,64}") {
+        let _ = json::parse(&text); // may Err, must not panic
+    }
+
+    #[test]
+    fn parser_never_panics_on_json_like_noise(
+        text in "[\\{\\}\\[\\],:\"0-9a-z \\.\\-+eE]{0,80}"
+    ) {
+        let _ = json::parse(&text);
+    }
+
+    #[test]
+    fn collection_matches_a_model(
+        ops in prop::collection::vec((0u8..3, any::<u16>()), 0..200)
+    ) {
+        let mut collection = Collection::new("model");
+        let mut model: std::collections::HashMap<u64, i64> = Default::default();
+        let mut ids: Vec<u64> = Vec::new();
+        for (op, payload) in ops {
+            match op {
+                0 => {
+                    let id = collection.insert(Value::object([(
+                        "v".into(),
+                        Value::Int(i64::from(payload)),
+                    )]));
+                    model.insert(id.0, i64::from(payload));
+                    ids.push(id.0);
+                }
+                1 if !ids.is_empty() => {
+                    let id = ids[payload as usize % ids.len()];
+                    let existed = collection.remove(storm_store::DocId(id)).is_some();
+                    prop_assert_eq!(existed, model.remove(&id).is_some());
+                }
+                _ if !ids.is_empty() => {
+                    let id = ids[payload as usize % ids.len()];
+                    let got = collection
+                        .get(storm_store::DocId(id))
+                        .and_then(|d| d.int("v"));
+                    prop_assert_eq!(got, model.get(&id).copied());
+                }
+                _ => {}
+            }
+            prop_assert_eq!(collection.len(), model.len());
+        }
+        // Scan returns exactly the live set.
+        let scanned: std::collections::HashMap<u64, i64> = collection
+            .scan()
+            .map(|d| (d.id.0, d.int("v").expect("all docs carry v")))
+            .collect();
+        prop_assert_eq!(scanned, model);
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic spatio-temporal workloads for the STORM experiments.
+//!
+//! The paper evaluates on the full OpenStreetMap data set and demos on
+//! live Twitter and MesoWest weather-station feeds — none of which can ship
+//! with a reproduction. This crate generates seeded, deterministic
+//! stand-ins that exercise the same code paths (see DESIGN.md §1 for the
+//! substitution rationale):
+//!
+//! * [`osm`] — world-scale clustered geo points with an `altitude`
+//!   attribute (the Figure 3 workload);
+//! * [`tweets`] — per-user random-walk trajectories with Zipf-distributed
+//!   text, including the February 2014 "Atlanta snowstorm" anomaly window
+//!   (the Figure 5/6 workloads);
+//! * [`weather`] — fixed stations emitting periodic temperature
+//!   measurements (the MesoWest stand-in);
+//! * [`synth`] — uniform and Gaussian-mixture baselines for unit-style
+//!   benchmarks;
+//! * [`queries`] — query-rectangle generators with target selectivity;
+//! * [`zipf`] — the Zipf sampler behind the text generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod osm;
+pub mod queries;
+pub mod synth;
+pub mod tweets;
+pub mod weather;
+pub mod zipf;

@@ -1,0 +1,196 @@
+//! OSM-like geo points: a clustered world with altitudes.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use storm_connector::StRecord;
+use storm_geo::{Point2, Rect2, StPoint};
+use storm_rtree::Item;
+use storm_store::Value;
+
+/// World longitude/latitude bounds.
+pub fn world_bounds() -> Rect2 {
+    Rect2::from_corners(Point2::xy(-180.0, -90.0), Point2::xy(180.0, 90.0))
+}
+
+/// A generated OSM-like data set: 2-D points plus a parallel altitude
+/// column indexed by item id (the `avg(altitude)` attribute of
+/// Figure 3(b)).
+#[derive(Debug, Clone)]
+pub struct OsmData {
+    /// The spatial points (ids are dense `0..n`).
+    pub items: Vec<Item<2>>,
+    /// `altitudes[id]` is the altitude attribute of item `id`.
+    pub altitudes: Vec<f64>,
+}
+
+impl OsmData {
+    /// Ground-truth mean altitude over a query rectangle.
+    pub fn exact_avg_altitude(&self, query: &Rect2) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for item in &self.items {
+            if query.contains_point(&item.point) {
+                sum += self.altitudes[item.id as usize];
+                count += 1;
+            }
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+}
+
+/// Generates `n` OSM-like points: 85% clustered around `sqrt(n)`-ish
+/// "cities", 15% uniform background. Altitude follows a smooth terrain
+/// function of location plus noise, so spatially-close points have
+/// correlated altitudes — exactly the regime where online AVG estimates
+/// are interesting.
+pub fn generate(n: usize, seed: u64) -> OsmData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bounds = world_bounds();
+    let cities = ((n as f64).sqrt() as usize).clamp(4, 2000);
+    let centers: Vec<(f64, f64, f64)> = (0..cities)
+        .map(|_| {
+            (
+                rng.random_range(-175.0..175.0),
+                rng.random_range(-80.0..80.0),
+                rng.random_range(0.2..3.0), // city radius in degrees
+            )
+        })
+        .collect();
+    let mut items = Vec::with_capacity(n);
+    let mut altitudes = Vec::with_capacity(n);
+    for id in 0..n {
+        let (x, y) = if rng.random_range(0.0..1.0) < 0.85 {
+            let (cx, cy, r) = centers[rng.random_range(0..centers.len())];
+            // Box–Muller normal jitter around the city center.
+            let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.random_range(0.0..1.0);
+            let mag = (-2.0f64 * u1.ln()).sqrt();
+            let dx = mag * (2.0 * std::f64::consts::PI * u2).cos() * r;
+            let dy = mag * (2.0 * std::f64::consts::PI * u2).sin() * r;
+            (
+                (cx + dx).clamp(-180.0, 180.0),
+                (cy + dy).clamp(-90.0, 90.0),
+            )
+        } else {
+            (
+                rng.random_range(-180.0..180.0),
+                rng.random_range(-90.0..90.0),
+            )
+        };
+        items.push(Item::new(Point2::xy(x, y), id as u64));
+        altitudes.push(terrain(x, y) + rng.random_range(-30.0..30.0));
+    }
+    debug_assert!(items.iter().all(|it| bounds.contains_point(&it.point)));
+    OsmData { items, altitudes }
+}
+
+/// Smooth synthetic terrain: a few superposed sinusoidal ridges, 0–2500 m.
+fn terrain(x: f64, y: f64) -> f64 {
+    let a = ((x / 37.0).sin() + (y / 23.0).cos()) * 600.0;
+    let b = ((x / 11.0 + y / 7.0).sin()) * 350.0;
+    1250.0 + a + b
+}
+
+/// Engine-level records with `altitude` attribute bodies (timestamps are a
+/// deterministic sequence so spatio-temporal queries have a time axis).
+pub fn records(n: usize, seed: u64) -> Vec<StRecord> {
+    let data = generate(n, seed);
+    data.items
+        .iter()
+        .map(|item| StRecord {
+            point: StPoint::new(item.point.x(), item.point.y(), item.id as i64),
+            body: Value::object([(
+                "altitude".into(),
+                Value::Float(data.altitudes[item.id as usize]),
+            )]),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(1000, 7);
+        let b = generate(1000, 7);
+        assert_eq!(a.items.len(), 1000);
+        assert_eq!(a.items[500].point, b.items[500].point);
+        assert_eq!(a.altitudes[500], b.altitudes[500]);
+        let c = generate(1000, 8);
+        assert_ne!(a.items[500].point, c.items[500].point);
+    }
+
+    #[test]
+    fn points_stay_in_world_bounds() {
+        let data = generate(5000, 1);
+        let bounds = world_bounds();
+        assert!(data.items.iter().all(|it| bounds.contains_point(&it.point)));
+    }
+
+    #[test]
+    fn data_is_clustered_not_uniform() {
+        // Concentration check: the densest 10% of coarse grid cells must
+        // hold far more than 10% of the points (uniform data would give
+        // ~10%; the 85%-clustered mix gives a large multiple).
+        let data = generate(20_000, 2);
+        let mut counts: std::collections::HashMap<(i32, i32), usize> = Default::default();
+        for it in &data.items {
+            let gx = ((it.point.x() + 180.0) / 9.0) as i32;
+            let gy = ((it.point.y() + 90.0) / 9.0) as i32;
+            *counts.entry((gx, gy)).or_default() += 1;
+        }
+        let mut cell_counts: Vec<usize> = counts.values().copied().collect();
+        cell_counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top = 40 * 20 / 10; // densest 10% of the 800 cells
+        let in_top: usize = cell_counts.iter().take(top).sum();
+        let frac = in_top as f64 / data.items.len() as f64;
+        assert!(frac > 0.3, "top-decile cells hold only {frac:.2} of points");
+    }
+
+    #[test]
+    fn altitudes_are_spatially_correlated() {
+        let data = generate(20_000, 3);
+        // Points within 1 degree of each other have much closer altitudes
+        // than random pairs.
+        let mut near_diff = 0.0;
+        let mut far_diff = 0.0;
+        let mut near_n = 0;
+        let mut far_n = 0;
+        for pair in data.items.windows(2).take(5000) {
+            let d = pair[0].point.dist(&pair[1].point);
+            let diff =
+                (data.altitudes[pair[0].id as usize] - data.altitudes[pair[1].id as usize]).abs();
+            if d < 1.0 {
+                near_diff += diff;
+                near_n += 1;
+            } else if d > 30.0 {
+                far_diff += diff;
+                far_n += 1;
+            }
+        }
+        if near_n > 20 && far_n > 20 {
+            assert!(near_diff / near_n as f64 <= far_diff / far_n as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn exact_avg_matches_manual_scan() {
+        let data = generate(2000, 4);
+        let q = Rect2::from_corners(Point2::xy(-30.0, -30.0), Point2::xy(30.0, 30.0));
+        let avg = data.exact_avg_altitude(&q);
+        if let Some(avg) = avg {
+            assert!((0.0..3000.0).contains(&avg));
+        }
+        let empty = Rect2::from_corners(Point2::xy(500.0, 500.0), Point2::xy(501.0, 501.0));
+        assert!(data.exact_avg_altitude(&empty).is_none());
+    }
+
+    #[test]
+    fn records_carry_the_altitude_attribute() {
+        let recs = records(100, 5);
+        assert_eq!(recs.len(), 100);
+        assert!(recs[0].body.get("altitude").unwrap().as_float().is_some());
+        assert_eq!(recs[42].point.t, 42);
+    }
+}

@@ -1,0 +1,131 @@
+//! Query-workload generation: rectangles with a target selectivity.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use storm_geo::{Point2, Rect2};
+use storm_rtree::Item;
+
+/// Finds a square query rectangle containing approximately
+/// `target_fraction · n` of the points (within ±25%), centered on a random
+/// data point. Returns the rectangle and its exact count.
+///
+/// Uses exponential growth + bisection on the half-width; each probe is a
+/// linear scan, so this is for experiment setup, not the hot path.
+pub fn rect_with_selectivity(
+    items: &[Item<2>],
+    target_fraction: f64,
+    seed: u64,
+) -> Option<(Rect2, usize)> {
+    if items.is_empty() || target_fraction <= 0.0 {
+        return None;
+    }
+    let target = ((items.len() as f64 * target_fraction) as usize).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let center = items[rng.random_range(0..items.len())].point;
+
+    let count_at = |half: f64| -> usize {
+        let rect = square(center, half);
+        items.iter().filter(|it| rect.contains_point(&it.point)).count()
+    };
+
+    // Exponential search for an upper bound.
+    let mut lo = 1e-9;
+    let mut hi = 1e-3;
+    let mut guard = 0;
+    while count_at(hi) < target {
+        hi *= 2.0;
+        guard += 1;
+        if guard > 80 {
+            // Even the whole plane does not reach the target.
+            let rect = square(center, hi);
+            return Some((rect, count_at(hi)));
+        }
+    }
+    // Bisection.
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if count_at(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let rect = square(center, hi);
+    let q = count_at(hi);
+    Some((rect, q))
+}
+
+fn square(center: Point2, half: f64) -> Rect2 {
+    Rect2::from_corners(
+        Point2::xy(center.x() - half, center.y() - half),
+        Point2::xy(center.x() + half, center.y() + half),
+    )
+}
+
+/// `count` random rectangles with extents up to `max_extent`, anchored at
+/// data points (so they are rarely empty).
+pub fn random_rects(items: &[Item<2>], count: usize, max_extent: f64, seed: u64) -> Vec<Rect2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let anchor = if items.is_empty() {
+                Point2::xy(0.0, 0.0)
+            } else {
+                items[rng.random_range(0..items.len())].point
+            };
+            let w = rng.random_range(0.0..max_extent);
+            let h = rng.random_range(0.0..max_extent);
+            Rect2::from_corners(
+                Point2::xy(anchor.x() - w / 2.0, anchor.y() - h / 2.0),
+                Point2::xy(anchor.x() + w / 2.0, anchor.y() + h / 2.0),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::uniform;
+
+    #[test]
+    fn hits_the_target_selectivity() {
+        let bounds = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(1000.0, 1000.0));
+        let items = uniform(50_000, &bounds, 1);
+        for frac in [0.01, 0.1, 0.5] {
+            let (rect, q) = rect_with_selectivity(&items, frac, 7).unwrap();
+            let got = q as f64 / items.len() as f64;
+            assert!(
+                (got / frac - 1.0).abs() < 0.3,
+                "target {frac}, got {got} ({q} points, rect {rect})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(rect_with_selectivity(&[], 0.1, 1).is_none());
+        let items = uniform(10, &Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(1.0, 1.0)), 2);
+        assert!(rect_with_selectivity(&items, 0.0, 1).is_none());
+    }
+
+    #[test]
+    fn full_selectivity_covers_everything() {
+        let bounds = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(10.0, 10.0));
+        let items = uniform(1000, &bounds, 3);
+        let (_, q) = rect_with_selectivity(&items, 1.0, 5).unwrap();
+        assert!(q as f64 >= 0.75 * items.len() as f64);
+    }
+
+    #[test]
+    fn random_rects_are_anchored() {
+        let bounds = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(100.0, 100.0));
+        let items = uniform(1000, &bounds, 4);
+        let rects = random_rects(&items, 20, 10.0, 9);
+        assert_eq!(rects.len(), 20);
+        let nonempty = rects
+            .iter()
+            .filter(|r| items.iter().any(|it| r.contains_point(&it.point)))
+            .count();
+        assert!(nonempty >= 18);
+    }
+}

@@ -1,0 +1,89 @@
+//! Uniform and Gaussian-mixture point baselines.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use storm_geo::{Point2, Rect2};
+use storm_rtree::Item;
+
+/// `n` points uniform over `bounds`.
+pub fn uniform(n: usize, bounds: &Rect2, seed: u64) -> Vec<Item<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|id| {
+            Item::new(
+                Point2::xy(
+                    rng.random_range(bounds.lo().x()..=bounds.hi().x()),
+                    rng.random_range(bounds.lo().y()..=bounds.hi().y()),
+                ),
+                id as u64,
+            )
+        })
+        .collect()
+}
+
+/// `n` points from `k` spherical Gaussian blobs with standard deviation
+/// `sigma`, centers uniform over `bounds`.
+pub fn gaussian_mixture(n: usize, k: usize, sigma: f64, bounds: &Rect2, seed: u64) -> Vec<Item<2>> {
+    assert!(k > 0, "need at least one component");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point2> = (0..k)
+        .map(|_| {
+            Point2::xy(
+                rng.random_range(bounds.lo().x()..=bounds.hi().x()),
+                rng.random_range(bounds.lo().y()..=bounds.hi().y()),
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|id| {
+            let c = centers[rng.random_range(0..k)];
+            let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.random_range(0.0..1.0);
+            let mag = sigma * (-2.0f64 * u1.ln()).sqrt();
+            let p = Point2::xy(
+                c.x() + mag * (std::f64::consts::TAU * u2).cos(),
+                c.y() + mag * (std::f64::consts::TAU * u2).sin(),
+            );
+            Item::new(p, id as u64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Rect2 {
+        Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(100.0, 100.0))
+    }
+
+    #[test]
+    fn uniform_fills_the_box_evenly() {
+        let items = uniform(10_000, &unit(), 1);
+        assert_eq!(items.len(), 10_000);
+        assert!(items.iter().all(|it| unit().contains_point(&it.point)));
+        // Left half gets roughly half the points.
+        let left = items.iter().filter(|it| it.point.x() < 50.0).count();
+        assert!((4500..5500).contains(&left), "left = {left}");
+    }
+
+    #[test]
+    fn mixture_concentrates_around_k_blobs() {
+        let items = gaussian_mixture(5000, 3, 1.0, &unit(), 2);
+        // Most points lie within 4σ of some center ⇒ total spread is far
+        // from uniform: measure the mean nearest-centroid... simpler: count
+        // occupied coarse cells.
+        let mut occupied = std::collections::HashSet::new();
+        for it in &items {
+            occupied.insert(((it.point.x() / 5.0) as i32, (it.point.y() / 5.0) as i32));
+        }
+        assert!(occupied.len() < 100, "too spread out: {}", occupied.len());
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let items = uniform(100, &unit(), 3);
+        for (i, it) in items.iter().enumerate() {
+            assert_eq!(it.id, i as u64);
+        }
+    }
+}

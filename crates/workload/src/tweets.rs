@@ -1,0 +1,236 @@
+//! Synthetic tweet streams: user trajectories + Zipf text + an anomaly.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use storm_connector::StRecord;
+use storm_geo::{Point2, Rect2, StPoint, TimeRange};
+use storm_store::Value;
+
+use crate::zipf::Zipf;
+
+/// Continental-US longitude/latitude bounds.
+pub fn us_bounds() -> Rect2 {
+    Rect2::from_corners(Point2::xy(-125.0, 25.0), Point2::xy(-66.0, 49.0))
+}
+
+/// Downtown Atlanta.
+pub const ATLANTA: (f64, f64) = (-84.39, 33.75);
+
+/// The February 10–13, 2014 Atlanta snowstorm window (epoch seconds) —
+/// the event behind the paper's Figure 6(b) demo.
+pub fn atlanta_snow_window() -> TimeRange {
+    TimeRange::new(1_391_990_400, 1_392_336_000)
+}
+
+/// Vocabulary tweeted during the snowstorm, echoing the terms the paper
+/// highlights ("snow, ice, outage, shit, hell, why").
+pub const STORM_VOCAB: &[&str] = &[
+    "snow", "ice", "outage", "cold", "stuck", "power", "traffic", "hell", "why", "closed",
+    "freezing", "storm",
+];
+
+/// Everyday vocabulary head (the Zipf tail is synthetic `topicNNN` words).
+const COMMON_VOCAB: &[&str] = &[
+    "coffee", "morning", "work", "love", "game", "music", "food", "friday", "weekend",
+    "movie", "gym", "lunch", "dinner", "sunny", "happy", "tired", "school", "home",
+];
+
+/// Tweet-stream generator parameters.
+#[derive(Debug, Clone)]
+pub struct TweetConfig {
+    /// Number of distinct users.
+    pub users: usize,
+    /// Total tweets to generate.
+    pub tweets: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Timeline (epoch seconds).
+    pub time: TimeRange,
+    /// Whether to script the Atlanta snowstorm anomaly.
+    pub with_anomaly: bool,
+}
+
+impl Default for TweetConfig {
+    fn default() -> Self {
+        TweetConfig {
+            users: 200,
+            tweets: 20_000,
+            seed: 0x7_EE7,
+            // Jan 1 – Mar 1, 2014.
+            time: TimeRange::new(1_388_534_400, 1_393_632_000),
+            with_anomaly: true,
+        }
+    }
+}
+
+/// Generates a tweet stream: each user performs a bounded random walk over
+/// the US; tweet times are a (sorted) uniform sample of the timeline; text
+/// is Zipf-distributed. Inside the anomaly window a third of tweets
+/// relocate to Atlanta and use [`STORM_VOCAB`].
+pub fn generate(cfg: &TweetConfig) -> Vec<StRecord> {
+    assert!(cfg.users > 0 && !cfg.time.is_empty());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let bounds = us_bounds();
+    // Per-user walk state.
+    let mut positions: Vec<Point2> = (0..cfg.users)
+        .map(|_| {
+            Point2::xy(
+                rng.random_range(bounds.lo().x()..bounds.hi().x()),
+                rng.random_range(bounds.lo().y()..bounds.hi().y()),
+            )
+        })
+        .collect();
+    let vocab_tail = Zipf::new(2000, 1.1);
+    let anomaly_window = atlanta_snow_window();
+
+    // Sorted tweet times across the timeline.
+    let mut times: Vec<i64> = (0..cfg.tweets)
+        .map(|_| rng.random_range(cfg.time.start()..cfg.time.end()))
+        .collect();
+    times.sort_unstable();
+
+    let mut records = Vec::with_capacity(cfg.tweets);
+    for t in times {
+        let user = rng.random_range(0..cfg.users);
+        // Random walk step (bounded).
+        let step = 0.3;
+        let p = positions[user];
+        let np = Point2::xy(
+            (p.x() + rng.random_range(-step..step)).clamp(bounds.lo().x(), bounds.hi().x()),
+            (p.y() + rng.random_range(-step..step)).clamp(bounds.lo().y(), bounds.hi().y()),
+        );
+        positions[user] = np;
+
+        let in_anomaly = cfg.with_anomaly
+            && anomaly_window.contains(t)
+            && cfg.time.contains(t)
+            && rng.random_range(0.0..1.0) < 0.33;
+        let (xy, text) = if in_anomaly {
+            let xy = Point2::xy(
+                ATLANTA.0 + rng.random_range(-0.15..0.15),
+                ATLANTA.1 + rng.random_range(-0.15..0.15),
+            );
+            let words: Vec<&str> = (0..rng.random_range(4..9))
+                .map(|_| STORM_VOCAB[rng.random_range(0..STORM_VOCAB.len())])
+                .collect();
+            (xy, words.join(" "))
+        } else {
+            let words: Vec<String> = (0..rng.random_range(4..9))
+                .map(|_| {
+                    if rng.random_range(0.0..1.0) < 0.5 {
+                        COMMON_VOCAB[rng.random_range(0..COMMON_VOCAB.len())].to_owned()
+                    } else {
+                        format!("topic{}", vocab_tail.sample(&mut rng))
+                    }
+                })
+                .collect();
+            (np, words.join(" "))
+        };
+
+        records.push(StRecord {
+            point: StPoint::new(xy.x(), xy.y(), t),
+            body: Value::object([
+                ("user".into(), Value::from(format!("user_{user}"))),
+                ("text".into(), Value::from(text)),
+            ]),
+        });
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let cfg = TweetConfig {
+            tweets: 500,
+            ..Default::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a[100].point.t, b[100].point.t);
+        assert_eq!(a[100].body, b[100].body);
+    }
+
+    #[test]
+    fn times_are_sorted_and_in_range() {
+        let cfg = TweetConfig {
+            tweets: 1000,
+            ..Default::default()
+        };
+        let recs = generate(&cfg);
+        for pair in recs.windows(2) {
+            assert!(pair[0].point.t <= pair[1].point.t);
+        }
+        assert!(recs.iter().all(|r| cfg.time.contains(r.point.t)));
+    }
+
+    #[test]
+    fn anomaly_tweets_cluster_in_atlanta_with_storm_vocab() {
+        let cfg = TweetConfig {
+            tweets: 20_000,
+            ..Default::default()
+        };
+        let recs = generate(&cfg);
+        let window = atlanta_snow_window();
+        let atlanta =
+            Rect2::from_corners(Point2::xy(-84.6, 33.5), Point2::xy(-84.2, 34.0));
+        let storm_tweets: Vec<&StRecord> = recs
+            .iter()
+            .filter(|r| window.contains(r.point.t) && atlanta.contains_point(&r.point.xy))
+            .collect();
+        assert!(
+            storm_tweets.len() > 100,
+            "anomaly produced only {} tweets",
+            storm_tweets.len()
+        );
+        let snowy = storm_tweets
+            .iter()
+            .filter(|r| r.body.get("text").unwrap().as_str().unwrap().contains("snow"))
+            .count();
+        assert!(snowy * 2 > storm_tweets.len() / 2, "storm vocab missing");
+    }
+
+    #[test]
+    fn no_anomaly_when_disabled() {
+        let cfg = TweetConfig {
+            tweets: 10_000,
+            with_anomaly: false,
+            ..Default::default()
+        };
+        let recs = generate(&cfg);
+        let window = atlanta_snow_window();
+        let atlanta =
+            Rect2::from_corners(Point2::xy(-84.6, 33.5), Point2::xy(-84.2, 34.0));
+        let in_atl = recs
+            .iter()
+            .filter(|r| window.contains(r.point.t) && atlanta.contains_point(&r.point.xy))
+            .count();
+        assert!(in_atl < 50, "unexpected Atlanta cluster: {in_atl}");
+    }
+
+    #[test]
+    fn users_have_coherent_trajectories() {
+        // Consecutive tweets of one user (ignoring anomaly relocations) are
+        // close: a random-walk, not a teleport.
+        let cfg = TweetConfig {
+            users: 5,
+            tweets: 2000,
+            with_anomaly: false,
+            ..Default::default()
+        };
+        let recs = generate(&cfg);
+        let mut last: std::collections::HashMap<String, Point2> = Default::default();
+        let mut max_step = 0.0f64;
+        for r in &recs {
+            let user = r.body.get("user").unwrap().as_str().unwrap().to_owned();
+            if let Some(prev) = last.get(&user) {
+                max_step = max_step.max(prev.dist(&r.point.xy));
+            }
+            last.insert(user, r.point.xy);
+        }
+        assert!(max_step < 1.0, "teleporting user: step {max_step}");
+    }
+}

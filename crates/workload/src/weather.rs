@@ -1,0 +1,136 @@
+//! MesoWest-like weather-station measurements.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use storm_connector::StRecord;
+use storm_geo::{Point2, Rect2, StPoint};
+use storm_store::Value;
+
+use crate::tweets::us_bounds;
+
+/// Weather-network generator parameters.
+#[derive(Debug, Clone)]
+pub struct WeatherConfig {
+    /// Number of stations (the MesoWest network has ~40 000).
+    pub stations: usize,
+    /// Measurements per station.
+    pub readings_per_station: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Timeline start (epoch seconds).
+    pub start_time: i64,
+    /// Seconds between consecutive readings of one station.
+    pub interval: i64,
+}
+
+impl Default for WeatherConfig {
+    fn default() -> Self {
+        WeatherConfig {
+            stations: 500,
+            readings_per_station: 50,
+            seed: 0x5EA_7E3,
+            start_time: 1_388_534_400, // Jan 1, 2014
+            interval: 3600,
+        }
+    }
+}
+
+/// Generates station measurements. Temperature follows latitude (colder
+/// north), a diurnal cycle, and noise — so spatial aggregates over
+/// different regions genuinely differ, like the paper's "average
+/// temperature reading from a spatio-temporal region" demo.
+pub fn generate(cfg: &WeatherConfig) -> Vec<StRecord> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let bounds = us_bounds();
+    let stations: Vec<(Point2, f64)> = (0..cfg.stations)
+        .map(|_| {
+            let p = Point2::xy(
+                rng.random_range(bounds.lo().x()..bounds.hi().x()),
+                rng.random_range(bounds.lo().y()..bounds.hi().y()),
+            );
+            let station_bias = rng.random_range(-2.0..2.0);
+            (p, station_bias)
+        })
+        .collect();
+    let mut records = Vec::with_capacity(cfg.stations * cfg.readings_per_station);
+    for (sid, (site, bias)) in stations.iter().enumerate() {
+        for k in 0..cfg.readings_per_station {
+            let t = cfg.start_time + k as i64 * cfg.interval;
+            let hour = (t / 3600) % 24;
+            let diurnal = 6.0 * ((hour as f64 - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+            let latitudinal = 30.0 - (site.y() - 25.0) * 1.1;
+            let temp = latitudinal + diurnal + bias + rng.random_range(-1.5..1.5);
+            records.push(StRecord {
+                point: StPoint::new(site.x(), site.y(), t),
+                body: Value::object([
+                    ("temp".into(), Value::Float(temp)),
+                    ("station".into(), Value::from(format!("st_{sid}"))),
+                ]),
+            });
+        }
+    }
+    records
+}
+
+/// Ground-truth mean temperature over a spatio-temporal box.
+pub fn exact_avg_temp(records: &[StRecord], rect: &Rect2, t0: i64, t1: i64) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for r in records {
+        if r.point.t >= t0 && r.point.t < t1 && rect.contains_point(&r.point.xy) {
+            sum += r.body.get("temp")?.as_float()?;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WeatherConfig {
+        WeatherConfig {
+            stations: 100,
+            readings_per_station: 20,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sizes_and_determinism() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.len(), 2000);
+        assert_eq!(a[1234].body, b[1234].body);
+    }
+
+    #[test]
+    fn south_is_warmer_than_north() {
+        let recs = generate(&WeatherConfig {
+            stations: 400,
+            readings_per_station: 10,
+            ..Default::default()
+        });
+        let south = Rect2::from_corners(Point2::xy(-125.0, 25.0), Point2::xy(-66.0, 32.0));
+        let north = Rect2::from_corners(Point2::xy(-125.0, 42.0), Point2::xy(-66.0, 49.0));
+        let (t0, t1) = (0, i64::MAX);
+        let ts = exact_avg_temp(&recs, &south, t0, t1).unwrap();
+        let tn = exact_avg_temp(&recs, &north, t0, t1).unwrap();
+        assert!(ts > tn + 5.0, "south {ts} vs north {tn}");
+    }
+
+    #[test]
+    fn stations_emit_regular_series() {
+        let cfg = small();
+        let recs = generate(&cfg);
+        // First station's readings are interval-spaced.
+        let first_station: Vec<&StRecord> = recs
+            .iter()
+            .filter(|r| r.body.get("station").unwrap().as_str() == Some("st_0"))
+            .collect();
+        assert_eq!(first_station.len(), cfg.readings_per_station);
+        for pair in first_station.windows(2) {
+            assert_eq!(pair[1].point.t - pair[0].point.t, cfg.interval);
+        }
+    }
+}

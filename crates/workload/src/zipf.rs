@@ -1,0 +1,106 @@
+//! Zipf-distributed sampling (word frequencies).
+
+use rand::{Rng, RngExt};
+
+/// A Zipf(`s`) distribution over ranks `0..n`: rank `r` has probability
+/// proportional to `1/(r+1)^s`. Sampling is `O(log n)` by binary search
+/// over the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is a single rank (never empty).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut dyn Rng) -> usize {
+        let rng = &mut *rng;
+        let u: f64 = rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut zero = 0usize;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        // P(rank 0) = 1/H_1000 ≈ 0.133.
+        let frac = zero as f64 / draws as f64;
+        assert!((0.11..0.16).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((4000..6000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    fn monotone_rank_frequencies() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Head ranks clearly outnumber tail ranks.
+        assert!(counts[0] > counts[10] && counts[10] > counts[40]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: import a small data set and watch an online estimate
+//! converge.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use storm::prelude::*;
+use storm::store::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Create an engine and a data set: 100 000 sensor readings laid out
+    //    on a 100×1000 grid, one reading per second.
+    let records: Vec<StRecord> = (0..100_000)
+        .map(|i| StRecord {
+            point: StPoint::new((i % 100) as f64, (i / 100) as f64, i as i64),
+            body: Value::object([(
+                "reading".into(),
+                Value::Float(50.0 + ((i * 7919) % 100) as f64 / 10.0),
+            )]),
+        })
+        .collect();
+    let mut engine = StormEngine::new(2015);
+    engine.create_dataset("sensors", records, DatasetConfig::default())?;
+
+    // 2. Ask for an online average over a spatio-temporal window and print
+    //    every progress tick: the estimate is usable long before the query
+    //    would have finished scanning.
+    println!("ESTIMATE AVG(reading) over x∈[20,80], y∈[100,700], t∈[10 000, 70 000)");
+    println!("{:>9} {:>12} {:>12} {:>12}", "samples", "estimate", "±95% CI", "elapsed");
+    let outcome = engine.execute_with(
+        "ESTIMATE AVG(reading) FROM sensors RANGE 20 100 80 700 TIME 10000 70000 \
+         CONFIDENCE 0.95 ERROR 0.002",
+        &storm::engine::session::CancelToken::new(),
+        &mut |p| {
+            if let TaskResult::Aggregate { estimate, .. } = &p.result {
+                println!(
+                    "{:>9} {:>12.4} {:>12.4} {:>10.2}ms",
+                    p.samples,
+                    estimate.value,
+                    estimate.half_width(0.95),
+                    p.elapsed.as_secs_f64() * 1e3
+                );
+            }
+        },
+    )?;
+
+    // 3. The final report.
+    let est = outcome.estimate().expect("aggregate query");
+    println!("---");
+    println!(
+        "final: {:.4} ± {:.4} (95% conf) from {} samples of q={} in {:.2}ms — stopped: {:?}",
+        est.value,
+        est.half_width(0.95),
+        outcome.samples,
+        outcome.q.unwrap_or(0),
+        outcome.elapsed.as_secs_f64() * 1e3,
+        outcome.reason,
+    );
+    println!(
+        "method chosen by the optimizer: {} | simulated block reads: {}",
+        outcome.sampler, outcome.io_reads
+    );
+
+    // 4. Compare with the exact answer (what a full scan would have paid).
+    let exact = engine.execute(
+        "ESTIMATE AVG(reading) FROM sensors RANGE 20 100 80 700 TIME 10000 70000 \
+         METHOD queryfirst",
+    )?;
+    println!(
+        "exact (full report): {:.4} — the online estimate was within {:.4}",
+        exact.estimate().expect("aggregate").value,
+        (est.value - exact.estimate().expect("aggregate").value).abs()
+    );
+    Ok(())
+}

@@ -1,0 +1,249 @@
+//! `storm-cli` — an interactive STORM-QL shell over synthetic or imported
+//! data, the closest in-terminal analogue of the paper's demo UI.
+//!
+//! ```text
+//! cargo run --release --bin storm-cli
+//! storm> \load osm 200000
+//! storm> EXPLAIN ESTIMATE AVG(altitude) FROM osm RANGE -120 30 -100 45
+//! storm> ESTIMATE AVG(altitude) FROM osm RANGE -120 30 -100 45 ERROR 0.005
+//! storm> DENSITY FROM osm GRID 48 20 SAMPLES 2000
+//! storm> \quit
+//! ```
+//!
+//! Meta commands:
+//!
+//! * `\load osm|tweets|weather N` — generate and index a synthetic data set
+//! * `\import NAME FILE X-FIELD Y-FIELD [T-FIELD]` — import a CSV file
+//! * `\save NAME FILE` / `\restore NAME FILE` — persist / reload a data set
+//! * `\datasets` — list registered data sets
+//! * `\seed S` — restart the engine with a new RNG seed (drops data!)
+//! * `\help`, `\quit`
+//!
+//! Anything else is parsed as STORM-QL (prefix with `EXPLAIN` to see the
+//! optimizer's plan instead of running).
+
+use std::io::{BufRead, Write};
+
+use storm::connector::{CsvSource, FieldMapping};
+use storm::engine::session::CancelToken;
+use storm::engine::viz;
+use storm::prelude::*;
+use storm::workload::{osm, tweets, weather};
+
+fn main() {
+    let mut engine = StormEngine::new(2015);
+    println!("STORM interactive shell — \\help for commands, \\quit to exit.");
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("storm> ");
+        std::io::stdout().flush().ok();
+        let Some(Ok(line)) = lines.next() else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('\\') {
+            if !meta(&mut engine, rest) {
+                break;
+            }
+            continue;
+        }
+        if let Some(rest) = line
+            .strip_prefix("EXPLAIN ")
+            .or_else(|| line.strip_prefix("explain "))
+        {
+            match engine.explain(rest) {
+                Ok(text) => println!("{text}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        run_query(&mut engine, line);
+    }
+    println!("bye.");
+}
+
+/// Handles a meta command; returns `false` on quit.
+fn meta(engine: &mut StormEngine, command: &str) -> bool {
+    let parts: Vec<&str> = command.split_whitespace().collect();
+    match parts.as_slice() {
+        ["quit"] | ["q"] | ["exit"] => return false,
+        ["help"] | ["h"] => {
+            println!(
+                "\\load osm|tweets|weather N   generate a synthetic data set\n\
+                 \\import NAME FILE X Y [T]    import a CSV file\n\
+                 \\save NAME FILE              persist a data set as JSON-lines\n\
+                 \\restore NAME FILE           reload a persisted data set\n\
+                 \\datasets                    list data sets\n\
+                 \\seed S                      restart with a new seed (drops data)\n\
+                 \\quit                        exit\n\
+                 anything else                 STORM-QL (prefix EXPLAIN for the plan)"
+            );
+        }
+        ["datasets"] => {
+            for name in engine.dataset_names() {
+                let ds = engine.dataset(name).expect("listed name exists");
+                println!(
+                    "  {name}: {} records, bounds {}",
+                    ds.len(),
+                    ds.bounds2()
+                );
+            }
+        }
+        ["seed", s] => match s.parse::<u64>() {
+            Ok(seed) => {
+                *engine = StormEngine::new(seed);
+                println!("engine restarted with seed {seed} (all data sets dropped)");
+            }
+            Err(_) => eprintln!("error: seed must be an integer"),
+        },
+        ["load", kind, n] => {
+            let Ok(n) = n.parse::<usize>() else {
+                eprintln!("error: N must be an integer");
+                return true;
+            };
+            let started = std::time::Instant::now();
+            let (name, records) = match *kind {
+                "osm" => ("osm", osm::records(n, 42)),
+                "tweets" => (
+                    "tweets",
+                    tweets::generate(&tweets::TweetConfig {
+                        tweets: n,
+                        ..Default::default()
+                    }),
+                ),
+                "weather" => (
+                    "weather",
+                    weather::generate(&weather::WeatherConfig {
+                        stations: (n / 50).max(1),
+                        readings_per_station: 50,
+                        ..Default::default()
+                    }),
+                ),
+                other => {
+                    eprintln!("error: unknown generator '{other}' (osm|tweets|weather)");
+                    return true;
+                }
+            };
+            let count = records.len();
+            match engine.create_dataset(name, records, DatasetConfig::default()) {
+                Ok(_) => println!(
+                    "loaded {count} records into '{name}' in {:.2}s",
+                    started.elapsed().as_secs_f64()
+                ),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        ["import", name, file, x, y, rest @ ..] => {
+            let mapping = FieldMapping::new(*x, *y, rest.first().copied()).lenient();
+            match std::fs::File::open(file) {
+                Err(e) => eprintln!("error: cannot open {file}: {e}"),
+                Ok(f) => {
+                    let mut source = CsvSource::new(f);
+                    match engine.import(name, &mut source, &mapping, DatasetConfig::default()) {
+                        Ok(report) => println!(
+                            "imported {} records ({} skipped) into '{name}'",
+                            report.imported, report.skipped
+                        ),
+                        Err(e) => eprintln!("error: {e}"),
+                    }
+                }
+            }
+        }
+        ["save", name, file] => match engine.save_dataset(name, std::path::Path::new(file)) {
+            Ok(()) => println!("saved '{name}' to {file}"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ["restore", name, file] => {
+            match engine.load_dataset(name, std::path::Path::new(file), DatasetConfig::default())
+            {
+                Ok(n) => println!("restored {n} records into '{name}'"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+        }
+        _ => eprintln!("error: unknown meta command (\\help)"),
+    }
+    true
+}
+
+fn run_query(engine: &mut StormEngine, ql: &str) {
+    let mut last_line_len = 0usize;
+    let result = engine.execute_with(ql, &CancelToken::new(), &mut |p| {
+        // Live status line for aggregates.
+        if let TaskResult::Aggregate { estimate, confidence } = &p.result {
+            let line = format!(
+                "  {} samples: {:.4} ± {:.4} ({:.0}%)",
+                p.samples,
+                estimate.value,
+                estimate.half_width(*confidence),
+                confidence * 100.0
+            );
+            print!("\r{line}{}", " ".repeat(last_line_len.saturating_sub(line.len())));
+            last_line_len = line.len();
+            std::io::stdout().flush().ok();
+        }
+    });
+    if last_line_len > 0 {
+        println!();
+    }
+    match result {
+        Err(e) => eprintln!("error: {e}"),
+        Ok(outcome) => print_outcome(&outcome),
+    }
+}
+
+fn print_outcome(outcome: &QueryOutcome) {
+    match &outcome.result {
+        TaskResult::Aggregate { estimate, confidence } => {
+            println!(
+                "=> {:.6} ± {:.6} ({:.0}% confidence, {} samples of q={})",
+                estimate.value,
+                estimate.half_width(*confidence),
+                confidence * 100.0,
+                outcome.samples,
+                outcome.q.unwrap_or(0),
+            );
+        }
+        TaskResult::Groups { groups, confidence } => {
+            for (key, est) in groups {
+                println!(
+                    "  {:<16} {:.4} ± {:.4} ({} samples)",
+                    key,
+                    est.value,
+                    est.half_width(*confidence),
+                    est.n
+                );
+            }
+            println!("=> {} groups", groups.len());
+        }
+        TaskResult::Count { q } => println!("=> COUNT = {q} (exact)"),
+        TaskResult::Density { grid, map, mean_ci } => {
+            print!("{}", viz::ascii_heatmap(map, grid.0, grid.1));
+            println!("=> density map, mean relative CI {mean_ci:.4}");
+        }
+        TaskResult::Cluster { centers, inertia } => {
+            for (i, c) in centers.iter().enumerate() {
+                println!("  center {i}: {c}");
+            }
+            println!("=> {} clusters, mean inertia {inertia:.4}", centers.len());
+        }
+        TaskResult::Trajectory { waypoints } => {
+            print!("{}", viz::ascii_trajectory(waypoints, 72, 18));
+            println!("=> {} waypoints", waypoints.len());
+        }
+        TaskResult::Terms { top } => {
+            for h in top {
+                println!("  {:<14} ~{}", h.term, h.count);
+            }
+            println!("=> {} terms", top.len());
+        }
+    }
+    println!(
+        "   [{} | {:.2} ms | {} simulated reads | stopped: {:?}]",
+        outcome.sampler,
+        outcome.elapsed.as_secs_f64() * 1e3,
+        outcome.io_reads,
+        outcome.reason
+    );
+}

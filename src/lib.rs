@@ -1,0 +1,82 @@
+//! # STORM — Spatio-Temporal Online Reasoning and Management
+//!
+//! A from-scratch Rust implementation of the STORM system
+//! (Christensen, Wang, Li, Yi, Tang, Villa — SIGMOD 2015): **online
+//! aggregation and analytics over large spatio-temporal data**, powered by
+//! **spatial online sampling**.
+//!
+//! Instead of waiting for an exact answer over millions of points, a STORM
+//! query returns an estimate with a confidence interval within
+//! milliseconds and keeps refining it until the user stops it, a quality
+//! target is met, or a time budget runs out:
+//!
+//! ```
+//! use storm::engine::{DatasetConfig, StormEngine};
+//! use storm::connector::StRecord;
+//! use storm::geo::StPoint;
+//! use storm::store::Value;
+//!
+//! // 10 000 temperature readings on a grid.
+//! let records: Vec<StRecord> = (0..10_000)
+//!     .map(|i| StRecord {
+//!         point: StPoint::new((i % 100) as f64, (i / 100) as f64, i as i64),
+//!         body: Value::object([("temp".into(), Value::Float(20.0 + (i % 10) as f64))]),
+//!     })
+//!     .collect();
+//!
+//! let mut engine = StormEngine::new(42);
+//! engine.create_dataset("weather", records, DatasetConfig::default()).unwrap();
+//!
+//! // Online AVG with a 1%-relative-error stopping rule at 95% confidence.
+//! let outcome = engine
+//!     .execute("ESTIMATE AVG(temp) FROM weather RANGE 10 10 90 90 CONFIDENCE 0.95 ERROR 0.01")
+//!     .unwrap();
+//! let est = outcome.estimate().unwrap();
+//! assert!((est.value - 24.5).abs() < 1.0);
+//! assert!(est.relative_error(0.95) <= 0.011);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geo`] | `storm-geo` | points, rectangles, Hilbert/Z-order curves, spatio-temporal queries |
+//! | [`rtree`] | `storm-rtree` | the R-tree substrate with counts, canonical sets, simulated I/O |
+//! | [`sampling`] | `storm-core` | **the paper's contribution**: QueryFirst, SampleFirst, RandomPath, LS-tree, RS-tree + the optimizer cost model |
+//! | [`estimators`] | `storm-estimators` | online mean/sum with CIs, KDE, k-means, heavy hitters, trajectories |
+//! | [`store`] | `storm-store` | JSON document storage, blocks, sharding |
+//! | [`connector`] | `storm-connector` | CSV/JSON-lines import, schema discovery, field mapping |
+//! | [`query`] | `storm-query` | STORM-QL parser and the query optimizer |
+//! | [`engine`] | `storm-engine` | the engine facade, sessions, updates, visualizer |
+//! | [`workload`] | `storm-workload` | seeded OSM/Twitter/MesoWest-like generators |
+//!
+//! See `DESIGN.md` for the architecture and the experiment index, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+
+pub use storm_connector as connector;
+pub use storm_core as sampling;
+pub use storm_engine as engine;
+pub use storm_estimators as estimators;
+pub use storm_geo as geo;
+pub use storm_query as query;
+pub use storm_rtree as rtree;
+pub use storm_store as store;
+pub use storm_workload as workload;
+
+/// Commonly-used items, one `use` away.
+pub mod prelude {
+    pub use storm_connector::{CsvSource, DataSource, FieldMapping, JsonLinesSource, StRecord};
+    pub use storm_core::{
+        LsTree, QueryFirst, RandomPath, RsTree, RsTreeConfig, SampleFirst, SampleMode,
+        SamplerKind, SpatialSampler,
+    };
+    pub use storm_engine::{
+        Dataset, DatasetConfig, Progress, QueryOutcome, StopReason, StormEngine, TaskResult,
+    };
+    pub use storm_estimators::{Estimate, OnlineStat};
+    pub use storm_geo::{Point2, Point3, Rect2, Rect3, StPoint, StQuery, TimeRange};
+    pub use storm_rtree::{Item, RTree, RTreeConfig};
+    pub use storm_store::{DocId, Value};
+}

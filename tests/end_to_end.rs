@@ -1,0 +1,200 @@
+//! Cross-crate integration: connector → store → indexes → query →
+//! updates, through the public facade only.
+
+use storm::connector::{CsvSource, FieldMapping, JsonLinesSource};
+use storm::prelude::*;
+use storm::store::Value;
+
+fn csv_fixture(rows: usize) -> String {
+    let mut csv = String::from("lon,lat,ts,val,tag\n");
+    for i in 0..rows {
+        use std::fmt::Write;
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},r{}",
+            (i % 50) as f64 / 10.0,
+            (i / 50) as f64 / 10.0,
+            i,
+            (i % 7) as f64,
+            i % 3
+        );
+    }
+    csv
+}
+
+#[test]
+fn csv_import_query_update_cycle() {
+    let csv = csv_fixture(5_000);
+    let mut engine = StormEngine::new(11);
+    let mapping = FieldMapping::new("lon", "lat", Some("ts"));
+    let mut source = CsvSource::new(csv.as_bytes());
+    let report = engine
+        .import("d", &mut source, &mapping, DatasetConfig::default())
+        .unwrap();
+    assert_eq!(report.imported, 5_000);
+
+    // Exact count through the full stack.
+    let outcome = engine.execute("ESTIMATE COUNT FROM d RANGE 0 0 4.9 9.9").unwrap();
+    assert!(matches!(outcome.result, TaskResult::Count { q: 5_000 }));
+
+    // AVG estimate converges to the true mean of val = i % 7 → 3 - ish.
+    let truth = (0..5_000).map(|i| (i % 7) as f64).sum::<f64>() / 5_000.0;
+    let outcome = engine
+        .execute("ESTIMATE AVG(val) FROM d SAMPLES 2500")
+        .unwrap();
+    let est = outcome.estimate().unwrap();
+    assert!((est.value - truth).abs() < 0.15, "{} vs {truth}", est.value);
+
+    // Remove everything in a sub-region via the update manager.
+    let doomed: Vec<DocId> = engine
+        .dataset("d")
+        .unwrap()
+        .items()
+        .iter()
+        .filter(|it| it.point.get(0) < 1.0 && it.point.get(1) < 1.0)
+        .map(|it| DocId(it.id))
+        .collect();
+    assert!(!doomed.is_empty());
+    for id in &doomed {
+        assert!(engine.remove("d", *id).unwrap());
+    }
+    let outcome = engine
+        .execute("ESTIMATE COUNT FROM d RANGE 0 0 0.999 0.999")
+        .unwrap();
+    assert!(matches!(outcome.result, TaskResult::Count { q: 0 }));
+
+    // And re-insert a few.
+    for j in 0..3 {
+        engine
+            .insert(
+                "d",
+                StRecord {
+                    point: StPoint::new(0.5, 0.5, 10 + j),
+                    body: Value::object([("val".into(), Value::Float(42.0))]),
+                },
+            )
+            .unwrap();
+    }
+    let outcome = engine
+        .execute("ESTIMATE AVG(val) FROM d RANGE 0 0 0.999 0.999")
+        .unwrap();
+    assert_eq!(outcome.estimate().unwrap().value, 42.0);
+    assert_eq!(outcome.reason, StopReason::Exhausted);
+}
+
+#[test]
+fn jsonl_import_round_trips_through_engine() {
+    let mut jsonl = String::new();
+    for i in 0..200 {
+        use std::fmt::Write;
+        let _ = writeln!(
+            jsonl,
+            "{{\"geo\": {{\"x\": {}, \"y\": {}}}, \"when\": {}, \"speed\": {}}}",
+            i % 20,
+            i / 20,
+            1000 + i,
+            i * 2
+        );
+    }
+    let mut engine = StormEngine::new(12);
+    let mapping = FieldMapping::new("geo.x", "geo.y", Some("when"));
+    let mut source = JsonLinesSource::new(jsonl.as_bytes());
+    let report = engine
+        .import("moves", &mut source, &mapping, DatasetConfig::default())
+        .unwrap();
+    assert_eq!(report.imported, 200);
+    // Nested-attribute lookups flow to estimators through the dotted path.
+    let outcome = engine
+        .execute("ESTIMATE AVG(speed) FROM moves TIME 1000 1100")
+        .unwrap();
+    // Records 0..100 → speed 0,2,…,198 → mean 99.
+    assert!((outcome.estimate().unwrap().value - 99.0).abs() < 1e-9);
+}
+
+#[test]
+fn store_persistence_rebuilds_identical_answers() {
+    use storm::store::persist;
+    // Build a collection, save it, reload it, rebuild a dataset, and check
+    // answers agree.
+    let mut collection = storm::store::Collection::new("obs");
+    for i in 0..500i64 {
+        collection.insert(Value::object([
+            ("x".into(), Value::Float((i % 25) as f64)),
+            ("y".into(), Value::Float((i / 25) as f64)),
+            ("t".into(), Value::Int(i)),
+            ("m".into(), Value::Float((i % 11) as f64)),
+        ]));
+    }
+    let path = std::env::temp_dir().join(format!("storm-e2e-{}.jsonl", std::process::id()));
+    persist::save(&collection, &path).unwrap();
+    let reloaded = persist::load("obs", &path).unwrap();
+    assert_eq!(reloaded.len(), 500);
+
+    let to_engine = |col: &storm::store::Collection, seed: u64| -> f64 {
+        let records: Vec<StRecord> = col
+            .scan()
+            .map(|doc| StRecord {
+                point: StPoint::new(
+                    doc.number("x").unwrap(),
+                    doc.number("y").unwrap(),
+                    doc.int("t").unwrap(),
+                ),
+                body: doc.body.clone(),
+            })
+            .collect();
+        let mut engine = StormEngine::new(seed);
+        engine
+            .create_dataset("obs", records, DatasetConfig::default())
+            .unwrap();
+        engine
+            .execute("ESTIMATE AVG(m) FROM obs RANGE 5 5 20 15")
+            .unwrap()
+            .estimate()
+            .unwrap()
+            .value
+    };
+    // Exhaustive (unbounded) queries are exact up to Welford's
+    // order-dependent float rounding.
+    let a = to_engine(&collection, 1);
+    let b = to_engine(&reloaded, 2);
+    assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn dataset_bookkeeping_survives_heavy_churn() {
+    let mut engine = StormEngine::new(13);
+    engine
+        .create_dataset("churn", Vec::new(), DatasetConfig {
+            fanout: 8,
+            ..Default::default()
+        })
+        .unwrap();
+    let mut live = Vec::new();
+    for round in 0..40u64 {
+        for j in 0..25u64 {
+            let i = round * 25 + j;
+            let id = engine
+                .insert(
+                    "churn",
+                    StRecord {
+                        point: StPoint::new((i % 13) as f64, (i % 17) as f64, i as i64),
+                        body: Value::object([("v".into(), Value::Float(i as f64))]),
+                    },
+                )
+                .unwrap();
+            live.push(id);
+        }
+        // Delete ~third of the oldest.
+        let cut = live.len() / 3;
+        for id in live.drain(..cut) {
+            assert!(engine.remove("churn", id).unwrap());
+        }
+        let expected = live.len();
+        let outcome = engine.execute("ESTIMATE COUNT FROM churn").unwrap();
+        match outcome.result {
+            TaskResult::Count { q } => assert_eq!(q, expected, "round {round}"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The paper's §1 user stories, verified end-to-end: progressive quality,
+//! the three termination modes, and mid-flight query replacement.
+
+use storm::engine::interactive::{Event, InteractiveSession};
+use storm::engine::session::CancelToken;
+use storm::prelude::*;
+use storm::store::Value;
+
+fn energy_engine(n: usize, seed: u64) -> StormEngine {
+    let records: Vec<StRecord> = (0..n)
+        .map(|i| StRecord {
+            point: StPoint::new((i % 500) as f64, ((i / 500) % 500) as f64, i as i64),
+            body: Value::object([(
+                "kwh".into(),
+                Value::Float(900.0 + ((i * 31) % 200) as f64),
+            )]),
+        })
+        .collect();
+    let mut engine = StormEngine::new(seed);
+    engine
+        .create_dataset("energy", records, DatasetConfig::default())
+        .unwrap();
+    engine
+}
+
+#[test]
+fn confidence_interval_tightens_over_progress_ticks() {
+    let mut engine = energy_engine(100_000, 21);
+    let mut widths = Vec::new();
+    let _ = engine
+        .execute_with(
+            "ESTIMATE AVG(kwh) FROM energy RANGE 50 50 450 450 SAMPLES 4000",
+            &CancelToken::new(),
+            &mut |p| {
+                if let TaskResult::Aggregate { estimate, .. } = &p.result {
+                    widths.push(estimate.half_width(0.95));
+                }
+            },
+        )
+        .unwrap();
+    assert!(widths.len() >= 10, "expected many progress ticks");
+    // The CI half-width must shrink substantially start → finish and be
+    // (weakly) decreasing across quarters.
+    let first = widths[1]; // widths[0] can be infinite-ish early
+    let last = *widths.last().unwrap();
+    assert!(
+        last < first / 3.0,
+        "no convergence: first {first}, last {last}"
+    );
+    let quarter = widths.len() / 4;
+    assert!(widths[quarter] >= widths[3 * quarter]);
+}
+
+#[test]
+fn quality_mode_reports_what_it_promised() {
+    // "the system can be asked to terminate a query whenever the
+    // approximation quality has met a user specified quality requirement"
+    let mut engine = energy_engine(200_000, 22);
+    let outcome = engine
+        .execute("ESTIMATE AVG(kwh) FROM energy CONFIDENCE 0.95 ERROR 0.001")
+        .unwrap();
+    assert_eq!(outcome.reason, StopReason::QualityReached);
+    let est = outcome.estimate().unwrap();
+    assert!(est.relative_error(0.95) <= 0.001 * 1.1);
+    // True mean = 900 + mean((i*31)%200) ≈ 999.5; the CI must cover ~truth.
+    assert!((est.value - 999.5).abs() < 999.5 * 0.003);
+}
+
+#[test]
+fn best_effort_mode_returns_within_the_budget() {
+    // "user specifies the amount of time s/he is willing to spend, and the
+    // system provides the best possible approximation within that time"
+    let mut engine = energy_engine(200_000, 23);
+    let start = std::time::Instant::now();
+    let outcome = engine
+        .execute("ESTIMATE AVG(kwh) FROM energy WITHIN 25")
+        .unwrap();
+    let wall = start.elapsed().as_millis();
+    assert_eq!(outcome.reason, StopReason::TimeBudget);
+    assert!(wall < 1_000, "budget of 25ms took {wall}ms");
+    assert!(outcome.samples > 0);
+    assert!(outcome.estimate().unwrap().std_err.is_finite());
+}
+
+#[test]
+fn interactive_requery_replays_the_papers_dialogue() {
+    let engine = energy_engine(150_000, 24);
+    let mut session = InteractiveSession::start(engine);
+    // Query 1: unbounded exploration.
+    let q1 = session.submit("ESTIMATE AVG(kwh) FROM energy RANGE 0 0 499 499");
+    // Wait until its estimate is "good enough" (a few ticks), then switch.
+    let mut q2 = None;
+    let mut q1_cancelled = false;
+    let mut q2_finished = false;
+    let events = session.events().clone();
+    for event in events.iter() {
+        match event {
+            Event::Progress { query_id, progress } if query_id == q1 && q2.is_none() => {
+                if progress.samples >= 192 {
+                    q2 = Some(session.submit(
+                        "ESTIMATE AVG(kwh) FROM energy RANGE 100 100 300 300 \
+                         CONFIDENCE 0.98 ERROR 0.01",
+                    ));
+                }
+            }
+            Event::Finished { query_id, outcome } if query_id == q1 => {
+                q1_cancelled = outcome.reason == StopReason::Cancelled;
+            }
+            Event::Finished { query_id, outcome } if Some(query_id) == q2 => {
+                assert_eq!(outcome.reason, StopReason::QualityReached);
+                q2_finished = true;
+                break;
+            }
+            Event::Error { message, .. } => panic!("{message}"),
+            _ => {}
+        }
+    }
+    assert!(q1_cancelled, "query 1 must have been pre-empted");
+    assert!(q2_finished);
+    session.shutdown();
+}
+
+#[test]
+fn exhausted_queries_report_exact_answers_with_zero_error() {
+    let mut engine = energy_engine(3_000, 25);
+    let outcome = engine
+        .execute("ESTIMATE AVG(kwh) FROM energy RANGE 0 0 40 40")
+        .unwrap();
+    assert_eq!(outcome.reason, StopReason::Exhausted);
+    let est = outcome.estimate().unwrap();
+    // Without-replacement FPC drives the error to exactly zero.
+    assert_eq!(est.std_err, 0.0);
+    assert_eq!(est.relative_error(0.95), 0.0);
+}

@@ -1,0 +1,147 @@
+//! Cross-method guarantees at the sampler layer: every method samples the
+//! same population, uniformly, and exhausts to the exact result set.
+
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::HashSet;
+use storm::prelude::*;
+use storm::sampling::RsTreeConfig;
+use storm::workload::{osm, queries};
+
+fn setup(n: usize) -> (osm::OsmData, Rect2, usize) {
+    let data = osm::generate(n, 99);
+    let (query, q) = queries::rect_with_selectivity(&data.items, 0.05, 3).unwrap();
+    (data, query, q)
+}
+
+#[test]
+fn all_methods_exhaust_to_the_same_set() {
+    let (data, query, q) = setup(20_000);
+    assert!(q > 100);
+    let expected: HashSet<u64> = data
+        .items
+        .iter()
+        .filter(|it| query.contains_point(&it.point))
+        .map(|it| it.id)
+        .collect();
+    let tree = RTree::bulk_load(
+        data.items.clone(),
+        RTreeConfig::with_fanout(32),
+        storm::rtree::BulkMethod::Hilbert,
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+
+    let drain = |sampler: &mut dyn SpatialSampler<2>, rng: &mut StdRng| -> HashSet<u64> {
+        let mut out = HashSet::new();
+        while let Some(item) = sampler.next_sample(rng) {
+            assert!(out.insert(item.id), "duplicate {}", item.id);
+        }
+        out
+    };
+
+    let mut qf = QueryFirst::new(&tree, &query, SampleMode::WithoutReplacement);
+    assert_eq!(drain(&mut qf, &mut rng), expected, "QueryFirst");
+
+    let mut sf = SampleFirst::new(&data.items, query, SampleMode::WithoutReplacement);
+    assert_eq!(drain(&mut sf, &mut rng), expected, "SampleFirst");
+
+    let mut rp = RandomPath::new(&tree, query, SampleMode::WithoutReplacement)
+        .with_attempt_budget(2_000_000);
+    assert_eq!(drain(&mut rp, &mut rng), expected, "RandomPath");
+
+    let ls = LsTree::bulk_load(data.items.clone(), RTreeConfig::with_fanout(32), 17);
+    let mut lss = ls.sampler(query);
+    assert_eq!(drain(&mut lss, &mut rng), expected, "LS-tree");
+
+    let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(32));
+    let mut rss = rs.sampler(query, SampleMode::WithoutReplacement);
+    assert_eq!(drain(&mut rss, &mut rng), expected, "RS-tree");
+}
+
+#[test]
+fn estimates_from_every_method_agree_statistically() {
+    let (data, query, q) = setup(50_000);
+    let truth = data.exact_avg_altitude(&query).unwrap();
+    let tree = RTree::bulk_load(
+        data.items.clone(),
+        RTreeConfig::with_fanout(64),
+        storm::rtree::BulkMethod::Hilbert,
+    );
+    let ls = LsTree::bulk_load(data.items.clone(), RTreeConfig::with_fanout(64), 7);
+    let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(64));
+    let mut rng = StdRng::seed_from_u64(6);
+    let k = (q / 4).clamp(500, 4000);
+
+    let check = |name: &str, samples: Vec<Item<2>>| {
+        let mut stat = OnlineStat::without_replacement(q);
+        for item in &samples {
+            stat.push(data.altitudes[item.id as usize]);
+        }
+        let est = stat.mean_estimate();
+        let h = est.half_width(0.999);
+        assert!(
+            (est.value - truth).abs() <= h.max(truth.abs() * 0.05),
+            "{name}: {} vs truth {truth} (±{h})",
+            est.value
+        );
+    };
+
+    let mut qf = QueryFirst::new(&tree, &query, SampleMode::WithoutReplacement);
+    check("QueryFirst", qf.draw(k, &mut rng));
+    let mut sf = SampleFirst::new(&data.items, query, SampleMode::WithReplacement);
+    check("SampleFirst", sf.draw(k, &mut rng));
+    let mut rp = RandomPath::new(&tree, query, SampleMode::WithReplacement);
+    check("RandomPath", rp.draw(k, &mut rng));
+    let mut lss = ls.sampler(query);
+    check("LS-tree", lss.draw(k, &mut rng));
+    let mut rss = rs.sampler(query, SampleMode::WithoutReplacement);
+    check("RS-tree", rss.draw(k, &mut rng));
+}
+
+#[test]
+fn rs_first_samples_match_marginal_frequencies_of_ls() {
+    // Both index samplers must draw uniformly: compare per-item first-draw
+    // frequencies on a small result set via chi-square.
+    let data = osm::generate(2_000, 5);
+    let (query, q) = queries::rect_with_selectivity(&data.items, 0.01, 9).unwrap();
+    assert!((10..100).contains(&q), "q = {q}");
+    let trials = 4000;
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut counts: std::collections::HashMap<u64, usize> = Default::default();
+    for t in 0..trials {
+        // Fresh RS each trial isolates the per-query distribution.
+        let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(16));
+        let mut s = rs.sampler(query, SampleMode::WithoutReplacement);
+        let first = s.next_sample(&mut rng).unwrap();
+        *counts.entry(first.id).or_default() += 1;
+        let _ = t;
+    }
+    assert_eq!(counts.len(), q, "some items never drawn first");
+    let expected = trials as f64 / q as f64;
+    let chi: f64 = counts
+        .values()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    // dof = q-1 ∈ [9,99]; generous p≈0.001 bound for the largest dof.
+    assert!(chi < 150.0, "chi² = {chi} over {q} items");
+}
+
+#[test]
+fn with_replacement_streams_are_unbounded() {
+    let (data, query, _q) = setup(5_000);
+    let tree = RTree::bulk_load(
+        data.items.clone(),
+        RTreeConfig::with_fanout(32),
+        storm::rtree::BulkMethod::Hilbert,
+    );
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut rp = RandomPath::new(&tree, query, SampleMode::WithReplacement);
+    let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(32));
+    let mut rss = rs.sampler(query, SampleMode::WithReplacement);
+    for _ in 0..2_000 {
+        assert!(rp.next_sample(&mut rng).is_some());
+        assert!(rss.next_sample(&mut rng).is_some());
+    }
+}
