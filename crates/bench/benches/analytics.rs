@@ -64,7 +64,11 @@ fn estimators(c: &mut Criterion) {
         let mut i = 0i64;
         b.iter(|| {
             i += 1;
-            t.push(StPoint::new(i as f64 * 0.01, (i % 50) as f64, i * 37 % 100_000));
+            t.push(StPoint::new(
+                i as f64 * 0.01,
+                (i % 50) as f64,
+                i * 37 % 100_000,
+            ));
             t.len()
         });
     });

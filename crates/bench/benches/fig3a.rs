@@ -11,17 +11,13 @@ fn fig3a(c: &mut Criterion) {
     group.sample_size(10);
     for method in FIG3A_METHODS {
         for k in [16usize, 256, 1024] {
-            group.bench_with_input(
-                BenchmarkId::new(method.to_string(), k),
-                &k,
-                |b, &k| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        draw_k(&mut setup, *method, k, seed)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.to_string(), k), &k, |b, &k| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    draw_k(&mut setup, *method, k, seed)
+                });
+            });
         }
     }
     group.finish();

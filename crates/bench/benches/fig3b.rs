@@ -33,7 +33,9 @@ fn fig3b(c: &mut Criterion) {
             seed += 1;
             let mut rng = StdRng::seed_from_u64(seed);
             let mut stat = OnlineStat::without_replacement(setup.q);
-            let mut s = setup.rs.sampler(setup.query, SampleMode::WithoutReplacement);
+            let mut s = setup
+                .rs
+                .sampler(setup.query, SampleMode::WithoutReplacement);
             for _ in 0..512 {
                 let item = s.next_sample(&mut rng).expect("q >> 512");
                 stat.push(setup.data.altitudes[item.id as usize]);

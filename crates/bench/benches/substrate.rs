@@ -33,8 +33,7 @@ fn substrate(c: &mut Criterion) {
             &method,
             |b, &method| {
                 b.iter(|| {
-                    RTree::bulk_load(data.items.clone(), RTreeConfig::with_fanout(64), method)
-                        .len()
+                    RTree::bulk_load(data.items.clone(), RTreeConfig::with_fanout(64), method).len()
                 });
             },
         );

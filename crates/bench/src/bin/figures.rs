@@ -49,8 +49,16 @@ fn main() {
     match command.as_str() {
         "all" => {
             for name in [
-                "fig3a", "fig3b", "fig5", "fig6a", "fig6b", "updates", "io", "ablate",
-                "crossover", "scaling",
+                "fig3a",
+                "fig3b",
+                "fig5",
+                "fig6a",
+                "fig6b",
+                "updates",
+                "io",
+                "ablate",
+                "crossover",
+                "scaling",
             ] {
                 run(name);
             }
@@ -63,7 +71,11 @@ fn dispatch(name: &str, n: usize, seed: u64) -> String {
     match name {
         "fig3a" => format_table(
             &format!("Figure 3(a) — online sample generation cost (N={n}, q/N=10%)"),
-            &run_fig3a(n, &[0.0001, 0.001, 0.01, 0.02, 0.04, 0.06, 0.08, 0.10], seed),
+            &run_fig3a(
+                n,
+                &[0.0001, 0.001, 0.01, 0.02, 0.04, 0.06, 0.08, 0.10],
+                seed,
+            ),
         ),
         "fig3b" => format_table(
             &format!("Figure 3(b) — relative error of AVG(altitude) over time (N={n})"),

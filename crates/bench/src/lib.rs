@@ -150,14 +150,16 @@ pub fn draw_k(setup: &mut Fig3Setup, method: SamplerKind, k: usize, seed: u64) -
             s.draw(k, &mut rng).len()
         }
         SamplerKind::SampleFirst => {
-            let mut s =
-                SampleFirst::new(&setup.data.items, setup.query, SampleMode::WithoutReplacement)
-                    .with_io(setup.plain.io_handle());
+            let mut s = SampleFirst::new(
+                &setup.data.items,
+                setup.query,
+                SampleMode::WithoutReplacement,
+            )
+            .with_io(setup.plain.io_handle());
             s.draw(k, &mut rng).len()
         }
         SamplerKind::RandomPath => {
-            let mut s =
-                RandomPath::new(&setup.plain, setup.query, SampleMode::WithoutReplacement);
+            let mut s = RandomPath::new(&setup.plain, setup.query, SampleMode::WithoutReplacement);
             s.draw(k, &mut rng).len()
         }
         SamplerKind::LsTree => {
@@ -165,7 +167,9 @@ pub fn draw_k(setup: &mut Fig3Setup, method: SamplerKind, k: usize, seed: u64) -
             s.draw(k, &mut rng).len()
         }
         SamplerKind::RsTree => {
-            let mut s = setup.rs.sampler(setup.query, SampleMode::WithoutReplacement);
+            let mut s = setup
+                .rs
+                .sampler(setup.query, SampleMode::WithoutReplacement);
             s.draw(k, &mut rng).len()
         }
     };
@@ -231,7 +235,9 @@ pub fn run_fig3b(n: usize, checkpoints_ms: &[f64], seed: u64) -> Vec<Row> {
                     &mut ls_sampler
                 }
                 _ => {
-                    rs_sampler = setup.rs.sampler(setup.query, SampleMode::WithoutReplacement);
+                    rs_sampler = setup
+                        .rs
+                        .sampler(setup.query, SampleMode::WithoutReplacement);
                     &mut rs_sampler
                 }
             };
@@ -304,7 +310,11 @@ pub fn run_fig5(n_tweets: usize, sample_counts: &[usize], seed: u64) -> Vec<Row>
         let bandwidth = rect.extent(0).max(rect.extent(1)) * 0.05;
         let kernel = Kernel::Epanechnikov { bandwidth };
         let exact = KdeEstimator::exact_map(rect, 32, 32, kernel, &in_region);
-        let peak = exact.iter().cloned().fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+        let peak = exact
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+            .max(f64::MIN_POSITIVE);
         // Sample in random order (the estimator sees a WOR stream).
         let mut order: Vec<usize> = (0..in_region.len()).collect();
         use rand::seq::SliceRandom;
@@ -633,7 +643,11 @@ pub fn run_crossover(n: usize, k: usize, seed: u64) -> Vec<Row> {
                 ("RS-tree(s)", rst),
                 (
                     "opt=SF",
-                    if pick == SamplerKind::SampleFirst { 1.0 } else { 0.0 },
+                    if pick == SamplerKind::SampleFirst {
+                        1.0
+                    } else {
+                        0.0
+                    },
                 ),
             ],
         ));

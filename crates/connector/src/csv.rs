@@ -146,11 +146,7 @@ impl<R: Read> DataSource for CsvSource<R> {
         if fields.len() != header.len() {
             return Some(Err(ConnectorError::Parse {
                 record: self.line_no,
-                message: format!(
-                    "expected {} fields, found {}",
-                    header.len(),
-                    fields.len()
-                ),
+                message: format!("expected {} fields, found {}", header.len(), fields.len()),
             }));
         }
         let pairs = header

@@ -47,7 +47,11 @@ impl FieldMapping {
     ///
     /// Returns `Ok(None)` when the record lacks usable coordinates and the
     /// mapping is lenient.
-    pub fn extract(&self, record: &Value, record_no: usize) -> Result<Option<StRecord>, ConnectorError> {
+    pub fn extract(
+        &self,
+        record: &Value,
+        record_no: usize,
+    ) -> Result<Option<StRecord>, ConnectorError> {
         let coord = |field: &str| -> Result<Option<f64>, ConnectorError> {
             match record.get_path(field).and_then(Value::as_float) {
                 Some(v) if v.is_finite() => Ok(Some(v)),
@@ -109,7 +113,10 @@ mod tests {
     #[test]
     fn extracts_mapped_fields() {
         let m = FieldMapping::new("lon", "lat", Some("created_at"));
-        let r = m.extract(&tweet(40.7, -111.9, 1_390_000_000), 1).unwrap().unwrap();
+        let r = m
+            .extract(&tweet(40.7, -111.9, 1_390_000_000), 1)
+            .unwrap()
+            .unwrap();
         assert_eq!(r.point.xy.x(), -111.9);
         assert_eq!(r.point.xy.y(), 40.7);
         assert_eq!(r.point.t, 1_390_000_000);
@@ -158,10 +165,7 @@ mod tests {
     #[test]
     fn integer_coordinates_widen() {
         let m = FieldMapping::new("x", "y", None);
-        let record = Value::object([
-            ("x".into(), Value::Int(3)),
-            ("y".into(), Value::Int(4)),
-        ]);
+        let record = Value::object([("x".into(), Value::Int(3)), ("y".into(), Value::Int(4))]);
         let r = m.extract(&record, 1).unwrap().unwrap();
         assert_eq!(r.point.xy.x(), 3.0);
     }

@@ -67,6 +67,7 @@ pub fn io_cost(kind: SamplerKind, inp: &CostInputs) -> f64 {
             let touched = (levels - stop).max(1.0);
             // Each touched level pays a (progressively smaller) report; the
             // geometric series is dominated by a couple of terms.
+            // storm-lint: allow(R5): stop is clamped into [0, log2(n/b)] <= 63 above
             touched * (h + (n / b).sqrt() / (1u64 << stop as u32) as f64) + k / b
         }
         SamplerKind::RsTree => {
@@ -104,8 +105,7 @@ pub fn recommend(inp: &CostInputs, mode: SampleMode) -> SamplerKind {
         .map(|kind| (kind, io_cost(kind, inp)))
         .filter(|(_, c)| c.is_finite())
         .min_by(|a, b| a.1.total_cmp(&b.1))
-        .map(|(kind, _)| kind)
-        .unwrap_or(SamplerKind::QueryFirst)
+        .map_or(SamplerKind::QueryFirst, |(kind, _)| kind)
 }
 
 #[cfg(test)]

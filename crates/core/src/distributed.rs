@@ -24,7 +24,7 @@
 
 use rand::{Rng, RngExt};
 use storm_geo::curve::{HilbertCurve, SpaceFillingCurve};
-use storm_geo::{Rect2, Point2};
+use storm_geo::{Point2, Rect2};
 use storm_rtree::Item;
 
 use crate::rs_tree::{RsTree, RsTreeConfig};
@@ -50,6 +50,7 @@ impl DistributedRsTree {
     /// Panics when `num_shards == 0`.
     pub fn bulk_load(mut items: Vec<Item<2>>, num_shards: usize, cfg: RsTreeConfig) -> Self {
         assert!(num_shards > 0, "need at least one shard");
+        // storm-lint: allow(R1): constant order 16 is within HilbertCurve's static range
         let curve = HilbertCurve::new(16).expect("order 16 is valid");
         let bounds = Rect2::bounding(&items.iter().map(|it| it.point).collect::<Vec<_>>())
             .unwrap_or_else(|| Rect2::from_point(Point2::xy(0.0, 0.0)));
@@ -67,8 +68,7 @@ impl DistributedRsTree {
                 // the max key when this shard absorbed the tail).
                 let key = items
                     .get(end)
-                    .map(|it| curve.index_of_point(&bounds, &it.point))
-                    .unwrap_or(u64::MAX);
+                    .map_or(u64::MAX, |it| curve.index_of_point(&bounds, &it.point));
                 boundaries.push(key);
             }
             shards.push(RsTree::bulk_load(chunk, cfg));
@@ -310,9 +310,7 @@ mod tests {
         // A small query region should intersect few shards.
         let c = cluster(10_000, 16);
         let q = Rect2::from_corners(Point2::xy(10.0, 10.0), Point2::xy(20.0, 20.0));
-        let touched = (0..16)
-            .filter(|&s| c.shard(s).exact_count(&q) > 0)
-            .count();
+        let touched = (0..16).filter(|&s| c.shard(s).exact_count(&q) > 0).count();
         assert!(touched <= 6, "query touched {touched}/16 shards");
     }
 
@@ -395,10 +393,7 @@ mod tests {
         // Insert a cluster of new points at off-grid coordinates so the
         // probe rectangle below contains only them.
         for j in 0..100u64 {
-            c.insert(
-                Item::new(Item2_xy(j), 10_000 + j),
-                &mut rng,
-            );
+            c.insert(Item::new(Item2_xy(j), 10_000 + j), &mut rng);
         }
         assert_eq!(c.len(), 2_100);
         let q = Rect2::from_corners(Point2::xy(50.01, 9.9), Point2::xy(50.99, 10.1));

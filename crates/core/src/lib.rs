@@ -32,6 +32,7 @@ mod query_first;
 mod random_path;
 mod rs_tree;
 mod sample_first;
+pub mod validate;
 mod weighted;
 
 pub use distributed::{DistributedRsTree, DistributedSampler};

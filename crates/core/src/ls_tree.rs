@@ -27,14 +27,23 @@ use crate::{mix64, SamplerKind, SpatialSampler};
 #[derive(Debug)]
 pub struct LsTree<const D: usize> {
     /// `levels[i]` indexes `P_i`.
-    levels: Vec<RTree<D>>,
+    pub(crate) levels: Vec<RTree<D>>,
     cfg: RTreeConfig,
     io: Arc<IoStats>,
-    salt: u64,
+    pub(crate) salt: u64,
+    /// Mutation counter driving the sampled debug audit cadence.
+    audit_ops: u64,
 }
 
 /// Hard cap on the number of levels (a 2^48-point data set is beyond us).
 const MAX_LEVELS: usize = 48;
+
+/// Converts a level index into the `u32` domain of [`level_of`]. Level
+/// indices never exceed [`MAX_LEVELS`], so the conversion saturates rather
+/// than truncates on (impossible) overflow.
+fn level_u32(level: usize) -> u32 {
+    u32::try_from(level).unwrap_or(u32::MAX)
+}
 
 impl<const D: usize> LsTree<D> {
     /// Bulk loads the level forest from `items`.
@@ -46,16 +55,12 @@ impl<const D: usize> LsTree<D> {
         let n = items.len();
         let num_levels = Self::desired_levels(n, &cfg);
         let mut levels = Vec::with_capacity(num_levels);
-        for i in 0..num_levels {
-            let subset: Vec<Item<D>> = if i == 0 {
-                items.clone()
-            } else {
-                items
-                    .iter()
-                    .filter(|it| level_of(it.id, salt) >= i as u32)
-                    .copied()
-                    .collect()
-            };
+        for i in 1..num_levels {
+            let subset: Vec<Item<D>> = items
+                .iter()
+                .filter(|it| level_of(it.id, salt) >= level_u32(i))
+                .copied()
+                .collect();
             levels.push(RTree::bulk_load_with_io(
                 subset,
                 cfg,
@@ -63,11 +68,41 @@ impl<const D: usize> LsTree<D> {
                 Arc::clone(&io),
             ));
         }
+        // Level 0 holds all of `items`; building it last lets the vector
+        // move in without a clone.
+        levels.insert(
+            0,
+            RTree::bulk_load_with_io(items, cfg, BulkMethod::Str, Arc::clone(&io)),
+        );
         LsTree {
             levels,
             cfg,
             io,
             salt,
+            audit_ops: 0,
+        }
+    }
+
+    /// Debug-build audit: re-validates the whole forest after a mutation
+    /// (every mutation while small, sampled once the forest grows — see
+    /// [`crate::validate`]). Release builds compile this to nothing.
+    #[inline]
+    fn debug_audit(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            self.audit_ops = self.audit_ops.wrapping_add(1);
+            if self.len() <= crate::validate::AUDIT_EVERY_OP_LIMIT
+                || self
+                    .audit_ops
+                    .is_multiple_of(crate::validate::AUDIT_SAMPLE_PERIOD)
+            {
+                debug_assert_eq!(
+                    crate::validate::check_ls_tree(self),
+                    Ok(()),
+                    "LS-tree invariant audit failed after mutation {}",
+                    self.audit_ops
+                );
+            }
         }
     }
 
@@ -131,6 +166,7 @@ impl<const D: usize> LsTree<D> {
             self.levels[i].insert(item);
         }
         self.maybe_resize();
+        self.debug_audit();
     }
 
     /// Removes an item from every tree containing it. Returns `false` when
@@ -148,6 +184,7 @@ impl<const D: usize> LsTree<D> {
             }
         }
         self.maybe_resize();
+        self.debug_audit();
         found
     }
 
@@ -156,13 +193,13 @@ impl<const D: usize> LsTree<D> {
         let desired = Self::desired_levels(self.len(), &self.cfg);
         while self.levels.len() < desired {
             let next = self.levels.len();
-            let subset: Vec<Item<D>> = self
-                .levels
-                .last()
-                .expect("at least one level")
+            let Some(top) = self.levels.last() else {
+                break;
+            };
+            let subset: Vec<Item<D>> = top
                 .items()
                 .into_iter()
-                .filter(|it| level_of(it.id, self.salt) >= next as u32)
+                .filter(|it| level_of(it.id, self.salt) >= level_u32(next))
                 .collect();
             self.levels.push(RTree::bulk_load_with_io(
                 subset,
@@ -194,7 +231,7 @@ impl<const D: usize> LsTree<D> {
 
 /// Level assignment: the number of levels an element survives, i.e. a
 /// geometric(½) variable derived deterministically from the record id.
-fn level_of(id: u64, salt: u64) -> u32 {
+pub(crate) fn level_of(id: u64, salt: u64) -> u32 {
     mix64(id ^ salt).trailing_zeros()
 }
 
@@ -225,7 +262,7 @@ impl<const D: usize> LsSampler<'_, D> {
             self.ls.levels[level].for_each_in(&self.query, |item| {
                 // Points that also live in a higher tree were already
                 // reported there; membership is recomputable from the id.
-                if top || level_of(item.id, self.ls.salt) == level as u32 {
+                if top || level_of(item.id, self.ls.salt) == level_u32(level) {
                     fresh.push(*item);
                 }
             });
@@ -297,12 +334,7 @@ mod tests {
     fn stream_is_a_permutation_of_the_query_result() {
         let t = ls(5000);
         let q = Rect2::from_corners(Point2::xy(10.0, 5.0), Point2::xy(60.0, 30.0));
-        let expected: HashSet<u64> = t
-            .level(0)
-            .query(&q)
-            .iter()
-            .map(|it| it.id)
-            .collect();
+        let expected: HashSet<u64> = t.level(0).query(&q).iter().map(|it| it.id).collect();
         let mut s = t.sampler(q);
         let mut rng = StdRng::seed_from_u64(1);
         let mut got = HashSet::new();

@@ -99,7 +99,8 @@ impl<'a, const D: usize> RandomPath<'a, D> {
                     target -= cv.count as u64;
                 }
             }
-            id = chosen.expect("weighted choice within mass");
+            // `mass > 0` guarantees a hit; `?` keeps the walk total anyway.
+            id = chosen?;
         }
     }
 }
@@ -157,8 +158,7 @@ mod tests {
     fn empty_query_ends_the_stream() {
         let tree = tree_grid(500, 8);
         let q = Rect2::from_corners(Point2::xy(1e6, 1e6), Point2::xy(1e6 + 1.0, 1e6 + 1.0));
-        let mut s =
-            RandomPath::new(&tree, q, SampleMode::WithReplacement).with_attempt_budget(200);
+        let mut s = RandomPath::new(&tree, q, SampleMode::WithReplacement).with_attempt_budget(200);
         let mut rng = StdRng::seed_from_u64(2);
         assert!(s.next_sample(&mut rng).is_none());
     }

@@ -75,9 +75,11 @@ impl RsTreeConfig {
 /// buffers (they are rebuilt lazily on next use).
 #[derive(Debug)]
 pub struct RsTree<const D: usize> {
-    tree: RTree<D>,
-    buffers: HashMap<NodeId, Vec<Item<D>>>,
-    cfg: RsTreeConfig,
+    pub(crate) tree: RTree<D>,
+    pub(crate) buffers: HashMap<NodeId, Vec<Item<D>>>,
+    pub(crate) cfg: RsTreeConfig,
+    /// Mutation counter driving the sampled debug audit cadence.
+    audit_ops: u64,
 }
 
 impl<const D: usize> RsTree<D> {
@@ -88,6 +90,30 @@ impl<const D: usize> RsTree<D> {
             tree: RTree::bulk_load(items, cfg.rtree, BulkMethod::Hilbert),
             buffers: HashMap::new(),
             cfg,
+            audit_ops: 0,
+        }
+    }
+
+    /// Debug-build audit: re-validates tree and buffers after a mutation
+    /// (every mutation while small, sampled once the tree grows — see
+    /// [`crate::validate`]). Release builds compile this to nothing.
+    #[inline]
+    fn debug_audit(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            self.audit_ops = self.audit_ops.wrapping_add(1);
+            if self.len() <= crate::validate::AUDIT_EVERY_OP_LIMIT
+                || self
+                    .audit_ops
+                    .is_multiple_of(crate::validate::AUDIT_SAMPLE_PERIOD)
+            {
+                debug_assert_eq!(
+                    crate::validate::check_rs_tree(self),
+                    Ok(()),
+                    "RS-tree invariant audit failed after mutation {}",
+                    self.audit_ops
+                );
+            }
         }
     }
 
@@ -151,6 +177,7 @@ impl<const D: usize> RsTree<D> {
         let mut events = Vec::new();
         self.tree.insert_with(item, &mut |e| events.push(e));
         self.apply_events(&events, Some(item), None, rng);
+        self.debug_audit();
     }
 
     /// Removes a point, evicting it from any buffer that holds it.
@@ -159,6 +186,7 @@ impl<const D: usize> RsTree<D> {
         let removed = self.tree.remove_with(point, id, &mut |e| events.push(e));
         if removed {
             self.apply_events(&events, None, Some(id), rng);
+            self.debug_audit();
         }
         removed
     }
@@ -238,12 +266,7 @@ impl<const D: usize> RsTree<D> {
     /// Builds a fresh buffer for `u`: small subtrees are materialised in
     /// full; large ones are sampled by repeated count-weighted descent.
     /// Entries are distinct, exclude `seen`, and arrive pre-shuffled.
-    fn fill_buffer(
-        &self,
-        u: NodeId,
-        rng: &mut dyn Rng,
-        seen: &HashSet<u64>,
-    ) -> Vec<Item<D>> {
+    fn fill_buffer(&self, u: NodeId, rng: &mut dyn Rng, seen: &HashSet<u64>) -> Vec<Item<D>> {
         let rng = &mut *rng;
         let count = self.tree.visit(u).count;
         let mut buf: Vec<Item<D>>;
@@ -270,7 +293,9 @@ impl<const D: usize> RsTree<D> {
                 if buf.len() >= self.cfg.buffer_size {
                     break;
                 }
-                let item = self.descend_uniform(u, rng);
+                let Some(item) = self.descend_uniform(u, rng) else {
+                    break;
+                };
                 if !seen.contains(&item.id) && in_buf.insert(item.id) {
                     buf.push(item);
                 }
@@ -282,14 +307,20 @@ impl<const D: usize> RsTree<D> {
     /// Exact uniform draw from `P(u)` by count-weighted root-to-leaf
     /// descent (no query restriction needed: canonical nodes are fully
     /// inside `Q`).
-    fn descend_uniform(&self, u: NodeId, rng: &mut dyn Rng) -> Item<D> {
+    /// Returns `None` only if the count invariants are broken (an empty
+    /// leaf or child counts not summing to the node count) — conditions
+    /// [`crate::validate`] audits in debug builds.
+    fn descend_uniform(&self, u: NodeId, rng: &mut dyn Rng) -> Option<Item<D>> {
         let rng = &mut *rng;
         let mut id = u;
         loop {
             let view = self.tree.visit(id);
             if view.is_leaf() {
                 let items = view.items();
-                return items[rng.random_range(0..items.len())];
+                if items.is_empty() {
+                    return None;
+                }
+                return items.get(rng.random_range(0..items.len())).copied();
             }
             let total = view.count as u64;
             let mut target = rng.random_range(0..total);
@@ -302,7 +333,7 @@ impl<const D: usize> RsTree<D> {
                 }
                 target -= cnt;
             }
-            id = next.expect("child counts must sum to the node count");
+            id = next?;
         }
     }
 
@@ -373,7 +404,7 @@ impl<const D: usize> SpatialSampler<D> for RsSampler<'_, D> {
                 let i = selector.pick(rng2);
                 match self.parts[i] {
                     Part::Single(item) => Some(item),
-                    Part::Node(u) => Some(self.rs.descend_uniform(u, rng2)),
+                    Part::Node(u) => self.rs.descend_uniform(u, rng2),
                 }
             }
             SampleMode::WithoutReplacement => {

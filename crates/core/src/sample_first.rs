@@ -137,8 +137,8 @@ mod tests {
 
         // ~1% selective query.
         let narrow = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(9.0, 9.0));
-        let mut s = SampleFirst::new(&data, narrow, SampleMode::WithReplacement)
-            .with_io(Arc::clone(&io));
+        let mut s =
+            SampleFirst::new(&data, narrow, SampleMode::WithReplacement).with_io(Arc::clone(&io));
         for _ in 0..50 {
             s.next_sample(&mut rng).unwrap();
         }

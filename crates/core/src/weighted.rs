@@ -27,38 +27,47 @@ pub enum SelectorKind {
 /// A sampler over indices `0..n` with fixed positive weights.
 #[derive(Debug, Clone)]
 pub struct WeightedSelector {
-    kind: SelectorKind,
-    weights: Vec<u64>,
-    total: u64,
-    max: u64,
+    pub(crate) kind: SelectorKind,
+    pub(crate) weights: Vec<u64>,
+    pub(crate) total: u64,
+    pub(crate) max: u64,
     // Alias tables (built only for SelectorKind::Alias).
-    alias_prob: Vec<f64>,
-    alias_idx: Vec<u32>,
+    pub(crate) alias_prob: Vec<f64>,
+    pub(crate) alias_idx: Vec<u32>,
 }
 
 impl WeightedSelector {
     /// Builds a selector; weights must be non-empty with a positive total.
     ///
-    /// Returns `None` for an empty or all-zero weight vector.
+    /// Returns `None` for an empty or all-zero weight vector, or for more
+    /// than `u32::MAX` weights (alias-table indices are `u32`).
     pub fn new(weights: Vec<u64>, kind: SelectorKind) -> Option<Self> {
         let total: u64 = weights.iter().sum();
-        if weights.is_empty() || total == 0 {
+        if weights.is_empty() || total == 0 || u32::try_from(weights.len()).is_err() {
             return None;
         }
-        let max = *weights.iter().max().expect("non-empty");
+        let max = *weights.iter().max()?;
         let (alias_prob, alias_idx) = if kind == SelectorKind::Alias {
             build_alias(&weights, total)
         } else {
             (Vec::new(), Vec::new())
         };
-        Some(WeightedSelector {
+        let selector = WeightedSelector {
             kind,
             weights,
             total,
             max,
             alias_prob,
             alias_idx,
-        })
+        };
+        // The alias construction must conserve probability mass exactly;
+        // audit it at the only point a table is ever built.
+        debug_assert_eq!(
+            crate::validate::check_selector(&selector),
+            Ok(()),
+            "weighted-selector invariant audit failed at construction"
+        );
+        Some(selector)
     }
 
     /// Number of weighted entries.
@@ -125,8 +134,10 @@ fn build_alias(weights: &[u64], total: u64) -> (Vec<f64>, Vec<u32>) {
     let mut large: Vec<u32> = Vec::new();
     for (i, &s) in scaled.iter().enumerate() {
         if s < 1.0 {
+            // storm-lint: allow(R5): new() rejects > u32::MAX weights, so i fits
             small.push(i as u32);
         } else {
+            // storm-lint: allow(R5): new() rejects > u32::MAX weights, so i fits
             large.push(i as u32);
         }
     }
@@ -168,7 +179,11 @@ mod tests {
     #[test]
     fn single_entry_always_selected() {
         let mut rng = StdRng::seed_from_u64(1);
-        for kind in [SelectorKind::Linear, SelectorKind::AcceptReject, SelectorKind::Alias] {
+        for kind in [
+            SelectorKind::Linear,
+            SelectorKind::AcceptReject,
+            SelectorKind::Alias,
+        ] {
             let s = WeightedSelector::new(vec![5], kind).unwrap();
             for _ in 0..10 {
                 assert_eq!(s.pick(&mut rng), 0);
@@ -179,7 +194,11 @@ mod tests {
     #[test]
     fn zero_weight_entries_never_selected() {
         let mut rng = StdRng::seed_from_u64(2);
-        for kind in [SelectorKind::Linear, SelectorKind::AcceptReject, SelectorKind::Alias] {
+        for kind in [
+            SelectorKind::Linear,
+            SelectorKind::AcceptReject,
+            SelectorKind::Alias,
+        ] {
             let s = WeightedSelector::new(vec![0, 7, 0, 3], kind).unwrap();
             for _ in 0..200 {
                 let i = s.pick(&mut rng);
@@ -189,8 +208,8 @@ mod tests {
     }
 
     /// Chi-square goodness of fit against the target distribution.
-    fn chi_square(kind: SelectorKind, weights: Vec<u64>, draws: usize, seed: u64) -> f64 {
-        let s = WeightedSelector::new(weights.clone(), kind).unwrap();
+    fn chi_square(kind: SelectorKind, weights: &[u64], draws: usize, seed: u64) -> f64 {
+        let s = WeightedSelector::new(weights.to_owned(), kind).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut counts = vec![0usize; weights.len()];
         for _ in 0..draws {
@@ -219,7 +238,7 @@ mod tests {
             (SelectorKind::AcceptReject, 11),
             (SelectorKind::Alias, 12),
         ] {
-            let chi = chi_square(kind, weights.clone(), 200_000, seed);
+            let chi = chi_square(kind, &weights, 200_000, seed);
             assert!(chi < 22.46, "{kind:?}: chi² = {chi}");
         }
     }

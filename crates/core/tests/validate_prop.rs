@@ -1,0 +1,133 @@
+//! Property tests for the invariant validators: arbitrary interleavings of
+//! inserts, deletes, and sampling must leave every structure in a state
+//! [`storm_core::validate`] accepts, and the weighted-selector alias table
+//! must conserve probability mass for arbitrary weight vectors.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use storm_core::validate::{check_ls_tree, check_rs_tree, check_selector};
+use storm_core::{LsTree, RsTree, RsTreeConfig, SampleMode, SelectorKind, WeightedSelector};
+use storm_geo::{Point2, Rect2};
+use storm_rtree::{Item, RTreeConfig};
+
+/// One step of a random workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(f64, f64),
+    /// Remove the `i % live`-th currently live item.
+    Remove(usize),
+    /// Open a sampler over a query window and drain up to 8 samples.
+    Sample(f64, f64, f64, f64),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Op::Insert(x, y)),
+            1 => (0usize..1024).prop_map(Op::Remove),
+            1 => (0.0..80.0f64, 0.0..80.0f64, 1.0..40.0f64, 1.0..40.0f64)
+                .prop_map(|(x, y, w, h)| Op::Sample(x, y, w, h)),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ls_tree_invariants_hold_under_random_workloads(ops in ops_strategy(), salt in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(salt ^ 0xA5);
+        let mut ls: LsTree<2> = LsTree::bulk_load(Vec::new(), RTreeConfig::default(), salt);
+        let mut live: Vec<Item<2>> = Vec::new();
+        let mut next_id = 0u64;
+        for op in &ops {
+            match op {
+                Op::Insert(x, y) => {
+                    let item = Item::new(Point2::xy(*x, *y), next_id);
+                    next_id += 1;
+                    ls.insert(item);
+                    live.push(item);
+                }
+                Op::Remove(i) => {
+                    if !live.is_empty() {
+                        let item = live.swap_remove(i % live.len());
+                        prop_assert!(ls.remove(&item.point, item.id));
+                    }
+                }
+                Op::Sample(x, y, w, h) => {
+                    let q = Rect2::from_corners(Point2::xy(*x, *y), Point2::xy(x + w, y + h));
+                    let mut sampler = ls.sampler(q);
+                    for _ in 0..8 {
+                        use storm_core::SpatialSampler;
+                        if sampler.next_sample(&mut rng).is_none() {
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Err(e) = check_ls_tree(&ls) {
+                return Err(TestCaseError::fail(format!("after {op:?}: {e}")));
+            }
+        }
+        prop_assert_eq!(ls.len(), live.len());
+    }
+
+    #[test]
+    fn rs_tree_invariants_hold_under_random_workloads(ops in ops_strategy(), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A);
+        let mut rs: RsTree<2> = RsTree::bulk_load(Vec::new(), RsTreeConfig::default());
+        rs.prefill(&mut rng);
+        let mut live: Vec<Item<2>> = Vec::new();
+        let mut next_id = 0u64;
+        for op in &ops {
+            match op {
+                Op::Insert(x, y) => {
+                    let item = Item::new(Point2::xy(*x, *y), next_id);
+                    next_id += 1;
+                    rs.insert(item, &mut rng);
+                    live.push(item);
+                }
+                Op::Remove(i) => {
+                    if !live.is_empty() {
+                        let item = live.swap_remove(i % live.len());
+                        prop_assert!(rs.remove(&item.point, item.id, &mut rng));
+                    }
+                }
+                Op::Sample(x, y, w, h) => {
+                    let q = Rect2::from_corners(Point2::xy(*x, *y), Point2::xy(x + w, y + h));
+                    let mut sampler = rs.sampler(q, SampleMode::WithReplacement);
+                    for _ in 0..8 {
+                        use storm_core::SpatialSampler;
+                        if sampler.next_sample(&mut rng).is_none() {
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Err(e) = check_rs_tree(&rs) {
+                return Err(TestCaseError::fail(format!("after {op:?}: {e}")));
+            }
+        }
+        prop_assert_eq!(rs.len(), live.len());
+    }
+
+    #[test]
+    fn alias_tables_conserve_mass_for_arbitrary_weights(
+        weights in prop::collection::vec(0u64..1_000, 1..40),
+    ) {
+        let positive = weights.iter().any(|&w| w > 0);
+        match WeightedSelector::new(weights.clone(), SelectorKind::Alias) {
+            Some(sel) => {
+                prop_assert!(positive);
+                prop_assert_eq!(check_selector(&sel), Ok(()));
+            }
+            None => prop_assert!(!positive),
+        }
+        // The accept-reject kind has no tables but shares the cached
+        // total/max bookkeeping.
+        if let Some(sel) = WeightedSelector::new(weights, SelectorKind::AcceptReject) {
+            prop_assert_eq!(check_selector(&sel), Ok(()));
+        }
+    }
+}

@@ -72,7 +72,11 @@ impl Dataset {
         }
         let rs = RsTree::bulk_load(items.clone(), RsTreeConfig::with_fanout(cfg.fanout));
         let ls = cfg.enable_ls.then(|| {
-            LsTree::bulk_load(items.clone(), RTreeConfig::with_fanout(cfg.fanout), 0x5702_u64)
+            LsTree::bulk_load(
+                items.clone(),
+                RTreeConfig::with_fanout(cfg.fanout),
+                0x5702_u64,
+            )
         });
         Dataset {
             name,
@@ -228,10 +232,14 @@ mod tests {
         let records = (0..n)
             .map(|i| record((i % 10) as f64, (i / 10) as f64, i as i64, i as f64))
             .collect();
-        Dataset::build("test", records, DatasetConfig {
-            fanout: 8,
-            ..Default::default()
-        })
+        Dataset::build(
+            "test",
+            records,
+            DatasetConfig {
+                fanout: 8,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

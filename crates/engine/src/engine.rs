@@ -157,10 +157,8 @@ impl StormEngine {
             .ok_or_else(|| EngineError::NoSuchDataset(query.dataset.clone()))?;
         let stats = ds.stats();
         // Exact q from aggregate counts (an O(r(N)) count-only pass).
-        let probe = storm_geo::StQuery::new(
-            query.range.unwrap_or(stats.bounds),
-            query.time_range(),
-        );
+        let probe =
+            storm_geo::StQuery::new(query.range.unwrap_or(stats.bounds), query.time_range());
         let q_est = match probe.to_rect3() {
             Some(rect3) => ds.exact_count(&rect3),
             None => 0,
@@ -213,7 +211,11 @@ impl StormEngine {
             SamplerKind::RsTree,
         ] {
             let cost = cost::io_cost(kind, &inputs);
-            let marker = if kind == plan.sampler { "  ← chosen" } else { "" };
+            let marker = if kind == plan.sampler {
+                "  ← chosen"
+            } else {
+                ""
+            };
             let _ = writeln!(out, "  {kind:<12} {cost:>14.1}{marker}");
         }
         if plan.query.method.is_some() {
@@ -227,10 +229,8 @@ impl StormEngine {
     pub fn plan_only(&self, query: Query) -> Result<storm_query::Plan, EngineError> {
         let ds = self.dataset(&query.dataset)?;
         let stats = ds.stats();
-        let probe = storm_geo::StQuery::new(
-            query.range.unwrap_or(stats.bounds),
-            query.time_range(),
-        );
+        let probe =
+            storm_geo::StQuery::new(query.range.unwrap_or(stats.bounds), query.time_range());
         let q_est = match probe.to_rect3() {
             Some(rect3) => ds.exact_count(&rect3),
             None => 0,
@@ -339,7 +339,13 @@ mod tests {
     fn every_method_answers_the_same_query() {
         let mut e = engine_with_data(4_000);
         let mut means = Vec::new();
-        for method in ["queryfirst", "samplefirst", "randompath", "lstree", "rstree"] {
+        for method in [
+            "queryfirst",
+            "samplefirst",
+            "randompath",
+            "lstree",
+            "rstree",
+        ] {
             let outcome = e
                 .execute(&format!(
                     "ESTIMATE AVG(temp) FROM weather RANGE 10 10 80 80 SAMPLES 800 METHOD {method}"
@@ -365,11 +371,7 @@ mod tests {
                     assert!(key.starts_with('u'));
                     // Every user's true mean is within a few degrees of the
                     // global mean 24.5 (temp = 20 + i%10, users = i%7).
-                    assert!(
-                        (est.value - 24.5).abs() < 3.0,
-                        "{key}: {}",
-                        est.value
-                    );
+                    assert!((est.value - 24.5).abs() < 3.0, "{key}: {}", est.value);
                     assert!(est.n > 100);
                 }
             }
@@ -432,9 +434,7 @@ mod tests {
     #[test]
     fn trajectory_query_filters_by_user() {
         let mut e = engine_with_data(2_000);
-        let outcome = e
-            .execute("TRAJECTORY u3 FROM weather")
-            .unwrap();
+        let outcome = e.execute("TRAJECTORY u3 FROM weather").unwrap();
         match outcome.result {
             TaskResult::Trajectory { waypoints } => {
                 // u3 ⇔ i % 7 == 3 → ~285 points; WOR exhausts all 2000.
@@ -478,16 +478,12 @@ mod tests {
         let cancel2 = cancel.clone();
         let mut ticks = 0;
         let outcome = e
-            .execute_with(
-                "ESTIMATE AVG(temp) FROM weather",
-                &cancel,
-                &mut |_p| {
-                    ticks += 1;
-                    if ticks >= 2 {
-                        cancel2.cancel();
-                    }
-                },
-            )
+            .execute_with("ESTIMATE AVG(temp) FROM weather", &cancel, &mut |_p| {
+                ticks += 1;
+                if ticks >= 2 {
+                    cancel2.cancel();
+                }
+            })
             .unwrap();
         assert_eq!(outcome.reason, StopReason::Cancelled);
         assert!(outcome.samples < 10_000);
@@ -542,7 +538,13 @@ mod tests {
         let report = e
             .import("obs", &mut source, &mapping, DatasetConfig::default())
             .unwrap();
-        assert_eq!(report, ImportReport { imported: 2, skipped: 1 });
+        assert_eq!(
+            report,
+            ImportReport {
+                imported: 2,
+                skipped: 1
+            }
+        );
         let outcome = e.execute("ESTIMATE AVG(temp) FROM obs").unwrap();
         assert!((outcome.estimate().unwrap().value - 22.0).abs() < 1e-9);
         assert_eq!(outcome.reason, StopReason::Exhausted);

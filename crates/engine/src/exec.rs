@@ -9,8 +9,8 @@ use storm_core::{
     SpatialSampler,
 };
 use storm_estimators::cluster::OnlineKMeans;
-use storm_estimators::kde::{Kernel, KdeEstimator};
 use storm_estimators::groupby::GroupedMeans;
+use storm_estimators::kde::{KdeEstimator, Kernel};
 use storm_estimators::quantile::QuantileEstimator;
 use storm_estimators::text::SpaceSaving;
 use storm_estimators::trajectory::TrajectoryBuilder;
@@ -138,13 +138,9 @@ impl TaskState {
             Task::Density { grid } => {
                 let rect = plan.st_query.rect;
                 let bandwidth = (rect.extent(0).max(rect.extent(1)) * 0.06).max(f64::MIN_POSITIVE);
-                let kde = KdeEstimator::new(
-                    rect,
-                    grid.0,
-                    grid.1,
-                    Kernel::Epanechnikov { bandwidth },
-                )
-                .with_population(q);
+                let kde =
+                    KdeEstimator::new(rect, grid.0, grid.1, Kernel::Epanechnikov { bandwidth })
+                        .with_population(q);
                 TaskState::Density { kde }
             }
             Task::Cluster { k } => TaskState::Cluster {
@@ -180,7 +176,10 @@ impl TaskState {
     fn ingest(&mut self, collection: &Collection, item: Item<3>) -> Result<(), EngineError> {
         match self {
             TaskState::Aggregate {
-                field, stat, misses, ..
+                field,
+                stat,
+                misses,
+                ..
             } => {
                 let value = collection
                     .get(DocId(item.id))
@@ -307,7 +306,11 @@ impl TaskState {
             }
             TaskState::Density { kde } => {
                 let map = kde.density_map();
-                let peak = map.iter().cloned().fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+                let peak = map
+                    .iter()
+                    .cloned()
+                    .fold(0.0, f64::max)
+                    .max(f64::MIN_POSITIVE);
                 let mut total_ci = 0.0;
                 for iy in 0..kde.ny() {
                     for ix in 0..kde.nx() {
@@ -384,10 +387,9 @@ pub(crate) fn run_plan(
     cancel: &CancelToken,
     on_progress: &mut dyn FnMut(&Progress),
 ) -> Result<QueryOutcome, EngineError> {
-    let rect3: Rect3 = plan
-        .st_query
-        .to_rect3()
-        .expect("planner rejects empty time ranges");
+    let rect3: Rect3 = plan.st_query.to_rect3().ok_or(EngineError::Internal(
+        "planned query has an empty time range",
+    ))?;
     let start = Instant::now();
     let confidence = plan.query.termination.confidence_level();
     let q = plan.q_est;
@@ -464,15 +466,13 @@ pub(crate) fn run_plan(
                 break StopReason::SampleBudget;
             }
         }
-        if samples % CHECK_EVERY == 0 {
+        if samples.is_multiple_of(CHECK_EVERY) {
             if let Some(ms) = term.time_budget_ms {
                 if start.elapsed() >= Duration::from_millis(ms) {
                     break StopReason::TimeBudget;
                 }
             }
-            if let (Some(target), Some(err)) =
-                (term.target_error, state.rel_error(confidence))
-            {
+            if let (Some(target), Some(err)) = (term.target_error, state.rel_error(confidence)) {
                 if samples > 1 && err <= target {
                     break StopReason::QualityReached;
                 }
@@ -483,7 +483,7 @@ pub(crate) fn run_plan(
         };
         samples += 1;
         state.ingest(collection, item)?;
-        if samples % PROGRESS_EVERY == 0 {
+        if samples.is_multiple_of(PROGRESS_EVERY) {
             on_progress(&Progress {
                 samples,
                 elapsed: start.elapsed(),

@@ -73,12 +73,13 @@ impl InteractiveSession {
     pub fn submit(&mut self, ql: &str) -> u64 {
         self.next_id += 1;
         let id = self.next_id;
-        self.commands
-            .send(Command::Run {
-                query_id: id,
-                ql: ql.to_owned(),
-            })
-            .expect("worker alive while session exists");
+        // A failed send means the worker died (panicked); the events
+        // channel is closed then, so callers observe termination instead of
+        // a second panic here.
+        let _ = self.commands.send(Command::Run {
+            query_id: id,
+            ql: ql.to_owned(),
+        });
         id
     }
 
@@ -105,11 +106,15 @@ impl InteractiveSession {
     /// Shuts the worker down and returns the engine.
     pub fn shutdown(mut self) -> StormEngine {
         let _ = self.commands.send(Command::Shutdown);
-        self.worker
-            .take()
-            .expect("worker present until shutdown")
-            .join()
-            .expect("worker thread panicked")
+        // `worker` is Some from construction until exactly one of
+        // shutdown()/Drop takes it, and shutdown consumes self.
+        // storm-lint: allow(R1): Option is only for Drop; provably Some here
+        let worker = self.worker.take().expect("worker taken only once");
+        match worker.join() {
+            Ok(engine) => engine,
+            // Re-raise the worker's own panic rather than minting a new one.
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 }
 
@@ -189,10 +194,14 @@ mod tests {
                 body: Value::object([("v".into(), Value::Float((i % 5) as f64))]),
             })
             .collect();
-        e.create_dataset("d", records, DatasetConfig {
-            fanout: 16,
-            ..Default::default()
-        })
+        e.create_dataset(
+            "d",
+            records,
+            DatasetConfig {
+                fanout: 16,
+                ..Default::default()
+            },
+        )
         .unwrap();
         e
     }

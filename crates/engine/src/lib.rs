@@ -46,6 +46,9 @@ pub enum EngineError {
     IndexUnavailable(&'static str),
     /// The queried attribute is absent or non-numeric in sampled records.
     BadAttribute(String),
+    /// An internal invariant did not hold — a bug surfaced as an error
+    /// instead of a panic, so an interactive session survives it.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for EngineError {
@@ -61,6 +64,7 @@ impl std::fmt::Display for EngineError {
             EngineError::BadAttribute(field) => {
                 write!(f, "attribute '{field}' is missing or non-numeric")
             }
+            EngineError::Internal(what) => write!(f, "internal error: {what}"),
         }
     }
 }

@@ -22,7 +22,7 @@ impl StormEngine {
     /// location keys per line.
     pub fn save_dataset(&self, name: &str, path: &Path) -> Result<(), EngineError> {
         let ds = self.dataset(name)?;
-        let file = std::fs::File::create(path).map_err(io_err)?;
+        let file = std::fs::File::create(path).map_err(|e| io_err(&e))?;
         let mut out = BufWriter::new(file);
         // Deterministic order: by record id.
         let mut items: Vec<_> = ds.items().to_vec();
@@ -31,7 +31,9 @@ impl StormEngine {
             let doc = ds
                 .collection()
                 .get(DocId(item.id))
-                .expect("scan file and collection in sync");
+                .ok_or(EngineError::Internal(
+                    "scan file and collection out of sync",
+                ))?;
             let mut map = match &doc.body {
                 Value::Object(map) => map.clone(),
                 other => {
@@ -43,9 +45,9 @@ impl StormEngine {
             map.insert(KEY_X.to_owned(), Value::Float(item.point.get(0)));
             map.insert(KEY_Y.to_owned(), Value::Float(item.point.get(1)));
             map.insert(KEY_T.to_owned(), Value::Int(item.point.get(2) as i64));
-            writeln!(out, "{}", json::to_string(&Value::Object(map))).map_err(io_err)?;
+            writeln!(out, "{}", json::to_string(&Value::Object(map))).map_err(|e| io_err(&e))?;
         }
-        out.flush().map_err(io_err)
+        out.flush().map_err(|e| io_err(&e))
     }
 
     /// Loads a data set saved by [`StormEngine::save_dataset`], rebuilding
@@ -59,11 +61,11 @@ impl StormEngine {
         if self.dataset(name).is_ok() {
             return Err(EngineError::DatasetExists(name.to_owned()));
         }
-        let file = std::fs::File::open(path).map_err(io_err)?;
+        let file = std::fs::File::open(path).map_err(|e| io_err(&e))?;
         let reader = BufReader::new(file);
         let mut records = Vec::new();
         for (line_no, line) in reader.lines().enumerate() {
-            let line = line.map_err(io_err)?;
+            let line = line.map_err(|e| io_err(&e))?;
             if line.trim().is_empty() {
                 continue;
             }
@@ -108,7 +110,7 @@ impl StormEngine {
     }
 }
 
-fn io_err(e: std::io::Error) -> EngineError {
+fn io_err(e: &std::io::Error) -> EngineError {
     EngineError::Connector(storm_connector::ConnectorError::Io(e.to_string()))
 }
 

@@ -45,7 +45,11 @@ pub fn write_ppm(map: &[f64], nx: usize, ny: usize, path: &Path) -> std::io::Res
     write!(out, "P6\n{nx} {ny}\n255\n")?;
     for iy in (0..ny).rev() {
         for ix in 0..nx {
-            let t = if peak > 0.0 { map[iy * nx + ix] / peak } else { 0.0 };
+            let t = if peak > 0.0 {
+                map[iy * nx + ix] / peak
+            } else {
+                0.0
+            };
             let (r, g, b) = heat_color(t);
             out.write_all(&[r, g, b])?;
         }
@@ -59,9 +63,9 @@ fn heat_color(t: f64) -> (u8, u8, u8) {
     let segment = (t * 3.0).min(2.999);
     let f = segment.fract();
     match segment as u32 {
-        0 => (0, (f * 255.0) as u8, 255),                       // blue → cyan
+        0 => (0, (f * 255.0) as u8, 255), // blue → cyan
         1 => ((f * 255.0) as u8, 255, (255.0 * (1.0 - f)) as u8), // cyan → yellow
-        _ => (255, (255.0 * (1.0 - f)) as u8, 0),               // yellow → red
+        _ => (255, (255.0 * (1.0 - f)) as u8, 0), // yellow → red
     }
 }
 
@@ -69,9 +73,9 @@ fn heat_color(t: f64) -> (u8, u8, u8) {
 /// by the time sort; start marked `S`, end marked `E`.
 pub fn ascii_trajectory(waypoints: &[StPoint], width: usize, height: usize) -> String {
     assert!(width >= 2 && height >= 2, "canvas too small");
-    if waypoints.is_empty() {
+    let (Some(first), Some(last)) = (waypoints.first(), waypoints.last()) else {
         return String::from("(empty trajectory)\n");
-    }
+    };
     let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
     for p in waypoints {
         x0 = x0.min(p.xy.x());
@@ -80,8 +84,16 @@ pub fn ascii_trajectory(waypoints: &[StPoint], width: usize, height: usize) -> S
         y1 = y1.max(p.xy.y());
     }
     let to_cell = |p: &StPoint| -> (usize, usize) {
-        let fx = if x1 > x0 { (p.xy.x() - x0) / (x1 - x0) } else { 0.5 };
-        let fy = if y1 > y0 { (p.xy.y() - y0) / (y1 - y0) } else { 0.5 };
+        let fx = if x1 > x0 {
+            (p.xy.x() - x0) / (x1 - x0)
+        } else {
+            0.5
+        };
+        let fy = if y1 > y0 {
+            (p.xy.y() - y0) / (y1 - y0)
+        } else {
+            0.5
+        };
         (
             ((fx * (width - 1) as f64).round() as usize).min(width - 1),
             ((fy * (height - 1) as f64).round() as usize).min(height - 1),
@@ -104,8 +116,8 @@ pub fn ascii_trajectory(waypoints: &[StPoint], width: usize, height: usize) -> S
         let (x, y) = to_cell(p);
         grid[y * width + x] = b'o';
     }
-    let (sx, sy) = to_cell(&waypoints[0]);
-    let (ex, ey) = to_cell(waypoints.last().expect("non-empty"));
+    let (sx, sy) = to_cell(first);
+    let (ex, ey) = to_cell(last);
     grid[sy * width + sx] = b'S';
     grid[ey * width + ex] = b'E';
 

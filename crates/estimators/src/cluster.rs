@@ -74,6 +74,7 @@ impl OnlineKMeans {
         if self.centers.len() < self.k {
             // Seed from distinct points so two identical first samples do
             // not collapse two clusters.
+            // storm-lint: allow(R3): exact-duplicate check; 0.0 only from identical coords
             if !self.centers.iter().any(|c| c.dist_sq(p) == 0.0) {
                 self.centers.push(*p);
                 self.counts.push(1);

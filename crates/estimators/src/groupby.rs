@@ -60,7 +60,7 @@ impl<K: Eq + Hash + Clone> GroupedMeans<K> {
             .iter()
             .map(|(k, s)| (k.clone(), s.mean_estimate()))
             .collect();
-        out.sort_by(|a, b| b.1.n.cmp(&a.1.n));
+        out.sort_by_key(|entry| std::cmp::Reverse(entry.1.n));
         out
     }
 

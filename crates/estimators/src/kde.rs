@@ -200,11 +200,7 @@ impl KdeEstimator {
     pub fn l1_distance(&self, reference: &[f64]) -> f64 {
         assert_eq!(reference.len(), self.nx * self.ny);
         let map = self.density_map();
-        let total: f64 = map
-            .iter()
-            .zip(reference)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let total: f64 = map.iter().zip(reference).map(|(a, b)| (a - b).abs()).sum();
         total / map.len() as f64
     }
 
@@ -258,7 +254,10 @@ mod tests {
                     total += kernel.eval((x * x + y * y).sqrt()) * step * step;
                 }
             }
-            assert!((total - 1.0).abs() < 0.02, "{kernel:?} integrates to {total}");
+            assert!(
+                (total - 1.0).abs() < 0.02,
+                "{kernel:?} integrates to {total}"
+            );
         }
     }
 
@@ -272,12 +271,8 @@ mod tests {
 
     #[test]
     fn density_concentrates_where_samples_are() {
-        let mut kde = KdeEstimator::new(
-            unit_bounds(),
-            16,
-            16,
-            Kernel::Gaussian { bandwidth: 0.05 },
-        );
+        let mut kde =
+            KdeEstimator::new(unit_bounds(), 16, 16, Kernel::Gaussian { bandwidth: 0.05 });
         for i in 0..500 {
             // Cluster near (0.25, 0.25).
             let jitter = (i % 10) as f64 * 0.004;
@@ -321,12 +316,8 @@ mod tests {
 
     #[test]
     fn per_cell_intervals_tighten() {
-        let mut kde = KdeEstimator::new(
-            unit_bounds(),
-            8,
-            8,
-            Kernel::Gaussian { bandwidth: 0.2 },
-        ).with_population(10_000);
+        let mut kde = KdeEstimator::new(unit_bounds(), 8, 8, Kernel::Gaussian { bandwidth: 0.2 })
+            .with_population(10_000);
         let mut widths = Vec::new();
         for i in 0..400 {
             let t = i as f64 * 0.618;

@@ -184,7 +184,9 @@ mod tests {
         // True median of Uniform(0,1) is 0.5; ~95% of 95% CIs must cover.
         let mut lcg = 99u64;
         let mut next = move || {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (lcg >> 33) as f64 / (1u64 << 31) as f64
         };
         let trials = 500;

@@ -12,12 +12,12 @@ use std::collections::HashMap;
 
 /// English stop words filtered out of term statistics.
 const STOP_WORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has",
-    "have", "he", "her", "his", "i", "if", "in", "is", "it", "its", "just", "me", "my",
-    "no", "not", "of", "on", "or", "our", "she", "so", "that", "the", "their", "them",
-    "then", "there", "they", "this", "to", "was", "we", "were", "what", "when", "who",
-    "will", "with", "you", "your", "rt", "im", "dont", "get", "got", "going", "one", "up",
-    "out", "all", "can", "do", "about", "now", "like",
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has", "have",
+    "he", "her", "his", "i", "if", "in", "is", "it", "its", "just", "me", "my", "no", "not", "of",
+    "on", "or", "our", "she", "so", "that", "the", "their", "them", "then", "there", "they",
+    "this", "to", "was", "we", "were", "what", "when", "who", "will", "with", "you", "your", "rt",
+    "im", "dont", "get", "got", "going", "one", "up", "out", "all", "can", "do", "about", "now",
+    "like",
 ];
 
 /// Splits a short text into lowercase alphanumeric tokens, dropping stop
@@ -127,7 +127,10 @@ mod tests {
     #[test]
     fn tokenizer_lowercases_and_filters() {
         let toks = tokenize("The SNOW is falling, the ice-storm's power outage!!");
-        assert_eq!(toks, vec!["snow", "falling", "ice", "storm's", "power", "outage"]);
+        assert_eq!(
+            toks,
+            vec!["snow", "falling", "ice", "storm's", "power", "outage"]
+        );
     }
 
     #[test]

@@ -64,16 +64,19 @@ impl TrajectoryBuilder {
 
     /// Total path length of the reconstruction.
     pub fn path_length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].xy.dist(&w[1].xy))
-            .sum()
+        self.points.windows(2).map(|w| w[0].xy.dist(&w[1].xy)).sum()
     }
 
     /// Mean distance between this reconstruction and a reference
     /// trajectory, evaluated at `steps` evenly spaced times across
     /// `[t0, t1]` — the convergence metric for experiment E4.
-    pub fn mean_deviation(&self, reference: &TrajectoryBuilder, t0: i64, t1: i64, steps: usize) -> Option<f64> {
+    pub fn mean_deviation(
+        &self,
+        reference: &TrajectoryBuilder,
+        t0: i64,
+        t1: i64,
+        steps: usize,
+    ) -> Option<f64> {
         if steps == 0 || t1 <= t0 {
             return None;
         }

@@ -159,7 +159,7 @@ mod tests {
             (0u32, 0u32),
             (u32::MAX / 2, u32::MAX / 2),
             (2_147_483_647, 0),
-            (123_456_789, 987_654_32),
+            (123_456_789, 98_765_432),
         ] {
             let d = c.index_of_cell(x, y);
             assert_eq!(c.cell_of_index(d), (x, y));

@@ -187,7 +187,10 @@ mod tests {
     #[test]
     fn high_bit_round_trip() {
         // 2 dims × 31 bits, 3 dims × 21 bits
-        for &(x, y) in &[(0x7FFF_FFFFu32, 0u32), (0x1234_5678, 0x7ABC_DEF0 & 0x7FFF_FFFF)] {
+        for &(x, y) in &[
+            (0x7FFF_FFFFu32, 0u32),
+            (0x1234_5678, 0x7ABC_DEF0 & 0x7FFF_FFFF),
+        ] {
             let k = hilbert_key([x, y], 31);
             assert_eq!(hilbert_cell::<2>(k, 31), [x, y]);
         }

@@ -93,7 +93,11 @@ mod tests {
     #[test]
     fn round_trip_high_bits() {
         let c = ZOrderCurve::new(31).unwrap();
-        for &(x, y) in &[(0x7FFF_FFFFu32, 0u32), (0, 0x7FFF_FFFF), (0x1234_5678, 0x7654_3210 & 0x7FFF_FFFF)] {
+        for &(x, y) in &[
+            (0x7FFF_FFFFu32, 0u32),
+            (0, 0x7FFF_FFFF),
+            (0x1234_5678, 0x7654_3210 & 0x7FFF_FFFF),
+        ] {
             let d = c.index_of_cell(x, y);
             assert_eq!(c.cell_of_index(d), (x, y));
         }

@@ -83,9 +83,9 @@ impl<const D: usize> Point<D> {
     /// Component-wise minimum.
     #[inline]
     pub fn min(&self, other: &Self) -> Self {
-        let mut coords = [0.0; D];
-        for i in 0..D {
-            coords[i] = self.coords[i].min(other.coords[i]);
+        let mut coords = self.coords;
+        for (c, o) in coords.iter_mut().zip(&other.coords) {
+            *c = c.min(*o);
         }
         Point { coords }
     }
@@ -93,18 +93,18 @@ impl<const D: usize> Point<D> {
     /// Component-wise maximum.
     #[inline]
     pub fn max(&self, other: &Self) -> Self {
-        let mut coords = [0.0; D];
-        for i in 0..D {
-            coords[i] = self.coords[i].max(other.coords[i]);
+        let mut coords = self.coords;
+        for (c, o) in coords.iter_mut().zip(&other.coords) {
+            *c = c.max(*o);
         }
         Point { coords }
     }
 
     /// Linear interpolation: `self + t * (other - self)`.
     pub fn lerp(&self, other: &Self, t: f64) -> Self {
-        let mut coords = [0.0; D];
-        for i in 0..D {
-            coords[i] = self.coords[i] + t * (other.coords[i] - self.coords[i]);
+        let mut coords = self.coords;
+        for (c, o) in coords.iter_mut().zip(&other.coords) {
+            *c += t * (*o - *c);
         }
         Point { coords }
     }
@@ -178,7 +178,10 @@ mod tests {
         assert_eq!(p.get(0), 1.5);
         assert_eq!(p.coords(), [1.5, -2.0]);
         assert_eq!(Point::<2>::origin(), Point2::xy(0.0, 0.0));
-        assert_eq!(Point::<3>::from([1.0, 2.0, 3.0]), Point3::xyz(1.0, 2.0, 3.0));
+        assert_eq!(
+            Point::<3>::from([1.0, 2.0, 3.0]),
+            Point3::xyz(1.0, 2.0, 3.0)
+        );
     }
 
     #[test]

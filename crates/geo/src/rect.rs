@@ -254,7 +254,11 @@ mod tests {
     #[test]
     fn bounding_of_points() {
         assert!(Rect2::bounding(&[]).is_none());
-        let pts = [Point2::xy(1.0, 5.0), Point2::xy(-1.0, 2.0), Point2::xy(3.0, 3.0)];
+        let pts = [
+            Point2::xy(1.0, 5.0),
+            Point2::xy(-1.0, 2.0),
+            Point2::xy(3.0, 3.0),
+        ];
         assert_eq!(Rect2::bounding(&pts).unwrap(), r(-1.0, 2.0, 3.0, 5.0));
     }
 

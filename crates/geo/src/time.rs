@@ -59,10 +59,7 @@ impl TimeRange {
 
     /// True iff the two ranges share at least one instant.
     pub const fn overlaps(&self, other: &TimeRange) -> bool {
-        !self.is_empty()
-            && !other.is_empty()
-            && self.start < other.end
-            && other.start < self.end
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
     }
 
     /// The overlapping part of the two ranges (possibly empty).

@@ -73,9 +73,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QlError> {
                     && matches!(bytes[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')
                 {
                     // Only allow sign right after an exponent marker.
-                    if matches!(bytes[i], b'-' | b'+')
-                        && !matches!(bytes[i - 1], b'e' | b'E')
-                    {
+                    if matches!(bytes[i], b'-' | b'+') && !matches!(bytes[i - 1], b'e' | b'E') {
                         break;
                     }
                     i += 1;
@@ -90,7 +88,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QlError> {
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
                 while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                    && ((bytes[i] as char).is_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
                 {
                     i += 1;
                 }

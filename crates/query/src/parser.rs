@@ -25,11 +25,10 @@ struct Parser {
 
 impl Parser {
     fn error(&self, message: &str) -> QlError {
-        let context = self
-            .tokens
-            .get(self.pos)
-            .map(|t| format!("{message} (at {t:?})"))
-            .unwrap_or_else(|| format!("{message} (at end of input)"));
+        let context = self.tokens.get(self.pos).map_or_else(
+            || format!("{message} (at end of input)"),
+            |t| format!("{message} (at {t:?})"),
+        );
         QlError::Parse { message: context }
     }
 
@@ -115,8 +114,7 @@ impl Parser {
                     let y1 = self.number("RANGE y1")?;
                     let x2 = self.number("RANGE x2")?;
                     let y2 = self.number("RANGE y2")?;
-                    query.range =
-                        Some(Rect2::from_corners(Point2::xy(x1, y1), Point2::xy(x2, y2)));
+                    query.range = Some(Rect2::from_corners(Point2::xy(x1, y1), Point2::xy(x2, y2)));
                 }
                 "time" => {
                     let t1 = self.number("TIME start")?;
@@ -153,8 +151,7 @@ impl Parser {
                     query.termination.time_budget_ms = Some(ms as u64);
                 }
                 "samples" => {
-                    query.termination.sample_budget =
-                        Some(self.positive_int("SAMPLES")?);
+                    query.termination.sample_budget = Some(self.positive_int("SAMPLES")?);
                 }
                 "method" => {
                     let name = self.word("METHOD")?.to_lowercase();
@@ -164,24 +161,20 @@ impl Parser {
                         "randompath" | "olken" => SamplerKind::RandomPath,
                         "lstree" | "ls" => SamplerKind::LsTree,
                         "rstree" | "rs" => SamplerKind::RsTree,
-                        other => {
-                            return Err(self.error(&format!("unknown METHOD '{other}'")))
-                        }
+                        other => return Err(self.error(&format!("unknown METHOD '{other}'"))),
                     });
                 }
                 "by" => {
                     let group_field = self.word("the BY group field")?;
                     match &mut query.task {
-                        Task::Aggregate { agg, by, .. }
-                            if matches!(agg, AggFunc::Avg | AggFunc::Sum) =>
-                        {
+                        Task::Aggregate {
+                            agg: AggFunc::Avg | AggFunc::Sum,
+                            by,
+                            ..
+                        } => {
                             *by = Some(group_field);
                         }
-                        _ => {
-                            return Err(
-                                self.error("BY only applies to AVG/SUM aggregates")
-                            )
-                        }
+                        _ => return Err(self.error("BY only applies to AVG/SUM aggregates")),
                     }
                 }
                 "mode" => {
@@ -239,7 +232,11 @@ impl Parser {
                     _ => AggFunc::Quantile(0.5),
                 };
                 let field = self.parenthesised_field()?;
-                Ok(Task::Aggregate { agg, field, by: None })
+                Ok(Task::Aggregate {
+                    agg,
+                    field,
+                    by: None,
+                })
             }
             "quantile" => {
                 // QUANTILE(field, p)
@@ -317,11 +314,17 @@ mod tests {
     fn parses_all_verbs() {
         assert!(matches!(
             parse("ESTIMATE COUNT FROM osm").unwrap().task,
-            Task::Aggregate { agg: AggFunc::Count, .. }
+            Task::Aggregate {
+                agg: AggFunc::Count,
+                ..
+            }
         ));
         assert!(matches!(
             parse("ESTIMATE SUM(pop) FROM osm").unwrap().task,
-            Task::Aggregate { agg: AggFunc::Sum, .. }
+            Task::Aggregate {
+                agg: AggFunc::Sum,
+                ..
+            }
         ));
         assert_eq!(
             parse("DENSITY FROM tweets GRID 64 48").unwrap().task,
@@ -333,10 +336,18 @@ mod tests {
         );
         assert_eq!(
             parse("TRAJECTORY 'user 1' FROM tweets").unwrap().task,
-            Task::Trajectory { user: "user 1".into() }
+            Task::Trajectory {
+                user: "user 1".into()
+            }
         );
-        assert_eq!(parse("TERMS FROM tweets").unwrap().task, Task::Terms { k: 10 });
-        assert_eq!(parse("TERMS 25 FROM tweets").unwrap().task, Task::Terms { k: 25 });
+        assert_eq!(
+            parse("TERMS FROM tweets").unwrap().task,
+            Task::Terms { k: 10 }
+        );
+        assert_eq!(
+            parse("TERMS 25 FROM tweets").unwrap().task,
+            Task::Terms { k: 25 }
+        );
     }
 
     #[test]
@@ -399,16 +410,16 @@ mod tests {
         for bad in [
             "",
             "FROM x",
-            "ESTIMATE AVG(temp)",               // no FROM
-            "ESTIMATE AVG temp FROM x",         // missing parens
-            "ESTIMATE MODE(t) FROM x",          // unknown aggregate
-            "CLUSTER FROM x",                   // missing k
-            "CLUSTER 0 FROM x",                 // k must be >= 1
+            "ESTIMATE AVG(temp)",       // no FROM
+            "ESTIMATE AVG temp FROM x", // missing parens
+            "ESTIMATE MODE(t) FROM x",  // unknown aggregate
+            "CLUSTER FROM x",           // missing k
+            "CLUSTER 0 FROM x",         // k must be >= 1
             "ESTIMATE COUNT FROM x CONFIDENCE 1.5",
             "ESTIMATE COUNT FROM x ERROR -1",
             "ESTIMATE COUNT FROM x METHOD quantum",
             "ESTIMATE COUNT FROM x BOGUS 1",
-            "ESTIMATE COUNT FROM x GRID 4 4",   // GRID on non-density
+            "ESTIMATE COUNT FROM x GRID 4 4", // GRID on non-density
             "ESTIMATE COUNT FROM x RANGE 1 2 3", // incomplete range
         ] {
             assert!(parse(bad).is_err(), "accepted: {bad}");

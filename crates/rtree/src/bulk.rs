@@ -110,6 +110,7 @@ fn curve_order<const D: usize>(items: &mut [Item<D>], kind: CurveKind) {
             let (l, h) = (lo[axis], hi[axis]);
             cell[axis] = if h > l {
                 let t = ((item.point.get(axis) - l) / (h - l)).clamp(0.0, 1.0);
+                // storm-lint: allow(R5): cell < side = 2^bits and default_bits() <= 31
                 ((t * side) as u64).min(side as u64 - 1) as u32
             } else {
                 0
@@ -193,12 +194,16 @@ mod tests {
         }
         // Query correctness matches a reference scan.
         let items = random_items(2000, 11);
-        let t = RTree::bulk_load(items.clone(), RTreeConfig::with_fanout(16), BulkMethod::ZOrder);
-        let q = storm_geo::Rect2::from_corners(
-            Point2::xy(100.0, 100.0),
-            Point2::xy(600.0, 500.0),
+        let t = RTree::bulk_load(
+            items.clone(),
+            RTreeConfig::with_fanout(16),
+            BulkMethod::ZOrder,
         );
-        let expected = items.iter().filter(|it| q.contains_point(&it.point)).count();
+        let q = storm_geo::Rect2::from_corners(Point2::xy(100.0, 100.0), Point2::xy(600.0, 500.0));
+        let expected = items
+            .iter()
+            .filter(|it| q.contains_point(&it.point))
+            .count();
         assert_eq!(t.query(&q).len(), expected);
     }
 
@@ -240,7 +245,10 @@ mod tests {
         let avg = leaf_area / leaves as f64;
         // Total domain is 1000x1000 = 1e6; 128 leaves of perfect tiling
         // would average ~7.8e3. Allow generous slack.
-        assert!(avg < 1e5, "avg leaf area {avg} too large — packing is broken");
+        assert!(
+            avg < 1e5,
+            "avg leaf area {avg} too large — packing is broken"
+        );
     }
 
     #[test]

@@ -54,7 +54,11 @@ impl<const D: usize> CanonicalSet<D> {
 
     /// The largest piece count (used by acceptance/rejection sampling).
     pub fn max_count(&self) -> usize {
-        self.parts.iter().map(CanonicalPart::count).max().unwrap_or(0)
+        self.parts
+            .iter()
+            .map(CanonicalPart::count)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -149,7 +153,10 @@ mod tests {
         let set = t.canonical_set(&Rect2::everything());
         assert_eq!(set.len(), 1);
         assert_eq!(set.total, 1000);
-        assert!(matches!(set.parts[0], CanonicalPart::Node { count: 1000, .. }));
+        assert!(matches!(
+            set.parts[0],
+            CanonicalPart::Node { count: 1000, .. }
+        ));
     }
 
     #[test]
@@ -192,7 +199,11 @@ mod tests {
 
     #[test]
     fn canonical_is_cheap_relative_to_reporting() {
-        let t = RTree::bulk_load(grid(100_000), RTreeConfig::with_fanout(32), BulkMethod::Hilbert);
+        let t = RTree::bulk_load(
+            grid(100_000),
+            RTreeConfig::with_fanout(32),
+            BulkMethod::Hilbert,
+        );
         let q = Rect2::from_corners(Point2::xy(5.0, 5.0), Point2::xy(95.0, 900.0));
         t.io().reset();
         let _ = t.query(&q);

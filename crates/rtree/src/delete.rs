@@ -18,12 +18,7 @@ impl<const D: usize> RTree<D> {
     }
 
     /// Like [`RTree::remove`], reporting every structural effect to `obs`.
-    pub fn remove_with(
-        &mut self,
-        point: &Point<D>,
-        id: u64,
-        obs: &mut UpdateObserver<'_>,
-    ) -> bool {
+    pub fn remove_with(&mut self, point: &Point<D>, id: u64, obs: &mut UpdateObserver<'_>) -> bool {
         let Some(leaf) = self.find_leaf(point, id) else {
             return false;
         };
@@ -156,12 +151,7 @@ impl<const D: usize> RTree<D> {
     }
 
     /// Moves every point under `idx` into `out` and frees the subtree.
-    fn collect_subtree(
-        &mut self,
-        idx: u32,
-        out: &mut Vec<Item<D>>,
-        obs: &mut UpdateObserver<'_>,
-    ) {
+    fn collect_subtree(&mut self, idx: u32, out: &mut Vec<Item<D>>, obs: &mut UpdateObserver<'_>) {
         let mut stack = vec![idx];
         while let Some(i) = stack.pop() {
             self.io.record_reads(1);

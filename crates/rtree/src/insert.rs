@@ -95,10 +95,8 @@ impl<const D: usize> RTree<D> {
                 sibling_entries = Entries::Leaf(b);
             }
             Entries::Inner(children) => {
-                let rects: Vec<(NodeId, Rect<D>)> = children
-                    .iter()
-                    .map(|&c| (c, self.node(c.0).rect))
-                    .collect();
+                let rects: Vec<(NodeId, Rect<D>)> =
+                    children.iter().map(|&c| (c, self.node(c.0).rect)).collect();
                 let (a, b) = quadratic_split(rects, |(_, r)| *r, min);
                 self.node_mut(idx).entries =
                     Entries::Inner(a.into_iter().map(|(c, _)| c).collect());
@@ -248,7 +246,7 @@ mod tests {
             let mut gains = 0usize;
             let mut events = Vec::new();
             t.insert_with(item(i as f64, (i * 3 % 11) as f64, i), &mut |e| {
-                events.push(e)
+                events.push(e);
             });
             for e in &events {
                 match e {

@@ -26,9 +26,9 @@
 #![warn(missing_docs)]
 
 mod bulk;
-mod events;
 mod canonical;
 mod delete;
+mod events;
 mod insert;
 mod io;
 mod node;
@@ -36,8 +36,8 @@ mod split;
 mod tree;
 pub mod validate;
 
-pub use events::{UpdateEvent, UpdateObserver};
 pub use canonical::{CanonicalPart, CanonicalSet};
+pub use events::{UpdateEvent, UpdateObserver};
 pub use io::IoStats;
 pub use node::{Item, NodeId};
 pub use tree::{BulkMethod, NodeView, RTree, RTreeConfig};

@@ -17,8 +17,8 @@ pub(crate) fn quadratic_split<T, const D: usize>(
     let (mut seed_a, mut seed_b, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
     for i in 0..entries.len() {
         let ri = rect_of(&entries[i]);
-        for j in (i + 1)..entries.len() {
-            let rj = rect_of(&entries[j]);
+        for (j, entry) in entries.iter().enumerate().skip(i + 1) {
+            let rj = rect_of(entry);
             let waste = ri.union(&rj).area() - ri.area() - rj.area();
             if waste > worst {
                 worst = waste;
@@ -123,7 +123,9 @@ mod tests {
         let (a, b) = quadratic_split(entries, |r| *r, 2);
         assert_eq!(a.len() + b.len(), 6);
         let near = |r: &Rect2| r.lo().x() < 50.0;
-        assert!(a.iter().all(near) != b.iter().all(near) || a.iter().all(near) || b.iter().all(near));
+        assert!(
+            a.iter().all(near) != b.iter().all(near) || a.iter().all(near) || b.iter().all(near)
+        );
         // All members of each group are from the same cluster.
         assert!(a.iter().all(near) || a.iter().all(|r| !near(r)));
         assert!(b.iter().all(near) || b.iter().all(|r| !near(r)));

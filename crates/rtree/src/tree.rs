@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use storm_geo::{Rect, Point};
+use storm_geo::{Point, Rect};
 
 use crate::io::IoStats;
 use crate::node::{Entries, Item, Node, NodeId, NIL};
@@ -197,9 +197,7 @@ impl<const D: usize> RTree<D> {
     /// True when `id` refers to a currently allocated node. Sample layers
     /// use this to discard references that a structural update freed.
     pub fn is_live(&self, id: NodeId) -> bool {
-        self.nodes
-            .get(id.0 as usize)
-            .is_some_and(|node| !node.free)
+        self.nodes.get(id.0 as usize).is_some_and(|node| !node.free)
     }
 
     /// Reads a node, recording one simulated block read.
@@ -482,7 +480,11 @@ mod tests {
     #[test]
     fn items_round_trip() {
         let items = pts(500);
-        let t = RTree::bulk_load(items.clone(), RTreeConfig::with_fanout(8), BulkMethod::Hilbert);
+        let t = RTree::bulk_load(
+            items.clone(),
+            RTreeConfig::with_fanout(8),
+            BulkMethod::Hilbert,
+        );
         let mut got = t.items();
         got.sort_by_key(|it| it.id);
         assert_eq!(got.len(), items.len());

@@ -15,7 +15,7 @@ use crate::tree::RTree;
 /// Returns a description of the first violation found.
 pub fn check<const D: usize>(tree: &RTree<D>) -> Result<(), String> {
     if tree.root == NIL {
-        return if tree.len() == 0 {
+        return if tree.is_empty() {
             Ok(())
         } else {
             Err(format!("empty root but len = {}", tree.len()))

@@ -65,7 +65,7 @@ proptest! {
             }
             prop_assert_eq!(tree.len(), live.len());
         }
-        validate::check(&tree).map_err(|e| TestCaseError::fail(e))?;
+        validate::check(&tree).map_err(TestCaseError::fail)?;
     }
 
     #[test]

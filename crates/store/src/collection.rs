@@ -39,10 +39,10 @@ impl BlockStats {
 #[derive(Debug)]
 pub struct Collection {
     name: String,
-    docs_per_block: usize,
+    pub(crate) docs_per_block: usize,
     /// Live documents; tombstoned ids are simply absent.
-    docs: HashMap<u64, Document>,
-    next_id: u64,
+    pub(crate) docs: HashMap<u64, Document>,
+    pub(crate) next_id: u64,
     stats: BlockStats,
 }
 
@@ -96,7 +96,25 @@ impl Collection {
         self.next_id += 1;
         self.docs.insert(id.0, Document::new(id, body));
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.debug_audit();
         id
+    }
+
+    /// Debug-build audit: re-validates id/block bookkeeping after a
+    /// mutation (every mutation while small, then sampled — full checks are
+    /// `O(len)`). Release builds compile this to nothing.
+    #[inline]
+    fn debug_audit(&self) {
+        #[cfg(debug_assertions)]
+        {
+            if self.len() <= 512 || self.next_id.is_multiple_of(64) {
+                debug_assert_eq!(
+                    crate::validate::check_collection(self),
+                    Ok(()),
+                    "collection invariant audit failed"
+                );
+            }
+        }
     }
 
     /// Fetches a document (one block read).
@@ -114,6 +132,7 @@ impl Collection {
     pub fn remove(&mut self, id: DocId) -> Option<Document> {
         let doc = self.docs.remove(&id.0)?;
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.debug_audit();
         Some(doc)
     }
 

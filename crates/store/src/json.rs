@@ -59,7 +59,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), StoreError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), StoreError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -95,7 +95,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Value, StoreError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -115,7 +115,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Value, StoreError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -126,7 +126,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             map.insert(key, value);
@@ -140,7 +140,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, StoreError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -202,7 +202,9 @@ impl Parser<'_> {
     fn hex4(&mut self) -> Result<u32, StoreError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (c as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -251,7 +253,7 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number slice is ASCII");
+            .map_err(|_| self.err("non-ASCII byte inside number"))?;
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)
@@ -390,8 +392,19 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in [
-            "", "tru", "{", "[1,", "{\"a\":}", "01", "1.", "1e", "\"unterminated",
-            "[1] extra", "{\"a\" 1}", "\u{0007}", "nan",
+            "",
+            "tru",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "[1] extra",
+            "{\"a\" 1}",
+            "\u{0007}",
+            "nan",
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }

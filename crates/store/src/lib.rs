@@ -24,6 +24,7 @@ mod document;
 pub mod json;
 pub mod persist;
 pub mod shard;
+pub mod validate;
 mod value;
 
 pub use collection::{BlockStats, Collection};

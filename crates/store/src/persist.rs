@@ -87,7 +87,11 @@ mod tests {
         save(&c, &path).unwrap();
         let loaded = load("weather", &path).unwrap();
         assert_eq!(loaded.len(), 25);
-        let doc = loaded.scan().find(|d| d.text("station") == Some("s7")).unwrap().clone();
+        let doc = loaded
+            .scan()
+            .find(|d| d.text("station") == Some("s7"))
+            .unwrap()
+            .clone();
         assert_eq!(doc.number("temp"), Some(27.0));
         std::fs::remove_file(path).ok();
     }

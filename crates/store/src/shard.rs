@@ -69,6 +69,7 @@ impl HilbertPartitioner {
         assert!(shards > 0, "need at least one shard");
         HilbertPartitioner {
             bounds,
+            // storm-lint: allow(R1): constant order 16 is within HilbertCurve's static range
             curve: HilbertCurve::new(16).expect("order 16 is valid"),
             shards,
         }

@@ -153,7 +153,10 @@ mod tests {
                     ("lon".into(), Value::from(-111.89)),
                 ]),
             ),
-            ("tags".into(), Value::Array(vec![Value::from("db"), Value::from("spatial")])),
+            (
+                "tags".into(),
+                Value::Array(vec![Value::from("db"), Value::from("spatial")]),
+            ),
         ])
     }
 

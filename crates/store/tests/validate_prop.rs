@@ -1,0 +1,81 @@
+//! Property tests for the store validators: arbitrary insert/remove/update
+//! interleavings keep the block bookkeeping consistent, and partitioners
+//! stay total over arbitrary records.
+
+use proptest::prelude::*;
+use storm_geo::{Point2, Rect2};
+use storm_store::shard::{HashPartitioner, HilbertPartitioner};
+use storm_store::validate::{check_collection, check_partitioner};
+use storm_store::{Collection, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    /// Remove the `i % live`-th live id.
+    Remove(usize),
+    /// Update the `i % live`-th live id.
+    Update(usize, i64),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (-1_000i64..1_000).prop_map(Op::Insert),
+            1 => (0usize..1024).prop_map(Op::Remove),
+            1 => ((0usize..1024), -1_000i64..1_000).prop_map(|(i, v)| Op::Update(i, v)),
+        ],
+        0..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn collection_block_bookkeeping_survives_random_workloads(
+        ops in ops_strategy(),
+        block_size in 1usize..9,
+    ) {
+        let mut c = Collection::with_block_size("prop", block_size);
+        let mut live = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Insert(v) => live.push(c.insert(Value::Int(*v))),
+                Op::Remove(i) => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(i % live.len());
+                        prop_assert!(c.remove(id).is_some());
+                    }
+                }
+                Op::Update(i, v) => {
+                    if !live.is_empty() {
+                        let id = live[i % live.len()];
+                        prop_assert!(c.update(id, Value::Int(*v)).is_ok());
+                    }
+                }
+            }
+            if let Err(e) = check_collection(&c) {
+                return Err(TestCaseError::fail(format!("after {op:?}: {e}")));
+            }
+        }
+        prop_assert_eq!(c.len(), live.len());
+    }
+
+    #[test]
+    fn partitioners_are_total(
+        records in prop::collection::vec((0u64..u64::MAX, 0.0..500.0f64, 0.0..500.0f64), 1..100),
+        shards in 1usize..12,
+    ) {
+        let hash = HashPartitioner::new(shards);
+        let sample: Vec<(u64, Option<Point2>)> = records
+            .iter()
+            .map(|&(id, x, y)| (id, Some(Point2::xy(x, y))))
+            .collect();
+        prop_assert_eq!(check_partitioner(&hash, sample.clone()), Ok(()));
+        // Points may fall outside the declared bounds; routing must still
+        // land in range (clamping, not dropping).
+        let bounds = Rect2::from_corners(Point2::xy(100.0, 100.0), Point2::xy(300.0, 300.0));
+        let hilbert = HilbertPartitioner::new(bounds, shards);
+        prop_assert_eq!(check_partitioner(&hilbert, sample), Ok(()));
+    }
+}

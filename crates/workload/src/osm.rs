@@ -66,10 +66,7 @@ pub fn generate(n: usize, seed: u64) -> OsmData {
             let mag = (-2.0f64 * u1.ln()).sqrt();
             let dx = mag * (2.0 * std::f64::consts::PI * u2).cos() * r;
             let dy = mag * (2.0 * std::f64::consts::PI * u2).sin() * r;
-            (
-                (cx + dx).clamp(-180.0, 180.0),
-                (cy + dy).clamp(-90.0, 90.0),
-            )
+            ((cx + dx).clamp(-180.0, 180.0), (cy + dy).clamp(-90.0, 90.0))
         } else {
             (
                 rng.random_range(-180.0..180.0),

@@ -24,7 +24,10 @@ pub fn rect_with_selectivity(
 
     let count_at = |half: f64| -> usize {
         let rect = square(center, half);
-        items.iter().filter(|it| rect.contains_point(&it.point)).count()
+        items
+            .iter()
+            .filter(|it| rect.contains_point(&it.point))
+            .count()
     };
 
     // Exponential search for an upper bound.
@@ -104,7 +107,11 @@ mod tests {
     #[test]
     fn empty_input_yields_none() {
         assert!(rect_with_selectivity(&[], 0.1, 1).is_none());
-        let items = uniform(10, &Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(1.0, 1.0)), 2);
+        let items = uniform(
+            10,
+            &Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(1.0, 1.0)),
+            2,
+        );
         assert!(rect_with_selectivity(&items, 0.0, 1).is_none());
     }
 

@@ -30,8 +30,8 @@ pub const STORM_VOCAB: &[&str] = &[
 
 /// Everyday vocabulary head (the Zipf tail is synthetic `topicNNN` words).
 const COMMON_VOCAB: &[&str] = &[
-    "coffee", "morning", "work", "love", "game", "music", "food", "friday", "weekend",
-    "movie", "gym", "lunch", "dinner", "sunny", "happy", "tired", "school", "home",
+    "coffee", "morning", "work", "love", "game", "music", "food", "friday", "weekend", "movie",
+    "gym", "lunch", "dinner", "sunny", "happy", "tired", "school", "home",
 ];
 
 /// Tweet-stream generator parameters.
@@ -175,8 +175,7 @@ mod tests {
         };
         let recs = generate(&cfg);
         let window = atlanta_snow_window();
-        let atlanta =
-            Rect2::from_corners(Point2::xy(-84.6, 33.5), Point2::xy(-84.2, 34.0));
+        let atlanta = Rect2::from_corners(Point2::xy(-84.6, 33.5), Point2::xy(-84.2, 34.0));
         let storm_tweets: Vec<&StRecord> = recs
             .iter()
             .filter(|r| window.contains(r.point.t) && atlanta.contains_point(&r.point.xy))
@@ -188,7 +187,14 @@ mod tests {
         );
         let snowy = storm_tweets
             .iter()
-            .filter(|r| r.body.get("text").unwrap().as_str().unwrap().contains("snow"))
+            .filter(|r| {
+                r.body
+                    .get("text")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .contains("snow")
+            })
             .count();
         assert!(snowy * 2 > storm_tweets.len() / 2, "storm vocab missing");
     }
@@ -202,8 +208,7 @@ mod tests {
         };
         let recs = generate(&cfg);
         let window = atlanta_snow_window();
-        let atlanta =
-            Rect2::from_corners(Point2::xy(-84.6, 33.5), Point2::xy(-84.2, 34.0));
+        let atlanta = Rect2::from_corners(Point2::xy(-84.6, 33.5), Point2::xy(-84.2, 34.0));
         let in_atl = recs
             .iter()
             .filter(|r| window.contains(r.point.t) && atlanta.contains_point(&r.point.xy))

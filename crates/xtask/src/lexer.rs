@@ -1,0 +1,524 @@
+//! A minimal but faithful Rust lexer: enough token structure for
+//! storm-lint's pattern rules, with exact line/column positions, and
+//! correct handling of the constructs that break naive text matching —
+//! strings (including raw and byte strings), char literals vs lifetimes,
+//! nested block comments, and number literals with suffixes.
+
+/// Token kinds storm-lint distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers keep their `r#` stripped).
+    Ident(String),
+    /// Integer or float literal; `is_float` is true for literals with a
+    /// fractional part, exponent, or `f32`/`f64` suffix.
+    Num {
+        /// Literal text including suffix.
+        text: String,
+        /// Whether this is a floating-point literal.
+        is_float: bool,
+    },
+    /// String/char/byte literal (contents dropped; rules never need them).
+    Literal,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Multi-character operator storm-lint cares about: `==` `!=` `::`
+    /// `..` `..=` `=>` `->` `<=` `>=` `&&` `||`.
+    Op(&'static str),
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+/// A token with its source position (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (character, not byte).
+    pub col: u32,
+}
+
+/// A `//` line comment (block comments are skipped: allow directives must
+/// be line comments so they unambiguously attach to a line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// Text after the `//`, untrimmed.
+    pub text: String,
+}
+
+/// Lexer output: tokens plus the line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments in order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Text of each identifier token (test helper).
+    pub fn idents(&self) -> Vec<&str> {
+        self.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    src: std::marker::PhantomData<&'a str>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        self.chars.get(self.pos + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if self.peek() == Some(want) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Lexes `source` into tokens and comments. Unterminated constructs are
+/// tolerated (lexing continues at end of input) — the linter must not
+/// panic on any input file.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: source.chars().collect(),
+        src: std::marker::PhantomData,
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                out.comments.push(Comment { line, text });
+            }
+            '/' if cur.peek2() == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek2()) {
+                        (Some('/'), Some('*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            '"' => {
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            'r' if matches!(cur.peek2(), Some('"' | '#')) && is_raw_string_start(&cur) => {
+                lex_raw_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            'b' if cur.peek2() == Some('"') => {
+                cur.bump();
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            'b' if cur.peek2() == Some('r') && is_byte_raw_string_start(&cur) => {
+                cur.bump();
+                lex_raw_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            'b' if cur.peek2() == Some('\'') => {
+                cur.bump();
+                lex_char(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    line,
+                    col,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`).
+                let is_lifetime = match (cur.peek2(), cur.peek3()) {
+                    (Some(c2), c3) if c2 == '_' || c2.is_alphabetic() => c3 != Some('\''),
+                    _ => false,
+                };
+                if is_lifetime {
+                    cur.bump(); // '
+                    while cur.peek().is_some_and(|c| c == '_' || c.is_alphanumeric()) {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        line,
+                        col,
+                    });
+                } else {
+                    lex_char(&mut cur);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        line,
+                        col,
+                    });
+                }
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                let mut ident = String::new();
+                // Raw identifier prefix.
+                if c == 'r' && cur.peek2() == Some('#') && cur.peek3().is_some_and(is_ident_char) {
+                    cur.bump();
+                    cur.bump();
+                }
+                while let Some(c) = cur.peek() {
+                    if is_ident_char(c) {
+                        ident.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident(ident),
+                    line,
+                    col,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let kind = lex_number(&mut cur);
+                out.tokens.push(Token { kind, line, col });
+            }
+            _ => {
+                cur.bump();
+                let kind = match c {
+                    ':' if cur.eat(':') => TokKind::Op("::"),
+                    '=' if cur.eat('=') => TokKind::Op("=="),
+                    '=' if cur.eat('>') => TokKind::Op("=>"),
+                    '!' if cur.eat('=') => TokKind::Op("!="),
+                    '<' if cur.eat('=') => TokKind::Op("<="),
+                    '>' if cur.eat('=') => TokKind::Op(">="),
+                    '-' if cur.eat('>') => TokKind::Op("->"),
+                    '&' if cur.eat('&') => TokKind::Op("&&"),
+                    '|' if cur.eat('|') => TokKind::Op("||"),
+                    '.' if cur.peek() == Some('.') => {
+                        cur.bump();
+                        if cur.eat('=') {
+                            TokKind::Op("..=")
+                        } else {
+                            TokKind::Op("..")
+                        }
+                    }
+                    other => TokKind::Punct(other),
+                };
+                out.tokens.push(Token { kind, line, col });
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// True when an `r` at the cursor starts `r"` / `r#"` (and not a raw
+/// identifier like `r#fn` or a plain ident `r2`).
+fn is_raw_string_start(cur: &Cursor) -> bool {
+    let mut i = cur.pos + 1;
+    while cur.chars.get(i) == Some(&'#') {
+        i += 1;
+    }
+    cur.chars.get(i) == Some(&'"')
+}
+
+fn is_byte_raw_string_start(cur: &Cursor) -> bool {
+    // cursor at `b`, next is `r`.
+    let mut i = cur.pos + 2;
+    while cur.chars.get(i) == Some(&'#') {
+        i += 1;
+    }
+    cur.chars.get(i) == Some(&'"')
+}
+
+/// Consumes a `"…"` string starting at the opening quote.
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes `r"…"` / `r#"…"#` starting at the `r`.
+fn lex_raw_string(cur: &mut Cursor) {
+    cur.bump(); // r
+    let mut hashes = 0usize;
+    while cur.eat('#') {
+        hashes += 1;
+    }
+    if !cur.eat('"') {
+        return; // not actually a raw string; tolerate
+    }
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return;
+                }
+            }
+            Some(_) => {}
+            None => return,
+        }
+    }
+}
+
+/// Consumes `'x'`, `'\n'`, `'\u{1F600}'` starting at the quote.
+fn lex_char(cur: &mut Cursor) {
+    cur.bump(); // opening '
+    match cur.bump() {
+        Some('\\') => {
+            cur.bump(); // escaped char (or opening { of \u)
+            while cur.peek().is_some() && cur.peek() != Some('\'') {
+                cur.bump();
+            }
+        }
+        Some('\'') => return, // empty — malformed, tolerate
+        Some(_) => {}
+        None => return,
+    }
+    cur.eat('\'');
+}
+
+/// Consumes a number literal; decides int vs float.
+fn lex_number(cur: &mut Cursor) -> TokKind {
+    let mut text = String::new();
+    let mut is_float = false;
+
+    let radix_prefix =
+        cur.peek() == Some('0') && matches!(cur.peek2(), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+    if radix_prefix {
+        text.push(cur.bump().expect("peeked 0"));
+        text.push(cur.bump().expect("peeked radix"));
+        while cur
+            .peek()
+            .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+        {
+            text.push(cur.bump().expect("peeked digit"));
+        }
+    } else {
+        while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            text.push(cur.bump().expect("peeked digit"));
+        }
+        // Fractional part — but not `..` (range) and not `.method()` /
+        // `.0` tuple access.
+        if cur.peek() == Some('.')
+            && cur.peek2() != Some('.')
+            && cur
+                .peek2()
+                .is_none_or(|c| c.is_ascii_digit() || !is_ident_char(c))
+        {
+            is_float = true;
+            text.push(cur.bump().expect("peeked dot"));
+            while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push(cur.bump().expect("peeked digit"));
+            }
+        }
+        // Exponent.
+        if cur.peek().is_some_and(|c| c == 'e' || c == 'E') {
+            let sign_ok =
+                matches!(cur.peek2(), Some(c) if c.is_ascii_digit() || c == '+' || c == '-');
+            if sign_ok {
+                is_float = true;
+                text.push(cur.bump().expect("peeked e"));
+                if cur.peek().is_some_and(|c| c == '+' || c == '-') {
+                    text.push(cur.bump().expect("peeked sign"));
+                }
+                while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    text.push(cur.bump().expect("peeked digit"));
+                }
+            }
+        }
+    }
+    // Suffix (u32, f64, usize, …).
+    let mut suffix = String::new();
+    while cur.peek().is_some_and(is_ident_char) {
+        suffix.push(cur.bump().expect("peeked suffix char"));
+    }
+    if suffix == "f32" || suffix == "f64" {
+        is_float = true;
+    }
+    text.push_str(&suffix);
+    TokKind::Num { text, is_float }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_comments_and_chars_do_not_produce_idents() {
+        let lexed = lex(r##"
+            // unwrap() in a comment
+            /* thread_rng in /* nested */ block */
+            let s = "unwrap() inside string";
+            let r = r#"thread_rng "quoted" inside raw"#;
+            let c = '\'';
+            let l: &'static str = "x";
+        "##);
+        let idents = lexed.idents();
+        assert!(!idents.contains(&"unwrap"));
+        assert!(!idents.contains(&"thread_rng"));
+        // `'static` lexes as a single Lifetime token, not an ident.
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(!idents.contains(&"static"), "{idents:?}");
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let lexed = lex("for i in 0..10 { x[i as usize]; } let f = 1.5e3f64; let g = 2e8;");
+        let nums: Vec<(&str, bool)> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Num { text, is_float } => Some((text.as_str(), *is_float)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            nums,
+            vec![
+                ("0", false),
+                ("10", false),
+                ("1.5e3f64", true),
+                ("2e8", true)
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let lexed = lex("a\n  b==c");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[0].col, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[1].col, 3);
+        assert_eq!(lexed.tokens[2].kind, TokKind::Op("=="));
+    }
+
+    #[test]
+    fn tuple_index_is_not_a_float() {
+        let lexed = lex("x.0.y 1.max(2)");
+        // `.0` after an ident lexes as Punct('.') + int; `1.max` must keep
+        // the 1 an integer.
+        let floats: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.kind, TokKind::Num { is_float: true, .. }))
+            .collect();
+        assert!(floats.is_empty(), "{floats:?}");
+    }
+
+    #[test]
+    fn trailing_dot_float_is_a_float() {
+        let lexed = lex("let x = 1. + 2.;");
+        let floats = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(&t.kind, TokKind::Num { is_float: true, .. }))
+            .count();
+        assert_eq!(floats, 2);
+    }
+
+    #[test]
+    fn byte_and_raw_idents() {
+        let lexed = lex(r#"let b = b"bytes"; let r#fn = 1; let rx = r2;"#);
+        let idents = lexed.idents();
+        assert!(idents.contains(&"fn"));
+        assert!(idents.contains(&"r2"));
+    }
+}

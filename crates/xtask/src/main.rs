@@ -1,0 +1,94 @@
+//! `cargo xtask` — workspace automation. Currently one subcommand:
+//! `lint`, the storm-lint static-analysis pass (see the crate docs).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::rules::RULES;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}`\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo xtask <command>\n\n\
+         commands:\n  \
+         lint            run storm-lint over the workspace sources\n  \
+         lint --list     print the rule table and exit\n  \
+         lint <files..>  lint specific .rs files (paths relative to repo root)"
+    );
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--list") {
+        for rule in &RULES {
+            println!("{:3}  {:16} {}", rule.id, rule.name, rule.rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let repo_root = repo_root();
+    let diags = if args.is_empty() {
+        match xtask::lint_workspace(&repo_root) {
+            Ok(diags) => diags,
+            Err(err) => {
+                eprintln!("storm-lint: cannot walk {}: {err}", repo_root.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let mut diags = Vec::new();
+        for rel in args {
+            let path = repo_root.join(rel);
+            match std::fs::read_to_string(&path) {
+                Ok(source) => diags.extend(xtask::lint_source(rel, &source)),
+                Err(err) => {
+                    eprintln!("storm-lint: cannot read {}: {err}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        diags
+    };
+
+    for diag in &diags {
+        println!("{diag}");
+    }
+    if diags.is_empty() {
+        println!("storm-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        let files: std::collections::BTreeSet<&str> =
+            diags.iter().map(|d| d.path.as_str()).collect();
+        println!(
+            "storm-lint: {} violation(s) in {} file(s)",
+            diags.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest.
+fn repo_root() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .map_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")), PathBuf::from);
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}

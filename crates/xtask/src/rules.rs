@@ -1,0 +1,531 @@
+//! The R1–R5 rule matchers and the allow-directive machinery.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::Diagnostic;
+
+/// A storm-lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Short id (`R1`…`R5`).
+    pub id: &'static str,
+    /// Kebab-case name usable in allow directives.
+    pub name: &'static str,
+    /// What the rule enforces (one line, shown by `xtask lint --list`).
+    pub rationale: &'static str,
+    kind: RuleKind,
+    /// Repo-relative path prefixes the rule applies to.
+    scopes: &'static [&'static str],
+    /// Whether `#[cfg(test)]` regions are exempt.
+    exempt_tests: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RuleKind {
+    Unwrap,
+    UnseededRng,
+    FloatEq,
+    StdSync,
+    LossyCast,
+}
+
+/// All rules, in id order.
+pub const RULES: [Rule; 5] = [
+    Rule {
+        id: "R1",
+        name: "no-unwrap",
+        rationale: "library code on query paths must propagate errors, not panic: \
+                    a panicking sampler tears down the online session the paper's \
+                    terminate-at-any-time contract depends on",
+        kind: RuleKind::Unwrap,
+        scopes: &[
+            "crates/core/src/",
+            "crates/store/src/",
+            "crates/engine/src/",
+            "crates/query/src/",
+        ],
+        exempt_tests: true,
+    },
+    Rule {
+        id: "R2",
+        name: "no-unseeded-rng",
+        rationale: "ambient entropy (thread_rng/from_entropy/rand::random) makes \
+                    sampling runs unreproducible; every sampler takes an explicit \
+                    seeded RNG so experiments and bug reports replay exactly",
+        kind: RuleKind::UnseededRng,
+        scopes: &["crates/core/src/", "crates/estimators/src/"],
+        exempt_tests: false,
+    },
+    Rule {
+        id: "R3",
+        name: "no-float-eq",
+        rationale: "exact ==/!= on floats in estimator/geometry code silently \
+                    breaks under FP rounding; compare against a tolerance or \
+                    restructure around integers",
+        kind: RuleKind::FloatEq,
+        scopes: &["crates/estimators/src/", "crates/geo/src/"],
+        exempt_tests: true,
+    },
+    Rule {
+        id: "R4",
+        name: "no-std-sync",
+        rationale: "the workspace lock standard is parking_lot (non-poisoning, \
+                    smaller guards); mixing std::sync::{Mutex, RwLock} back in \
+                    splits the locking vocabulary and reintroduces poisoning",
+        kind: RuleKind::StdSync,
+        scopes: &["crates/", "src/"],
+        exempt_tests: false,
+    },
+    Rule {
+        id: "R5",
+        name: "no-lossy-cast",
+        rationale: "narrowing `as` casts in R-tree/sampler node arithmetic \
+                    truncate silently; overflowing a node count skews subtree \
+                    weights and with them sampling probabilities",
+        kind: RuleKind::LossyCast,
+        scopes: &["crates/rtree/src/", "crates/core/src/"],
+        exempt_tests: true,
+    },
+];
+
+/// The rules whose scope covers `rel_path`.
+pub fn rules_for_path(rel_path: &str) -> Vec<Rule> {
+    RULES
+        .iter()
+        .filter(|r| r.scopes.iter().any(|s| rel_path.starts_with(s)))
+        .copied()
+        .collect()
+}
+
+impl Rule {
+    /// Runs the rule over one lexed file.
+    pub fn check(&self, _rel_path: &str, lexed: &Lexed) -> Vec<Diagnostic> {
+        let exempt = if self.exempt_tests {
+            test_regions(&lexed.tokens)
+        } else {
+            Vec::new()
+        };
+        let mut out = Vec::new();
+        let toks = &lexed.tokens;
+        for i in 0..toks.len() {
+            if in_regions(&exempt, toks[i].line) {
+                continue;
+            }
+            if let Some(message) = self.match_at(toks, i) {
+                out.push(Diagnostic {
+                    path: String::new(), // filled by the caller below
+                    line: toks[i].line,
+                    col: toks[i].col,
+                    rule: self.id,
+                    message,
+                });
+            }
+        }
+        for d in &mut out {
+            d.path = _rel_path.to_string();
+        }
+        out
+    }
+
+    fn match_at(&self, toks: &[Token], i: usize) -> Option<String> {
+        match self.kind {
+            RuleKind::Unwrap => {
+                let name = ident_at(toks, i)?;
+                if (name == "unwrap" || name == "expect")
+                    && is_punct(toks, i.wrapping_sub(1), '.')
+                    && i > 0
+                    && is_punct(toks, i + 1, '(')
+                {
+                    Some(format!(
+                        ".{name}() can panic on a query path — return a Result \
+                         (or use unwrap_or/ok()/match) [no-unwrap]"
+                    ))
+                } else {
+                    None
+                }
+            }
+            RuleKind::UnseededRng => {
+                let name = ident_at(toks, i)?;
+                match name {
+                    "thread_rng" | "from_entropy" => Some(format!(
+                        "{name} draws ambient OS entropy — take a seeded rng \
+                         (StdRng::seed_from_u64) so sampling runs reproduce \
+                         [no-unseeded-rng]"
+                    )),
+                    "random"
+                        if is_op(toks, i.wrapping_sub(1), "::")
+                            && i >= 2
+                            && ident_at(toks, i - 2) == Some("rand") =>
+                    {
+                        Some(
+                            "rand::random draws ambient OS entropy — take a seeded \
+                             rng so sampling runs reproduce [no-unseeded-rng]"
+                                .to_string(),
+                        )
+                    }
+                    _ => None,
+                }
+            }
+            RuleKind::FloatEq => {
+                let op = match &toks[i].kind {
+                    TokKind::Op(op @ ("==" | "!=")) => *op,
+                    _ => return None,
+                };
+                if operand_is_floatish(toks, i, Side::Left)
+                    || operand_is_floatish(toks, i, Side::Right)
+                {
+                    Some(format!(
+                        "`{op}` on a floating-point expression — exact float \
+                         comparison breaks under rounding; use a tolerance \
+                         [no-float-eq]"
+                    ))
+                } else {
+                    None
+                }
+            }
+            RuleKind::StdSync => {
+                // `std :: sync :: Mutex|RwLock` or `std :: sync :: { … Mutex … }`.
+                if ident_at(toks, i) != Some("std")
+                    || !is_op(toks, i + 1, "::")
+                    || ident_at(toks, i + 2) != Some("sync")
+                    || !is_op(toks, i + 3, "::")
+                {
+                    return None;
+                }
+                let after = i + 4;
+                if let Some(name @ ("Mutex" | "RwLock")) = ident_at(toks, after) {
+                    return Some(std_sync_message(name));
+                }
+                if is_punct(toks, after, '{') {
+                    let mut depth = 0i32;
+                    for tok in &toks[after..] {
+                        match &tok.kind {
+                            TokKind::Punct('{') => depth += 1,
+                            TokKind::Punct('}') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            TokKind::Ident(name) if name == "Mutex" || name == "RwLock" => {
+                                return Some(std_sync_message(name));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                None
+            }
+            RuleKind::LossyCast => {
+                if ident_at(toks, i) != Some("as") {
+                    return None;
+                }
+                let target = ident_at(toks, i + 1)?;
+                if matches!(target, "u8" | "u16" | "u32" | "i8" | "i16" | "i32") {
+                    Some(format!(
+                        "`as {target}` narrows index/count arithmetic and truncates \
+                         silently — use try_into() or widen the type [no-lossy-cast]"
+                    ))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+fn std_sync_message(name: &str) -> String {
+    format!(
+        "std::sync::{name} — the workspace lock standard is parking_lot::{name} \
+         (non-poisoning) [no-std-sync]"
+    )
+}
+
+#[derive(Clone, Copy)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// Heuristic: is the operand next to a comparison visibly floating-point?
+/// Catches float literals (`x == 0.0`, possibly negated), `as f32/f64`
+/// casts, and `f32::`/`f64::` associated constants. Lexical analysis cannot
+/// see inferred types — DESIGN.md documents the approximation.
+fn operand_is_floatish(toks: &[Token], op_idx: usize, side: Side) -> bool {
+    match side {
+        Side::Left => {
+            if op_idx == 0 {
+                return false;
+            }
+            let prev = op_idx - 1;
+            if is_float_num(toks, prev) {
+                return true;
+            }
+            // `… as f64 ==`
+            if matches!(ident_at(toks, prev), Some("f32" | "f64"))
+                && prev >= 1
+                && ident_at(toks, prev - 1) == Some("as")
+            {
+                return true;
+            }
+            // `f64::NAN ==` (const then op: `NAN` preceded by `f64 ::`)
+            prev >= 2
+                && ident_at(toks, prev).is_some()
+                && is_op(toks, prev - 1, "::")
+                && matches!(ident_at(toks, prev - 2), Some("f32" | "f64"))
+        }
+        Side::Right => {
+            let mut next = op_idx + 1;
+            // Skip unary minus: `== -1.0`.
+            if is_punct(toks, next, '-') {
+                next += 1;
+            }
+            if is_float_num(toks, next) {
+                return true;
+            }
+            // `== f64::NAN` / `!= f32::INFINITY`
+            matches!(ident_at(toks, next), Some("f32" | "f64")) && is_op(toks, next + 1, "::")
+        }
+    }
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn is_punct(toks: &[Token], i: usize, want: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Punct(c)) if *c == want)
+}
+
+fn is_op(toks: &[Token], i: usize, want: &str) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Op(op)) if *op == want)
+}
+
+fn is_float_num(toks: &[Token], i: usize) -> bool {
+    matches!(
+        toks.get(i).map(|t| &t.kind),
+        Some(TokKind::Num { is_float: true, .. })
+    )
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` items.
+fn test_regions(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // `#` `[` cfg `(` … test … `)` `]`
+        if is_punct(toks, i, '#')
+            && is_punct(toks, i + 1, '[')
+            && ident_at(toks, i + 2) == Some("cfg")
+        {
+            // Find the attribute's closing `]`, checking for a `test` ident.
+            let mut j = i + 3;
+            let mut bracket_depth = 1i32; // the `[` at i+1
+            let mut saw_test = false;
+            while j < toks.len() && bracket_depth > 0 {
+                match &toks[j].kind {
+                    TokKind::Punct('[') => bracket_depth += 1,
+                    TokKind::Punct(']') => bracket_depth -= 1,
+                    TokKind::Ident(name) if name == "test" => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_test {
+                // Skip any further attributes, then the item itself.
+                while is_punct(toks, j, '#') && is_punct(toks, j + 1, '[') {
+                    let mut depth = 0i32;
+                    while j < toks.len() {
+                        match &toks[j].kind {
+                            TokKind::Punct('[') => depth += 1,
+                            TokKind::Punct(']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+                let start_line = toks[i].line;
+                let mut end_line = start_line;
+                let mut brace_depth = 0i32;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokKind::Punct('{') => brace_depth += 1,
+                        TokKind::Punct('}') => {
+                            brace_depth -= 1;
+                            if brace_depth == 0 {
+                                end_line = toks[j].line;
+                                break;
+                            }
+                        }
+                        TokKind::Punct(';') if brace_depth == 0 => {
+                            end_line = toks[j].line;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    end_line = toks[j].line;
+                    j += 1;
+                }
+                regions.push((start_line, end_line));
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+}
+
+/// A parsed `// storm-lint: allow(<rule>): <justification>` directive.
+#[derive(Debug)]
+struct AllowDirective {
+    line: u32,
+    rule: Option<&'static str>,
+    justification: String,
+    raw: String,
+    used: bool,
+}
+
+/// Suppresses diagnostics covered by allow directives and appends directive
+/// hygiene findings (unknown rule, missing justification, unused allow).
+pub fn apply_allow_directives(rel_path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    let mut directives: Vec<AllowDirective> = Vec::new();
+    let mut malformed: Vec<Diagnostic> = Vec::new();
+
+    for comment in &lexed.comments {
+        let text = comment.text.trim();
+        // Tolerate doc-comment forms (`/// storm-lint: …` lexes with a
+        // leading `/`) by trimming slashes and `!`.
+        let text = text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = text.strip_prefix("storm-lint:") else {
+            // Near-miss: looks like an attempted directive (leads with
+            // `storm-lint` and tries to `allow`) but is missing the colon.
+            // Plain prose that happens to mention storm-lint is fine.
+            if text.starts_with("storm-lint") && text.contains("allow") {
+                malformed.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line: comment.line,
+                    col: 1,
+                    rule: "allow",
+                    message: format!(
+                        "looks like a storm-lint directive but is missing the \
+                         colon — expected `storm-lint: allow(<rule>): \
+                         <justification>` (got `{text}`)"
+                    ),
+                });
+            }
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = parse_allow(rest);
+        match parsed {
+            Ok((rule_token, justification)) => {
+                let rule = RULES
+                    .iter()
+                    .find(|r| {
+                        r.id.eq_ignore_ascii_case(rule_token)
+                            || r.name.eq_ignore_ascii_case(rule_token)
+                    })
+                    .map(|r| r.id);
+                if rule.is_none() {
+                    malformed.push(Diagnostic {
+                        path: rel_path.to_string(),
+                        line: comment.line,
+                        col: 1,
+                        rule: "allow",
+                        message: format!(
+                            "unknown rule `{rule_token}` in storm-lint allow \
+                             (known: R1..R5 or their names)"
+                        ),
+                    });
+                    continue;
+                }
+                directives.push(AllowDirective {
+                    line: comment.line,
+                    rule,
+                    justification: justification.to_string(),
+                    raw: rest.to_string(),
+                    used: false,
+                });
+            }
+            Err(why) => {
+                malformed.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line: comment.line,
+                    col: 1,
+                    rule: "allow",
+                    message: format!("malformed storm-lint directive ({why}): `{rest}`"),
+                });
+            }
+        }
+    }
+
+    // Suppress: a directive covers its own line and the line directly below
+    // (attribute style — the directive sits above the flagged code).
+    diags.retain(|d| {
+        for directive in &mut directives {
+            if directive.rule == Some(d.rule)
+                && (directive.line == d.line || directive.line + 1 == d.line)
+            {
+                directive.used = true;
+                return false;
+            }
+        }
+        true
+    });
+
+    for directive in &directives {
+        if directive.justification.is_empty() {
+            diags.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: directive.line,
+                col: 1,
+                rule: "allow",
+                message: format!(
+                    "storm-lint allow without a justification — write \
+                     `allow({}): <why this exception is sound>`",
+                    directive.rule.unwrap_or("<rule>")
+                ),
+            });
+        } else if !directive.used {
+            diags.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: directive.line,
+                col: 1,
+                rule: "allow",
+                message: format!(
+                    "unused storm-lint allow (nothing to suppress here): `{}`",
+                    directive.raw
+                ),
+            });
+        }
+    }
+    diags.extend(malformed);
+}
+
+/// Parses `allow(<rule>)` optionally followed by `: justification`.
+fn parse_allow(rest: &str) -> Result<(&str, &str), &'static str> {
+    let rest = rest.strip_prefix("allow").ok_or("expected `allow(...)`")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(').ok_or("expected `(` after allow")?;
+    let close = rest.find(')').ok_or("unclosed `(`")?;
+    let rule = rest[..close].trim();
+    if rule.is_empty() {
+        return Err("empty rule name");
+    }
+    let tail = rest[close + 1..].trim_start();
+    let justification = tail.strip_prefix(':').map_or("", str::trim);
+    Ok((rule, justification))
+}

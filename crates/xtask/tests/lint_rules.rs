@@ -1,0 +1,257 @@
+//! Per-rule fixtures for storm-lint: each rule gets one firing case and one
+//! allowlisted case, plus coverage of scoping, `#[cfg(test)]` exemption, and
+//! allow-directive hygiene.
+
+use xtask::lint_source;
+
+/// Path inside every rule's scope except R3 (core is R1/R2/R5 territory).
+const CORE: &str = "crates/core/src/fixture.rs";
+/// Path inside R3's scope.
+const EST: &str = "crates/estimators/src/fixture.rs";
+
+fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+    lint_source(path, src).into_iter().map(|d| d.rule).collect()
+}
+
+// ---------------------------------------------------------------- R1
+
+#[test]
+fn r1_fires_on_unwrap_and_expect() {
+    let src = "fn f(x: Option<u64>) -> u64 { x.unwrap() }\n\
+               fn g(x: Option<u64>) -> u64 { x.expect(\"msg\") }\n";
+    let fired = rules_fired(CORE, src);
+    assert_eq!(fired, vec!["R1", "R1"]);
+}
+
+#[test]
+fn r1_reports_precise_position() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    x.unwrap()\n}\n";
+    let diags = lint_source(CORE, src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!((diags[0].line, diags[0].col), (2, 7));
+    assert_eq!(
+        format!("{}", diags[0])[..diags[0].path.len()],
+        diags[0].path
+    );
+}
+
+#[test]
+fn r1_allowlisted_with_justification_is_clean() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n\
+               \x20   // storm-lint: allow(R1): fixture proves directive works\n\
+               \x20   x.unwrap()\n}\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+#[test]
+fn r1_same_line_allow_works_too() {
+    let src = "fn f(x: Option<u64>) -> u64 { x.unwrap() } \
+               // storm-lint: allow(no-unwrap): name form accepted\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+#[test]
+fn r1_exempt_inside_cfg_test() {
+    let src = "fn lib() {}\n\
+               #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+#[test]
+fn r1_not_fooled_by_strings_or_comments() {
+    let src = "// x.unwrap() in a comment\n\
+               fn f() -> &'static str { \"x.unwrap()\" }\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+#[test]
+fn r1_out_of_scope_crate_is_clean() {
+    // storm-geo is not on R1's panic-free list.
+    let src = "fn f(x: Option<u64>) -> u64 { x.unwrap() }\n";
+    assert!(lint_source("crates/geo/src/fixture.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- R2
+
+#[test]
+fn r2_fires_on_ambient_entropy() {
+    let src = "fn f() {\n    let mut r = rand::thread_rng();\n\
+               \x20   let s = StdRng::from_entropy();\n\
+               \x20   let x: u64 = rand::random();\n}\n";
+    let fired = rules_fired(CORE, src);
+    assert_eq!(fired, vec!["R2", "R2", "R2"]);
+}
+
+#[test]
+fn r2_applies_even_in_tests() {
+    // Reproducibility matters most in tests: no cfg(test) exemption.
+    let src = "#[cfg(test)]\nmod tests {\n    fn t() { let r = rand::thread_rng(); }\n}\n";
+    assert_eq!(rules_fired(CORE, src), vec!["R2"]);
+}
+
+#[test]
+fn r2_allowlisted() {
+    let src = "// storm-lint: allow(R2): fixture for the directive path\n\
+               fn f() { let r = rand::thread_rng(); }\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+#[test]
+fn r2_seeded_rng_is_clean() {
+    let src = "fn f() { let r = StdRng::seed_from_u64(42); }\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+// ---------------------------------------------------------------- R3
+
+#[test]
+fn r3_fires_on_float_literal_comparison() {
+    let src = "fn f(x: f64) -> bool { x == 0.0 }\n\
+               fn g(x: f64) -> bool { 1.5 != x }\n\
+               fn h(x: f64) -> bool { x == -1.0 }\n";
+    assert_eq!(rules_fired(EST, src), vec!["R3", "R3", "R3"]);
+}
+
+#[test]
+fn r3_fires_on_cast_and_constant_comparisons() {
+    let src = "fn f(n: u32, d: f64) -> bool { n as f64 == d }\n\
+               fn g(x: f64) -> bool { x == f64::INFINITY }\n";
+    assert_eq!(rules_fired(EST, src), vec!["R3", "R3"]);
+}
+
+#[test]
+fn r3_integer_comparison_is_clean() {
+    let src = "fn f(x: u64) -> bool { x == 0 }\n";
+    assert!(lint_source(EST, src).is_empty());
+}
+
+#[test]
+fn r3_allowlisted() {
+    let src = "fn f(x: f64) -> bool {\n\
+               \x20   // storm-lint: allow(R3): exact sentinel, never computed\n\
+               \x20   x == 0.0\n}\n";
+    assert!(lint_source(EST, src).is_empty());
+}
+
+// ---------------------------------------------------------------- R4
+
+#[test]
+fn r4_fires_on_std_sync_locks() {
+    let src = "use std::sync::Mutex;\nfn f() { let m: std::sync::RwLock<u8>; }\n";
+    assert_eq!(rules_fired(CORE, src), vec!["R4", "R4"]);
+}
+
+#[test]
+fn r4_fires_inside_brace_groups() {
+    let src = "use std::sync::{Arc, Mutex};\n";
+    assert_eq!(rules_fired(CORE, src), vec!["R4"]);
+}
+
+#[test]
+fn r4_arc_and_atomics_are_clean() {
+    let src = "use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n\
+               use std::sync::mpsc;\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+#[test]
+fn r4_parking_lot_is_clean() {
+    let src = "use parking_lot::{Mutex, RwLock};\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+#[test]
+fn r4_allowlisted() {
+    let src = "// storm-lint: allow(R4): fixture — e.g. Condvar interop needs std\n\
+               use std::sync::Mutex;\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+// ---------------------------------------------------------------- R5
+
+#[test]
+fn r5_fires_on_narrowing_casts() {
+    let src = "fn f(n: usize) -> u32 { n as u32 }\nfn g(n: u64) -> i16 { n as i16 }\n";
+    assert_eq!(rules_fired(CORE, src), vec!["R5", "R5"]);
+}
+
+#[test]
+fn r5_widening_and_float_casts_are_clean() {
+    let src = "fn f(n: u32) -> u64 { n as u64 }\n\
+               fn g(n: u32) -> f64 { n as f64 }\n\
+               fn h(n: u32) -> usize { n as usize }\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+#[test]
+fn r5_allowlisted() {
+    let src = "fn f(n: usize) -> u32 {\n\
+               \x20   // storm-lint: allow(R5): n is a fanout index, <= 64 by construction\n\
+               \x20   n as u32\n}\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+#[test]
+fn r5_out_of_scope_for_store() {
+    let src = "fn f(n: usize) -> u32 { n as u32 }\n";
+    assert!(lint_source("crates/store/src/fixture.rs", src).is_empty());
+}
+
+// ------------------------------------------------------- allow hygiene
+
+#[test]
+fn allow_without_justification_is_flagged() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n\
+               \x20   // storm-lint: allow(R1)\n\
+               \x20   x.unwrap()\n}\n";
+    let diags = lint_source(CORE, src);
+    // The unwrap itself is suppressed, but the bare allow is flagged.
+    assert_eq!(rules_fired(CORE, src), vec!["allow"]);
+    assert!(diags[0].message.contains("justification"));
+}
+
+#[test]
+fn unused_allow_is_flagged() {
+    let src = "// storm-lint: allow(R1): nothing here actually unwraps\nfn f() {}\n";
+    let diags = lint_source(CORE, src);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("unused"));
+}
+
+#[test]
+fn unknown_rule_in_allow_is_flagged() {
+    let src = "// storm-lint: allow(R9): no such rule\nfn f() {}\n";
+    let diags = lint_source(CORE, src);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("unknown rule"));
+}
+
+#[test]
+fn allow_for_wrong_rule_does_not_suppress() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n\
+               \x20   // storm-lint: allow(R5): wrong rule on purpose\n\
+               \x20   x.unwrap()\n}\n";
+    let fired = rules_fired(CORE, src);
+    // R1 still fires and the R5 allow is reported unused.
+    assert!(fired.contains(&"R1"), "{fired:?}");
+    assert!(fired.contains(&"allow"), "{fired:?}");
+}
+
+// ------------------------------------------------------- workspace walk
+
+#[test]
+fn whole_workspace_is_lint_clean() {
+    // The repo must stay clean so `cargo xtask lint` can gate CI. Walks the
+    // real sources, same entry point as the binary.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask lives two levels under the repo root");
+    let diags = xtask::lint_workspace(root).expect("workspace walk");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert!(
+        diags.is_empty(),
+        "storm-lint violations:\n{}",
+        rendered.join("\n")
+    );
+}

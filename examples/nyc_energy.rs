@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let lon = rng.random_range(NYC.0 .0..NYC.1 .0);
             let lat = rng.random_range(NYC.0 .1..NYC.1 .1);
             let t = JAN1 + rng.random_range(0..90 * DAY);
-            let manhattan_boost = if lon > -74.02 && lon < -73.93 { 120.0 } else { 0.0 };
+            let manhattan_boost = if lon > -74.02 && lon < -73.93 {
+                120.0
+            } else {
+                0.0
+            };
             let winter_boost = 60.0 * (1.0 - ((t - JAN1) as f64 / (90 * DAY) as f64));
             let kwh = 850.0 + manhattan_boost + winter_boost + rng.random_range(-180.0..180.0);
             StRecord {
@@ -88,14 +92,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     second = Some(session.submit(&q2));
                 }
             }
-            Event::Finished { query_id, outcome } if query_id == first => {
-                if !printed_switch {
-                    println!(
-                        "  q1 stopped: {:?} after {} samples — no waiting for completion",
-                        outcome.reason, outcome.samples
-                    );
-                    printed_switch = true;
-                }
+            Event::Finished { query_id, outcome } if query_id == first && !printed_switch => {
+                println!(
+                    "  q1 stopped: {:?} after {} samples — no waiting for completion",
+                    outcome.reason, outcome.samples
+                );
+                printed_switch = true;
             }
             Event::Finished { query_id, outcome } if Some(query_id) == second => {
                 let est = outcome.estimate().expect("aggregate");

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    every progress tick: the estimate is usable long before the query
     //    would have finished scanning.
     println!("ESTIMATE AVG(reading) over x∈[20,80], y∈[100,700], t∈[10 000, 70 000)");
-    println!("{:>9} {:>12} {:>12} {:>12}", "samples", "estimate", "±95% CI", "elapsed");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12}",
+        "samples", "estimate", "±95% CI", "elapsed"
+    );
     let outcome = engine.execute_with(
         "ESTIMATE AVG(reading) FROM sensors RANGE 20 100 80 700 TIME 10000 70000 \
          CONFIDENCE 0.95 ERROR 0.002",

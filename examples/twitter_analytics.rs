@@ -80,8 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== top terms, same place, a calm week in January ===");
     let outcome = engine.execute(&format!(
         "TERMS 8 FROM tweets RANGE -90.0 30.0 -80.0 40.0 TIME {} {} SAMPLES 600",
-        1_388_534_400i64,
-        1_389_139_200i64
+        1_388_534_400i64, 1_389_139_200i64
     ))?;
     if let TaskResult::Terms { top } = &outcome.result {
         for h in top {

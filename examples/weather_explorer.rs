@@ -49,14 +49,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let schema = Schema::discover(&sample);
-    println!("\ndiscovered schema ({} records sampled):", schema.records());
+    println!(
+        "\ndiscovered schema ({} records sampled):",
+        schema.records()
+    );
     for (name, info) in schema.fields() {
         println!(
             "  {:<8} {:?}  present {}  range [{:?}, {:?}]",
             name, info.ty, info.present, info.min, info.max
         );
     }
-    println!("coordinate candidates: {:?}", schema.coordinate_candidates());
+    println!(
+        "coordinate candidates: {:?}",
+        schema.coordinate_candidates()
+    );
     println!("timestamp candidates:  {:?}", schema.timestamp_candidates());
 
     // 3. Import through the connector with an explicit mapping.
@@ -78,7 +84,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>12} {:>10} {:>10} {:>12} {:>10}",
         "method", "estimate", "±95% CI", "sim-reads", "ms"
     );
-    for method in ["queryfirst", "samplefirst", "randompath", "lstree", "rstree"] {
+    for method in [
+        "queryfirst",
+        "samplefirst",
+        "randompath",
+        "lstree",
+        "rstree",
+    ] {
         let outcome = engine.execute(&format!(
             "ESTIMATE AVG(temp) FROM mesowest {region} {window} SAMPLES 500 METHOD {method}"
         ))?;

@@ -84,11 +84,7 @@ fn meta(engine: &mut StormEngine, command: &str) -> bool {
         ["datasets"] => {
             for name in engine.dataset_names() {
                 let ds = engine.dataset(name).expect("listed name exists");
-                println!(
-                    "  {name}: {} records, bounds {}",
-                    ds.len(),
-                    ds.bounds2()
-                );
+                println!("  {name}: {} records, bounds {}", ds.len(), ds.bounds2());
             }
         }
         ["seed", s] => match s.parse::<u64>() {
@@ -156,8 +152,7 @@ fn meta(engine: &mut StormEngine, command: &str) -> bool {
             Err(e) => eprintln!("error: {e}"),
         },
         ["restore", name, file] => {
-            match engine.load_dataset(name, std::path::Path::new(file), DatasetConfig::default())
-            {
+            match engine.load_dataset(name, std::path::Path::new(file), DatasetConfig::default()) {
                 Ok(n) => println!("restored {n} records into '{name}'"),
                 Err(e) => eprintln!("error: {e}"),
             }
@@ -171,7 +166,11 @@ fn run_query(engine: &mut StormEngine, ql: &str) {
     let mut last_line_len = 0usize;
     let result = engine.execute_with(ql, &CancelToken::new(), &mut |p| {
         // Live status line for aggregates.
-        if let TaskResult::Aggregate { estimate, confidence } = &p.result {
+        if let TaskResult::Aggregate {
+            estimate,
+            confidence,
+        } = &p.result
+        {
             let line = format!(
                 "  {} samples: {:.4} ± {:.4} ({:.0}%)",
                 p.samples,
@@ -179,7 +178,10 @@ fn run_query(engine: &mut StormEngine, ql: &str) {
                 estimate.half_width(*confidence),
                 confidence * 100.0
             );
-            print!("\r{line}{}", " ".repeat(last_line_len.saturating_sub(line.len())));
+            print!(
+                "\r{line}{}",
+                " ".repeat(last_line_len.saturating_sub(line.len()))
+            );
             last_line_len = line.len();
             std::io::stdout().flush().ok();
         }
@@ -195,7 +197,10 @@ fn run_query(engine: &mut StormEngine, ql: &str) {
 
 fn print_outcome(outcome: &QueryOutcome) {
     match &outcome.result {
-        TaskResult::Aggregate { estimate, confidence } => {
+        TaskResult::Aggregate {
+            estimate,
+            confidence,
+        } => {
             println!(
                 "=> {:.6} ± {:.6} ({:.0}% confidence, {} samples of q={})",
                 estimate.value,

@@ -69,8 +69,8 @@ pub use storm_workload as workload;
 pub mod prelude {
     pub use storm_connector::{CsvSource, DataSource, FieldMapping, JsonLinesSource, StRecord};
     pub use storm_core::{
-        LsTree, QueryFirst, RandomPath, RsTree, RsTreeConfig, SampleFirst, SampleMode,
-        SamplerKind, SpatialSampler,
+        LsTree, QueryFirst, RandomPath, RsTree, RsTreeConfig, SampleFirst, SampleMode, SamplerKind,
+        SpatialSampler,
     };
     pub use storm_engine::{
         Dataset, DatasetConfig, Progress, QueryOutcome, StopReason, StormEngine, TaskResult,

@@ -34,7 +34,9 @@ fn csv_import_query_update_cycle() {
     assert_eq!(report.imported, 5_000);
 
     // Exact count through the full stack.
-    let outcome = engine.execute("ESTIMATE COUNT FROM d RANGE 0 0 4.9 9.9").unwrap();
+    let outcome = engine
+        .execute("ESTIMATE COUNT FROM d RANGE 0 0 4.9 9.9")
+        .unwrap();
     assert!(matches!(outcome.result, TaskResult::Count { q: 5_000 }));
 
     // AVG estimate converges to the true mean of val = i % 7 → 3 - ish.
@@ -165,10 +167,14 @@ fn store_persistence_rebuilds_identical_answers() {
 fn dataset_bookkeeping_survives_heavy_churn() {
     let mut engine = StormEngine::new(13);
     engine
-        .create_dataset("churn", Vec::new(), DatasetConfig {
-            fanout: 8,
-            ..Default::default()
-        })
+        .create_dataset(
+            "churn",
+            Vec::new(),
+            DatasetConfig {
+                fanout: 8,
+                ..Default::default()
+            },
+        )
         .unwrap();
     let mut live = Vec::new();
     for round in 0..40u64 {

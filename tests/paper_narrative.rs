@@ -10,10 +10,7 @@ fn energy_engine(n: usize, seed: u64) -> StormEngine {
     let records: Vec<StRecord> = (0..n)
         .map(|i| StRecord {
             point: StPoint::new((i % 500) as f64, ((i / 500) % 500) as f64, i as i64),
-            body: Value::object([(
-                "kwh".into(),
-                Value::Float(900.0 + ((i * 31) % 200) as f64),
-            )]),
+            body: Value::object([("kwh".into(), Value::Float(900.0 + ((i * 31) % 200) as f64))]),
         })
         .collect();
     let mut engine = StormEngine::new(seed);
@@ -95,13 +92,13 @@ fn interactive_requery_replays_the_papers_dialogue() {
     let events = session.events().clone();
     for event in events.iter() {
         match event {
-            Event::Progress { query_id, progress } if query_id == q1 && q2.is_none() => {
-                if progress.samples >= 192 {
-                    q2 = Some(session.submit(
-                        "ESTIMATE AVG(kwh) FROM energy RANGE 100 100 300 300 \
-                         CONFIDENCE 0.98 ERROR 0.01",
-                    ));
-                }
+            Event::Progress { query_id, progress }
+                if query_id == q1 && q2.is_none() && progress.samples >= 192 =>
+            {
+                q2 = Some(session.submit(
+                    "ESTIMATE AVG(kwh) FROM energy RANGE 100 100 300 300 \
+                     CONFIDENCE 0.98 ERROR 0.01",
+                ));
             }
             Event::Finished { query_id, outcome } if query_id == q1 => {
                 q1_cancelled = outcome.reason == StopReason::Cancelled;

@@ -1,0 +1,197 @@
+//! Offline vendored stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! A deliberately small wall-clock harness: each benchmark warms up briefly,
+//! auto-calibrates an iteration count to roughly `MEASURE_TARGET`, runs
+//! `sample_size` samples, and prints median / mean / min per-iteration
+//! times. No statistical regression analysis, plots, or saved baselines —
+//! numbers print to stdout and the `results/` workflow captures them.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+const WARMUP_TARGET: Duration = Duration::from_millis(300);
+const MEASURE_TARGET: Duration = Duration::from_millis(120);
+
+/// Opaque-to-the-optimizer value barrier.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\ngroup: {name}");
+        BenchmarkGroup { sample_size: 30 }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, body: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 30, body);
+    }
+}
+
+/// A named benchmark id with a parameter, e.g. `RS-tree/512`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, body);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.full, self.sample_size, |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing further to do).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(name: &str, sample_size: usize, mut body: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up & calibration: find an iteration count that takes roughly
+    // MEASURE_TARGET per sample.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warmup_start = Instant::now();
+    loop {
+        body(&mut bencher);
+        if warmup_start.elapsed() >= WARMUP_TARGET {
+            break;
+        }
+        if bencher.elapsed < Duration::from_millis(1) {
+            bencher.iters = bencher.iters.saturating_mul(8);
+        } else {
+            break;
+        }
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+    let iters = if per_iter > 0.0 {
+        ((MEASURE_TARGET.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 1_000_000_000)
+    } else {
+        1_000_000
+    };
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "  {name}: median {} mean {} min {} ({} samples x {} iters)",
+        fmt_time(median),
+        fmt_time(mean),
+        fmt_time(samples[0]),
+        samples.len(),
+        iters,
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3}s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3}ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3}us", seconds * 1e6)
+    } else {
+        format!("{:.1}ns", seconds * 1e9)
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

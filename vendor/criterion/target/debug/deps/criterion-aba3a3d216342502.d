@@ -1,0 +1,7 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-aba3a3d216342502.d: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-aba3a3d216342502.rlib: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-aba3a3d216342502.rmeta: src/lib.rs
+
+src/lib.rs:

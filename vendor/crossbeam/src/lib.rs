@@ -1,0 +1,110 @@
+//! Offline vendored stand-in for the
+//! [`crossbeam`](https://crates.io/crates/crossbeam) crate.
+//!
+//! Only the `channel` subset the storm engine uses is provided: unbounded
+//! multi-producer single-consumer channels with `send`/`recv`/`try_recv`/
+//! blocking iteration. Backed by `std::sync::mpsc`, which covers every
+//! current call site (the interactive session runner has exactly one
+//! consumer per channel). If a future PR needs `select!` or multi-consumer
+//! channels, this shim is the place to grow.
+
+pub mod channel {
+    //! Unbounded channels with the `crossbeam_channel` API shape.
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half; clonable across threads.
+    #[derive(Clone)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// The receiving half. Clonable like crossbeam's: every clone drains the
+    /// same queue and each message is delivered to exactly one caller.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    // Like real crossbeam, Debug does not require `T: Debug`.
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        ///
+        /// Note: a blocking `recv` on one clone holds the shared queue lock,
+        /// so concurrent clones wait behind it — fine for the engine's
+        /// single-consumer-at-a-time usage.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner).recv()
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .try_recv()
+        }
+
+        /// Blocking iterator over messages until all senders are gone.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.recv().ok())
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_try_recv() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn iter_drains_until_disconnect() {
+            let (tx, rx) = unbounded();
+            std::thread::spawn(move || {
+                for i in 0..5 {
+                    tx.send(i).unwrap();
+                }
+            });
+            assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/crossbeam/target/debug/deps/crossbeam-ac7fa2b2981e4471.d: src/lib.rs
+
+/root/repo/vendor/crossbeam/target/debug/deps/libcrossbeam-ac7fa2b2981e4471.rlib: src/lib.rs
+
+/root/repo/vendor/crossbeam/target/debug/deps/libcrossbeam-ac7fa2b2981e4471.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/crossbeam/target/debug/deps/crossbeam-b7f7160a582a2fc2.d: src/lib.rs
+
+/root/repo/vendor/crossbeam/target/debug/deps/crossbeam-b7f7160a582a2fc2: src/lib.rs
+
+src/lib.rs:

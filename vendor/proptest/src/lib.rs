@@ -1,0 +1,193 @@
+//! Offline vendored stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment has no network access, so this crate reimplements
+//! the slice of proptest the storm workspace actually uses:
+//!
+//! - the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! - [`strategy::Strategy`] with `prop_map`, `prop_filter`,
+//!   `prop_recursive`, `boxed`,
+//! - range / tuple / [`strategy::Just`] / regex-pattern (`&str`) strategies,
+//! - [`collection::vec`] and [`collection::btree_map`],
+//! - [`arbitrary::any`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`], [`prop_assume!`].
+//!
+//! Differences from real proptest, deliberately accepted for a test-only
+//! shim: no shrinking (a failing case reports its generated inputs instead
+//! of a minimised counterexample), and generation is fully deterministic per
+//! test name, so failures always reproduce exactly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// `prop::` namespace alias (`prop::collection::vec(..)`), mirroring the
+/// real crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Defines property tests: each `fn` runs its body for `cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut __accepted: u32 = 0;
+                let mut __attempt: u64 = 0;
+                let __max_attempts: u64 = u64::from(__config.cases) * 16 + 256;
+                while __accepted < __config.cases {
+                    __attempt += 1;
+                    assert!(
+                        __attempt <= __max_attempts,
+                        "proptest: too many rejected cases in {} \
+                         ({} accepted of {} wanted)",
+                        __test_name, __accepted, __config.cases,
+                    );
+                    let mut __rng =
+                        $crate::test_runner::rng_for(__test_name, __attempt);
+                    let mut __case_desc = ::std::string::String::new();
+                    $(
+                        let $pat = {
+                            let __value = $crate::strategy::Strategy::generate(
+                                &($strat), &mut __rng,
+                            );
+                            if !__case_desc.is_empty() {
+                                __case_desc.push_str(", ");
+                            }
+                            __case_desc.push_str(&format!(
+                                "{} = {:?}", stringify!($pat), &__value,
+                            ));
+                            __value
+                        };
+                    )*
+                    let __result: $crate::test_runner::TestCaseResult =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match __result {
+                        Ok(()) => __accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest case failed: {}\n  inputs: {}",
+                                __msg, __case_desc,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!(
+            $cond,
+            concat!("assertion failed: ", stringify!($cond))
+        )
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                    __l, __r,
+                )),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!(
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n {}",
+                    __l, __r, format!($($fmt)+),
+                )),
+            );
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`",
+                __l,
+            )));
+        }
+    }};
+}
+
+/// Skips the current case (without counting it) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).into(),
+            ));
+        }
+    };
+}
+
+/// Chooses among several strategies producing the same value type,
+/// optionally weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

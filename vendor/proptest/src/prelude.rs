@@ -1,0 +1,8 @@
+//! One-stop import mirroring `proptest::prelude::*`.
+
+pub use crate::arbitrary::any;
+pub use crate::collection;
+pub use crate::prop;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

@@ -1,0 +1,265 @@
+//! Tiny regex-subset string generator backing the `&str` strategy.
+//!
+//! Supported syntax — the subset the workspace's tests use, plus the obvious
+//! neighbours:
+//!
+//! - literal characters
+//! - character classes `[a-z_]`, `[ -~]` (ranges and singletons)
+//! - `.` (any printable ASCII), `\d`, `\w`, `\PC` (any non-control unicode
+//!   scalar), `\n`, `\t`, `\\` and other escaped literals
+//! - quantifiers `{m,n}`, `{n}`, `?`, `*`, `+` (`*`/`+` cap at 8 repeats)
+//!
+//! Anything else panics loudly so a test author immediately sees the shim's
+//! boundary instead of silently getting wrong strings.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    /// Inclusive char ranges; a singleton is `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Any unicode scalar that is not a control character (`\PC`).
+    NonControl,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for (atom, min, max) in &atoms {
+        let count = rng.random_range(*min..=*max);
+        for _ in 0..count {
+            out.push(gen_char(atom, rng));
+        }
+    }
+    out
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            // Weight ranges by their size for uniformity over the class.
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut roll = rng.random_range(0..total);
+            for (lo, hi) in ranges {
+                let size = *hi as u32 - *lo as u32 + 1;
+                if roll < size {
+                    return char::try_from(*lo as u32 + roll).unwrap_or('\u{FFFD}');
+                }
+                roll -= size;
+            }
+            unreachable!("roll exceeded class size")
+        }
+        Atom::NonControl => {
+            // Mostly printable ASCII, sometimes wider unicode: Latin
+            // supplement, CJK, and emoji, all control-free ranges.
+            const POOLS: [(u32, u32); 4] = [
+                (0x20, 0x7E),
+                (0xA0, 0x24F),
+                (0x4E00, 0x4FFF),
+                (0x1F300, 0x1F5FF),
+            ];
+            let pool = if rng.random_bool(0.7) {
+                POOLS[0]
+            } else {
+                POOLS[rng.random_range(1..POOLS.len())]
+            };
+            char::try_from(rng.random_range(pool.0..=pool.1)).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+/// Parses into `(atom, min_repeats, max_repeats)` triples.
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                // Find the closing `]`, skipping escaped characters.
+                let mut close = i + 1;
+                loop {
+                    match chars.get(close) {
+                        Some(']') => break,
+                        Some('\\') => close += 2,
+                        Some(_) => close += 1,
+                        None => panic!("unclosed [ in pattern {pattern:?}"),
+                    }
+                }
+                let atom = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                atom
+            }
+            '\\' => {
+                let (atom, consumed) = parse_escape(&chars[i + 1..], pattern);
+                i += 1 + consumed;
+                atom
+            }
+            '.' => {
+                i += 1;
+                Atom::Class(vec![(' ', '~')])
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '^' | '$' | '{' | '}' | '*' | '+' | '?'),
+                    "unsupported regex syntax {c:?} in pattern {pattern:?} \
+                     (vendored proptest shim supports a subset; see vendor/proptest)"
+                );
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} lower bound"),
+                        hi.trim().parse().expect("bad {m,n} upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad {n} count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "empty quantifier range in pattern {pattern:?}");
+        out.push((atom, min, max));
+    }
+    out
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Atom {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    // Decode into (char, was_escaped) first so `\-` is never read as a
+    // range operator.
+    let mut tokens: Vec<(char, bool)> = Vec::with_capacity(body.len());
+    let mut i = 0;
+    while i < body.len() {
+        if body[i] == '\\' {
+            let next = body
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("dangling backslash in class in pattern {pattern:?}"));
+            tokens.push((escape_literal(*next, pattern), true));
+            i += 2;
+        } else {
+            tokens.push((body[i], false));
+            i += 1;
+        }
+    }
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (lo, _) = tokens[i];
+        if i + 2 < tokens.len() && tokens[i + 1] == ('-', false) {
+            let (hi, _) = tokens[i + 2];
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    Atom::Class(ranges)
+}
+
+/// Parses the escape following a backslash; returns the atom and how many
+/// chars were consumed.
+fn parse_escape(rest: &[char], pattern: &str) -> (Atom, usize) {
+    match rest.first() {
+        Some('P') => {
+            // `\PC`: any non-control scalar (complement of category C).
+            assert_eq!(
+                rest.get(1),
+                Some(&'C'),
+                "only the \\PC category is supported in pattern {pattern:?}"
+            );
+            (Atom::NonControl, 2)
+        }
+        Some('d') => (Atom::Class(vec![('0', '9')]), 1),
+        Some('w') => (
+            Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            1,
+        ),
+        Some(&c) => (Atom::Literal(escape_literal(c, pattern)), 1),
+        None => panic!("dangling backslash in pattern {pattern:?}"),
+    }
+}
+
+fn escape_literal(c: char, pattern: &str) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        '\\' | '.' | '[' | ']' | '{' | '}' | '(' | ')' | '|' | '^' | '$' | '*' | '+' | '?'
+        | '-' | ' ' | '_' | '"' | '\'' | '/' => c,
+        other => panic!("unsupported escape \\{other} in pattern {pattern:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_matching_strings() {
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z_]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars().all(|c| c == '_' || c.is_ascii_lowercase()),
+                "{s:?}"
+            );
+
+            let s = generate_matching("[ -~]{0,20}", &mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+
+            let s = generate_matching("\\PC{0,8}", &mut rng);
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::seed_from_u64(12);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        let s = generate_matching("x{3}", &mut rng);
+        assert_eq!(s, "xxx");
+        let s = generate_matching("\\d?", &mut rng);
+        assert!(s.len() <= 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Config, case outcome, and the deterministic per-test RNG.
+
+use rand::SeedableRng;
+
+/// The RNG handed to strategies. Deterministic per (test name, attempt).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Run configuration for one `proptest!` test.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — skip the case without counting it.
+    Reject(String),
+    /// An assertion failed — the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Convenience constructor for a failing case.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Convenience constructor for a rejected case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Result type the generated test bodies return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Derives the RNG for one attempt of one test, deterministically: FNV-1a
+/// over the fully qualified test name, mixed with the attempt counter.
+pub fn rng_for(test_name: &str, attempt: u64) -> TestRng {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}

@@ -1,0 +1,13 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-b821896e06f6b81b.d: src/lib.rs src/arbitrary.rs src/collection.rs src/prelude.rs src/string.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-b821896e06f6b81b.rlib: src/lib.rs src/arbitrary.rs src/collection.rs src/prelude.rs src/string.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-b821896e06f6b81b.rmeta: src/lib.rs src/arbitrary.rs src/collection.rs src/prelude.rs src/string.rs src/strategy.rs src/test_runner.rs
+
+src/lib.rs:
+src/arbitrary.rs:
+src/collection.rs:
+src/prelude.rs:
+src/string.rs:
+src/strategy.rs:
+src/test_runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-e6a2142cf21a98c3.d: src/lib.rs src/arbitrary.rs src/collection.rs src/prelude.rs src/string.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-e6a2142cf21a98c3: src/lib.rs src/arbitrary.rs src/collection.rs src/prelude.rs src/string.rs src/strategy.rs src/test_runner.rs
+
+src/lib.rs:
+src/arbitrary.rs:
+src/collection.rs:
+src/prelude.rs:
+src/string.rs:
+src/strategy.rs:
+src/test_runner.rs:

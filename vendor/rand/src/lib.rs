@@ -1,0 +1,297 @@
+//! Offline vendored stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate.
+//!
+//! The build environment for this repository has no network access and no
+//! registry cache, so the workspace vendors the *exact* API surface it uses.
+//! Design notes:
+//!
+//! - [`Rng`] is the dyn-safe core trait (`next_u64`/`next_u32` only), because
+//!   STORM's samplers take `&mut dyn Rng` (see `storm_core::SpatialSampler`).
+//! - [`RngExt`] carries the generic conveniences (`random_range`,
+//!   `random_bool`, …) and is blanket-implemented for every `Rng`, sized or
+//!   not — so both `&mut StdRng` and `&mut dyn Rng` call sites work.
+//! - [`rngs::StdRng`] is xoshiro256++ seeded through SplitMix64. It is fully
+//!   deterministic for a given `seed_from_u64` input, which is what STORM's
+//!   reproducibility story (and storm-lint rule R2) relies on. There is
+//!   deliberately **no** `thread_rng`/`from_entropy`/ambient `random()`:
+//!   every RNG in the workspace must be constructed from an explicit seed.
+
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::StdRng;
+
+/// Dyn-safe random-number-generator core: a source of uniform `u64`s.
+///
+/// Mirrors `rand_core::RngCore` but stays object-safe so samplers can take
+/// `&mut dyn Rng`.
+pub trait Rng {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<T: Rng + ?Sized> Rng for &mut T {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+impl<T: Rng + ?Sized> Rng for Box<T> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from an explicit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it to the full
+    /// internal state deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generic conveniences on top of [`Rng`]; blanket-implemented for all
+/// generators including trait objects.
+pub trait RngExt: Rng {
+    /// Draws a value uniformly from `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(&mut bits_fn(self))
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "random_bool: p out of [0,1]: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Draws a value of a primitive type uniformly over its whole domain
+    /// (for floats: uniform in `[0, 1)`).
+    fn random<T: RandomValue>(&mut self) -> T {
+        T::random_from(&mut bits_fn(self))
+    }
+}
+
+impl<T: Rng + ?Sized> RngExt for T {}
+
+/// Borrows any `Rng` as a monomorphic bit source, so the generic sampling
+/// code below is compiled once instead of per generator type.
+fn bits_fn<R: Rng + ?Sized>(rng: &mut R) -> impl FnMut() -> u64 + '_ {
+    move || rng.next_u64()
+}
+
+/// `u64` in `[0, 1)` as an `f64` with 53 random mantissa bits.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `u64` in `[0, n)` via widening multiply (Lemire). The modulo bias
+/// is below 2^-64 per draw, far under anything STORM's statistical tests can
+/// observe, and it is branch-free and deterministic.
+#[inline]
+fn uniform_u64(bits: u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((u128::from(bits) * u128::from(n)) >> 64) as u64
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from the half-open range `[lo, hi)`.
+    fn sample_half_open(bits: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from the closed range `[lo, hi]`.
+    fn sample_inclusive(bits: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(bits: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                lo.wrapping_add(uniform_u64(bits(), span) as $t)
+            }
+
+            #[inline]
+            fn sample_inclusive(bits: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "random_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return bits() as $t;
+                }
+                lo.wrapping_add(uniform_u64(bits(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(bits: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let u = unit_f64(bits()) as $t;
+                let v = lo + (hi - lo) * u;
+                // Floating rounding can land exactly on `hi`; clamp back
+                // inside the half-open interval.
+                if v >= hi { lo.max(<$t>::from_bits(hi.to_bits() - 1)) } else { v }
+            }
+
+            #[inline]
+            fn sample_inclusive(bits: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "random_range: empty range");
+                lo + (hi - lo) * (unit_f64(bits()) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws uniformly from `self`.
+    fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> T {
+        T::sample_half_open(bits, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> T {
+        T::sample_inclusive(bits, *self.start(), *self.end())
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait RandomValue {
+    /// Draws one value.
+    fn random_from(bits: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_random_value_int {
+    ($($t:ty),*) => {$(
+        impl RandomValue for $t {
+            #[inline]
+            fn random_from(bits: &mut dyn FnMut() -> u64) -> Self {
+                bits() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RandomValue for bool {
+    #[inline]
+    fn random_from(bits: &mut dyn FnMut() -> u64) -> Self {
+        bits() & 1 == 1
+    }
+}
+
+impl RandomValue for f64 {
+    #[inline]
+    fn random_from(bits: &mut dyn FnMut() -> u64) -> Self {
+        unit_f64(bits())
+    }
+}
+
+impl RandomValue for f32 {
+    #[inline]
+    fn random_from(bits: &mut dyn FnMut() -> u64) -> Self {
+        unit_f64(bits()) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let i = rng.random_range(-8i64..=8);
+            assert!((-8..=8).contains(&i));
+        }
+    }
+
+    #[test]
+    fn random_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            // Each bucket expects 10_000; allow ±5 sigma (~±470).
+            assert!((9_500..10_500).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn works_through_dyn_rng() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn Rng = &mut rng;
+        let v = dyn_rng.random_range(0u64..100);
+        assert!(v < 100);
+    }
+
+    #[test]
+    fn float_half_open_never_hits_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100_000 {
+            let v = rng.random_range(0.0f64..1e-300);
+            assert!(v < 1e-300);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/rand/target/debug/deps/rand-504864e310b23ec4.d: src/lib.rs src/rngs.rs src/seq.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-504864e310b23ec4: src/lib.rs src/rngs.rs src/seq.rs
+
+src/lib.rs:
+src/rngs.rs:
+src/seq.rs:

@@ -1,0 +1,9 @@
+/root/repo/vendor/rand/target/debug/deps/rand-9188bddc7f1ef850.d: src/lib.rs src/rngs.rs src/seq.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-9188bddc7f1ef850.rlib: src/lib.rs src/rngs.rs src/seq.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-9188bddc7f1ef850.rmeta: src/lib.rs src/rngs.rs src/seq.rs
+
+src/lib.rs:
+src/rngs.rs:
+src/seq.rs:
