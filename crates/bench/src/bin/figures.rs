@@ -6,9 +6,11 @@
 //! ```
 //!
 //! Subcommands: `fig3a fig3b fig5 fig6a fig6b updates io ablate crossover
-//! all`. `--n <N>` scales the data set (default 200 000; the paper used
-//! ~10⁹ OSM points on a cluster — shapes, not absolute numbers, are the
-//! reproduction target). `--seed <S>` changes the workload seed.
+//! scaling batch all`. `--n <N>` scales the data set (default 200 000; the
+//! paper used ~10⁹ OSM points on a cluster — shapes, not absolute numbers,
+//! are the reproduction target). `--seed <S>` changes the workload seed.
+//! `batch` additionally writes machine-readable measurements to
+//! `results/BENCH_results.json` (override the path with `--json <PATH>`).
 
 use storm_bench::*;
 
@@ -17,6 +19,7 @@ fn main() {
     let mut command = None;
     let mut n = 200_000usize;
     let mut seed = 42u64;
+    let mut json_path = String::from("results/BENCH_results.json");
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,6 +37,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
             }
+            "--json" => {
+                i += 1;
+                json_path = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--json needs a path"));
+            }
             cmd if command.is_none() && !cmd.starts_with("--") => {
                 command = Some(cmd.to_owned());
             }
@@ -44,7 +54,7 @@ fn main() {
     let command = command.unwrap_or_else(|| usage("missing subcommand"));
 
     let run = |name: &str| {
-        println!("{}", dispatch(name, n, seed));
+        println!("{}", dispatch(name, n, seed, &json_path));
     };
     match command.as_str() {
         "all" => {
@@ -59,6 +69,7 @@ fn main() {
                 "ablate",
                 "crossover",
                 "scaling",
+                "batch",
             ] {
                 run(name);
             }
@@ -67,7 +78,7 @@ fn main() {
     }
 }
 
-fn dispatch(name: &str, n: usize, seed: u64) -> String {
+fn dispatch(name: &str, n: usize, seed: u64, json_path: &str) -> String {
     match name {
         "fig3a" => format_table(
             &format!("Figure 3(a) — online sample generation cost (N={n}, q/N=10%)"),
@@ -113,6 +124,23 @@ fn dispatch(name: &str, n: usize, seed: u64) -> String {
             &format!("E10 — SampleFirst vs RS-tree crossover (N={n}, k=64)"),
             &run_crossover(n, 64, seed),
         ),
+        "batch" => {
+            let points = run_batch_throughput(n, &[1, 2, 4, 8], &[16, 64, 256], seed);
+            let json = batch_json(&points);
+            if let Some(dir) = std::path::Path::new(json_path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+            }
+            match std::fs::write(json_path, &json) {
+                Ok(()) => eprintln!("wrote {json_path}"),
+                Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+            }
+            format_table(
+                &format!("E12 — batched scatter-gather throughput (N={n}, q/N=10%, WOR)"),
+                &batch_rows(&points),
+            )
+        }
         other => usage(&format!("unknown subcommand '{other}'")),
     }
 }
@@ -120,8 +148,8 @@ fn dispatch(name: &str, n: usize, seed: u64) -> String {
 fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
-        "usage: figures <fig3a|fig3b|fig5|fig6a|fig6b|updates|io|ablate|crossover|scaling|all> \
-         [--n N] [--seed S]"
+        "usage: figures <fig3a|fig3b|fig5|fig6a|fig6b|updates|io|ablate|crossover|scaling|batch\
+         |all> [--n N] [--seed S] [--json PATH]"
     );
     std::process::exit(2);
 }

@@ -691,6 +691,176 @@ pub fn run_scaling(n: usize, k: usize, seed: u64) -> Vec<Row> {
     rows
 }
 
+/// One measured configuration of the batched scatter-gather experiment
+/// (E12): how fast a fixed WOR sample stream drains from a sharded
+/// RS-tree, per executor, batch size, and shard count.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// `"inline"` (single-threaded in-process coordinator loop — no
+    /// executor, so also no per-draw messaging cost; the pre-executor
+    /// model), `"sequential"` (scatter-gather executor doing one-at-a-time
+    /// gather: one `Fill(1)` round-trip to a shard per draw, the
+    /// distributed paper setting's per-sample network hop), or
+    /// `"parallel"` (batched scatter-gather: round-trips amortised over
+    /// `batch` draws, shard work overlapping across workers).
+    pub method: &'static str,
+    /// Data-set size `N`.
+    pub n: usize,
+    /// Exact result size `q = |P ∩ Q|`.
+    pub q: usize,
+    /// Batch size `k` per `next_batch` call (1 for the sequential baseline).
+    pub batch: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Samples actually drawn.
+    pub samples: usize,
+    /// Wall-clock seconds.
+    pub secs: f64,
+}
+
+impl BatchPoint {
+    /// Throughput in samples per second.
+    pub fn samples_per_sec(&self) -> f64 {
+        self.samples as f64 / self.secs.max(1e-12)
+    }
+}
+
+/// E12: batched-kernel + parallel scatter-gather throughput on the
+/// Figure-3(a) workload (q/N = 10% WOR stream), over a grid of shard
+/// counts × batch sizes, against the sequential one-at-a-time baseline.
+///
+/// Each configuration drains `min(q, 65536)` samples from a fresh stream
+/// over the *same* prefilled shards, so rows are directly comparable.
+/// The acceptance comparison is `parallel` (batched) vs `sequential`
+/// (one `Fill(1)` round-trip per draw through the same executor) — the
+/// pair that isolates what batching buys a shard-gather protocol. The
+/// `inline` series is the pre-executor in-process loop: it pays no
+/// messaging at all, so on a single-core host (no shard overlap possible)
+/// it bounds what any executor can reach.
+pub fn run_batch_throughput(
+    n: usize,
+    shard_counts: &[usize],
+    batch_sizes: &[usize],
+    seed: u64,
+) -> Vec<BatchPoint> {
+    use storm_core::DistributedRsTree;
+    let data = osm::generate(n, seed);
+    let (query, q) =
+        queries::rect_with_selectivity(&data.items, 0.10, seed ^ 0xABCD).expect("non-empty");
+    let total = q.min(65_536);
+    let mut points = Vec::new();
+    for &shards in shard_counts {
+        let mut cluster = DistributedRsTree::bulk_load(
+            data.items.clone(),
+            shards,
+            RsTreeConfig::with_fanout(FANOUT),
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ shards as u64);
+        cluster.prefill(&mut rng);
+
+        // Inline baseline: the in-process coordinator loop (no executor,
+        // no messaging), one draw per pass.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5E0);
+        let start = Instant::now();
+        let mut s = cluster.sampler(query, SampleMode::WithoutReplacement);
+        let mut drawn = 0usize;
+        while drawn < total && s.next_sample(&mut rng).is_some() {
+            drawn += 1;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        drop(s);
+        points.push(BatchPoint {
+            method: "inline",
+            n,
+            q,
+            batch: 1,
+            shards,
+            samples: drawn,
+            secs,
+        });
+
+        // Executor runs over the same shards (the baseline's WOR stream
+        // left the trees intact: a fresh sampler restarts the stream).
+        // First sequential one-at-a-time gather — a `Fill(1)` round-trip
+        // per draw — then the batched configurations.
+        let mut parallel = cluster.into_parallel();
+        for (method, batches) in [("sequential", &[1usize][..]), ("parallel", batch_sizes)] {
+            for &batch in batches {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xBA ^ batch as u64);
+                let start = Instant::now();
+                let mut s =
+                    parallel.sampler(query, SampleMode::WithoutReplacement, seed ^ batch as u64);
+                let mut buf: Vec<Item<2>> = Vec::with_capacity(batch);
+                let mut drawn = 0usize;
+                while drawn < total {
+                    buf.clear();
+                    let got = s.next_batch(&mut rng, &mut buf, batch.min(total - drawn));
+                    if got == 0 {
+                        break;
+                    }
+                    drawn += got;
+                }
+                let secs = start.elapsed().as_secs_f64();
+                drop(s);
+                points.push(BatchPoint {
+                    method,
+                    n,
+                    q,
+                    batch,
+                    shards,
+                    samples: drawn,
+                    secs,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Formats batch points as printable [`Row`]s.
+pub fn batch_rows(points: &[BatchPoint]) -> Vec<Row> {
+    points
+        .iter()
+        .map(|p| {
+            Row::new(
+                format!("{}/s={}", p.method, p.shards),
+                vec![
+                    ("batch", p.batch as f64),
+                    ("samples", p.samples as f64),
+                    ("time(s)", p.secs),
+                    ("samples/s", p.samples_per_sec()),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Serialises batch points as the machine-readable `BENCH_results.json`
+/// payload. Hand-rolled writer — the workspace vendors no serde — with a
+/// stable field order so downstream diffs stay readable.
+pub fn batch_json(points: &[BatchPoint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"method\": \"{}\", \"n\": {}, \"q\": {}, \"batch\": {}, \"shards\": {}, \
+             \"samples\": {}, \"samples_per_sec\": {:.1}, \"wall_time_s\": {:.6}}}",
+            p.method,
+            p.n,
+            p.q,
+            p.batch,
+            p.shards,
+            p.samples,
+            p.samples_per_sec(),
+            p.secs
+        );
+        out.push_str(if i + 1 == points.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// Formats a [`TimeRange`] compactly (shared by examples).
 pub fn fmt_time(range: TimeRange) -> String {
     format!("[{}, {})", range.start(), range.end())
@@ -799,6 +969,38 @@ mod tests {
             best < single,
             "no multi-shard config beat 1 shard: {single} vs best {best}"
         );
+    }
+
+    #[test]
+    fn batch_throughput_drains_every_configuration() {
+        let points = run_batch_throughput(20_000, &[1, 4], &[16, 256], 42);
+        // 2 shard counts × (1 inline + 1 sequential + 2 parallel) rows.
+        assert_eq!(points.len(), 8);
+        let total = points[0].q.min(65_536);
+        for p in &points {
+            // WOR completeness: every configuration drains the full target
+            // regardless of executor, batch size, or shard count.
+            assert_eq!(
+                p.samples, total,
+                "{}/s={} b={}",
+                p.method, p.shards, p.batch
+            );
+            assert!(p.samples_per_sec() > 0.0);
+        }
+        let json = batch_json(&points);
+        assert_eq!(json.matches("\"method\"").count(), 8);
+        for field in [
+            "\"n\":",
+            "\"q\":",
+            "\"batch\":",
+            "\"shards\":",
+            "\"samples\":",
+            "\"samples_per_sec\":",
+            "\"wall_time_s\":",
+        ] {
+            assert_eq!(json.matches(field).count(), 8, "missing {field}");
+        }
+        assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
     }
 
     #[test]

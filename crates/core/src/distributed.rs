@@ -52,7 +52,13 @@ impl DistributedRsTree {
         assert!(num_shards > 0, "need at least one shard");
         // storm-lint: allow(R1): constant order 16 is within HilbertCurve's static range
         let curve = HilbertCurve::new(16).expect("order 16 is valid");
-        let bounds = Rect2::bounding(&items.iter().map(|it| it.point).collect::<Vec<_>>())
+        // Fold the bounding box directly — no intermediate point vector.
+        let bounds = items
+            .iter()
+            .fold(None::<Rect2>, |acc, it| match acc {
+                Some(r) => Some(r.enlarged_to_point(&it.point)),
+                None => Some(Rect2::from_point(it.point)),
+            })
             .unwrap_or_else(|| Rect2::from_point(Point2::xy(0.0, 0.0)));
         items.sort_by_cached_key(|it| curve.index_of_point(&bounds, &it.point));
 
@@ -166,6 +172,35 @@ impl DistributedRsTree {
             }
         }
         false
+    }
+
+    /// Decomposes the cluster into its shards and routing state so the
+    /// parallel executor can move each shard into its own worker thread.
+    pub(crate) fn into_parts(self) -> (Vec<RsTree<2>>, Vec<u64>, HilbertCurve, Rect2) {
+        (self.shards, self.boundaries, self.curve, self.bounds)
+    }
+
+    /// Reassembles a cluster from parts produced by
+    /// [`DistributedRsTree::into_parts`] (shard order must be preserved).
+    pub(crate) fn from_parts(
+        shards: Vec<RsTree<2>>,
+        boundaries: Vec<u64>,
+        curve: HilbertCurve,
+        bounds: Rect2,
+    ) -> Self {
+        DistributedRsTree {
+            shards,
+            boundaries,
+            curve,
+            bounds,
+        }
+    }
+
+    /// Moves every shard into its own worker thread, returning the
+    /// parallel scatter-gather executor. [`crate::ParallelRsCluster::join`]
+    /// reverses the move.
+    pub fn into_parallel(self) -> crate::ParallelRsCluster {
+        crate::ParallelRsCluster::from_distributed(self)
     }
 
     /// Opens a scatter/gather sampling stream for `query`.

@@ -28,6 +28,7 @@
 pub mod cost;
 pub mod distributed;
 mod ls_tree;
+pub mod parallel;
 mod query_first;
 mod random_path;
 mod rs_tree;
@@ -37,6 +38,7 @@ mod weighted;
 
 pub use distributed::{DistributedRsTree, DistributedSampler};
 pub use ls_tree::{LsSampler, LsTree};
+pub use parallel::{ParallelRsCluster, ParallelSampler};
 pub use query_first::QueryFirst;
 pub use random_path::RandomPath;
 pub use rs_tree::{RsSampler, RsTree, RsTreeConfig};
@@ -96,6 +98,28 @@ pub trait SpatialSampler<const D: usize> {
     /// Draws the next online sample.
     fn next_sample(&mut self, rng: &mut dyn Rng) -> Option<Item<D>>;
 
+    /// Draws up to `k` samples into `buf`, returning how many were
+    /// appended. Fewer than `k` (including 0) means the stream ended.
+    ///
+    /// This is the batched sampling kernel: implementations amortise
+    /// per-draw work — tree descents, buffer-block reads, selector walks —
+    /// across the whole block, which is what makes sample generation keep
+    /// up with the estimator loop. The emitted *sequence* must follow the
+    /// same distribution as `k` successive [`Self::next_sample`] calls, so
+    /// callers may mix the two freely. The default implementation is the
+    /// unamortised `k × next_sample` loop, keeping external samplers
+    /// source-compatible.
+    fn next_batch(&mut self, rng: &mut dyn Rng, buf: &mut Vec<Item<D>>, k: usize) -> usize {
+        let before = buf.len();
+        for _ in 0..k {
+            match self.next_sample(rng) {
+                Some(item) => buf.push(item),
+                None => break,
+            }
+        }
+        buf.len() - before
+    }
+
     /// Which method this is.
     fn kind(&self) -> SamplerKind;
 
@@ -105,15 +129,10 @@ pub trait SpatialSampler<const D: usize> {
         None
     }
 
-    /// Convenience: draws up to `k` samples into a vector.
+    /// Convenience: draws up to `k` samples into a vector (one batch).
     fn draw(&mut self, k: usize, rng: &mut dyn Rng) -> Vec<Item<D>> {
         let mut out = Vec::with_capacity(k);
-        for _ in 0..k {
-            match self.next_sample(rng) {
-                Some(item) => out.push(item),
-                None => break,
-            }
-        }
+        self.next_batch(rng, &mut out, k);
         out
     }
 }

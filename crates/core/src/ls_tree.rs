@@ -249,29 +249,33 @@ pub struct LsSampler<'a, const D: usize> {
 
 impl<const D: usize> LsSampler<'_, D> {
     /// Range-reports the next level down and permutes the fresh points.
+    /// The spent buffer's allocation is reused for the new level's report.
     fn descend(&mut self, rng: &mut dyn Rng) -> bool {
         let rng = &mut *rng;
+        let ls = self.ls;
+        let salt = ls.salt;
         loop {
             if self.next_level < 0 {
                 return false;
             }
             let level = self.next_level as usize;
             self.next_level -= 1;
-            let top = level + 1 == self.ls.levels.len();
-            let mut fresh: Vec<Item<D>> = Vec::new();
-            self.ls.levels[level].for_each_in(&self.query, |item| {
+            let top = level + 1 == ls.levels.len();
+            self.buffer.clear();
+            self.pos = 0;
+            let buffer = &mut self.buffer;
+            let query = &self.query;
+            ls.levels[level].for_each_in(query, |item| {
                 // Points that also live in a higher tree were already
                 // reported there; membership is recomputable from the id.
-                if top || level_of(item.id, self.ls.salt) == level_u32(level) {
-                    fresh.push(*item);
+                if top || level_of(item.id, salt) == level_u32(level) {
+                    buffer.push(*item);
                 }
             });
-            if fresh.is_empty() {
+            if self.buffer.is_empty() {
                 continue;
             }
-            fresh.shuffle(rng);
-            self.buffer = fresh;
-            self.pos = 0;
+            self.buffer.shuffle(rng);
             return true;
         }
     }
@@ -295,6 +299,34 @@ impl<const D: usize> SpatialSampler<D> for LsSampler<'_, D> {
                 return None;
             }
         }
+    }
+
+    /// Batched draw: copies whole runs of the current level's permutation
+    /// with `extend_from_slice` instead of one bounds-checked element per
+    /// call, descending between runs. Identical output sequence to
+    /// `k × next_sample` (the permutation is fixed once shuffled).
+    fn next_batch(&mut self, rng: &mut dyn Rng, buf: &mut Vec<Item<D>>, k: usize) -> usize {
+        let before = buf.len();
+        if !self.started {
+            self.started = true;
+            if !self.descend(rng) {
+                return 0;
+            }
+        }
+        while buf.len() - before < k {
+            let want = k - (buf.len() - before);
+            let avail = self.buffer.len() - self.pos;
+            if avail == 0 {
+                if !self.descend(rng) {
+                    break;
+                }
+                continue;
+            }
+            let take = want.min(avail);
+            buf.extend_from_slice(&self.buffer[self.pos..self.pos + take]);
+            self.pos += take;
+        }
+        buf.len() - before
     }
 
     fn kind(&self) -> SamplerKind {

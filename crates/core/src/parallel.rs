@@ -1,0 +1,631 @@
+//! Parallel shard scatter-gather execution for the distributed RS-tree.
+//!
+//! [`crate::DistributedRsTree`] gathers its shards sequentially on the
+//! caller's thread; this module is the production-shaped executor: every
+//! shard's `RsTree` moves into its own long-lived worker thread, queries
+//! are scattered as messages, and sample batches are gathered over
+//! channels. The protocol mirrors the paper's cluster deployment — the
+//! coordinator talks to shard servers, each of which does its own I/O.
+//!
+//! ## Protocol
+//!
+//! Per query the coordinator broadcasts [`ShardCmd::Open`] (query, mode,
+//! and a per-shard RNG seed) and collects each shard's exact partial count.
+//! Each `next_batch(k)` call then runs three phases:
+//!
+//! 1. **draw** — the coordinator draws `k` shard indices from the
+//!    remaining-count multinomial (the identical bookkeeping the sequential
+//!    gather applies per draw, just run as a block);
+//! 2. **scatter/gather** — each shard owing `n > 0` samples receives one
+//!    [`ShardCmd::Fill`]`(n)` and answers with a batch drawn by its local
+//!    batched kernel ([`crate::SpatialSampler::next_batch`]);
+//! 3. **merge** — replies are interleaved following the drawn index
+//!    sequence, *not* arrival order.
+//!
+//! ## Why the distribution is unchanged
+//!
+//! Shards partition `P`, so the merged without-replacement stream needs no
+//! deduplication; conditioned on the drawn shard sequence, each shard's
+//! batch is a uniform WOR run of its remaining points, and re-interleaving
+//! by the drawn sequence reproduces the sequential gather's joint
+//! distribution exactly.
+//!
+//! ## Determinism under a fixed seed
+//!
+//! Merge order is a pure function of the coordinator's RNG (phase 1) and
+//! each shard's batch is a pure function of that shard's seeded RNG, so the
+//! emitted stream is identical across runs regardless of thread
+//! scheduling. Only I/O-counter interleavings vary.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use storm_geo::curve::HilbertCurve;
+use storm_geo::Rect2;
+use storm_rtree::Item;
+
+use crate::rs_tree::RsTree;
+use crate::{mix64, DistributedRsTree, SampleMode, SamplerKind, SpatialSampler};
+
+/// Coordinator → shard-worker messages.
+enum ShardCmd {
+    /// Open a sampling stream; the worker replies [`ShardReply::Opened`].
+    Open {
+        /// The range query.
+        query: Rect2,
+        /// With or without replacement.
+        mode: SampleMode,
+        /// Seed for the worker's stream-local RNG.
+        seed: u64,
+    },
+    /// Draw up to `n` samples from the open stream; the worker replies
+    /// [`ShardReply::Batch`].
+    Fill(usize),
+    /// Tear down the open stream (no reply).
+    Close,
+    /// Exit the worker loop, returning the shard tree to the joiner.
+    Shutdown,
+}
+
+/// Shard-worker → coordinator messages.
+enum ShardReply {
+    /// Stream opened; `count` is the shard's exact `|P_s ∩ Q|`.
+    Opened {
+        /// The shard's partial result count.
+        count: usize,
+    },
+    /// Samples for the last [`ShardCmd::Fill`] (possibly short when the
+    /// shard's stream ended).
+    Batch(Vec<Item<2>>),
+}
+
+/// One shard server: command/reply channels plus the thread owning the
+/// shard's `RsTree`.
+struct WorkerHandle {
+    cmd: Sender<ShardCmd>,
+    reply: Receiver<ShardReply>,
+    thread: Option<JoinHandle<RsTree<2>>>,
+    /// Points owned by this shard (recorded before the move).
+    len: usize,
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        let _ = self.cmd.send(ShardCmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerHandle")
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The worker loop: serve streams over the shard's own tree until
+/// shutdown, then hand the tree back through the join handle.
+fn run_shard(
+    mut tree: RsTree<2>,
+    cmd: &Receiver<ShardCmd>,
+    reply: &Sender<ShardReply>,
+) -> RsTree<2> {
+    loop {
+        let msg = match cmd.recv() {
+            Ok(m) => m,
+            Err(_) => return tree, // coordinator dropped: exit
+        };
+        match msg {
+            ShardCmd::Shutdown => return tree,
+            // No stream is open; Fill/Close here are protocol noise from a
+            // coordinator that already gave up on us.
+            ShardCmd::Fill(_) | ShardCmd::Close => continue,
+            ShardCmd::Open { query, mode, seed } => {
+                let shutdown = {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut sampler = tree.sampler(query, mode);
+                    let count = sampler.result_size().unwrap_or(0);
+                    if reply.send(ShardReply::Opened { count }).is_err() {
+                        true
+                    } else {
+                        serve_stream(&mut sampler, &mut rng, cmd, reply)
+                    }
+                };
+                if shutdown {
+                    return tree;
+                }
+            }
+        }
+    }
+}
+
+/// Serves one open stream; returns `true` when the worker should exit.
+fn serve_stream(
+    sampler: &mut crate::RsSampler<'_, 2>,
+    rng: &mut StdRng,
+    cmd: &Receiver<ShardCmd>,
+    reply: &Sender<ShardReply>,
+) -> bool {
+    loop {
+        match cmd.recv() {
+            Err(_) | Ok(ShardCmd::Shutdown) => return true,
+            Ok(ShardCmd::Close) => return false,
+            // A nested Open is protocol misuse; drop the current stream
+            // (the coordinator never sends this).
+            Ok(ShardCmd::Open { .. }) => return false,
+            Ok(ShardCmd::Fill(n)) => {
+                let mut batch = Vec::with_capacity(n);
+                sampler.next_batch(rng, &mut batch, n);
+                if reply.send(ShardReply::Batch(batch)).is_err() {
+                    return true;
+                }
+            }
+        }
+    }
+}
+
+/// A [`DistributedRsTree`] whose shards run on their own worker threads.
+///
+/// Build one with [`DistributedRsTree::into_parallel`]; recover the plain
+/// cluster (for updates or sequential use) with
+/// [`ParallelRsCluster::join`]. Streams opened by
+/// [`ParallelRsCluster::sampler`] produce the same distribution as the
+/// sequential [`DistributedRsTree::sampler`], and are deterministic under a
+/// fixed seed (see the module docs).
+#[derive(Debug)]
+pub struct ParallelRsCluster {
+    workers: Vec<WorkerHandle>,
+    boundaries: Vec<u64>,
+    curve: HilbertCurve,
+    bounds: Rect2,
+}
+
+impl ParallelRsCluster {
+    /// Moves every shard of `d` into its own worker thread.
+    pub fn from_distributed(d: DistributedRsTree) -> Self {
+        let (shards, boundaries, curve, bounds) = d.into_parts();
+        let workers = shards
+            .into_iter()
+            .map(|tree| {
+                let (cmd_tx, cmd_rx) = unbounded();
+                let (rep_tx, rep_rx) = unbounded();
+                let len = tree.len();
+                let thread = std::thread::spawn(move || run_shard(tree, &cmd_rx, &rep_tx));
+                WorkerHandle {
+                    cmd: cmd_tx,
+                    reply: rep_rx,
+                    thread: Some(thread),
+                    len,
+                }
+            })
+            .collect();
+        ParallelRsCluster {
+            workers,
+            boundaries,
+            curve,
+            bounds,
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total points across the cluster (as of the move; the parallel
+    /// executor serves reads only).
+    pub fn len(&self) -> usize {
+        self.workers.iter().map(|w| w.len).sum()
+    }
+
+    /// True when the cluster holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shuts the workers down and reassembles the sequential cluster.
+    ///
+    /// # Panics
+    /// Panics when a worker thread itself panicked (its shard tree is
+    /// unrecoverable, so the cluster cannot be reassembled).
+    pub fn join(mut self) -> DistributedRsTree {
+        let mut shards = Vec::with_capacity(self.workers.len());
+        for w in &mut self.workers {
+            let _ = w.cmd.send(ShardCmd::Shutdown);
+            let Some(thread) = w.thread.take() else {
+                continue;
+            };
+            match thread.join() {
+                Ok(tree) => shards.push(tree),
+                // A panicked shard loses its tree; re-raising the worker's
+                // own panic is the only honest option.
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+        self.workers.clear();
+        DistributedRsTree::from_parts(
+            shards,
+            std::mem::take(&mut self.boundaries),
+            self.curve,
+            self.bounds,
+        )
+    }
+
+    /// Opens a parallel scatter-gather stream for `query`.
+    ///
+    /// `seed` derives each shard's stream RNG; together with the
+    /// coordinator RNG handed to `next_batch`/`next_sample`, it fully
+    /// determines the emitted sequence (thread scheduling cannot affect
+    /// it).
+    pub fn sampler(&mut self, query: Rect2, mode: SampleMode, seed: u64) -> ParallelSampler<'_> {
+        // Scatter the open: every worker computes its partial count
+        // concurrently.
+        for (s, w) in self.workers.iter().enumerate() {
+            let _ = w.cmd.send(ShardCmd::Open {
+                query,
+                mode,
+                seed: shard_seed(seed, s),
+            });
+        }
+        // Gather the counts (per-worker reply channels: no ordering race).
+        let mut weights = Vec::with_capacity(self.workers.len());
+        for w in &self.workers {
+            let count = match w.reply.recv() {
+                Ok(ShardReply::Opened { count }) => count,
+                // A dead or confused worker contributes nothing.
+                Ok(ShardReply::Batch(_)) | Err(_) => 0,
+            };
+            weights.push(count as u64);
+        }
+        let total: u64 = weights.iter().sum();
+        let n = self.workers.len();
+        ParallelSampler {
+            cluster: self,
+            mode,
+            remaining: weights.clone(),
+            weights,
+            total_remaining: total,
+            total: total as usize,
+            seq: Vec::new(),
+            need: vec![0; n],
+            batches: vec![Vec::new(); n],
+            cursors: vec![0; n],
+        }
+    }
+}
+
+/// Derives shard `s`'s stream-RNG seed from the query seed.
+fn shard_seed(seed: u64, s: usize) -> u64 {
+    mix64(
+        seed ^ (s as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1),
+    )
+}
+
+/// The coordinator side of a parallel scatter-gather sample stream.
+///
+/// Implements [`SpatialSampler`]; `next_batch` is the intended entry point
+/// (`next_sample` degenerates to blocks of one and pays a channel
+/// round-trip per draw).
+#[derive(Debug)]
+pub struct ParallelSampler<'a> {
+    cluster: &'a mut ParallelRsCluster,
+    mode: SampleMode,
+    /// Initial per-shard result counts.
+    weights: Vec<u64>,
+    /// Unemitted counts (without-replacement bookkeeping).
+    remaining: Vec<u64>,
+    total_remaining: u64,
+    total: usize,
+    /// Scratch: the drawn shard sequence for the current block.
+    seq: Vec<usize>,
+    /// Scratch: per-shard owed counts for the current block.
+    need: Vec<usize>,
+    /// Scratch: per-shard gathered batches for the current block.
+    batches: Vec<Vec<Item<2>>>,
+    /// Scratch: per-shard merge cursors for the current block.
+    cursors: Vec<usize>,
+}
+
+impl ParallelSampler<'_> {
+    /// Phase 2: scatter `Fill` requests per the `need` tallies and gather
+    /// the batches. Returns `false` when every contacted shard is gone.
+    fn scatter_gather(&mut self) -> bool {
+        let mut any = false;
+        for (s, &n) in self.need.iter().enumerate() {
+            if n > 0 {
+                let _ = self.cluster.workers[s].cmd.send(ShardCmd::Fill(n));
+            }
+        }
+        for (s, &n) in self.need.iter().enumerate() {
+            self.batches[s].clear();
+            self.cursors[s] = 0;
+            if n == 0 {
+                continue;
+            }
+            match self.cluster.workers[s].reply.recv() {
+                Ok(ShardReply::Batch(items)) => {
+                    self.batches[s] = items;
+                    any = true;
+                }
+                Ok(ShardReply::Opened { .. }) | Err(_) => {
+                    // Worker gone mid-stream (defensive; workers only exit
+                    // on shutdown): write the shard off entirely.
+                    self.total_remaining -= self.remaining[s];
+                    self.remaining[s] = 0;
+                    self.weights[s] = 0;
+                }
+            }
+        }
+        any
+    }
+}
+
+impl SpatialSampler<2> for ParallelSampler<'_> {
+    fn next_sample(&mut self, rng: &mut dyn Rng) -> Option<Item<2>> {
+        // A block of one: correct, but the channel round-trip per draw is
+        // exactly what `next_batch` amortises away.
+        let mut one = Vec::with_capacity(1);
+        self.next_batch(rng, &mut one, 1);
+        one.pop()
+    }
+
+    fn next_batch(&mut self, rng: &mut dyn Rng, buf: &mut Vec<Item<2>>, k: usize) -> usize {
+        let rng = &mut *rng;
+        let before = buf.len();
+        if self.cluster.workers.is_empty() {
+            return 0;
+        }
+        let mut seq = std::mem::take(&mut self.seq);
+        loop {
+            let done = buf.len() - before;
+            if done >= k {
+                break;
+            }
+            let want = k - done;
+            seq.clear();
+            self.need.fill(0);
+            // Phase 1: draw the shard sequence — the same per-draw
+            // bookkeeping as the sequential gather, run as a block.
+            match self.mode {
+                SampleMode::WithReplacement => {
+                    let total: u64 = self.weights.iter().sum();
+                    if total == 0 {
+                        break;
+                    }
+                    for _ in 0..want {
+                        let mut target = rng.random_range(0..total);
+                        for (s, &w) in self.weights.iter().enumerate() {
+                            if target < w {
+                                self.need[s] += 1;
+                                seq.push(s);
+                                break;
+                            }
+                            target -= w;
+                        }
+                    }
+                }
+                SampleMode::WithoutReplacement => {
+                    if self.total_remaining == 0 {
+                        break;
+                    }
+                    for _ in 0..want {
+                        if self.total_remaining == 0 {
+                            break;
+                        }
+                        let mut target = rng.random_range(0..self.total_remaining);
+                        for (s, &w) in self.remaining.iter().enumerate() {
+                            if target < w {
+                                self.remaining[s] -= 1;
+                                self.total_remaining -= 1;
+                                self.need[s] += 1;
+                                seq.push(s);
+                                break;
+                            }
+                            target -= w;
+                        }
+                    }
+                }
+            }
+            if seq.is_empty() {
+                break;
+            }
+            // Phase 2: scatter the owed counts, gather the batches.
+            if !self.scatter_gather() {
+                break;
+            }
+            // Phase 3: merge in drawn order — deterministic regardless of
+            // which worker answered first.
+            for &s in &seq {
+                if self.cursors[s] < self.batches[s].len() {
+                    buf.push(self.batches[s][self.cursors[s]]);
+                    self.cursors[s] += 1;
+                }
+            }
+            // Under-delivery (a shard's stream dried before its count):
+            // write off the shortfall so the retry loop re-draws it
+            // elsewhere instead of spinning.
+            if self.mode == SampleMode::WithoutReplacement {
+                for (s, &n) in self.need.iter().enumerate() {
+                    if n > 0 && self.batches[s].len() < n {
+                        self.total_remaining -= self.remaining[s];
+                        self.remaining[s] = 0;
+                    }
+                }
+            } else if buf.len() - before < k {
+                // With replacement a full retry can only repeat the same
+                // shortfall (weights are static); stop instead of looping.
+                break;
+            }
+        }
+        self.seq = seq;
+        buf.len() - before
+    }
+
+    fn kind(&self) -> SamplerKind {
+        SamplerKind::RsTree
+    }
+
+    fn result_size(&self) -> Option<usize> {
+        Some(self.total)
+    }
+}
+
+impl Drop for ParallelSampler<'_> {
+    fn drop(&mut self) {
+        // All gathers complete before next_batch returns, so there are no
+        // in-flight replies; Close tears the worker streams down.
+        for w in &self.cluster.workers {
+            let _ = w.cmd.send(ShardCmd::Close);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RsTreeConfig;
+    use std::collections::HashSet;
+    use storm_geo::Point2;
+
+    fn grid_items(n: usize) -> Vec<Item<2>> {
+        (0..n)
+            .map(|i| Item::new(Point2::xy((i % 100) as f64, (i / 100) as f64), i as u64))
+            .collect()
+    }
+
+    fn cluster(n: usize, shards: usize) -> ParallelRsCluster {
+        DistributedRsTree::bulk_load(grid_items(n), shards, RsTreeConfig::with_fanout(16))
+            .into_parallel()
+    }
+
+    #[test]
+    fn parallel_wor_stream_is_exactly_the_query_result() {
+        let mut c = cluster(5_000, 8);
+        let q = Rect2::from_corners(Point2::xy(13.0, 7.0), Point2::xy(61.0, 29.0));
+        let expected: HashSet<u64> = grid_items(5_000)
+            .iter()
+            .filter(|it| q.contains_point(&it.point))
+            .map(|it| it.id)
+            .collect();
+        let mut s = c.sampler(q, SampleMode::WithoutReplacement, 42);
+        assert_eq!(s.result_size(), Some(expected.len()));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut got = HashSet::new();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if s.next_batch(&mut rng, &mut buf, 64) == 0 {
+                break;
+            }
+            for item in &buf {
+                assert!(got.insert(item.id), "duplicate across shards: {}", item.id);
+            }
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn stream_is_deterministic_under_a_fixed_seed() {
+        let q = Rect2::from_corners(Point2::xy(5.0, 2.0), Point2::xy(70.0, 40.0));
+        let run = |batch: usize| -> Vec<u64> {
+            let mut c = cluster(4_000, 8);
+            let mut s = c.sampler(q, SampleMode::WithoutReplacement, 7);
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut out = Vec::new();
+            let mut buf = Vec::new();
+            while out.len() < 512 {
+                buf.clear();
+                if s.next_batch(&mut rng, &mut buf, batch) == 0 {
+                    break;
+                }
+                out.extend(buf.iter().map(|it| it.id));
+            }
+            drop(s);
+            c.join();
+            out
+        };
+        // Same seeds, different runs: identical sequences despite thread
+        // scheduling differences.
+        assert_eq!(run(64), run(64));
+    }
+
+    #[test]
+    fn join_round_trips_the_cluster() {
+        let c = cluster(2_000, 4);
+        assert_eq!(c.num_shards(), 4);
+        assert_eq!(c.len(), 2_000);
+        let mut d = c.join();
+        assert_eq!(d.num_shards(), 4);
+        assert_eq!(d.len(), 2_000);
+        // The reassembled cluster still samples correctly.
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(30.0, 10.0));
+        let expected = d.exact_count(&q);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = d.sampler(q, SampleMode::WithoutReplacement);
+        assert_eq!(s.draw(100_000, &mut rng).len(), expected);
+    }
+
+    #[test]
+    fn with_replacement_batches_stream_indefinitely() {
+        let mut c = cluster(1_000, 3);
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(50.0, 9.0));
+        let mut s = c.sampler(q, SampleMode::WithReplacement, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut buf = Vec::new();
+        for _ in 0..10 {
+            buf.clear();
+            assert_eq!(s.next_batch(&mut rng, &mut buf, 256), 256);
+            for item in &buf {
+                assert!(q.contains_point(&item.point));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_yields_empty_stream() {
+        let mut c = cluster(500, 4);
+        let q = Rect2::from_corners(Point2::xy(900.0, 900.0), Point2::xy(901.0, 901.0));
+        let mut s = c.sampler(q, SampleMode::WithoutReplacement, 1);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(s.next_sample(&mut rng).is_none());
+        assert_eq!(s.result_size(), Some(0));
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_on_first_draw_distribution() {
+        // Chi-square on the first parallel draw against uniform — the same
+        // bar the sequential gather's test holds itself to.
+        let items = grid_items(900);
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(99.0, 0.0)); // 100 pts
+        let trials = 20_000;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = std::collections::HashMap::new();
+        let mut c =
+            DistributedRsTree::bulk_load(items, 6, RsTreeConfig::with_fanout(8)).into_parallel();
+        for t in 0..trials {
+            let mut s = c.sampler(q, SampleMode::WithoutReplacement, t as u64);
+            let Some(first) = s.next_sample(&mut rng) else {
+                panic!("non-empty query produced no sample");
+            };
+            *counts.entry(first.id).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 100);
+        let expected = trials as f64 / 100.0;
+        let chi: f64 = counts
+            .values()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // 99 dof, p = 0.001 critical ≈ 148.2.
+        assert!(chi < 148.2, "chi² = {chi}");
+    }
+}

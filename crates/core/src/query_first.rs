@@ -67,6 +67,38 @@ impl<const D: usize> SpatialSampler<D> for QueryFirst<D> {
         }
     }
 
+    /// Batched draw over the materialised buffer: hoists the mode dispatch
+    /// and bounds bookkeeping out of the per-sample loop. Without
+    /// replacement this is a straight run of the lazy Fisher–Yates shuffle,
+    /// so the output sequence is identical to `k × next_sample`.
+    fn next_batch(&mut self, rng: &mut dyn Rng, buf: &mut Vec<Item<D>>, k: usize) -> usize {
+        let rng = &mut *rng;
+        if self.buffer.is_empty() {
+            return 0;
+        }
+        let before = buf.len();
+        match self.mode {
+            SampleMode::WithReplacement => {
+                buf.reserve(k);
+                let n = self.buffer.len();
+                for _ in 0..k {
+                    buf.push(self.buffer[rng.random_range(0..n)]);
+                }
+            }
+            SampleMode::WithoutReplacement => {
+                let take = k.min(self.buffer.len() - self.next);
+                buf.reserve(take);
+                for _ in 0..take {
+                    let j = rng.random_range(self.next..self.buffer.len());
+                    self.buffer.swap(self.next, j);
+                    buf.push(self.buffer[self.next]);
+                    self.next += 1;
+                }
+            }
+        }
+        buf.len() - before
+    }
+
     fn kind(&self) -> SamplerKind {
         SamplerKind::QueryFirst
     }

@@ -80,6 +80,11 @@ pub struct RsTree<const D: usize> {
     pub(crate) cfg: RsTreeConfig,
     /// Mutation counter driving the sampled debug audit cadence.
     audit_ops: u64,
+    /// Refill scratch (descent frontier), reused across buffer refills so
+    /// the hot path allocates nothing after warm-up.
+    scratch_stack: Vec<NodeId>,
+    /// Refill scratch (distinct-draw dedup set), reused across refills.
+    scratch_ids: HashSet<u64>,
 }
 
 impl<const D: usize> RsTree<D> {
@@ -91,6 +96,8 @@ impl<const D: usize> RsTree<D> {
             buffers: HashMap::new(),
             cfg,
             audit_ops: 0,
+            scratch_stack: Vec::new(),
+            scratch_ids: HashSet::new(),
         }
     }
 
@@ -159,15 +166,19 @@ impl<const D: usize> RsTree<D> {
         let Some(root) = self.tree.root_id() else {
             return;
         };
+        let empty = HashSet::new();
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
-            let view = self.tree.view_free_of_charge(id);
-            if view.count > self.cfg.small_subtree {
-                let empty = HashSet::new();
-                let buf = self.fill_buffer(id, rng, &empty);
+            let needs_fill = {
+                let view = self.tree.view_free_of_charge(id);
+                stack.extend(view.children());
+                view.count > self.cfg.small_subtree
+            };
+            if needs_fill {
+                let mut buf = self.buffers.remove(&id).unwrap_or_default();
+                self.fill_buffer_into(id, rng, &empty, &mut buf);
                 self.buffers.insert(id, buf);
             }
-            stack.extend(view.children());
         }
     }
 
@@ -248,12 +259,14 @@ impl<const D: usize> RsTree<D> {
     ) -> Option<Item<D>> {
         self.tree.io().record_reads(1);
         loop {
-            let buf = self.buffers.entry(u).or_default();
-            match buf.pop() {
+            match self.buffers.entry(u).or_default().pop() {
                 Some(item) if !seen.contains(&item.id) => return Some(item),
                 Some(_) => continue, // consumed stale entry
                 None => {
-                    let fresh = self.fill_buffer(u, rng, seen);
+                    // Refill in place, reusing the drained vector's
+                    // allocation.
+                    let mut fresh = self.buffers.remove(&u).unwrap_or_default();
+                    self.fill_buffer_into(u, rng, seen, &mut fresh);
                     if fresh.is_empty() {
                         return None;
                     }
@@ -263,28 +276,72 @@ impl<const D: usize> RsTree<D> {
         }
     }
 
-    /// Builds a fresh buffer for `u`: small subtrees are materialised in
-    /// full; large ones are sampled by repeated count-weighted descent.
-    /// Entries are distinct, exclude `seen`, and arrive pre-shuffled.
-    fn fill_buffer(&self, u: NodeId, rng: &mut dyn Rng, seen: &HashSet<u64>) -> Vec<Item<D>> {
-        let rng = &mut *rng;
-        let count = self.tree.visit(u).count;
-        let mut buf: Vec<Item<D>>;
-        if count <= self.cfg.small_subtree {
-            buf = Vec::with_capacity(count);
-            let mut stack = vec![u];
-            while let Some(id) = stack.pop() {
-                let view = self.tree.visit(id);
-                if view.is_leaf() {
-                    buf.extend(view.items().iter().filter(|it| !seen.contains(&it.id)));
-                } else {
-                    stack.extend(view.children());
+    /// Pops up to `n` not-yet-`seen` samples of `P(u)` into `out`, marking
+    /// each popped id as seen. Returns how many were appended.
+    ///
+    /// This is the batched analogue of [`RsTree::pop_from_node`]: the whole
+    /// run over one buffer costs a single block read (plus one per refill),
+    /// instead of one read per popped sample — the I/O amortisation that
+    /// makes `next_batch` worth having.
+    fn pop_many_from_node(
+        &mut self,
+        u: NodeId,
+        n: usize,
+        rng: &mut dyn Rng,
+        seen: &mut HashSet<u64>,
+        out: &mut Vec<Item<D>>,
+    ) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        self.tree.io().record_reads(1);
+        let mut got = 0;
+        while got < n {
+            match self.buffers.entry(u).or_default().pop() {
+                Some(item) if !seen.contains(&item.id) => {
+                    seen.insert(item.id);
+                    out.push(item);
+                    got += 1;
+                }
+                Some(_) => continue, // consumed stale entry
+                None => {
+                    let mut fresh = self.buffers.remove(&u).unwrap_or_default();
+                    self.fill_buffer_into(u, rng, seen, &mut fresh);
+                    if fresh.is_empty() {
+                        break;
+                    }
+                    // The refilled buffer is another block to read.
+                    self.tree.io().record_reads(1);
+                    self.buffers.insert(u, fresh);
                 }
             }
+        }
+        got
+    }
+
+    /// Builds a fresh buffer for `u` into `buf` (cleared first): small
+    /// subtrees are materialised in full; large ones are sampled by
+    /// repeated count-weighted descent. Entries are distinct, exclude
+    /// `seen`, and arrive pre-shuffled. The caller's vector and the tree's
+    /// scratch frontier/dedup set are reused, so steady-state refills do
+    /// not allocate.
+    fn fill_buffer_into(
+        &mut self,
+        u: NodeId,
+        rng: &mut dyn Rng,
+        seen: &HashSet<u64>,
+        buf: &mut Vec<Item<D>>,
+    ) {
+        let rng = &mut *rng;
+        buf.clear();
+        let count = self.tree.visit(u).count;
+        if count <= self.cfg.small_subtree {
+            self.materialise_unseen_into(u, seen, buf);
             buf.shuffle(rng);
         } else {
-            buf = Vec::with_capacity(self.cfg.buffer_size);
-            let mut in_buf: HashSet<u64> = HashSet::with_capacity(self.cfg.buffer_size);
+            buf.reserve(self.cfg.buffer_size);
+            let mut in_buf = std::mem::take(&mut self.scratch_ids);
+            in_buf.clear();
             // Distinct draws get rare only when the buffer approaches the
             // subtree size; `small_subtree >= 4 * buffer_size` keeps the
             // collision rate below 25%, so a modest attempt cap suffices.
@@ -300,8 +357,35 @@ impl<const D: usize> RsTree<D> {
                     buf.push(item);
                 }
             }
+            self.scratch_ids = in_buf;
+            if buf.is_empty() {
+                // A large subtree consumed to its tail rejects nearly every
+                // descent; the attempt cap alone would end the stream with
+                // unseen points still inside (breaking WOR completeness).
+                // Fall back to the exact walk — it only runs when the
+                // rejection path has already proven the tail is tiny.
+                self.materialise_unseen_into(u, seen, buf);
+                buf.shuffle(rng);
+            }
         }
-        buf
+    }
+
+    /// Collects every not-yet-`seen` point of `P(u)` into `buf` by walking
+    /// the whole subtree (exact; used for small subtrees and as the
+    /// completeness fallback for consumed large ones).
+    fn materialise_unseen_into(&mut self, u: NodeId, seen: &HashSet<u64>, buf: &mut Vec<Item<D>>) {
+        let mut stack = std::mem::take(&mut self.scratch_stack);
+        stack.clear();
+        stack.push(u);
+        while let Some(id) = stack.pop() {
+            let view = self.tree.visit(id);
+            if view.is_leaf() {
+                buf.extend(view.items().iter().filter(|it| !seen.contains(&it.id)));
+            } else {
+                stack.extend(view.children());
+            }
+        }
+        self.scratch_stack = stack;
     }
 
     /// Exact uniform draw from `P(u)` by count-weighted root-to-leaf
@@ -358,16 +442,28 @@ impl<const D: usize> RsTree<D> {
                 }
             }
         }
-        let selector = WeightedSelector::new(weights.clone(), self.cfg.selector);
+        // The selector takes the weight vector by value — no per-query
+        // clone. Only the without-replacement stream needs a second,
+        // mutable copy (the remaining counts); with-replacement queries
+        // skip it entirely.
+        let selector = WeightedSelector::new(weights, self.cfg.selector);
+        let remaining = match (mode, &selector) {
+            (SampleMode::WithoutReplacement, Some(s)) => s.weights().to_vec(),
+            _ => Vec::new(),
+        };
         RsSampler {
             rs: self,
             mode,
             parts,
-            remaining: weights,
+            remaining,
             total_remaining: canonical.total as u64,
             total: canonical.total,
             selector,
             seen: HashSet::new(),
+            batch_seq: Vec::new(),
+            batch_groups: Vec::new(),
+            batch_index: HashMap::new(),
+            batch_pop: Vec::new(),
         }
     }
 }
@@ -378,18 +474,41 @@ enum Part<const D: usize> {
     Single(Item<D>),
 }
 
+/// One part's slice of a batched draw: how many samples the block owes the
+/// part, where its popped items start in the batch scratch, how many were
+/// actually delivered, and how many the merge has consumed.
+#[derive(Debug, Clone, Copy)]
+struct BatchGroup {
+    part: usize,
+    need: usize,
+    start: usize,
+    len: usize,
+    cursor: usize,
+}
+
 /// The RS-tree's online sample stream for one query.
 #[derive(Debug)]
 pub struct RsSampler<'a, const D: usize> {
     rs: &'a mut RsTree<D>,
     mode: SampleMode,
     parts: Vec<Part<D>>,
-    /// Unemitted points left in each part (for without-replacement).
+    /// Unemitted points left in each part (without-replacement only; empty
+    /// for with-replacement streams, which never consume counts).
     remaining: Vec<u64>,
     total_remaining: u64,
     total: usize,
     selector: Option<WeightedSelector>,
     seen: HashSet<u64>,
+    /// Batch scratch: the drawn part sequence (as `batch_groups` indices),
+    /// reused across `next_batch` calls.
+    batch_seq: Vec<usize>,
+    /// Batch scratch: per-part tallies for the current block.
+    batch_groups: Vec<BatchGroup>,
+    /// Batch scratch: part index → `batch_groups` slot for the current
+    /// block.
+    batch_index: HashMap<usize, usize>,
+    /// Batch scratch: items popped for the current block, grouped by part.
+    batch_pop: Vec<Item<D>>,
 }
 
 impl<const D: usize> SpatialSampler<D> for RsSampler<'_, D> {
@@ -460,6 +579,140 @@ impl<const D: usize> SpatialSampler<D> for RsSampler<'_, D> {
         }
     }
 
+    /// Batched draw: groups the block's work by canonical part so each
+    /// part's samples are popped in one run (one buffer-block read per run
+    /// instead of one per sample), then merges the runs back in draw order.
+    ///
+    /// Distribution equivalence with `k × next_sample`: phase 1 draws the
+    /// *part sequence* with exactly the sequential bookkeeping (static
+    /// selector + dynamic thinning + remaining-count decrements), consuming
+    /// the same decisions a one-at-a-time loop would make. Conditioned on
+    /// that sequence, without-replacement pops within one part are uniform
+    /// over its remaining points, so popping them grouped and re-ordering by
+    /// the drawn sequence yields the same joint distribution as interleaved
+    /// draw-then-pop.
+    fn next_batch(&mut self, rng: &mut dyn Rng, buf: &mut Vec<Item<D>>, k: usize) -> usize {
+        let Some(selector) = self.selector.as_ref() else {
+            return 0;
+        };
+        let rng = &mut *rng;
+        let before = buf.len();
+        match self.mode {
+            SampleMode::WithReplacement => {
+                // Independent draws; nothing to merge. The win over
+                // next_sample is the hoisted selector borrow and the
+                // caller's reused buffer.
+                buf.reserve(k);
+                for _ in 0..k {
+                    let i = selector.pick(rng);
+                    match self.parts[i] {
+                        Part::Single(item) => buf.push(item),
+                        Part::Node(u) => {
+                            if let Some(item) = self.rs.descend_uniform(u, rng) {
+                                buf.push(item);
+                            }
+                        }
+                    }
+                }
+            }
+            SampleMode::WithoutReplacement => {
+                let mut seq = std::mem::take(&mut self.batch_seq);
+                let mut groups = std::mem::take(&mut self.batch_groups);
+                let mut index = std::mem::take(&mut self.batch_index);
+                let mut pop = std::mem::take(&mut self.batch_pop);
+                // A pop run can under-deliver (attempt-capped refill on a
+                // nearly-consumed subtree zeroes the part); retry whole
+                // blocks until the budget is met or the stream truly ends.
+                while buf.len() - before < k && self.total_remaining > 0 {
+                    let want = k - (buf.len() - before);
+                    seq.clear();
+                    groups.clear();
+                    index.clear();
+                    pop.clear();
+                    // Phase 1: draw the part sequence with the sequential
+                    // stream's exact bookkeeping.
+                    let mut spins = 0u64;
+                    while seq.len() < want && self.total_remaining > 0 {
+                        spins += 1;
+                        assert!(
+                            spins <= 100_000_000,
+                            "RS-tree batched WOR sampling failed to make \
+                             progress (remaining {} of {}; {} parts)",
+                            self.total_remaining,
+                            self.total,
+                            self.parts.len()
+                        );
+                        let i = selector.pick(rng);
+                        let original = selector.weight(i);
+                        let rem = self.remaining[i];
+                        if rem == 0 {
+                            continue;
+                        }
+                        if rem < original && rng.random_range(0..original) >= rem {
+                            continue;
+                        }
+                        self.remaining[i] -= 1;
+                        self.total_remaining -= 1;
+                        let slot = *index.entry(i).or_insert_with(|| {
+                            groups.push(BatchGroup {
+                                part: i,
+                                need: 0,
+                                start: 0,
+                                len: 0,
+                                cursor: 0,
+                            });
+                            groups.len() - 1
+                        });
+                        groups[slot].need += 1;
+                        seq.push(slot);
+                    }
+                    // Phase 2: pop each group's owed samples in one run.
+                    for g in groups.iter_mut() {
+                        g.start = pop.len();
+                        match self.parts[g.part] {
+                            Part::Single(item) => {
+                                // Weight 1 ⇒ thinning admits it at most
+                                // once per stream, so need == 1 here.
+                                self.seen.insert(item.id);
+                                pop.push(item);
+                                g.len = 1;
+                            }
+                            Part::Node(u) => {
+                                g.len = self.rs.pop_many_from_node(
+                                    u,
+                                    g.need,
+                                    rng,
+                                    &mut self.seen,
+                                    &mut pop,
+                                );
+                                if g.len < g.need {
+                                    // Subtree exhausted despite the counts:
+                                    // same defensive zeroing as the
+                                    // sequential stream.
+                                    self.total_remaining -= self.remaining[g.part];
+                                    self.remaining[g.part] = 0;
+                                }
+                            }
+                        }
+                    }
+                    // Phase 3: merge the runs back in drawn order.
+                    for &slot in &seq {
+                        let g = &mut groups[slot];
+                        if g.cursor < g.len {
+                            buf.push(pop[g.start + g.cursor]);
+                            g.cursor += 1;
+                        }
+                    }
+                }
+                self.batch_seq = seq;
+                self.batch_groups = groups;
+                self.batch_index = index;
+                self.batch_pop = pop;
+            }
+        }
+        buf.len() - before
+    }
+
     fn kind(&self) -> SamplerKind {
         SamplerKind::RsTree
     }
@@ -508,6 +761,70 @@ mod tests {
             assert!(got.insert(item.id), "duplicate {}", item.id);
         }
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn batched_wor_is_exactly_the_result_set() {
+        // The batched kernel must cover P ∩ Q exactly, like the
+        // one-at-a-time stream, for every block size.
+        for (seed, k) in [(11u64, 1usize), (12, 7), (13, 64), (14, 256)] {
+            let mut t = rs(3000);
+            let q = Rect2::from_corners(Point2::xy(7.0, 3.0), Point2::xy(55.0, 21.0));
+            let expected: std::collections::HashSet<u64> =
+                t.tree().query(&q).iter().map(|i| i.id).collect();
+            let mut s = t.sampler(q, SampleMode::WithoutReplacement);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut got = std::collections::HashSet::new();
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                if s.next_batch(&mut rng, &mut buf, k) == 0 {
+                    break;
+                }
+                for item in &buf {
+                    assert!(q.contains_point(&item.point));
+                    assert!(got.insert(item.id), "k={k}: duplicate {}", item.id);
+                }
+            }
+            assert_eq!(got.len(), expected.len(), "k={k}");
+            assert_eq!(got, expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn batched_wr_draws_are_uniform() {
+        // Chi-square: WR samples drawn through the batched kernel keep the
+        // one-at-a-time stream's uniform-over-P∩Q distribution (batching
+        // only reorders the bookkeeping, never the draws).
+        let items = grid_items(400);
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(19.0, 1.0));
+        let mut t = RsTree::bulk_load(items, RsTreeConfig::with_fanout(8));
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut s = t.sampler(q, SampleMode::WithReplacement);
+        let mut counts = std::collections::HashMap::new();
+        let trials = 20_000usize;
+        let mut drawn = 0usize;
+        let mut buf = Vec::new();
+        while drawn < trials {
+            buf.clear();
+            assert!(s.next_batch(&mut rng, &mut buf, 128.min(trials - drawn)) > 0);
+            for item in &buf {
+                *counts.entry(item.id).or_insert(0usize) += 1;
+            }
+            drawn += buf.len();
+        }
+        let q_size = 40;
+        assert_eq!(counts.len(), q_size);
+        let expected = trials as f64 / q_size as f64;
+        let chi: f64 = counts
+            .values()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // chi² 39 dof, p=0.001 critical ≈ 72.05.
+        assert!(chi < 72.05, "chi² = {chi}");
     }
 
     #[test]

@@ -91,6 +91,44 @@ impl<const D: usize> SpatialSampler<D> for SampleFirst<'_, D> {
         None
     }
 
+    /// Batched draw: runs the probe loop for the whole block, charging the
+    /// I/O counter once per block instead of once per probe (one atomic add
+    /// amortised over up to `k` accepted samples and all their rejected
+    /// probes).
+    fn next_batch(&mut self, rng: &mut dyn Rng, buf: &mut Vec<Item<D>>, k: usize) -> usize {
+        let rng = &mut *rng;
+        if self.data.is_empty() {
+            return 0;
+        }
+        let before = buf.len();
+        let mut probes = 0u64;
+        // One shared budget for the block: `k` samples are expected to cost
+        // `k·N/q` probes, so the guard scales with the block.
+        let budget = self.probe_budget.saturating_mul(k) as u64;
+        while buf.len() - before < k && probes < budget {
+            if self.mode == SampleMode::WithoutReplacement && self.seen.len() == self.data.len() {
+                break;
+            }
+            probes += 1;
+            let item = self.data[rng.random_range(0..self.data.len())];
+            if !self.query.contains_point(&item.point) {
+                continue;
+            }
+            match self.mode {
+                SampleMode::WithReplacement => buf.push(item),
+                SampleMode::WithoutReplacement => {
+                    if self.seen.insert(item.id) {
+                        buf.push(item);
+                    }
+                }
+            }
+        }
+        if let Some(io) = &self.io {
+            io.record_reads(probes);
+        }
+        buf.len() - before
+    }
+
     fn kind(&self) -> SamplerKind {
         SamplerKind::SampleFirst
     }

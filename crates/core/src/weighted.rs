@@ -90,6 +90,11 @@ impl WeightedSelector {
         self.weights[i]
     }
 
+    /// All weights, in entry order (the construction-time counts).
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
     /// Draws an index with probability `weight[i] / total`.
     pub fn pick(&self, rng: &mut dyn Rng) -> usize {
         let rng = &mut *rng;

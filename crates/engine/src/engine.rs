@@ -464,8 +464,11 @@ mod tests {
     #[test]
     fn time_budget_is_respected() {
         let mut e = engine_with_data(50_000);
+        // With replacement the stream never exhausts, so the time budget is
+        // the only stopping rule in play — the batched kernels are fast
+        // enough to drain a 50k WOR result inside 30ms.
         let outcome = e
-            .execute("ESTIMATE AVG(temp) FROM weather WITHIN 30")
+            .execute("ESTIMATE AVG(temp) FROM weather WITHIN 30 MODE WR")
             .unwrap();
         assert_eq!(outcome.reason, StopReason::TimeBudget);
         assert!(outcome.elapsed.as_millis() < 500);

@@ -29,13 +29,14 @@ use crate::EngineError;
 const CHECK_EVERY: u64 = 16;
 const PROGRESS_EVERY: u64 = 64;
 
-/// One sampler of any method, unified for the executor.
+/// One sampler of any method, unified for the executor. The RS sampler
+/// carries its batch scratch inline, so it's boxed to keep the enum small.
 enum AnySampler<'a> {
     Qf(QueryFirst<3>),
     Sf(SampleFirst<'a, 3>),
     Rp(RandomPath<'a, 3>),
     Ls(LsSampler<'a, 3>),
-    Rs(RsSampler<'a, 3>),
+    Rs(Box<RsSampler<'a, 3>>),
 }
 
 impl SpatialSampler<3> for AnySampler<'_> {
@@ -46,6 +47,18 @@ impl SpatialSampler<3> for AnySampler<'_> {
             AnySampler::Rp(s) => s.next_sample(rng),
             AnySampler::Ls(s) => s.next_sample(rng),
             AnySampler::Rs(s) => s.next_sample(rng),
+        }
+    }
+
+    fn next_batch(&mut self, rng: &mut dyn Rng, buf: &mut Vec<Item<3>>, k: usize) -> usize {
+        // Forward to each method's native batched kernel (the default
+        // trait impl would fall back to one-at-a-time draws).
+        match self {
+            AnySampler::Qf(s) => s.next_batch(rng, buf, k),
+            AnySampler::Sf(s) => s.next_batch(rng, buf, k),
+            AnySampler::Rp(s) => s.next_batch(rng, buf, k),
+            AnySampler::Ls(s) => s.next_batch(rng, buf, k),
+            AnySampler::Rs(s) => s.next_batch(rng, buf, k),
         }
     }
 
@@ -452,43 +465,55 @@ pub(crate) fn run_plan(
                 .ok_or(EngineError::IndexUnavailable("LS-tree"))?
                 .sampler(rect3),
         ),
-        SamplerKind::RsTree => AnySampler::Rs(rs.sampler(rect3, plan.query.mode)),
+        SamplerKind::RsTree => AnySampler::Rs(Box::new(rs.sampler(rect3, plan.query.mode))),
     };
 
     let term = plan.query.termination;
     let mut samples: u64 = 0;
+    // The ingest loop pulls one block per iteration (the batched sampling
+    // kernel), re-checking budgets/quality/cancellation between blocks —
+    // the same cadence the one-at-a-time loop checked at, with the
+    // per-draw dispatch amortised away. The block buffer is reused.
+    let mut block: Vec<Item<3>> = Vec::with_capacity(CHECK_EVERY as usize);
+    let mut next_progress = PROGRESS_EVERY;
     let reason = loop {
         if cancel.is_cancelled() {
             break StopReason::Cancelled;
         }
+        let mut want = CHECK_EVERY;
         if let Some(budget) = term.sample_budget {
-            if samples >= budget as u64 {
+            let budget = budget as u64;
+            if samples >= budget {
                 break StopReason::SampleBudget;
             }
+            // Clamp the block so the budget is hit exactly.
+            want = want.min(budget - samples);
         }
-        if samples.is_multiple_of(CHECK_EVERY) {
-            if let Some(ms) = term.time_budget_ms {
-                if start.elapsed() >= Duration::from_millis(ms) {
-                    break StopReason::TimeBudget;
-                }
-            }
-            if let (Some(target), Some(err)) = (term.target_error, state.rel_error(confidence)) {
-                if samples > 1 && err <= target {
-                    break StopReason::QualityReached;
-                }
+        if let Some(ms) = term.time_budget_ms {
+            if start.elapsed() >= Duration::from_millis(ms) {
+                break StopReason::TimeBudget;
             }
         }
-        let Some(item) = sampler.next_sample(rng) else {
+        if let (Some(target), Some(err)) = (term.target_error, state.rel_error(confidence)) {
+            if samples > 1 && err <= target {
+                break StopReason::QualityReached;
+            }
+        }
+        block.clear();
+        if sampler.next_batch(rng, &mut block, want as usize) == 0 {
             break StopReason::Exhausted;
-        };
-        samples += 1;
-        state.ingest(collection, item)?;
-        if samples.is_multiple_of(PROGRESS_EVERY) {
+        }
+        for &item in &block {
+            samples += 1;
+            state.ingest(collection, item)?;
+        }
+        if samples >= next_progress {
             on_progress(&Progress {
                 samples,
                 elapsed: start.elapsed(),
                 result: state.snapshot(confidence),
             });
+            next_progress = (samples / PROGRESS_EVERY + 1) * PROGRESS_EVERY;
         }
     };
     drop(sampler);

@@ -5,6 +5,11 @@
 //! waiting for the current query to complete". The runner owns the engine
 //! on a worker thread; submitting a query while another is running cancels
 //! the running one, and progress/outcome events stream back on a channel.
+//!
+//! The executor ingests samples in blocks (the batched sampling kernel),
+//! so pre-emption is observed at block/progress boundaries — every few
+//! dozen samples, i.e. well under a millisecond of extra latency — rather
+//! than between individual draws.
 
 use std::thread::JoinHandle;
 
