@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Subcommands: `fig3a fig3b fig5 fig6a fig6b updates io ablate crossover
-//! scaling batch all`. `--n <N>` scales the data set (default 200 000; the
+//! scaling batch faults all`. `--n <N>` scales the data set (default 200 000; the
 //! paper used ~10⁹ OSM points on a cluster — shapes, not absolute numbers,
 //! are the reproduction target). `--seed <S>` changes the workload seed.
 //! `batch` additionally writes machine-readable measurements to
@@ -70,6 +70,7 @@ fn main() {
                 "crossover",
                 "scaling",
                 "batch",
+                "faults",
             ] {
                 run(name);
             }
@@ -141,6 +142,10 @@ fn dispatch(name: &str, n: usize, seed: u64, json_path: &str) -> String {
                 &batch_rows(&points),
             )
         }
+        "faults" => format_table(
+            &format!("E13 — degraded-mode recovery vs fault rate (N={n}, 4 shards, WOR)"),
+            &run_fault_recovery(n, &[0, 50, 100, 200, 400], seed),
+        ),
         other => usage(&format!("unknown subcommand '{other}'")),
     }
 }

@@ -861,6 +861,71 @@ pub fn batch_json(points: &[BatchPoint]) -> String {
     out
 }
 
+/// E13 — degraded-mode recovery vs injected fault rate.
+///
+/// For each per-mille fault rate, a 4-shard parallel cluster runs the
+/// Figure-3(a) workload (q/N = 10% WOR stream) under a deterministic
+/// [`storm_engine::FaultPlan`] that drops shard replies at `rate` and
+/// panics workers at `rate / 4`, with a 20 ms timeout + 2-retry recovery
+/// policy. Columns: delivered samples, written-off mass, dead shards,
+/// wall time, and recovery latency per 1 000 delivered samples. Rate 0
+/// is the E12 no-fault baseline for overhead comparison.
+pub fn run_fault_recovery(n: usize, rates_permille: &[u16], seed: u64) -> Vec<Row> {
+    use std::sync::Arc;
+    use storm_core::DistributedRsTree;
+    use storm_engine::{FaultPlan, RetryPolicy};
+    let data = osm::generate(n, seed);
+    let (query, q) =
+        queries::rect_with_selectivity(&data.items, 0.10, seed ^ 0xFA17).expect("non-empty");
+    let total = q.min(16_384);
+    let mut rows = Vec::new();
+    for &rate in rates_permille {
+        let mut cluster =
+            DistributedRsTree::bulk_load(data.items.clone(), 4, RsTreeConfig::with_fanout(FANOUT))
+                .into_parallel();
+        cluster.set_retry_policy(RetryPolicy {
+            max_retries: 2,
+            timeout_ms: 20,
+            backoff: 2,
+        });
+        if rate > 0 {
+            cluster.set_fault_hook(Arc::new(
+                FaultPlan::seeded(seed ^ u64::from(rate))
+                    .with_drops(rate)
+                    .with_panics(rate / 4),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE13);
+        let start = Instant::now();
+        let mut s = cluster.sampler(query, SampleMode::WithoutReplacement, seed);
+        let mut buf: Vec<Item<2>> = Vec::with_capacity(64);
+        let mut drawn = 0usize;
+        while drawn < total {
+            buf.clear();
+            let got = s.next_batch(&mut rng, &mut buf, 64.min(total - drawn));
+            if got == 0 {
+                break;
+            }
+            drawn += got;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let d = s.degraded().unwrap_or_default();
+        drop(s);
+        rows.push(Row::new(
+            format!("{rate}permille"),
+            vec![
+                ("q", q as f64),
+                ("samples", drawn as f64),
+                ("lost", d.lost_mass() as f64),
+                ("dead", d.dead_shards().len() as f64),
+                ("time(s)", secs),
+                ("ms/1k", secs * 1e6 / drawn.max(1) as f64),
+            ],
+        ));
+    }
+    rows
+}
+
 /// Formats a [`TimeRange`] compactly (shared by examples).
 pub fn fmt_time(range: TimeRange) -> String {
     format!("[{}, {})", range.start(), range.end())
@@ -969,6 +1034,39 @@ mod tests {
             best < single,
             "no multi-shard config beat 1 shard: {single} vs best {best}"
         );
+    }
+
+    #[test]
+    fn fault_recovery_is_accountable_at_every_rate() {
+        let rows = run_fault_recovery(20_000, &[0, 200], 42);
+        assert_eq!(rows.len(), 2);
+        // Rate 0: nothing lost, no dead shards, full delivery.
+        assert_eq!(rows[0].values[2].1, 0.0, "clean run lost mass");
+        assert_eq!(rows[0].values[3].1, 0.0, "clean run killed shards");
+        assert_eq!(rows[0].values[1].1, rows[0].values[0].1.min(16_384.0));
+        // Rate 200‰ (+50‰ panics): delivered + lost still covers the
+        // stream target — degradation is declared, never silent.
+        let q = rows[1].values[0].1;
+        let target = q.min(16_384.0);
+        assert!(
+            rows[1].values[1].1 + rows[1].values[2].1 >= target,
+            "delivered {} + lost {} < target {target}",
+            rows[1].values[1].1,
+            rows[1].values[2].1
+        );
+    }
+
+    #[test]
+    fn batch_harness_replays_deterministically() {
+        // Fixed-seed replay across the full multi-threaded harness: the
+        // drained sample counts (everything but wall-clock) are identical
+        // run to run regardless of thread scheduling.
+        storm_testkit::assert_deterministic(2, "batch-throughput points", || {
+            run_batch_throughput(10_000, &[4], &[64], 7)
+                .into_iter()
+                .map(|p| (p.method, p.shards, p.batch, p.samples))
+                .collect::<Vec<_>>()
+        });
     }
 
     #[test]

@@ -129,6 +129,16 @@ pub trait SpatialSampler<const D: usize> {
         None
     }
 
+    /// Degraded-execution report: which shards (if any) this stream wrote
+    /// off and how much declared result mass went with them. `None` means
+    /// the sampler cannot degrade (single-node samplers); `Some` with an
+    /// empty failure list means a distributed stream that is still whole.
+    /// See [`storm_faultkit::DegradedInfo`] for the missing-mass bound the
+    /// estimator layer applies.
+    fn degraded(&self) -> Option<storm_faultkit::DegradedInfo> {
+        None
+    }
+
     /// Convenience: draws up to `k` samples into a vector (one batch).
     fn draw(&mut self, k: usize, rng: &mut dyn Rng) -> Vec<Item<D>> {
         let mut out = Vec::with_capacity(k);

@@ -10,15 +10,15 @@
 //! ## Protocol
 //!
 //! Per query the coordinator broadcasts [`ShardCmd::Open`] (query, mode,
-//! and a per-shard RNG seed) and collects each shard's exact partial count.
-//! Each `next_batch(k)` call then runs three phases:
+//! a per-shard RNG seed, and a stream epoch) and collects each shard's
+//! exact partial count. Each `next_batch(k)` call then runs three phases:
 //!
 //! 1. **draw** — the coordinator draws `k` shard indices from the
 //!    remaining-count multinomial (the identical bookkeeping the sequential
 //!    gather applies per draw, just run as a block);
 //! 2. **scatter/gather** — each shard owing `n > 0` samples receives one
-//!    [`ShardCmd::Fill`]`(n)` and answers with a batch drawn by its local
-//!    batched kernel ([`crate::SpatialSampler::next_batch`]);
+//!    [`ShardCmd::Fill`]`{n, seq, epoch}` and answers with a batch drawn by
+//!    its local batched kernel ([`crate::SpatialSampler::next_batch`]);
 //! 3. **merge** — replies are interleaved following the drawn index
 //!    sequence, *not* arrival order.
 //!
@@ -36,12 +36,46 @@
 //! each shard's batch is a pure function of that shard's seeded RNG, so the
 //! emitted stream is identical across runs regardless of thread
 //! scheduling. Only I/O-counter interleavings vary.
+//!
+//! ## Fault tolerance
+//!
+//! The executor is fail-soft, not fail-stop. Three mechanisms cooperate
+//! (see `DESIGN.md` §9 for the full failure model):
+//!
+//! - **Panic containment** — the worker loop runs each stream under
+//!   `catch_unwind`, so a panic (genuine or injected) poisons only the
+//!   open stream, never the shard's tree: the worker answers
+//!   [`ShardReply::Aborted`] and keeps serving subsequent queries, and
+//!   [`ParallelRsCluster::join`] reassembles the cluster without
+//!   `resume_unwind`.
+//! - **Timeout + bounded retry** — when recovery is active (a
+//!   [`FaultHook`] is installed or a [`RetryPolicy`] was set), gathers use
+//!   `recv_timeout` with exponential backoff and re-send the *same*
+//!   sequence number; workers cache the last served batch per stream and
+//!   replay it on a duplicate `seq`, so a retried fill can never advance a
+//!   without-replacement stream twice. With recovery inactive the gather
+//!   path is the original blocking `recv` — zero overhead.
+//! - **Graceful degradation** — a shard that exhausts its retries (or
+//!   aborts, or disconnects) is written out of the query: its remaining
+//!   mass is removed from the draw weights, the stream continues over the
+//!   survivors, and the loss is recorded in a [`DegradedInfo`] surfaced
+//!   through [`crate::SpatialSampler::degraded`] so the estimator layer
+//!   can widen its confidence interval by the missing-mass bound.
+//!
+//! Fault injection itself lives in `storm-faultkit`: a [`FaultHook`] is a
+//! pure function of `(site, shard, op)`, so an injected schedule of drops,
+//! panics, and delays replays identically run over run — the fault-matrix
+//! suite exercises exactly that.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
+use storm_faultkit::{DegradedInfo, FailReason, FaultHook, FaultKind, FaultSite, RetryPolicy};
 use storm_geo::curve::HilbertCurve;
 use storm_geo::Rect2;
 use storm_rtree::Item;
@@ -49,20 +83,41 @@ use storm_rtree::Item;
 use crate::rs_tree::RsTree;
 use crate::{mix64, DistributedRsTree, SampleMode, SamplerKind, SpatialSampler};
 
+/// Everything a worker needs to open one sampling stream.
+struct OpenArgs {
+    /// The range query.
+    query: Rect2,
+    /// With or without replacement.
+    mode: SampleMode,
+    /// Seed for the worker's stream-local RNG.
+    seed: u64,
+    /// Coordinator-assigned stream identity; every reply echoes it so
+    /// stale messages from earlier streams are recognisable.
+    epoch: u64,
+    /// Fault-injection hook for this stream (test/chaos runs only).
+    hook: Option<Arc<dyn FaultHook>>,
+    /// Whether the coordinator may retry fills: enables the worker-side
+    /// batch replay cache (skipped entirely on the fast path).
+    recover: bool,
+}
+
 /// Coordinator → shard-worker messages.
 enum ShardCmd {
     /// Open a sampling stream; the worker replies [`ShardReply::Opened`].
-    Open {
-        /// The range query.
-        query: Rect2,
-        /// With or without replacement.
-        mode: SampleMode,
-        /// Seed for the worker's stream-local RNG.
-        seed: u64,
-    },
+    /// Re-sending `Open` for the same epoch restarts the stream (identical
+    /// seed → identical stream), which is how open-phase retries work.
+    Open(Box<OpenArgs>),
     /// Draw up to `n` samples from the open stream; the worker replies
-    /// [`ShardReply::Batch`].
-    Fill(usize),
+    /// [`ShardReply::Batch`] with the same `seq`/`epoch`. A repeated `seq`
+    /// replays the cached batch instead of advancing the stream.
+    Fill {
+        /// Samples owed.
+        n: usize,
+        /// Scatter-round number within the stream.
+        seq: u64,
+        /// Stream identity (must match the open stream's).
+        epoch: u64,
+    },
     /// Tear down the open stream (no reply).
     Close,
     /// Exit the worker loop, returning the shard tree to the joiner.
@@ -75,10 +130,58 @@ enum ShardReply {
     Opened {
         /// The shard's partial result count.
         count: usize,
+        /// Echo of the opening epoch.
+        epoch: u64,
     },
-    /// Samples for the last [`ShardCmd::Fill`] (possibly short when the
-    /// shard's stream ended).
-    Batch(Vec<Item<2>>),
+    /// Samples for one [`ShardCmd::Fill`] (possibly short when the shard's
+    /// stream ended).
+    Batch {
+        /// The drawn (or replayed) samples.
+        items: Vec<Item<2>>,
+        /// Echo of the fill's scatter-round number.
+        seq: u64,
+        /// Echo of the stream epoch.
+        epoch: u64,
+    },
+    /// The stream died to a contained panic (or a fill arrived with no
+    /// stream open). The shard's tree survives for future queries, but
+    /// this stream is over: the coordinator writes the shard off.
+    Aborted {
+        /// Epoch of the stream that died.
+        epoch: u64,
+    },
+}
+
+/// Typed error from [`ParallelRsCluster`] teardown paths: the shard's
+/// command channel was already disconnected (its worker thread is gone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CloseError {
+    /// Index of the unreachable shard.
+    pub shard: usize,
+}
+
+impl std::fmt::Display for CloseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} worker unreachable (channel closed)",
+            self.shard
+        )
+    }
+}
+
+impl std::error::Error for CloseError {}
+
+/// Result of [`ParallelRsCluster::try_join`]: the reassembled sequential
+/// cluster plus any shards whose trees were lost to uncaught worker-thread
+/// panics (panics *inside* a stream are contained and never reach here).
+#[derive(Debug)]
+pub struct JoinOutcome {
+    /// The cluster rebuilt from the surviving shards, with the lost
+    /// shards' curve ranges merged into their successors.
+    pub tree: DistributedRsTree,
+    /// Indices (in pre-join numbering) of shards whose trees were lost.
+    pub lost_shards: Vec<usize>,
 }
 
 /// One shard server: command/reply channels plus the thread owning the
@@ -89,11 +192,36 @@ struct WorkerHandle {
     thread: Option<JoinHandle<RsTree<2>>>,
     /// Points owned by this shard (recorded before the move).
     len: usize,
+    /// This shard's index (for fault coordinates and error reporting).
+    shard: usize,
+    /// Cluster-wide count of control sends that found a dead worker.
+    dropped_sends: Arc<AtomicU64>,
+}
+
+impl WorkerHandle {
+    /// Sends `Close`, reporting (rather than swallowing) an unreachable
+    /// worker.
+    fn close(&self) -> Result<(), CloseError> {
+        self.cmd
+            .send(ShardCmd::Close)
+            .map_err(|_| CloseError { shard: self.shard })
+    }
+
+    /// Log-and-count a control send that found the worker gone.
+    fn note_dropped_send(&self, what: &str) {
+        self.dropped_sends.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "storm-core: parallel: {what} to shard {} dropped (worker gone)",
+            self.shard
+        );
+    }
 }
 
 impl Drop for WorkerHandle {
     fn drop(&mut self) {
-        let _ = self.cmd.send(ShardCmd::Shutdown);
+        if self.cmd.send(ShardCmd::Shutdown).is_err() {
+            self.note_dropped_send("shutdown");
+        }
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -103,66 +231,199 @@ impl Drop for WorkerHandle {
 impl std::fmt::Debug for WorkerHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerHandle")
+            .field("shard", &self.shard)
             .field("len", &self.len)
             .finish_non_exhaustive()
     }
 }
 
+/// How a stream's serving loop ended.
+enum StreamExit {
+    /// Coordinator went away or sent `Shutdown`: exit the worker.
+    Shutdown,
+    /// Stream closed normally; wait for the next command.
+    Closed,
+    /// A new `Open` arrived mid-stream (open-phase retry or back-to-back
+    /// queries): drop this stream and open the next.
+    Reopen(Box<OpenArgs>),
+}
+
 /// The worker loop: serve streams over the shard's own tree until
 /// shutdown, then hand the tree back through the join handle.
+///
+/// Each stream runs under `catch_unwind`, so a panic while serving —
+/// injected by a [`FaultHook`] or genuine — poisons only that stream. The
+/// tree survives, the coordinator is told via [`ShardReply::Aborted`], and
+/// the worker keeps serving subsequent queries.
 fn run_shard(
     mut tree: RsTree<2>,
+    shard: usize,
     cmd: &Receiver<ShardCmd>,
     reply: &Sender<ShardReply>,
 ) -> RsTree<2> {
+    // Monotone count of streams opened on this worker: the op coordinate
+    // for open-site fault decisions.
+    let mut open_ops: u64 = 0;
     loop {
         let msg = match cmd.recv() {
             Ok(m) => m,
             Err(_) => return tree, // coordinator dropped: exit
         };
-        match msg {
+        let mut pending = match msg {
             ShardCmd::Shutdown => return tree,
-            // No stream is open; Fill/Close here are protocol noise from a
-            // coordinator that already gave up on us.
-            ShardCmd::Fill(_) | ShardCmd::Close => continue,
-            ShardCmd::Open { query, mode, seed } => {
-                let shutdown = {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let mut sampler = tree.sampler(query, mode);
-                    let count = sampler.result_size().unwrap_or(0);
-                    if reply.send(ShardReply::Opened { count }).is_err() {
-                        true
-                    } else {
-                        serve_stream(&mut sampler, &mut rng, cmd, reply)
-                    }
-                };
-                if shutdown {
+            ShardCmd::Close => continue, // no stream open: noise
+            ShardCmd::Fill { epoch, .. } => {
+                // A fill with no stream open means our stream died (e.g. a
+                // contained panic) while the coordinator still believed in
+                // it. Tell it promptly instead of letting it time out.
+                if reply.send(ShardReply::Aborted { epoch }).is_err() {
                     return tree;
+                }
+                continue;
+            }
+            ShardCmd::Open(args) => Some(args),
+        };
+        while let Some(args) = pending.take() {
+            let epoch = args.epoch;
+            let op = open_ops;
+            open_ops += 1;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                serve_query(&mut tree, shard, op, &args, cmd, reply)
+            }));
+            match outcome {
+                Ok(StreamExit::Shutdown) => return tree,
+                Ok(StreamExit::Closed) => {}
+                Ok(StreamExit::Reopen(next)) => pending = Some(next),
+                Err(_) => {
+                    // Contained: the stream is gone, the tree is fine.
+                    if reply.send(ShardReply::Aborted { epoch }).is_err() {
+                        return tree;
+                    }
                 }
             }
         }
     }
 }
 
-/// Serves one open stream; returns `true` when the worker should exit.
+/// Opens one stream (count + serve) on the worker thread.
+fn serve_query(
+    tree: &mut RsTree<2>,
+    shard: usize,
+    op: u64,
+    args: &OpenArgs,
+    cmd: &Receiver<ShardCmd>,
+    reply: &Sender<ShardReply>,
+) -> StreamExit {
+    let mut drop_reply = false;
+    if let Some(hook) = &args.hook {
+        match hook.fault(FaultSite::Open, shard, op) {
+            Some(FaultKind::WorkerPanic) => {
+                panic!("storm-faultkit: injected worker panic (open, shard {shard}, op {op})")
+            }
+            Some(FaultKind::DelayReplyMs(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            Some(FaultKind::DropReply) => drop_reply = true,
+            _ => {}
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut sampler = tree.sampler(args.query, args.mode);
+    let count = sampler.result_size().unwrap_or(0);
+    if !drop_reply
+        && reply
+            .send(ShardReply::Opened {
+                count,
+                epoch: args.epoch,
+            })
+            .is_err()
+    {
+        return StreamExit::Shutdown;
+    }
+    serve_stream(
+        &mut sampler,
+        &mut rng,
+        shard,
+        args.epoch,
+        args.hook.as_deref(),
+        args.recover,
+        cmd,
+        reply,
+    )
+}
+
+/// Serves one open stream until it is closed, replaced, or the worker must
+/// exit.
+#[allow(clippy::too_many_arguments)]
 fn serve_stream(
     sampler: &mut crate::RsSampler<'_, 2>,
     rng: &mut StdRng,
+    shard: usize,
+    epoch: u64,
+    hook: Option<&dyn FaultHook>,
+    recover: bool,
     cmd: &Receiver<ShardCmd>,
     reply: &Sender<ShardReply>,
-) -> bool {
+) -> StreamExit {
+    // Monotone count of fills *received* on this stream: the op coordinate
+    // for fill-site fault decisions. A retried fill is a new op, so a
+    // transient injected fault doesn't condemn every retry with it.
+    let mut fill_ops: u64 = 0;
+    // Replay cache: the last served scatter-round and its batch. A
+    // duplicate seq means the coordinator never saw our reply and retried;
+    // replaying the cache keeps the WOR stream exact (drawing afresh would
+    // silently discard the cached samples). Only populated when the
+    // coordinator can actually retry.
+    let mut cache: Option<(u64, Vec<Item<2>>)> = None;
     loop {
         match cmd.recv() {
-            Err(_) | Ok(ShardCmd::Shutdown) => return true,
-            Ok(ShardCmd::Close) => return false,
-            // A nested Open is protocol misuse; drop the current stream
-            // (the coordinator never sends this).
-            Ok(ShardCmd::Open { .. }) => return false,
-            Ok(ShardCmd::Fill(n)) => {
-                let mut batch = Vec::with_capacity(n);
-                sampler.next_batch(rng, &mut batch, n);
-                if reply.send(ShardReply::Batch(batch)).is_err() {
-                    return true;
+            Err(_) | Ok(ShardCmd::Shutdown) => return StreamExit::Shutdown,
+            Ok(ShardCmd::Close) => return StreamExit::Closed,
+            Ok(ShardCmd::Open(args)) => return StreamExit::Reopen(args),
+            Ok(ShardCmd::Fill {
+                n,
+                seq,
+                epoch: fill_epoch,
+            }) => {
+                if fill_epoch != epoch {
+                    // A straggler fill for a dead stream: tell the (old)
+                    // coordinator view it aborted; harmless if ignored.
+                    if reply
+                        .send(ShardReply::Aborted { epoch: fill_epoch })
+                        .is_err()
+                    {
+                        return StreamExit::Shutdown;
+                    }
+                    continue;
+                }
+                let op = fill_ops;
+                fill_ops += 1;
+                let mut drop_reply = false;
+                if let Some(hook) = hook {
+                    match hook.fault(FaultSite::Fill, shard, op) {
+                        Some(FaultKind::WorkerPanic) => panic!(
+                            "storm-faultkit: injected worker panic (fill, shard {shard}, op {op})"
+                        ),
+                        Some(FaultKind::DelayReplyMs(ms)) => {
+                            std::thread::sleep(std::time::Duration::from_millis(ms));
+                        }
+                        Some(FaultKind::DropReply) => drop_reply = true,
+                        _ => {}
+                    }
+                }
+                let items = match &cache {
+                    Some((cached_seq, cached)) if *cached_seq == seq => cached.clone(),
+                    _ => {
+                        let mut batch = Vec::with_capacity(n);
+                        sampler.next_batch(rng, &mut batch, n);
+                        if recover {
+                            cache = Some((seq, batch.clone()));
+                        }
+                        batch
+                    }
+                };
+                if !drop_reply && reply.send(ShardReply::Batch { items, seq, epoch }).is_err() {
+                    return StreamExit::Shutdown;
                 }
             }
         }
@@ -177,30 +438,49 @@ fn serve_stream(
 /// [`ParallelRsCluster::sampler`] produce the same distribution as the
 /// sequential [`DistributedRsTree::sampler`], and are deterministic under a
 /// fixed seed (see the module docs).
+///
+/// By default the cluster runs the zero-overhead fail-soft path. Installing
+/// a [`FaultHook`] ([`ParallelRsCluster::set_fault_hook`]) or a
+/// [`RetryPolicy`] ([`ParallelRsCluster::set_retry_policy`]) activates the
+/// timeout/retry recovery machinery described in the module docs.
 #[derive(Debug)]
 pub struct ParallelRsCluster {
     workers: Vec<WorkerHandle>,
     boundaries: Vec<u64>,
     curve: HilbertCurve,
     bounds: Rect2,
+    /// Fault-injection hook handed to workers per stream.
+    fault_hook: Option<Arc<dyn FaultHook>>,
+    /// Explicit retry policy; `None` means recovery is off unless a hook
+    /// is installed (in which case the default policy applies).
+    retry: Option<RetryPolicy>,
+    /// Next stream epoch.
+    epoch: u64,
+    /// Count of control sends that found a dead worker (see
+    /// [`ParallelRsCluster::dropped_sends`]).
+    dropped_sends: Arc<AtomicU64>,
 }
 
 impl ParallelRsCluster {
     /// Moves every shard of `d` into its own worker thread.
     pub fn from_distributed(d: DistributedRsTree) -> Self {
         let (shards, boundaries, curve, bounds) = d.into_parts();
+        let dropped_sends = Arc::new(AtomicU64::new(0));
         let workers = shards
             .into_iter()
-            .map(|tree| {
+            .enumerate()
+            .map(|(s, tree)| {
                 let (cmd_tx, cmd_rx) = unbounded();
                 let (rep_tx, rep_rx) = unbounded();
                 let len = tree.len();
-                let thread = std::thread::spawn(move || run_shard(tree, &cmd_rx, &rep_tx));
+                let thread = std::thread::spawn(move || run_shard(tree, s, &cmd_rx, &rep_tx));
                 WorkerHandle {
                     cmd: cmd_tx,
                     reply: rep_rx,
                     thread: Some(thread),
                     len,
+                    shard: s,
+                    dropped_sends: Arc::clone(&dropped_sends),
                 }
             })
             .collect();
@@ -209,6 +489,10 @@ impl ParallelRsCluster {
             boundaries,
             curve,
             bounds,
+            fault_hook: None,
+            retry: None,
+            epoch: 0,
+            dropped_sends,
         }
     }
 
@@ -228,32 +512,91 @@ impl ParallelRsCluster {
         self.len() == 0
     }
 
-    /// Shuts the workers down and reassembles the sequential cluster.
+    /// Installs a fault-injection hook: every subsequent stream hands it
+    /// to the workers, and gathers switch to the timeout/retry path.
+    pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Removes the fault hook (recovery stays on if a retry policy is set).
+    pub fn clear_fault_hook(&mut self) {
+        self.fault_hook = None;
+    }
+
+    /// Sets the timeout/retry policy and activates the recovery gather
+    /// path even without a fault hook (for production fail-soft serving).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+    }
+
+    /// Whether gathers run the timeout/retry recovery path.
+    fn recovery_active(&self) -> bool {
+        self.fault_hook.is_some() || self.retry.is_some()
+    }
+
+    /// The effective retry policy.
+    fn policy(&self) -> RetryPolicy {
+        self.retry.unwrap_or_default()
+    }
+
+    /// How many control-plane sends (close/shutdown/open) found a dead
+    /// worker and were counted instead of silently dropped.
+    pub fn dropped_sends(&self) -> u64 {
+        self.dropped_sends.load(Ordering::Relaxed)
+    }
+
+    /// Shuts the workers down and reassembles the sequential cluster,
+    /// reporting — not re-raising — any shard trees lost to uncaught
+    /// worker-thread panics.
     ///
-    /// # Panics
-    /// Panics when a worker thread itself panicked (its shard tree is
-    /// unrecoverable, so the cluster cannot be reassembled).
-    pub fn join(mut self) -> DistributedRsTree {
+    /// Stream-serving panics are contained inside the worker and can never
+    /// lose a tree; a loss here means the worker loop itself died. Each
+    /// lost shard's curve range is merged into its successor so routing
+    /// stays total over the surviving shards.
+    pub fn try_join(mut self) -> JoinOutcome {
         let mut shards = Vec::with_capacity(self.workers.len());
-        for w in &mut self.workers {
-            let _ = w.cmd.send(ShardCmd::Shutdown);
+        let mut lost_shards = Vec::new();
+        let workers = std::mem::take(&mut self.workers);
+        for mut w in workers {
+            if w.cmd.send(ShardCmd::Shutdown).is_err() {
+                w.note_dropped_send("shutdown");
+            }
             let Some(thread) = w.thread.take() else {
                 continue;
             };
             match thread.join() {
                 Ok(tree) => shards.push(tree),
-                // A panicked shard loses its tree; re-raising the worker's
-                // own panic is the only honest option.
-                Err(e) => std::panic::resume_unwind(e),
+                Err(_) => {
+                    eprintln!(
+                        "storm-core: parallel: shard {} tree lost to worker panic; \
+                         rebuilding cluster from survivors",
+                        w.shard
+                    );
+                    lost_shards.push(w.shard);
+                }
             }
         }
-        self.workers.clear();
-        DistributedRsTree::from_parts(
-            shards,
-            std::mem::take(&mut self.boundaries),
-            self.curve,
-            self.bounds,
-        )
+        // Drop the boundary that carved out each lost shard (descending so
+        // earlier indices stay valid): shard i owned (b[i-1], b[i]], so
+        // removing b[i] (or the last boundary for the last shard) merges
+        // its range into a surviving neighbour.
+        let mut boundaries = std::mem::take(&mut self.boundaries);
+        for &s in lost_shards.iter().rev() {
+            if boundaries.is_empty() {
+                break;
+            }
+            let idx = s.min(boundaries.len() - 1);
+            boundaries.remove(idx);
+        }
+        JoinOutcome {
+            tree: DistributedRsTree::from_parts(shards, boundaries, self.curve, self.bounds),
+            lost_shards,
+        }
+    }
+
+    /// [`ParallelRsCluster::try_join`], discarding the loss report.
+    pub fn join(self) -> DistributedRsTree {
+        self.try_join().tree
     }
 
     /// Opens a parallel scatter-gather stream for `query`.
@@ -263,26 +606,76 @@ impl ParallelRsCluster {
     /// determines the emitted sequence (thread scheduling cannot affect
     /// it).
     pub fn sampler(&mut self, query: Rect2, mode: SampleMode, seed: u64) -> ParallelSampler<'_> {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let recover = self.recovery_active();
+        let policy = self.policy();
         // Scatter the open: every worker computes its partial count
         // concurrently.
         for (s, w) in self.workers.iter().enumerate() {
-            let _ = w.cmd.send(ShardCmd::Open {
+            let args = OpenArgs {
                 query,
                 mode,
                 seed: shard_seed(seed, s),
-            });
+                epoch,
+                hook: self.fault_hook.clone(),
+                recover,
+            };
+            if w.cmd.send(ShardCmd::Open(Box::new(args))).is_err() {
+                w.note_dropped_send("open");
+            }
         }
         // Gather the counts (per-worker reply channels: no ordering race).
         let mut weights = Vec::with_capacity(self.workers.len());
-        for w in &self.workers {
-            let count = match w.reply.recv() {
-                Ok(ShardReply::Opened { count }) => count,
-                // A dead or confused worker contributes nothing.
-                Ok(ShardReply::Batch(_)) | Err(_) => 0,
+        let mut open_failures = Vec::new();
+        for (s, w) in self.workers.iter().enumerate() {
+            let count = if recover {
+                match gather_count(w, epoch, &policy, |attempt| {
+                    // Open-phase retry: restart the stream (same seed →
+                    // identical stream, nothing served yet).
+                    let _ = attempt; // resend is identical per attempt
+                    let args = OpenArgs {
+                        query,
+                        mode,
+                        seed: shard_seed(seed, s),
+                        epoch,
+                        hook: self.fault_hook.clone(),
+                        recover,
+                    };
+                    w.cmd.send(ShardCmd::Open(Box::new(args))).is_ok()
+                }) {
+                    Ok(c) => c,
+                    Err(reason) => {
+                        open_failures.push((s, reason));
+                        0
+                    }
+                }
+            } else {
+                match w.reply.recv() {
+                    Ok(ShardReply::Opened { count, .. }) => count,
+                    // A worker whose stream died at open (contained panic)
+                    // or disconnected contributes nothing.
+                    Ok(ShardReply::Aborted { .. }) => {
+                        open_failures.push((s, FailReason::OpenFailed));
+                        0
+                    }
+                    Ok(ShardReply::Batch { .. }) | Err(_) => {
+                        open_failures.push((s, FailReason::Disconnected));
+                        0
+                    }
+                }
             };
             weights.push(count as u64);
         }
         let total: u64 = weights.iter().sum();
+        // Shards dead at open never reported a count, so their mass cannot
+        // enter `initial_total`; they are recorded with zero lost mass and
+        // the missing-mass bound under-counts accordingly (documented in
+        // DESIGN.md §9).
+        let mut degraded = DegradedInfo::new(total);
+        for (s, reason) in open_failures {
+            degraded.record(s, reason, 0);
+        }
         let n = self.workers.len();
         ParallelSampler {
             cluster: self,
@@ -295,6 +688,50 @@ impl ParallelRsCluster {
             need: vec![0; n],
             batches: vec![Vec::new(); n],
             cursors: vec![0; n],
+            epoch,
+            next_seq: 0,
+            degraded,
+            dead: vec![false; n],
+        }
+    }
+}
+
+/// Recovery-path count gather for one worker: timeout + bounded retry,
+/// discarding stale replies from earlier epochs.
+fn gather_count(
+    w: &WorkerHandle,
+    epoch: u64,
+    policy: &RetryPolicy,
+    mut resend: impl FnMut(u32) -> bool,
+) -> Result<usize, FailReason> {
+    let mut attempt = 0u32;
+    loop {
+        match w.reply.recv_timeout(policy.timeout_for(attempt)) {
+            Ok(ShardReply::Opened {
+                count,
+                epoch: reply_epoch,
+            }) if reply_epoch == epoch => return Ok(count),
+            // Stale reply from an earlier stream (or a duplicate after an
+            // open retry): discard and keep waiting.
+            Ok(ShardReply::Opened { .. } | ShardReply::Batch { .. }) => continue,
+            Ok(ShardReply::Aborted { epoch: reply_epoch }) => {
+                if reply_epoch != epoch {
+                    continue;
+                }
+                // The open itself panicked; a fresh open is a new fault
+                // decision, so retrying is meaningful.
+                attempt += 1;
+                if attempt >= policy.attempts() || !resend(attempt) {
+                    return Err(FailReason::OpenFailed);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                attempt += 1;
+                if attempt >= policy.attempts() || !resend(attempt) {
+                    return Err(FailReason::OpenFailed);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return Err(FailReason::Disconnected),
         }
     }
 }
@@ -312,7 +749,8 @@ fn shard_seed(seed: u64, s: usize) -> u64 {
 ///
 /// Implements [`SpatialSampler`]; `next_batch` is the intended entry point
 /// (`next_sample` degenerates to blocks of one and pays a channel
-/// round-trip per draw).
+/// round-trip per draw). [`SpatialSampler::degraded`] reports any shards
+/// written off while the stream ran.
 #[derive(Debug)]
 pub struct ParallelSampler<'a> {
     cluster: &'a mut ParallelRsCluster,
@@ -331,39 +769,135 @@ pub struct ParallelSampler<'a> {
     batches: Vec<Vec<Item<2>>>,
     /// Scratch: per-shard merge cursors for the current block.
     cursors: Vec<usize>,
+    /// This stream's identity; every protocol message echoes it.
+    epoch: u64,
+    /// Next scatter-round number (the retry/replay key).
+    next_seq: u64,
+    /// Shards written off this stream, and the mass lost with them.
+    degraded: DegradedInfo,
+    /// Per-shard dead flags (never scatter to a written-off shard again).
+    dead: Vec<bool>,
 }
 
 impl ParallelSampler<'_> {
+    /// Writes shard `s` out of the stream: removes its mass from the draw
+    /// weights and records the loss. `shortfall` is the current round's
+    /// drawn-but-undelivered count — already subtracted from `remaining`
+    /// in phase 1, so it must be added back into the reported loss.
+    fn write_off(&mut self, s: usize, reason: FailReason, shortfall: u64) {
+        if self.dead[s] {
+            return;
+        }
+        self.dead[s] = true;
+        let lost = match self.mode {
+            SampleMode::WithoutReplacement => self.remaining[s] + shortfall,
+            // With replacement nothing is "consumed"; the shard's whole
+            // weight becomes unreachable.
+            SampleMode::WithReplacement => self.weights[s],
+        };
+        self.total_remaining -= self.remaining[s];
+        self.remaining[s] = 0;
+        self.weights[s] = 0;
+        self.degraded.record(s, reason, lost);
+    }
+
     /// Phase 2: scatter `Fill` requests per the `need` tallies and gather
     /// the batches. Returns `false` when every contacted shard is gone.
     fn scatter_gather(&mut self) -> bool {
-        let mut any = false;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let recover = self.cluster.recovery_active();
+        let policy = self.cluster.policy();
+        let epoch = self.epoch;
         for (s, &n) in self.need.iter().enumerate() {
-            if n > 0 {
-                let _ = self.cluster.workers[s].cmd.send(ShardCmd::Fill(n));
+            if n > 0
+                && self.cluster.workers[s]
+                    .cmd
+                    .send(ShardCmd::Fill { n, seq, epoch })
+                    .is_err()
+            {
+                self.cluster.workers[s].note_dropped_send("fill");
             }
         }
+        let mut any = false;
+        let mut failures: Vec<(usize, FailReason)> = Vec::new();
         for (s, &n) in self.need.iter().enumerate() {
             self.batches[s].clear();
             self.cursors[s] = 0;
             if n == 0 {
                 continue;
             }
-            match self.cluster.workers[s].reply.recv() {
-                Ok(ShardReply::Batch(items)) => {
+            let gathered = if recover {
+                gather_batch(&self.cluster.workers[s], seq, epoch, n, &policy)
+            } else {
+                match self.cluster.workers[s].reply.recv() {
+                    Ok(ShardReply::Batch { items, .. }) => Ok(items),
+                    Ok(ShardReply::Aborted { .. }) => Err(FailReason::Aborted),
+                    Ok(ShardReply::Opened { .. }) | Err(_) => Err(FailReason::Disconnected),
+                }
+            };
+            match gathered {
+                Ok(items) => {
                     self.batches[s] = items;
                     any = true;
                 }
-                Ok(ShardReply::Opened { .. }) | Err(_) => {
-                    // Worker gone mid-stream (defensive; workers only exit
-                    // on shutdown): write the shard off entirely.
-                    self.total_remaining -= self.remaining[s];
-                    self.remaining[s] = 0;
-                    self.weights[s] = 0;
-                }
+                Err(reason) => failures.push((s, reason)),
             }
         }
+        for (s, reason) in failures {
+            // Nothing from this round's batch was (or will be) merged.
+            self.write_off(s, reason, self.need[s] as u64);
+        }
         any
+    }
+}
+
+/// Recovery-path batch gather for one shard: timeout + bounded retry with
+/// the *same* `seq` (the worker replays its cache), discarding stale
+/// replies.
+fn gather_batch(
+    w: &WorkerHandle,
+    seq: u64,
+    epoch: u64,
+    n: usize,
+    policy: &RetryPolicy,
+) -> Result<Vec<Item<2>>, FailReason> {
+    let mut attempt = 0u32;
+    loop {
+        match w.reply.recv_timeout(policy.timeout_for(attempt)) {
+            Ok(ShardReply::Batch {
+                items,
+                seq: reply_seq,
+                epoch: reply_epoch,
+            }) => {
+                if reply_seq == seq && reply_epoch == epoch {
+                    return Ok(items);
+                }
+                // A stale batch (earlier round, or a delayed duplicate the
+                // retry already superseded): discard, keep waiting.
+            }
+            // A stale count reply: discard.
+            Ok(ShardReply::Opened { .. }) => {}
+            Ok(ShardReply::Aborted { epoch: reply_epoch }) => {
+                if reply_epoch == epoch {
+                    // The stream died worker-side; retrying cannot revive
+                    // it (there is no stream left to serve the cache).
+                    return Err(FailReason::Aborted);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                attempt += 1;
+                if attempt >= policy.attempts() {
+                    return Err(FailReason::Timeout);
+                }
+                // Same seq: a worker that already served this round will
+                // replay its cache instead of advancing the stream.
+                if w.cmd.send(ShardCmd::Fill { n, seq, epoch }).is_err() {
+                    return Err(FailReason::Disconnected);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return Err(FailReason::Disconnected),
+        }
     }
 }
 
@@ -436,9 +970,14 @@ impl SpatialSampler<2> for ParallelSampler<'_> {
             if seq.is_empty() {
                 break;
             }
-            // Phase 2: scatter the owed counts, gather the batches.
+            // Phase 2: scatter the owed counts, gather the batches. A
+            // round where *every* contacted shard died delivers nothing,
+            // but its mass is already written off — re-enter phase 1 and
+            // re-draw from the survivors (phase 1 terminates the stream
+            // itself once no mass remains; each all-dead round kills at
+            // least one live shard, so this cannot loop unboundedly).
             if !self.scatter_gather() {
-                break;
+                continue;
             }
             // Phase 3: merge in drawn order — deterministic regardless of
             // which worker answered first.
@@ -452,10 +991,11 @@ impl SpatialSampler<2> for ParallelSampler<'_> {
             // write off the shortfall so the retry loop re-draws it
             // elsewhere instead of spinning.
             if self.mode == SampleMode::WithoutReplacement {
-                for (s, &n) in self.need.iter().enumerate() {
-                    if n > 0 && self.batches[s].len() < n {
-                        self.total_remaining -= self.remaining[s];
-                        self.remaining[s] = 0;
+                for s in 0..self.need.len() {
+                    let n = self.need[s];
+                    if n > 0 && !self.dead[s] && self.batches[s].len() < n {
+                        let shortfall = (n - self.batches[s].len()) as u64;
+                        self.write_off(s, FailReason::UnderDelivered, shortfall);
                     }
                 }
             } else if buf.len() - before < k {
@@ -475,6 +1015,10 @@ impl SpatialSampler<2> for ParallelSampler<'_> {
     fn result_size(&self) -> Option<usize> {
         Some(self.total)
     }
+
+    fn degraded(&self) -> Option<DegradedInfo> {
+        Some(self.degraded.clone())
+    }
 }
 
 impl Drop for ParallelSampler<'_> {
@@ -482,7 +1026,9 @@ impl Drop for ParallelSampler<'_> {
         // All gathers complete before next_batch returns, so there are no
         // in-flight replies; Close tears the worker streams down.
         for w in &self.cluster.workers {
-            let _ = w.cmd.send(ShardCmd::Close);
+            if w.close().is_err() {
+                w.note_dropped_send("close");
+            }
         }
     }
 }
@@ -492,6 +1038,7 @@ mod tests {
     use super::*;
     use crate::RsTreeConfig;
     use std::collections::HashSet;
+    use storm_faultkit::FaultPlan;
     use storm_geo::Point2;
 
     fn grid_items(n: usize) -> Vec<Item<2>> {
@@ -528,6 +1075,10 @@ mod tests {
                 assert!(got.insert(item.id), "duplicate across shards: {}", item.id);
             }
         }
+        assert!(
+            s.degraded().is_some_and(|d| !d.is_degraded()),
+            "clean run must not be degraded"
+        );
         assert_eq!(got, expected);
     }
 
@@ -561,6 +1112,7 @@ mod tests {
         let c = cluster(2_000, 4);
         assert_eq!(c.num_shards(), 4);
         assert_eq!(c.len(), 2_000);
+        assert_eq!(c.dropped_sends(), 0);
         let mut d = c.join();
         assert_eq!(d.num_shards(), 4);
         assert_eq!(d.len(), 2_000);
@@ -627,5 +1179,127 @@ mod tests {
             .sum();
         // 99 dof, p = 0.001 critical ≈ 148.2.
         assert!(chi < 148.2, "chi² = {chi}");
+    }
+
+    #[test]
+    fn dropped_replies_recover_via_replay_without_duplicates() {
+        // 20% dropped replies: every drop forces a timeout + retry, and
+        // the worker's replay cache must hand back the *same* batch — the
+        // stream stays an exact WOR enumeration, no loss, no duplicates.
+        let mut c = cluster(2_000, 4);
+        c.set_retry_policy(RetryPolicy {
+            max_retries: 4,
+            timeout_ms: 40,
+            backoff: 2,
+        });
+        c.set_fault_hook(Arc::new(FaultPlan::seeded(21).with_drops(200)));
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(59.0, 19.0));
+        let expected: HashSet<u64> = grid_items(2_000)
+            .iter()
+            .filter(|it| q.contains_point(&it.point))
+            .map(|it| it.id)
+            .collect();
+        let mut s = c.sampler(q, SampleMode::WithoutReplacement, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut got = HashSet::new();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if s.next_batch(&mut rng, &mut buf, 32) == 0 {
+                break;
+            }
+            for item in &buf {
+                assert!(got.insert(item.id), "duplicate after replay: {}", item.id);
+            }
+        }
+        // Drop probability per attempt is 20%; five attempts never all
+        // drop under this seed, so no shard dies and nothing is lost.
+        let d = s.degraded().unwrap_or_default();
+        assert!(!d.is_degraded(), "unexpected write-offs: {d}");
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn worker_panics_degrade_the_stream_but_spare_the_cluster() {
+        // Panic on every fill of shard-site decisions: the panicking
+        // shards abort, the stream continues over the survivors, the
+        // losses are reported, and join() still returns every tree.
+        #[derive(Debug)]
+        struct PanicShard0;
+        impl FaultHook for PanicShard0 {
+            fn fault(&self, site: FaultSite, shard: usize, _op: u64) -> Option<FaultKind> {
+                (site == FaultSite::Fill && shard == 0).then_some(FaultKind::WorkerPanic)
+            }
+        }
+        let mut c = cluster(3_000, 4);
+        c.set_fault_hook(Arc::new(PanicShard0));
+        let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(99.0, 29.0));
+        let mut s = c.sampler(q, SampleMode::WithoutReplacement, 11);
+        let declared = s.result_size().unwrap_or(0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut got = HashSet::new();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if s.next_batch(&mut rng, &mut buf, 64) == 0 {
+                break;
+            }
+            for item in &buf {
+                assert!(got.insert(item.id), "duplicate: {}", item.id);
+            }
+        }
+        let d = s.degraded().expect("parallel streams always report");
+        assert!(d.is_degraded(), "shard 0 should have been written off");
+        assert_eq!(d.dead_shards(), vec![0]);
+        assert_eq!(d.failures[0].reason, FailReason::Aborted);
+        // Surviving samples + reported loss account for the whole result.
+        assert_eq!(got.len() as u64 + d.lost_mass(), declared as u64);
+        drop(s);
+        // The panicked worker contained the unwind: its tree survives.
+        let out = c.try_join();
+        assert!(
+            out.lost_shards.is_empty(),
+            "tree lost: {:?}",
+            out.lost_shards
+        );
+        assert_eq!(out.tree.len(), 3_000);
+    }
+
+    #[test]
+    fn degraded_write_off_is_deterministic_across_runs() {
+        // Same plan + seeds → byte-identical stream and identical
+        // dead-shard reporting, three runs in a row.
+        let run = || -> (Vec<u64>, Vec<usize>) {
+            let mut c = cluster(2_000, 4);
+            c.set_fault_hook(Arc::new(FaultPlan::seeded(77).with_panics(80)));
+            let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(79.0, 19.0));
+            let mut s = c.sampler(q, SampleMode::WithoutReplacement, 13);
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut out = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                if s.next_batch(&mut rng, &mut buf, 48) == 0 {
+                    break;
+                }
+                out.extend(buf.iter().map(|it| it.id));
+            }
+            let dead = s.degraded().unwrap_or_default().dead_shards();
+            (out, dead)
+        };
+        let a = run();
+        let b = run();
+        let c3 = run();
+        assert_eq!(a, b);
+        assert_eq!(b, c3);
+    }
+
+    #[test]
+    fn close_on_live_worker_succeeds_and_counts_nothing() {
+        let c = cluster(400, 2);
+        for w in &c.workers {
+            assert_eq!(w.close(), Ok(()));
+        }
+        assert_eq!(c.dropped_sends(), 0);
     }
 }

@@ -1,0 +1,248 @@
+//! The fault-matrix property suite: arbitrary deterministic fault plans
+//! against the parallel scatter-gather executor.
+//!
+//! The contract under test, for *every* plan the generator can produce:
+//!
+//! 1. **Accountable completion** — a WOR query either delivers an item or
+//!    writes its mass off with a typed reason; delivered + lost always
+//!    equals the declared result size. No silent truncation.
+//! 2. **No hangs** — every case runs under a [`storm_testkit::watchdog`];
+//!    a wedged retry loop fails the suite instead of wedging CI.
+//! 3. **Deterministic replay** — the same seed + plan reproduces the
+//!    identical item sequence and the identical dead-shard set.
+//! 4. **Unbiased survivors** — when shards die, the stream stays a
+//!    uniform sampler over the surviving population (chi-square gated).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use storm_core::{DistributedRsTree, ParallelRsCluster, RsTreeConfig, SampleMode, SpatialSampler};
+use storm_faultkit::{FaultHook, FaultKind, FaultPlan, FaultSite, RetryPolicy};
+use storm_geo::{Point2, Rect2};
+use storm_rtree::Item;
+use storm_testkit::{assert_deterministic, assert_uniform, watchdog};
+
+fn grid_items(n: usize) -> Vec<Item<2>> {
+    (0..n)
+        .map(|i| Item::new(Point2::xy((i % 100) as f64, (i / 100) as f64), i as u64))
+        .collect()
+}
+
+fn cluster(n: usize, shards: usize) -> ParallelRsCluster {
+    DistributedRsTree::bulk_load(grid_items(n), shards, RsTreeConfig::with_fanout(16))
+        .into_parallel()
+}
+
+/// Everything one faulted run observed, for cross-run comparison.
+#[derive(Debug, PartialEq)]
+struct RunReport {
+    ids: Vec<u64>,
+    dead: Vec<usize>,
+    lost: u64,
+    total: u64,
+}
+
+/// Drains one WOR stream under the given plan + policy, asserting the
+/// stream never repeats an id, and reports what happened.
+fn run_case(plan: &FaultPlan, retry: RetryPolicy, stream_seed: u64) -> RunReport {
+    let mut c = cluster(1_200, 4);
+    c.set_retry_policy(retry);
+    c.set_fault_hook(Arc::new(plan.clone()));
+    let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(59.0, 9.0));
+    let mut s = c.sampler(q, SampleMode::WithoutReplacement, stream_seed);
+    let mut rng = StdRng::seed_from_u64(stream_seed ^ 0x5A5A);
+    let mut ids = Vec::new();
+    let mut seen = HashSet::new();
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if s.next_batch(&mut rng, &mut buf, 32) == 0 {
+            break;
+        }
+        for item in &buf {
+            assert!(seen.insert(item.id), "duplicate id {} delivered", item.id);
+            ids.push(item.id);
+        }
+    }
+    let d = s.degraded().expect("parallel sampler always reports");
+    RunReport {
+        ids,
+        dead: d.dead_shards(),
+        lost: d.lost_mass(),
+        total: d.initial_total,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10 })]
+
+    // The tentpole property: any mix of delayed, dropped, and panicking
+    // shard traffic leaves the query accountable, hang-free, and
+    // replayable.
+    #[test]
+    fn any_fault_plan_completes_accountably_and_replays(
+        plan_seed in 0u64..1_000,
+        drops in 0u16..300,
+        panics in 0u16..120,
+        delays in 0u16..200,
+        retries in 1u32..4,
+    ) {
+        let plan = FaultPlan::seeded(plan_seed)
+            .with_drops(drops)
+            .with_panics(panics)
+            .with_delays(delays, 1);
+        let retry = RetryPolicy { max_retries: retries, timeout_ms: 40, backoff: 2 };
+        let first = {
+            let plan = plan.clone();
+            watchdog(Duration::from_secs(120), "fault-matrix run 1", move || {
+                run_case(&plan, retry, plan_seed)
+            })
+        };
+        // Accountable completion: delivered + written-off == declared.
+        prop_assert_eq!(first.ids.len() as u64 + first.lost, first.total);
+        // Anything written off must carry a dead-shard declaration.
+        prop_assert_eq!(first.lost > 0, !first.dead.is_empty());
+        // Deterministic replay: identical items, identical dead shards.
+        let again = {
+            let plan = plan.clone();
+            watchdog(Duration::from_secs(120), "fault-matrix run 2", move || {
+                run_case(&plan, retry, plan_seed)
+            })
+        };
+        prop_assert_eq!(first, again);
+    }
+}
+
+/// A plan that kills every request once all shards are dead must end the
+/// stream with a full typed write-off — never a hang, never a silent
+/// empty result.
+#[test]
+fn total_failure_is_fully_declared() {
+    let plan = FaultPlan::seeded(3).with_panics(1_000);
+    let retry = RetryPolicy {
+        max_retries: 1,
+        timeout_ms: 30,
+        backoff: 2,
+    };
+    let report = watchdog(Duration::from_secs(60), "total failure", move || {
+        run_case(&plan, retry, 11)
+    });
+    assert_eq!(report.ids.len(), 0, "panicking shards delivered items");
+    assert_eq!(report.lost, report.total);
+    assert_eq!(report.dead.len(), 4, "every shard must be declared dead");
+}
+
+/// Acceptance gate: the same seed + plan yields byte-identical output and
+/// the identical dead-shard set across three runs.
+#[test]
+fn fault_replay_is_identical_across_three_runs() {
+    let plan = FaultPlan::seeded(77).with_drops(150).with_panics(60);
+    let retry = RetryPolicy {
+        max_retries: 2,
+        timeout_ms: 40,
+        backoff: 2,
+    };
+    assert_deterministic(3, "seed 77 fault replay", || {
+        let plan = plan.clone();
+        watchdog(Duration::from_secs(120), "replay run", move || {
+            run_case(&plan, retry, 7)
+        })
+    });
+}
+
+/// A quiet plan must not change the stream at all: installing the hook
+/// and the retry machinery with zero fault rates reproduces the exact
+/// no-hook sequence (the zero-overhead-when-disabled claim, output side).
+#[test]
+fn quiet_plan_matches_the_unhooked_stream() {
+    let q = Rect2::from_corners(Point2::xy(10.0, 1.0), Point2::xy(80.0, 11.0));
+    let drain = |c: &mut ParallelRsCluster| -> Vec<u64> {
+        let mut s = c.sampler(q, SampleMode::WithoutReplacement, 9);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if s.next_batch(&mut rng, &mut buf, 64) == 0 {
+                break;
+            }
+            out.extend(buf.iter().map(|it| it.id));
+        }
+        out
+    };
+    let mut plain = cluster(2_000, 4);
+    let baseline = drain(&mut plain);
+    assert!(!baseline.is_empty());
+    let mut hooked = cluster(2_000, 4);
+    hooked.set_fault_hook(Arc::new(FaultPlan::seeded(1)));
+    hooked.set_retry_policy(RetryPolicy::default());
+    assert_eq!(drain(&mut hooked), baseline);
+}
+
+/// Deterministically kills shard 0 at every fill, forever.
+#[derive(Debug)]
+struct KillShard0;
+
+impl FaultHook for KillShard0 {
+    fn fault(&self, site: FaultSite, shard: usize, _op: u64) -> Option<FaultKind> {
+        (site == FaultSite::Fill && shard == 0).then_some(FaultKind::WorkerPanic)
+    }
+}
+
+/// With one shard dead, the stream must remain a *uniform* sampler over
+/// the survivors: first-delivery frequencies pass the shared chi-square
+/// gate over the surviving population.
+#[test]
+fn survivors_are_sampled_uniformly_after_a_shard_dies() {
+    let mut c = cluster(900, 3);
+    c.set_fault_hook(Arc::new(KillShard0));
+    c.set_retry_policy(RetryPolicy {
+        max_retries: 1,
+        timeout_ms: 30,
+        backoff: 2,
+    });
+    let q = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(59.0, 0.0)); // 60 pts
+                                                                              // Survivor population: drain one full degraded stream.
+    let survivors: HashSet<u64> = {
+        let mut s = c.sampler(q, SampleMode::WithoutReplacement, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut out = HashSet::new();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            if s.next_batch(&mut rng, &mut buf, 16) == 0 {
+                break;
+            }
+            out.extend(buf.iter().map(|it| it.id));
+        }
+        out
+    };
+    assert!(
+        !survivors.is_empty() && survivors.len() < 60,
+        "expected a partial survivor set, got {}",
+        survivors.len()
+    );
+    // First-delivery frequencies over many independent streams.
+    let trials = 40 * survivors.len();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut counts: std::collections::HashMap<u64, u64> = Default::default();
+    for t in 0..trials {
+        let mut s = c.sampler(q, SampleMode::WithoutReplacement, 100 + t as u64);
+        let first = s
+            .next_sample(&mut rng)
+            .expect("survivors must keep delivering");
+        assert!(
+            survivors.contains(&first.id),
+            "dead shard delivered id {}",
+            first.id
+        );
+        *counts.entry(first.id).or_default() += 1;
+    }
+    assert_eq!(counts.len(), survivors.len(), "some survivors never drawn");
+    let freq: Vec<u64> = counts.values().copied().collect();
+    assert_uniform(&freq, "degraded first draws");
+}

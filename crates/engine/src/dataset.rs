@@ -151,6 +151,18 @@ impl Dataset {
         &self.collection
     }
 
+    /// Installs a fault-injection hook on this data set's storage read
+    /// path (chaos/test runs). Queries keep running; failed block reads
+    /// surface as `io_faults` in their outcomes.
+    pub fn set_fault_hook(&mut self, hook: std::sync::Arc<dyn storm_faultkit::FaultHook>) {
+        self.collection.set_fault_hook(hook);
+    }
+
+    /// Removes the storage fault hook, restoring clean reads.
+    pub fn clear_fault_hook(&mut self) {
+        self.collection.clear_fault_hook();
+    }
+
     /// Looks up a numeric attribute of a sampled record (one block read).
     pub fn number(&self, id: u64, field: &str) -> Option<f64> {
         self.collection.get(DocId(id))?.number(field)

@@ -15,10 +15,11 @@ use storm_estimators::quantile::QuantileEstimator;
 use storm_estimators::text::SpaceSaving;
 use storm_estimators::trajectory::TrajectoryBuilder;
 use storm_estimators::OnlineStat;
+use storm_faultkit::DegradedInfo;
 use storm_geo::{Rect3, StPoint};
 use storm_query::{AggFunc, Plan, Task};
 use storm_rtree::Item;
-use storm_store::{Collection, DocId};
+use storm_store::{Collection, DocId, Document};
 
 use crate::dataset::{Dataset, DatasetConfig};
 use crate::session::{CancelToken, Progress, QueryOutcome, StopReason, TaskResult};
@@ -28,6 +29,32 @@ use crate::EngineError;
 /// cancellation, and emits progress.
 const CHECK_EVERY: u64 = 16;
 const PROGRESS_EVERY: u64 = 64;
+
+/// Bounded retries for a transiently failing block read before the
+/// sample's record is given up on (corrupt blocks are never retried:
+/// corruption is a property of the block, not the attempt).
+const READ_RETRIES: u32 = 3;
+
+/// Fault-aware document fetch: the degraded-ingest read path. Transient
+/// failures retry up to [`READ_RETRIES`] times; corrupt blocks (and
+/// exhausted retries) drop this sample's record — a failed read degrades
+/// the estimate, it never kills the query. Every failed attempt is
+/// tallied into `io_faults`.
+fn fetch<'c>(collection: &'c Collection, id: DocId, io_faults: &mut u64) -> Option<&'c Document> {
+    let mut attempts = 0u32;
+    loop {
+        match collection.try_get(id) {
+            Ok(doc) => return doc,
+            Err(e) => {
+                *io_faults += 1;
+                attempts += 1;
+                if !e.is_transient() || attempts > READ_RETRIES {
+                    return None;
+                }
+            }
+        }
+    }
+}
 
 /// One sampler of any method, unified for the executor. The RS sampler
 /// carries its batch scratch inline, so it's boxed to keep the enum small.
@@ -184,9 +211,24 @@ impl TaskState {
         })
     }
 
+    /// Folds a degraded-stream missing-mass fraction into the estimator
+    /// so reported intervals stay honest about written-off shards. Only
+    /// the scalar-aggregate estimator supports widening today; other task
+    /// states surface degradation through the outcome report alone.
+    fn apply_missing_mass(&mut self, phi: f64) {
+        if let TaskState::Aggregate { stat, .. } = self {
+            stat.set_missing_mass(phi);
+        }
+    }
+
     /// Consumes one sample (reading the record body from storage — one
     /// block read, exactly like the deployed system).
-    fn ingest(&mut self, collection: &Collection, item: Item<3>) -> Result<(), EngineError> {
+    fn ingest(
+        &mut self,
+        collection: &Collection,
+        item: Item<3>,
+        io_faults: &mut u64,
+    ) -> Result<(), EngineError> {
         match self {
             TaskState::Aggregate {
                 field,
@@ -194,9 +236,8 @@ impl TaskState {
                 misses,
                 ..
             } => {
-                let value = collection
-                    .get(DocId(item.id))
-                    .and_then(|doc| doc.number(field));
+                let value =
+                    fetch(collection, DocId(item.id), io_faults).and_then(|doc| doc.number(field));
                 match value {
                     Some(v) => stat.push(v),
                     None => {
@@ -209,9 +250,8 @@ impl TaskState {
                 }
             }
             TaskState::Quantile { field, est, misses } => {
-                let value = collection
-                    .get(DocId(item.id))
-                    .and_then(|doc| doc.number(field));
+                let value =
+                    fetch(collection, DocId(item.id), io_faults).and_then(|doc| doc.number(field));
                 match value {
                     Some(v) => est.push(v),
                     None => {
@@ -225,7 +265,7 @@ impl TaskState {
             TaskState::Grouped {
                 field, by, means, ..
             } => {
-                if let Some(doc) = collection.get(DocId(item.id)) {
+                if let Some(doc) = fetch(collection, DocId(item.id), io_faults) {
                     if let Some(v) = doc.number(field) {
                         // Group keys stringify so numeric and text grouping
                         // columns both work.
@@ -249,8 +289,7 @@ impl TaskState {
                 field,
                 builder,
             } => {
-                let matches = collection
-                    .get(DocId(item.id))
+                let matches = fetch(collection, DocId(item.id), io_faults)
                     .and_then(|doc| doc.text(field))
                     .is_some_and(|u| u == user);
                 if matches {
@@ -262,9 +301,8 @@ impl TaskState {
                 }
             }
             TaskState::Terms { ss, field, .. } => {
-                if let Some(text) = collection
-                    .get(DocId(item.id))
-                    .and_then(|doc| doc.text(field))
+                if let Some(text) =
+                    fetch(collection, DocId(item.id), io_faults).and_then(|doc| doc.text(field))
                 {
                     ss.push_text(text);
                 }
@@ -434,6 +472,8 @@ pub(crate) fn run_plan(
             sampler: plan.sampler,
             io_reads: index_io.reads() + ds.collection.stats().reads() - io_before,
             q: Some(q),
+            io_faults: 0,
+            degraded: None,
             reason: StopReason::Exhausted,
         };
         return Ok(outcome);
@@ -470,6 +510,7 @@ pub(crate) fn run_plan(
 
     let term = plan.query.termination;
     let mut samples: u64 = 0;
+    let mut io_faults: u64 = 0;
     // The ingest loop pulls one block per iteration (the batched sampling
     // kernel), re-checking budgets/quality/cancellation between blocks —
     // the same cadence the one-at-a-time loop checked at, with the
@@ -505,17 +546,26 @@ pub(crate) fn run_plan(
         }
         for &item in &block {
             samples += 1;
-            state.ingest(collection, item)?;
+            state.ingest(collection, item, &mut io_faults)?;
         }
         if samples >= next_progress {
+            let degraded = sampler.degraded().filter(DegradedInfo::is_degraded);
+            if let Some(d) = &degraded {
+                state.apply_missing_mass(d.missing_fraction());
+            }
             on_progress(&Progress {
                 samples,
                 elapsed: start.elapsed(),
                 result: state.snapshot(confidence),
+                degraded,
             });
             next_progress = (samples / PROGRESS_EVERY + 1) * PROGRESS_EVERY;
         }
     };
+    let degraded = sampler.degraded().filter(DegradedInfo::is_degraded);
+    if let Some(d) = &degraded {
+        state.apply_missing_mass(d.missing_fraction());
+    }
     drop(sampler);
 
     Ok(QueryOutcome {
@@ -525,6 +575,8 @@ pub(crate) fn run_plan(
         sampler: plan.sampler,
         io_reads: index_io.reads() + ds.collection.stats().reads() - io_before,
         q: Some(q),
+        io_faults,
+        degraded,
         reason,
     })
 }

@@ -30,6 +30,10 @@ pub mod viz;
 pub use dataset::{Dataset, DatasetConfig};
 pub use engine::{ImportReport, StormEngine};
 pub use session::{Progress, QueryOutcome, StopReason, TaskResult};
+// Fault-injection / degraded-execution vocabulary, re-exported so engine
+// users can configure chaos runs and inspect degradation without a direct
+// storm-faultkit dependency.
+pub use storm_faultkit::{DegradedInfo, FaultHook, FaultPlan, RetryPolicy};
 
 /// Engine-level errors.
 #[derive(Debug)]

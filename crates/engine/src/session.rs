@@ -7,6 +7,7 @@ use std::time::Duration;
 use storm_core::SamplerKind;
 use storm_estimators::text::HeavyHitter;
 use storm_estimators::Estimate;
+use storm_faultkit::DegradedInfo;
 use storm_geo::{Point2, StPoint};
 
 /// A cooperative cancellation flag shared with a running query — the
@@ -93,6 +94,10 @@ pub struct Progress {
     pub elapsed: Duration,
     /// The current result snapshot.
     pub result: TaskResult,
+    /// Degraded-execution report: `Some` once the stream has written off
+    /// shards (dead shards + reasons + lost mass). `None` while the query
+    /// is whole; the estimator interval already includes the widening.
+    pub degraded: Option<DegradedInfo>,
 }
 
 /// Why the online loop stopped.
@@ -125,6 +130,13 @@ pub struct QueryOutcome {
     pub io_reads: u64,
     /// Exact result size `q` when known.
     pub q: Option<usize>,
+    /// Storage block reads that failed and were retried or skipped
+    /// (0 outside chaos runs and storage incidents).
+    pub io_faults: u64,
+    /// Degraded-execution report: `Some` when the query finished without
+    /// some of its shards (dead shards + reasons + lost mass); the
+    /// reported interval already includes the missing-mass widening.
+    pub degraded: Option<DegradedInfo>,
     /// Why the query stopped.
     pub reason: StopReason,
 }
@@ -136,6 +148,16 @@ impl QueryOutcome {
             TaskResult::Aggregate { estimate, .. } => Some(*estimate),
             _ => None,
         }
+    }
+
+    /// True when the query ran degraded (shards written off or block
+    /// reads failed).
+    pub fn is_degraded(&self) -> bool {
+        self.io_faults > 0
+            || self
+                .degraded
+                .as_ref()
+                .is_some_and(DegradedInfo::is_degraded)
     }
 }
 
@@ -161,8 +183,36 @@ mod tests {
             sampler: SamplerKind::RsTree,
             io_reads: 0,
             q: Some(5),
+            io_faults: 0,
+            degraded: None,
             reason: StopReason::Exhausted,
         };
         assert!(outcome.estimate().is_none());
+        assert!(!outcome.is_degraded());
+    }
+
+    #[test]
+    fn degraded_outcome_is_flagged() {
+        use storm_faultkit::FailReason;
+        let mut d = DegradedInfo::new(100);
+        d.record(1, FailReason::Timeout, 25);
+        let outcome = QueryOutcome {
+            result: TaskResult::Count { q: 75 },
+            samples: 75,
+            elapsed: Duration::ZERO,
+            sampler: SamplerKind::RsTree,
+            io_reads: 0,
+            q: Some(75),
+            io_faults: 0,
+            degraded: Some(d),
+            reason: StopReason::Exhausted,
+        };
+        assert!(outcome.is_degraded());
+        let faulty = QueryOutcome {
+            io_faults: 3,
+            degraded: None,
+            ..outcome
+        };
+        assert!(faulty.is_degraded());
     }
 }

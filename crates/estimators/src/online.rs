@@ -69,6 +69,10 @@ pub struct OnlineStat {
     mean: f64,
     m2: f64,
     population: Population,
+    /// Fraction `φ` of the declared population lost to dead shards
+    /// (degraded execution); widens the reported error. See
+    /// [`OnlineStat::set_missing_mass`].
+    missing_mass: f64,
 }
 
 impl OnlineStat {
@@ -114,8 +118,27 @@ impl OnlineStat {
         self.variance().map(f64::sqrt)
     }
 
+    /// Declares that a fraction `phi ∈ [0, 1]` of the declared population
+    /// became unobservable (shards written off mid-query). The reported
+    /// standard error is widened by the missing-mass bound
+    /// `se' = (se + φ·s) / (1 − φ)` where `s` is the sample standard
+    /// deviation: the unobserved mass is conservatively allowed to shift
+    /// the true mean by up to one observed spread, and the whole interval
+    /// is inflated by the unobserved fraction. `φ = 0` is an exact no-op;
+    /// `φ = 1` (everything lost) reports infinite error. Derivation in
+    /// DESIGN.md §9.
+    pub fn set_missing_mass(&mut self, phi: f64) {
+        self.missing_mass = phi.clamp(0.0, 1.0);
+    }
+
+    /// The declared unobservable fraction `φ` (0 for a clean stream).
+    pub fn missing_mass(&self) -> f64 {
+        self.missing_mass
+    }
+
     /// Standard error of the mean, including the finite-population
-    /// correction when applicable.
+    /// correction when applicable and the missing-mass widening when a
+    /// degraded stream declared lost mass.
     pub fn std_err(&self) -> Option<f64> {
         let var = self.variance()?;
         let mut se2 = var / self.n as f64;
@@ -123,11 +146,20 @@ impl OnlineStat {
             let q = q as f64;
             let k = self.n as f64;
             if q <= 1.0 || k >= q {
-                return Some(0.0);
+                se2 = 0.0;
+            } else {
+                se2 *= (q - k) / (q - 1.0);
             }
-            se2 *= (q - k) / (q - 1.0);
         }
-        Some(se2.sqrt())
+        let se = se2.sqrt();
+        let phi = self.missing_mass;
+        if phi <= 0.0 {
+            return Some(se);
+        }
+        if phi >= 1.0 {
+            return Some(f64::INFINITY);
+        }
+        Some((se + phi * var.sqrt()) / (1.0 - phi))
     }
 
     /// The current estimate of the population **mean**.
@@ -171,6 +203,8 @@ impl OnlineStat {
         self.mean += delta * n2 / total;
         self.m2 += other.m2 + delta * delta * n1 * n2 / total;
         self.n += other.n;
+        // Degradation is a stream-level property; keep the worst declared.
+        self.missing_mass = self.missing_mass.max(other.missing_mass);
     }
 }
 
@@ -280,6 +314,66 @@ mod tests {
             n: 10,
         };
         assert_eq!(exact_zero.relative_error(0.95), 0.0);
+    }
+
+    #[test]
+    fn missing_mass_widens_monotonically_and_zero_is_exact() {
+        let mut base = OnlineStat::new();
+        for i in 0..100 {
+            base.push((i % 13) as f64);
+        }
+        let clean = base.std_err().unwrap();
+        let mut zero = base;
+        zero.set_missing_mass(0.0);
+        assert_eq!(zero.std_err().unwrap(), clean, "φ = 0 must be a no-op");
+        let mut prev = clean;
+        for phi in [0.05, 0.1, 0.25, 0.5, 0.9] {
+            let mut s = base;
+            s.set_missing_mass(phi);
+            let widened = s.std_err().unwrap();
+            assert!(
+                widened > prev,
+                "φ = {phi} did not widen ({widened} <= {prev})"
+            );
+            prev = widened;
+        }
+        let mut all_lost = base;
+        all_lost.set_missing_mass(1.0);
+        assert!(all_lost.std_err().unwrap().is_infinite());
+    }
+
+    #[test]
+    fn degraded_exhaustion_keeps_nonzero_error() {
+        // A WOR stream that exhausted its *surviving* shards is not exact
+        // when mass went missing: the FPC zero must not silence φ.
+        let q = 10;
+        let mut s = OnlineStat::without_replacement(q);
+        for i in 0..q {
+            s.push(i as f64);
+        }
+        assert_eq!(s.std_err().unwrap(), 0.0);
+        s.set_missing_mass(0.2);
+        let widened = s.std_err().unwrap();
+        assert!(
+            widened > 0.0,
+            "degraded exact-looking stream reported 0 error"
+        );
+        // se' = (0 + φ·s) / (1 − φ)
+        let expect = 0.2 * s.std_dev().unwrap() / 0.8;
+        assert!((widened - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_keeps_worst_missing_mass() {
+        let mut a = OnlineStat::new();
+        let mut b = OnlineStat::new();
+        for i in 0..10 {
+            a.push(i as f64);
+            b.push((i * 2) as f64);
+        }
+        b.set_missing_mass(0.3);
+        a.merge(&b);
+        assert!((a.missing_mass() - 0.3).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,480 @@
+//! `storm-faultkit`: deterministic, seeded fault injection for the sharded
+//! sampling pipeline, plus the recovery-policy and degraded-result types the
+//! executor and engine share.
+//!
+//! STORM's contract (paper Definition 1) is that an estimate with a
+//! confidence interval is trustworthy *at any termination point*. That
+//! contract is easiest to break not in the happy path but when a shard is
+//! slow, a worker dies, or a block read fails — so this crate makes those
+//! regimes **replayable**: a [`FaultPlan`] is a pure function from
+//! `(seed, site, shard, op)` to an optional fault, which means the exact
+//! same schedule of delays, drops, panics, and I/O errors can be re-run
+//! byte-for-byte and asserted against.
+//!
+//! Layering: this crate sits below `storm-store` and `storm-core` (both
+//! inject faults through the [`FaultHook`] trait) and below `storm-engine`
+//! (which surfaces [`DegradedInfo`] in progress ticks and query outcomes).
+//! It depends on nothing, costs nothing when no hook is installed (one
+//! `Option` branch per injection site), and contains no wall-clock or
+//! ambient entropy — determinism is the whole point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// One injected fault, decided by a [`FaultHook`] at an injection site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The shard worker sleeps this many milliseconds before replying
+    /// (a slow shard / network hiccup). Recoverable: the reply eventually
+    /// arrives, or the coordinator's retry replays it.
+    DelayReplyMs(u64),
+    /// The shard worker serves the request but never sends the reply
+    /// (a lost message). Recoverable via retry: the worker caches the
+    /// batch and replays it when the coordinator asks again.
+    DropReply,
+    /// The shard worker panics mid-request (a crashed task). The worker
+    /// loop contains the unwind; the current stream is lost but the
+    /// shard's tree survives for subsequent queries.
+    WorkerPanic,
+    /// A storage block read returns corrupt data (checksum failure).
+    /// Not retryable — the block is bad until repaired.
+    CorruptBlock,
+    /// A storage block read fails transiently (flaky I/O). Retryable:
+    /// the next attempt consults the schedule again.
+    TransientIo,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::DelayReplyMs(ms) => write!(f, "delay-reply({ms}ms)"),
+            FaultKind::DropReply => f.write_str("drop-reply"),
+            FaultKind::WorkerPanic => f.write_str("worker-panic"),
+            FaultKind::CorruptBlock => f.write_str("corrupt-block"),
+            FaultKind::TransientIo => f.write_str("transient-io"),
+        }
+    }
+}
+
+/// Where in the pipeline a fault decision is being made. Each site sees a
+/// disjoint slice of the schedule, so e.g. block-read faults never perturb
+/// the shard-reply fault sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A shard worker opening a sampling stream (count phase).
+    Open,
+    /// A shard worker serving one `Fill` request.
+    Fill,
+    /// The storage engine reading one document block.
+    BlockRead,
+}
+
+/// The injection interface: every fault-capable call site asks its hook
+/// (when one is installed) whether operation `op` at `site` on `shard`
+/// should fault. Implementations must be pure per `(site, shard, op)` —
+/// that purity is what makes fault runs replayable.
+pub trait FaultHook: Send + Sync + std::fmt::Debug {
+    /// The fault (if any) for operation `op` at `site` on `shard`.
+    fn fault(&self, site: FaultSite, shard: usize, op: u64) -> Option<FaultKind>;
+}
+
+/// A seeded, rate-based fault schedule — the standard [`FaultHook`].
+///
+/// Every decision is `mix64(seed, site, shard, op)` reduced to a
+/// per-mille draw and compared against the configured rates, so a plan is
+/// fully determined by its seed and rates: replaying a run with the same
+/// plan injects the identical fault sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-mille probability that a shard reply is delayed.
+    pub delay_permille: u16,
+    /// The injected delay, in milliseconds.
+    pub delay_ms: u64,
+    /// Per-mille probability that a shard reply is dropped.
+    pub drop_permille: u16,
+    /// Per-mille probability that a shard worker panics serving a request.
+    pub panic_permille: u16,
+    /// Per-mille probability that a block read returns corrupt data.
+    pub corrupt_permille: u16,
+    /// Per-mille probability that a block read fails transiently.
+    pub transient_permille: u16,
+}
+
+impl FaultPlan {
+    /// A quiet plan (no faults) with the given seed. Compose with the
+    /// `with_*` builders.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_permille: 0,
+            delay_ms: 0,
+            drop_permille: 0,
+            panic_permille: 0,
+            corrupt_permille: 0,
+            transient_permille: 0,
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds delayed shard replies: `permille`/1000 of replies sleep
+    /// `delay_ms` before sending.
+    pub fn with_delays(mut self, permille: u16, delay_ms: u64) -> Self {
+        self.delay_permille = permille.min(1000);
+        self.delay_ms = delay_ms;
+        self
+    }
+
+    /// Adds dropped shard replies (served but never sent).
+    pub fn with_drops(mut self, permille: u16) -> Self {
+        self.drop_permille = permille.min(1000);
+        self
+    }
+
+    /// Adds worker panics while serving shard requests.
+    pub fn with_panics(mut self, permille: u16) -> Self {
+        self.panic_permille = permille.min(1000);
+        self
+    }
+
+    /// Adds corrupt (non-retryable) block reads in the store.
+    pub fn with_block_corruption(mut self, permille: u16) -> Self {
+        self.corrupt_permille = permille.min(1000);
+        self
+    }
+
+    /// Adds transient (retryable) block-read I/O errors in the store.
+    pub fn with_transient_io(mut self, permille: u16) -> Self {
+        self.transient_permille = permille.min(1000);
+        self
+    }
+
+    /// True when every rate is zero — the plan can never fault.
+    pub fn is_quiet(&self) -> bool {
+        self.delay_permille == 0
+            && self.drop_permille == 0
+            && self.panic_permille == 0
+            && self.corrupt_permille == 0
+            && self.transient_permille == 0
+    }
+
+    /// The per-mille draw for one decision: a pure function of the plan
+    /// seed and the decision coordinates.
+    fn draw(&self, site: FaultSite, shard: usize, op: u64) -> u64 {
+        let site_tag = match site {
+            FaultSite::Open => 0x4F50_454E,
+            FaultSite::Fill => 0x4649_4C4C,
+            FaultSite::BlockRead => 0x424C_4F43,
+        };
+        let x =
+            mix64(self.seed ^ mix64(site_tag ^ mix64((shard as u64) << 32 | (op & 0xFFFF_FFFF))));
+        x % 1000
+    }
+}
+
+impl FaultHook for FaultPlan {
+    fn fault(&self, site: FaultSite, shard: usize, op: u64) -> Option<FaultKind> {
+        let roll = self.draw(site, shard, op);
+        // Each site owns a disjoint fault vocabulary; within a site the
+        // rates stack cumulatively over the same per-mille roll.
+        let mut bar = 0u64;
+        let mut hit = |permille: u16, kind: FaultKind| -> Option<FaultKind> {
+            bar += u64::from(permille);
+            (roll < bar).then_some(kind)
+        };
+        match site {
+            FaultSite::Open | FaultSite::Fill => hit(self.panic_permille, FaultKind::WorkerPanic)
+                .or_else(|| hit(self.drop_permille, FaultKind::DropReply))
+                .or_else(|| hit(self.delay_permille, FaultKind::DelayReplyMs(self.delay_ms))),
+            FaultSite::BlockRead => hit(self.corrupt_permille, FaultKind::CorruptBlock)
+                .or_else(|| hit(self.transient_permille, FaultKind::TransientIo)),
+        }
+    }
+}
+
+/// Timeout / retry / backoff parameters for the parallel executor's
+/// scatter-gather recovery loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt before a shard is declared dead.
+    pub max_retries: u32,
+    /// Base per-attempt reply timeout, in milliseconds.
+    pub timeout_ms: u64,
+    /// Timeout multiplier per retry (exponential backoff).
+    pub backoff: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            timeout_ms: 200,
+            backoff: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The reply timeout for attempt `attempt` (0-based): base × backoff^attempt.
+    pub fn timeout_for(&self, attempt: u32) -> Duration {
+        let mult = u64::from(self.backoff).saturating_pow(attempt);
+        Duration::from_millis(self.timeout_ms.saturating_mul(mult.max(1)))
+    }
+
+    /// Total attempts (first try + retries).
+    pub fn attempts(&self) -> u32 {
+        self.max_retries + 1
+    }
+}
+
+/// Why a shard was written out of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// The shard never answered the stream-open (count) request.
+    OpenFailed,
+    /// Every fill attempt timed out (slow or silent shard).
+    Timeout,
+    /// The worker's channels disconnected (thread gone).
+    Disconnected,
+    /// The worker reported its stream aborted (contained panic).
+    Aborted,
+    /// The shard delivered fewer samples than its declared count.
+    UnderDelivered,
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailReason::OpenFailed => "open-failed",
+            FailReason::Timeout => "timeout",
+            FailReason::Disconnected => "disconnected",
+            FailReason::Aborted => "aborted",
+            FailReason::UnderDelivered => "under-delivered",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One shard written out of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The shard index.
+    pub shard: usize,
+    /// Why it was declared dead for this query.
+    pub reason: FailReason,
+    /// Result-set mass (unemitted count) lost with it.
+    pub lost: u64,
+}
+
+/// Degraded-query accounting: which shards died, why, and how much of the
+/// declared result set became unreachable. The estimator layer widens its
+/// confidence interval by [`DegradedInfo::missing_fraction`]; the session
+/// layer surfaces the whole struct to the user.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradedInfo {
+    /// Per-shard failures, in the order they were declared.
+    pub failures: Vec<ShardFailure>,
+    /// The query's initial declared result size `q` across all shards.
+    pub initial_total: u64,
+}
+
+impl DegradedInfo {
+    /// A fresh record for a query with declared result size `initial_total`.
+    pub fn new(initial_total: u64) -> Self {
+        DegradedInfo {
+            failures: Vec::new(),
+            initial_total,
+        }
+    }
+
+    /// Records one shard failure.
+    pub fn record(&mut self, shard: usize, reason: FailReason, lost: u64) {
+        self.failures.push(ShardFailure {
+            shard,
+            reason,
+            lost,
+        });
+    }
+
+    /// True once any shard has been written off.
+    pub fn is_degraded(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Total result-set mass lost to dead shards.
+    pub fn lost_mass(&self) -> u64 {
+        self.failures.iter().map(|f| f.lost).sum()
+    }
+
+    /// The dead shard indices, in declaration order.
+    pub fn dead_shards(&self) -> Vec<usize> {
+        self.failures.iter().map(|f| f.shard).collect()
+    }
+
+    /// The missing-mass bound `φ = lost / q`: the fraction of the declared
+    /// result set that became unobservable. Zero for a clean query.
+    pub fn missing_fraction(&self) -> f64 {
+        if self.initial_total == 0 {
+            return 0.0;
+        }
+        (self.lost_mass() as f64 / self.initial_total as f64).clamp(0.0, 1.0)
+    }
+
+    /// A compact human-readable reason string, e.g.
+    /// `"shard 2: timeout; shard 5: aborted"`.
+    pub fn reason(&self) -> String {
+        self.failures
+            .iter()
+            .map(|f| format!("shard {}: {}", f.shard, f.reason))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+impl std::fmt::Display for DegradedInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "degraded: {{dead_shards: {:?}, reason: \"{}\", missing: {:.4}}}",
+            self.dead_shards(),
+            self.reason(),
+            self.missing_fraction()
+        )
+    }
+}
+
+/// SplitMix64 finaliser — the same mix the samplers use for deterministic
+/// id hashing, duplicated here so the crate stays dependency-free.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_per_coordinates() {
+        let plan = FaultPlan::seeded(42)
+            .with_delays(100, 5)
+            .with_drops(100)
+            .with_panics(50);
+        for shard in 0..8 {
+            for op in 0..200 {
+                let a = plan.fault(FaultSite::Fill, shard, op);
+                let b = plan.fault(FaultSite::Fill, shard, op);
+                assert_eq!(a, b, "impure decision at shard {shard} op {op}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::seeded(1).with_drops(500);
+        let b = FaultPlan::seeded(2).with_drops(500);
+        let seq = |p: &FaultPlan| -> Vec<Option<FaultKind>> {
+            (0..64).map(|op| p.fault(FaultSite::Fill, 0, op)).collect()
+        };
+        assert_ne!(seq(&a), seq(&b));
+    }
+
+    #[test]
+    fn quiet_plan_never_faults() {
+        let plan = FaultPlan::seeded(7);
+        assert!(plan.is_quiet());
+        for op in 0..1000 {
+            assert_eq!(plan.fault(FaultSite::Fill, 3, op), None);
+            assert_eq!(plan.fault(FaultSite::BlockRead, 0, op), None);
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_calibrated() {
+        // 10% drop rate over 10k ops lands near 1000 hits.
+        let plan = FaultPlan::seeded(9).with_drops(100);
+        let hits = (0..10_000u64)
+            .filter(|&op| plan.fault(FaultSite::Fill, 0, op).is_some())
+            .count();
+        assert!((800..1200).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn sites_are_independent_domains() {
+        // A block-read plan never perturbs the fill site and vice versa.
+        let plan = FaultPlan::seeded(11).with_block_corruption(500);
+        for op in 0..500 {
+            assert_eq!(plan.fault(FaultSite::Fill, 0, op), None);
+        }
+        let hits = (0..500u64)
+            .filter(|&op| plan.fault(FaultSite::BlockRead, 0, op).is_some())
+            .count();
+        assert!(hits > 150);
+    }
+
+    #[test]
+    fn site_faults_use_their_vocabulary() {
+        let plan = FaultPlan::seeded(3)
+            .with_delays(400, 7)
+            .with_drops(300)
+            .with_panics(300)
+            .with_block_corruption(500)
+            .with_transient_io(500);
+        for op in 0..200 {
+            match plan.fault(FaultSite::Fill, 1, op) {
+                Some(
+                    FaultKind::DelayReplyMs(7) | FaultKind::DropReply | FaultKind::WorkerPanic,
+                )
+                | None => {}
+                other => panic!("wrong fill fault: {other:?}"),
+            }
+            match plan.fault(FaultSite::BlockRead, 1, op) {
+                Some(FaultKind::CorruptBlock | FaultKind::TransientIo) | None => {}
+                other => panic!("wrong block fault: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles() {
+        let p = RetryPolicy {
+            max_retries: 3,
+            timeout_ms: 50,
+            backoff: 2,
+        };
+        assert_eq!(p.timeout_for(0), Duration::from_millis(50));
+        assert_eq!(p.timeout_for(1), Duration::from_millis(100));
+        assert_eq!(p.timeout_for(2), Duration::from_millis(200));
+        assert_eq!(p.attempts(), 4);
+    }
+
+    #[test]
+    fn degraded_info_accounting() {
+        let mut d = DegradedInfo::new(1000);
+        assert!(!d.is_degraded());
+        assert_eq!(d.missing_fraction(), 0.0);
+        d.record(2, FailReason::Timeout, 250);
+        d.record(5, FailReason::Aborted, 250);
+        assert!(d.is_degraded());
+        assert_eq!(d.dead_shards(), vec![2, 5]);
+        assert_eq!(d.lost_mass(), 500);
+        assert!((d.missing_fraction() - 0.5).abs() < 1e-12);
+        let s = d.to_string();
+        assert!(s.contains("dead_shards: [2, 5]"), "{s}");
+        assert!(s.contains("timeout") && s.contains("aborted"), "{s}");
+    }
+
+    #[test]
+    fn empty_result_set_has_zero_missing_fraction() {
+        let d = DegradedInfo::new(0);
+        assert_eq!(d.missing_fraction(), 0.0);
+    }
+}

@@ -2,6 +2,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use storm_faultkit::{FaultHook, FaultKind, FaultSite};
 
 use crate::{DocId, Document, StoreError, Value};
 
@@ -11,6 +14,7 @@ use crate::{DocId, Document, StoreError, Value};
 pub struct BlockStats {
     reads: AtomicU64,
     writes: AtomicU64,
+    faults: AtomicU64,
 }
 
 impl BlockStats {
@@ -24,10 +28,16 @@ impl BlockStats {
         self.writes.load(Ordering::Relaxed)
     }
 
+    /// Block reads that failed (corrupt or transient) so far.
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
     /// Zeroes the counters.
     pub fn reset(&self) {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
+        self.faults.store(0, Ordering::Relaxed);
     }
 }
 
@@ -44,6 +54,13 @@ pub struct Collection {
     pub(crate) docs: HashMap<u64, Document>,
     pub(crate) next_id: u64,
     stats: BlockStats,
+    /// Fault-injection hook for the block-read path (chaos/test runs
+    /// only); one `Option` branch per read when absent.
+    fault_hook: Option<Arc<dyn FaultHook>>,
+    /// Monotone count of fault-aware reads: the op coordinate for
+    /// transient-fault decisions (deliberately not reset with the stats,
+    /// so fault schedules replay identically per collection lifetime).
+    read_ops: AtomicU64,
 }
 
 /// Default number of documents per logical block.
@@ -67,7 +84,21 @@ impl Collection {
             docs: HashMap::new(),
             next_id: 0,
             stats: BlockStats::default(),
+            fault_hook: None,
+            read_ops: AtomicU64::new(0),
         }
+    }
+
+    /// Installs a fault-injection hook on the block-read path
+    /// ([`Collection::try_get`] consults it; [`Collection::get`] stays
+    /// fault-oblivious for callers that cannot handle errors).
+    pub fn set_fault_hook(&mut self, hook: Arc<dyn FaultHook>) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Removes the fault hook.
+    pub fn clear_fault_hook(&mut self) {
+        self.fault_hook = None;
     }
 
     /// The collection name.
@@ -126,6 +157,37 @@ impl Collection {
     /// Fetches a document or errors.
     pub fn require(&self, id: DocId) -> Result<&Document, StoreError> {
         self.get(id).ok_or(StoreError::NotFound(id))
+    }
+
+    /// Fetches a document through the fault-aware read path (one block
+    /// read). With no hook installed this is exactly [`Collection::get`];
+    /// with one, the read may fail with [`StoreError::CorruptBlock`]
+    /// (persistent per block — re-reading cannot help) or
+    /// [`StoreError::TransientIo`] (a retry consults a fresh fault
+    /// decision and may succeed).
+    pub fn try_get(&self, id: DocId) -> Result<Option<&Document>, StoreError> {
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(hook) = &self.fault_hook {
+            let block = self.block_of(id);
+            // Corruption is a property of the block, not of the attempt:
+            // pin the op coordinate so a corrupt block stays corrupt.
+            if matches!(
+                hook.fault(FaultSite::BlockRead, block as usize, 0),
+                Some(FaultKind::CorruptBlock)
+            ) {
+                self.stats.faults.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::CorruptBlock { block });
+            }
+            let op = self.read_ops.fetch_add(1, Ordering::Relaxed);
+            if matches!(
+                hook.fault(FaultSite::BlockRead, block as usize, op),
+                Some(FaultKind::TransientIo)
+            ) {
+                self.stats.faults.fetch_add(1, Ordering::Relaxed);
+                return Err(StoreError::TransientIo { block });
+            }
+        }
+        Ok(self.docs.get(&id.0))
     }
 
     /// Removes a document (one block write). Returns the removed document.
@@ -213,6 +275,53 @@ mod tests {
         let n = c.scan().count();
         assert_eq!(n, 95);
         assert_eq!(c.stats().reads(), 10); // ceil(95/10)
+    }
+
+    #[test]
+    fn try_get_without_hook_is_plain_get() {
+        let mut c = Collection::new("test");
+        let a = c.insert(body(1));
+        assert_eq!(c.try_get(a).unwrap().unwrap().int("v"), Some(1));
+        assert!(c.try_get(DocId(99)).unwrap().is_none());
+        assert_eq!(c.stats().faults(), 0);
+    }
+
+    #[test]
+    fn corrupt_blocks_are_sticky_and_transients_are_not() {
+        use storm_faultkit::FaultPlan;
+        let mut c = Collection::with_block_size("test", 4);
+        let ids: Vec<DocId> = (0..64).map(|i| c.insert(body(i))).collect();
+        c.set_fault_hook(Arc::new(
+            FaultPlan::seeded(5)
+                .with_block_corruption(300)
+                .with_transient_io(300),
+        ));
+        // Find a corrupt block: its reads fail identically forever.
+        let corrupt = ids
+            .iter()
+            .find(|&&id| matches!(c.try_get(id), Err(StoreError::CorruptBlock { .. })))
+            .copied()
+            .expect("30% corruption over 16 blocks should hit at least one");
+        for _ in 0..5 {
+            assert!(matches!(
+                c.try_get(corrupt),
+                Err(StoreError::CorruptBlock { .. })
+            ));
+        }
+        // Find a transiently failing read: a bounded number of retries
+        // gets through (fresh decision per attempt).
+        let transient = ids
+            .iter()
+            .find(|&&id| matches!(c.try_get(id), Err(StoreError::TransientIo { .. })))
+            .copied()
+            .expect("30% transient rate should hit at least one read");
+        assert!(StoreError::TransientIo { block: 0 }.is_transient());
+        let recovered = (0..20).any(|_| c.try_get(transient).is_ok());
+        assert!(recovered, "transient fault never cleared in 20 retries");
+        assert!(c.stats().faults() > 0);
+        // Removing the hook restores clean reads.
+        c.clear_fault_hook();
+        assert!(c.try_get(corrupt).is_ok());
     }
 
     #[test]

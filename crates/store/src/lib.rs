@@ -45,6 +45,26 @@ pub enum StoreError {
     Io(String),
     /// A document id was not found.
     NotFound(DocId),
+    /// A logical block failed its integrity check; re-reading cannot help
+    /// until the block is repaired (corruption is a property of the block,
+    /// not the attempt).
+    CorruptBlock {
+        /// The corrupt logical block.
+        block: u64,
+    },
+    /// A logical block read failed transiently (flaky I/O); a retry may
+    /// succeed.
+    TransientIo {
+        /// The affected logical block.
+        block: u64,
+    },
+}
+
+impl StoreError {
+    /// Whether retrying the failed operation can possibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::TransientIo { .. } | StoreError::Io(_))
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -55,6 +75,12 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Io(e) => write!(f, "I/O error: {e}"),
             StoreError::NotFound(id) => write!(f, "document {id:?} not found"),
+            StoreError::CorruptBlock { block } => {
+                write!(f, "block {block} failed its integrity check")
+            }
+            StoreError::TransientIo { block } => {
+                write!(f, "transient I/O failure reading block {block}")
+            }
         }
     }
 }

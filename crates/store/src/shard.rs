@@ -16,6 +16,22 @@ pub trait Partitioner {
 
     /// The shard for a record with the given id and location.
     fn route(&self, id: u64, location: Option<Point2>) -> usize;
+
+    /// Degraded-mode routing: the shard for a record when some shards are
+    /// dead. When the primary route lands on a dead shard, the record is
+    /// deterministically re-routed to the next surviving shard (wrapping),
+    /// so placement stays a pure function of `(id, location, dead-set)`
+    /// and a recovered run replays identically. Returns `None` when every
+    /// shard is dead.
+    ///
+    /// `dead` is indexed by shard; shards beyond its length are live.
+    fn route_surviving(&self, id: u64, location: Option<Point2>, dead: &[bool]) -> Option<usize> {
+        let n = self.shards();
+        let primary = self.route(id, location);
+        (0..n)
+            .map(|step| (primary + step) % n)
+            .find(|&s| !dead.get(s).copied().unwrap_or(false))
+    }
 }
 
 /// Uniform hash partitioning on the record id (ignores geometry).
@@ -135,6 +151,24 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn route_surviving_skips_dead_shards_deterministically() {
+        let p = HashPartitioner::new(4);
+        for id in 0..200u64 {
+            let primary = p.route(id, None);
+            // No dead shards: identical to the primary route.
+            assert_eq!(p.route_surviving(id, None, &[]), Some(primary));
+            // Primary dead: lands on the next surviving shard, stably.
+            let mut dead = vec![false; 4];
+            dead[primary] = true;
+            let rerouted = p.route_surviving(id, None, &dead);
+            assert_eq!(rerouted, Some((primary + 1) % 4));
+            assert_eq!(rerouted, p.route_surviving(id, None, &dead));
+        }
+        // Everything dead: no route.
+        assert_eq!(p.route_surviving(7, None, &[true; 4]), None);
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! Shared statistical test toolkit for the STORM workspace.
+//!
+//! Every sampling method in STORM makes the same promises — uniformity
+//! over `P ∩ Q`, WOR exhaustion to the exact result set, fixed-seed
+//! determinism, honest confidence intervals — and before this crate each
+//! test suite re-derived the math to check them. `storm-testkit` hoists
+//! those checks into one audited place:
+//!
+//! * [`chi_square_uniform`] / [`assert_uniform`] — frequency uniformity
+//!   with a Wilson–Hilferty critical value (no lookup tables);
+//! * [`ks_distance`] / [`assert_ks_uniform`] — distributional closeness
+//!   via the two-sample / one-sample Kolmogorov–Smirnov statistic;
+//! * [`drain_wor`] / [`assert_exhausts_to`] — WOR streams never repeat
+//!   and exhaust to exactly the expected id set;
+//! * [`assert_deterministic`] — a seeded computation replays identically
+//!   across repeated runs;
+//! * [`CoverageCheck`] — reported confidence intervals cover the truth at
+//!   (at least) their nominal rate;
+//! * [`watchdog`] — a hang guard for fault-injection suites: the test
+//!   fails loudly instead of wedging CI.
+//!
+//! The assertion helpers panic with labelled diagnostics — they are meant
+//! for `#[test]` bodies, not production paths.
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::time::Duration;
+
+use rand::Rng;
+use storm_core::SpatialSampler;
+use storm_rtree::Item;
+
+// ---------------------------------------------------------------------------
+// Chi-square uniformity
+// ---------------------------------------------------------------------------
+
+/// The chi-square statistic of observed `counts` against the uniform
+/// expectation (equal mass per cell). Returns 0 for fewer than two cells.
+pub fn chi_square_uniform(counts: &[u64]) -> f64 {
+    if counts.len() < 2 {
+        return 0.0;
+    }
+    let total: u64 = counts.iter().sum();
+    let expected = total as f64 / counts.len() as f64;
+    if expected <= 0.0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// Approximate upper critical value of the chi-square distribution with
+/// `dof` degrees of freedom at significance `p ≈ 0.001`, via the
+/// Wilson–Hilferty cube transform. Accurate to a few percent for
+/// `dof ≥ 3`, conservative enough for test gating everywhere.
+pub fn chi_square_critical_p001(dof: usize) -> f64 {
+    let k = dof.max(1) as f64;
+    // z-score for the 99.9th percentile of the standard normal.
+    let z = 3.090;
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// Asserts that `counts` are consistent with uniform sampling at
+/// `p ≈ 0.001` (so a correct sampler flakes roughly once per thousand
+/// runs, and a biased one fails immediately).
+///
+/// # Panics
+/// Panics when the chi-square statistic exceeds the critical value.
+pub fn assert_uniform(counts: &[u64], label: &str) {
+    let chi = chi_square_uniform(counts);
+    let crit = chi_square_critical_p001(counts.len().saturating_sub(1));
+    assert!(
+        chi <= crit,
+        "{label}: chi² = {chi:.2} > critical {crit:.2} over {} cells \
+         (counts not consistent with uniform sampling)",
+        counts.len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Kolmogorov–Smirnov distance
+// ---------------------------------------------------------------------------
+
+/// The two-sample Kolmogorov–Smirnov distance `sup |F_a - F_b|` between
+/// the empirical CDFs of `a` and `b`. Returns 1.0 when either sample is
+/// empty (maximal distance: nothing was observed).
+pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 1.0;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        if sa[i] <= sb[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// The one-sample KS distance of `samples` against the uniform
+/// distribution on `[0, 1]`.
+pub fn ks_uniform_distance(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    let n = s.len() as f64;
+    s.iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let x = x.clamp(0.0, 1.0);
+            let lo = (x - i as f64 / n).abs();
+            let hi = ((i + 1) as f64 / n - x).abs();
+            lo.max(hi)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Asserts that `samples` (values in `[0, 1]`) are consistent with the
+/// uniform distribution at `p ≈ 0.001` (`D < c(α)/√n`, `c(0.001) ≈ 1.95`).
+///
+/// # Panics
+/// Panics when the KS distance exceeds the critical value.
+pub fn assert_ks_uniform(samples: &[f64], label: &str) {
+    let d = ks_uniform_distance(samples);
+    let crit = 1.95 / (samples.len().max(1) as f64).sqrt();
+    assert!(
+        d <= crit,
+        "{label}: KS distance {d:.4} > critical {crit:.4} over {} samples",
+        samples.len()
+    );
+}
+
+/// Asserts that two samples come from the same distribution at
+/// `p ≈ 0.001` (two-sample KS bound `c(α)·√((n+m)/(n·m))`).
+///
+/// # Panics
+/// Panics when the two-sample KS distance exceeds the critical value.
+pub fn assert_same_distribution(a: &[f64], b: &[f64], label: &str) {
+    let d = ks_distance(a, b);
+    let (n, m) = (a.len().max(1) as f64, b.len().max(1) as f64);
+    let crit = 1.95 * ((n + m) / (n * m)).sqrt();
+    assert!(
+        d <= crit,
+        "{label}: two-sample KS distance {d:.4} > critical {crit:.4} \
+         ({} vs {} samples)",
+        a.len(),
+        b.len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// WOR set equality
+// ---------------------------------------------------------------------------
+
+/// Drains a without-replacement sampler to exhaustion, asserting that no
+/// id is ever delivered twice. Returns the delivered id set.
+///
+/// # Panics
+/// Panics on the first duplicate id.
+pub fn drain_wor<const D: usize>(
+    sampler: &mut dyn SpatialSampler<D>,
+    rng: &mut dyn Rng,
+    label: &str,
+) -> HashSet<u64> {
+    let mut out = HashSet::new();
+    while let Some(item) = sampler.next_sample(rng) {
+        assert!(
+            out.insert(item.id),
+            "{label}: WOR stream delivered id {} twice",
+            item.id
+        );
+    }
+    out
+}
+
+/// Drains a WOR sampler and asserts it delivers exactly `expected` — the
+/// cross-method guarantee that every sampler covers the same `P ∩ Q`.
+///
+/// # Panics
+/// Panics on duplicates, missing ids, or extra ids (reporting a small
+/// sample of the difference).
+pub fn assert_exhausts_to<const D: usize>(
+    sampler: &mut dyn SpatialSampler<D>,
+    rng: &mut dyn Rng,
+    expected: &HashSet<u64>,
+    label: &str,
+) {
+    let got = drain_wor(sampler, rng, label);
+    if got != *expected {
+        let missing: Vec<u64> = expected.difference(&got).take(5).copied().collect();
+        let extra: Vec<u64> = got.difference(expected).take(5).copied().collect();
+        panic!(
+            "{label}: WOR stream drained {} ids, expected {} \
+             (missing e.g. {missing:?}, extra e.g. {extra:?})",
+            got.len(),
+            expected.len()
+        );
+    }
+}
+
+/// The expected id set for [`assert_exhausts_to`]: every item whose point
+/// a predicate admits.
+pub fn expected_ids<const D: usize>(
+    items: &[Item<D>],
+    mut admit: impl FnMut(&Item<D>) -> bool,
+) -> HashSet<u64> {
+    items
+        .iter()
+        .filter(|it| admit(it))
+        .map(|it| it.id)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-seed determinism
+// ---------------------------------------------------------------------------
+
+/// Runs a seeded computation `runs` times and asserts every run produces
+/// an identical value — the fixed-seed replay guarantee that fault
+/// injection must preserve (same seed + same plan → same output).
+///
+/// # Panics
+/// Panics when any run differs from the first.
+pub fn assert_deterministic<T: PartialEq + Debug>(
+    runs: usize,
+    label: &str,
+    mut f: impl FnMut() -> T,
+) {
+    assert!(runs >= 2, "{label}: need at least 2 runs to compare");
+    let first = f();
+    for run in 1..runs {
+        let again = f();
+        assert!(
+            again == first,
+            "{label}: run {run} diverged from run 0\n  run 0: {first:?}\n  run {run}: {again:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CI coverage
+// ---------------------------------------------------------------------------
+
+/// Tallies confidence-interval coverage over repeated trials: intervals
+/// reported at confidence `c` must contain the truth in at least `~c` of
+/// trials (estimator intervals may be conservative, never permissive).
+#[derive(Debug, Default, Clone)]
+pub struct CoverageCheck {
+    trials: u64,
+    hits: u64,
+}
+
+impl CoverageCheck {
+    /// An empty tally.
+    pub fn new() -> Self {
+        CoverageCheck::default()
+    }
+
+    /// Records one trial: did `[value ± half_width]` cover `truth`?
+    pub fn record(&mut self, value: f64, half_width: f64, truth: f64) {
+        self.trials += 1;
+        if (value - truth).abs() <= half_width {
+            self.hits += 1;
+        }
+    }
+
+    /// Trials recorded so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Fraction of trials whose interval covered the truth.
+    pub fn coverage(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.trials as f64
+    }
+
+    /// Asserts empirical coverage is at least `confidence` minus a
+    /// binomial sampling allowance of three standard errors — a one-sided
+    /// gate, since conservative (wider) intervals are acceptable.
+    ///
+    /// # Panics
+    /// Panics when coverage falls below the allowed floor or no trials
+    /// were recorded.
+    pub fn assert_at_least(&self, confidence: f64, label: &str) {
+        assert!(self.trials > 0, "{label}: no coverage trials recorded");
+        let n = self.trials as f64;
+        let se = (confidence * (1.0 - confidence) / n).sqrt();
+        let floor = confidence - 3.0 * se;
+        let got = self.coverage();
+        assert!(
+            got >= floor,
+            "{label}: CI coverage {got:.3} < {floor:.3} \
+             (nominal {confidence}, {} trials) — intervals are permissive",
+            self.trials
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+/// Runs `f` under a wall-clock deadline and returns its value, panicking
+/// (in the caller) if the deadline passes first — the hang guard for
+/// fault-matrix suites: a wedged retry loop fails the test instead of
+/// wedging CI.
+///
+/// The worker thread is detached on timeout; the panic happens on the
+/// calling thread so the test harness reports it normally.
+///
+/// # Panics
+/// Panics when `f` does not complete within `timeout`, or propagates the
+/// panic when `f` itself panicked.
+pub fn watchdog<T: Send + 'static>(
+    timeout: Duration,
+    label: &str,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(value) => {
+            let _ = handle.join();
+            value
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{label}: watchdog expired after {timeout:?} — query hung instead of failing")
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(cause) => std::panic::resume_unwind(cause),
+            Ok(()) => panic!("{label}: worker exited without reporting a result"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chi_square_accepts_uniform_and_rejects_biased() {
+        // 1000 draws over 10 cells, perfectly uniform.
+        assert_uniform(&[100; 10], "flat");
+        let chi = chi_square_uniform(&[100; 10]);
+        assert_eq!(chi, 0.0);
+        // A single starved cell at this magnitude is unmistakable.
+        let mut biased = [110u64; 10];
+        biased[0] = 10;
+        let chi = chi_square_uniform(&biased);
+        assert!(chi > chi_square_critical_p001(9), "chi = {chi}");
+        // Degenerate inputs are calm.
+        assert_eq!(chi_square_uniform(&[]), 0.0);
+        assert_eq!(chi_square_uniform(&[5]), 0.0);
+    }
+
+    #[test]
+    fn critical_values_are_sane() {
+        // Known table values at p = 0.001: dof 9 → 27.88, dof 99 → 148.2.
+        assert!((chi_square_critical_p001(9) - 27.88).abs() < 1.0);
+        assert!((chi_square_critical_p001(99) - 148.2).abs() < 3.0);
+    }
+
+    #[test]
+    fn ks_uniform_accepts_uniform_grid_and_rejects_skew() {
+        let grid: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        assert_ks_uniform(&grid, "grid");
+        let skewed: Vec<f64> = grid.iter().map(|x| x * x).collect();
+        assert!(ks_uniform_distance(&skewed) > 1.95 / (1000f64).sqrt());
+        assert_eq!(ks_uniform_distance(&[]), 1.0);
+    }
+
+    #[test]
+    fn two_sample_ks_detects_shift() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 0.0001).collect();
+        assert_same_distribution(&a, &b, "identical-ish");
+        let shifted: Vec<f64> = a.iter().map(|x| x + 0.5).collect();
+        assert!(ks_distance(&a, &shifted) > 0.4);
+    }
+
+    #[test]
+    fn determinism_harness_replays_seeded_rng() {
+        assert_deterministic(3, "seeded-rng", || {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..16).map(|_| rng.next_u64()).collect::<Vec<u64>>()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn determinism_harness_catches_divergence() {
+        let mut x = 0u64;
+        assert_deterministic(2, "counter", move || {
+            x += 1;
+            x
+        });
+    }
+
+    #[test]
+    fn coverage_check_gates_on_nominal_rate() {
+        let mut ok = CoverageCheck::new();
+        for i in 0..1000 {
+            // 97% of intervals cover; nominal 95% passes.
+            let truth = 0.0;
+            let miss = i % 100 < 3;
+            ok.record(if miss { 10.0 } else { 0.1 }, 1.0, truth);
+        }
+        assert!((ok.coverage() - 0.97).abs() < 1e-9);
+        ok.assert_at_least(0.95, "conservative");
+        let mut bad = CoverageCheck::new();
+        for i in 0..1000 {
+            let miss = i % 10 < 3; // 70% coverage vs nominal 95%.
+            bad.record(if miss { 10.0 } else { 0.1 }, 1.0, 0.0);
+        }
+        let panicked = std::panic::catch_unwind(move || bad.assert_at_least(0.95, "permissive"));
+        assert!(panicked.is_err());
+    }
+
+    #[test]
+    fn watchdog_passes_fast_work_and_propagates_panics() {
+        let v = watchdog(Duration::from_secs(5), "fast", || 7u32);
+        assert_eq!(v, 7);
+        let hung = std::panic::catch_unwind(|| {
+            watchdog(Duration::from_millis(50), "slow", || {
+                std::thread::sleep(Duration::from_secs(2));
+            });
+        });
+        assert!(hung.is_err());
+        let inner = std::panic::catch_unwind(|| {
+            watchdog(Duration::from_secs(5), "inner", || panic!("boom"));
+        });
+        assert!(inner.is_err());
+    }
+}

@@ -12,6 +12,7 @@
 //! | R3 | `no-float-eq` | `==`/`!=` against floating-point values in `storm-estimators`/`storm-geo` estimator/geometry code |
 //! | R4 | `no-std-sync` | `std::sync::{Mutex, RwLock}` anywhere — the workspace lock standard is `parking_lot` |
 //! | R5 | `no-lossy-cast` | narrowing `as` casts (`as u8/u16/u32/i8/i16/i32`) in `storm-rtree`/`storm-core` node/count arithmetic |
+//! | R6 | `no-bare-join` | `.join().unwrap()`/`.join().expect(..)` on thread handles anywhere — re-raises contained worker panics, defeating fault containment |
 //!
 //! Implementation note: the usual tool for this is `syn`, but the build
 //! environment is fully offline with no vendored `syn`, so the pass runs on

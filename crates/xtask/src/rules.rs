@@ -1,4 +1,4 @@
-//! The R1–R5 rule matchers and the allow-directive machinery.
+//! The R1–R6 rule matchers and the allow-directive machinery.
 
 use crate::lexer::{Lexed, TokKind, Token};
 use crate::Diagnostic;
@@ -6,7 +6,7 @@ use crate::Diagnostic;
 /// A storm-lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rule {
-    /// Short id (`R1`…`R5`).
+    /// Short id (`R1`…`R6`).
     pub id: &'static str,
     /// Kebab-case name usable in allow directives.
     pub name: &'static str,
@@ -26,10 +26,11 @@ enum RuleKind {
     FloatEq,
     StdSync,
     LossyCast,
+    BareJoin,
 }
 
 /// All rules, in id order.
-pub const RULES: [Rule; 5] = [
+pub const RULES: [Rule; 6] = [
     Rule {
         id: "R1",
         name: "no-unwrap",
@@ -84,6 +85,17 @@ pub const RULES: [Rule; 5] = [
         kind: RuleKind::LossyCast,
         scopes: &["crates/rtree/src/", "crates/core/src/"],
         exempt_tests: true,
+    },
+    Rule {
+        id: "R6",
+        name: "no-bare-join",
+        rationale: "`.join().unwrap()`/`.join().expect(..)` on a thread handle \
+                    re-raises a contained worker panic in the joining thread, \
+                    defeating the executor's panic containment; match on the \
+                    JoinHandle result (or discard it with `let _ = h.join()`)",
+        kind: RuleKind::BareJoin,
+        scopes: &["crates/", "src/"],
+        exempt_tests: false,
     },
 ];
 
@@ -214,6 +226,27 @@ impl Rule {
                     }
                 }
                 None
+            }
+            RuleKind::BareJoin => {
+                if ident_at(toks, i) != Some("join")
+                    || !is_punct(toks, i.wrapping_sub(1), '.')
+                    || i == 0
+                    || !is_punct(toks, i + 1, '(')
+                    || !is_punct(toks, i + 2, ')')
+                    || !is_punct(toks, i + 3, '.')
+                {
+                    return None;
+                }
+                match ident_at(toks, i + 4) {
+                    Some(name @ ("unwrap" | "expect")) if is_punct(toks, i + 5, '(') => {
+                        Some(format!(
+                            ".join().{name}() re-raises a contained worker panic in \
+                             the joining thread — match on the join result instead \
+                             [no-bare-join]"
+                        ))
+                    }
+                    _ => None,
+                }
             }
             RuleKind::LossyCast => {
                 if ident_at(toks, i) != Some("as") {
@@ -447,7 +480,7 @@ pub fn apply_allow_directives(rel_path: &str, lexed: &Lexed, diags: &mut Vec<Dia
                         rule: "allow",
                         message: format!(
                             "unknown rule `{rule_token}` in storm-lint allow \
-                             (known: R1..R5 or their names)"
+                             (known: R1..R6 or their names)"
                         ),
                     });
                     continue;

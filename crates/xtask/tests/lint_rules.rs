@@ -197,6 +197,43 @@ fn r5_out_of_scope_for_store() {
     assert!(lint_source("crates/store/src/fixture.rs", src).is_empty());
 }
 
+// ---------------------------------------------------------------- R6
+
+#[test]
+fn r6_fires_on_bare_join_unwrap_and_expect() {
+    // Estimators is outside R1's scope, so the diagnostics isolate R6.
+    let src = "fn f(h: std::thread::JoinHandle<()>) { h.join().unwrap() }\n\
+               fn g(h: std::thread::JoinHandle<()>) { h.join().expect(\"died\") }\n";
+    assert_eq!(rules_fired(EST, src), vec!["R6", "R6"]);
+}
+
+#[test]
+fn r6_handled_joins_are_clean() {
+    let src = "fn f(h: std::thread::JoinHandle<()>) { let _ = h.join(); }\n\
+               fn g(h: std::thread::JoinHandle<()>) {\n\
+               \x20   if h.join().is_err() { eprintln!(\"worker panicked\"); }\n\
+               }\n\
+               fn s(parts: &[String]) -> usize { parts.join(\",\").len() }\n";
+    assert!(lint_source(EST, src).is_empty());
+}
+
+#[test]
+fn r6_fires_inside_test_code_too() {
+    // A test that bare-joins a worker dies on injected panics — the
+    // exemption R1 grants to #[cfg(test)] does not apply here.
+    let src = "#[cfg(test)]\nmod tests {\n\
+               \x20   fn f(h: std::thread::JoinHandle<()>) { h.join().unwrap() }\n}\n";
+    assert_eq!(rules_fired(EST, src), vec!["R6"]);
+}
+
+#[test]
+fn r6_allowlisted_for_audited_sites() {
+    let src = "fn f(h: std::thread::JoinHandle<()>) {\n\
+               \x20   // storm-lint: allow(R6): no fault hook installed on this pool\n\
+               \x20   h.join().unwrap()\n}\n";
+    assert!(lint_source(EST, src).is_empty());
+}
+
 // ------------------------------------------------------- allow hygiene
 
 #[test]

@@ -1,11 +1,18 @@
 //! Cross-method guarantees at the sampler layer: every method samples the
 //! same population, uniformly, and exhausts to the exact result set.
+//!
+//! The statistical machinery (chi-square gates, KS distance, WOR set
+//! equality, CI coverage) lives in `storm-testkit` and is shared with the
+//! fault-matrix and bench suites.
 
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashSet;
 use storm::prelude::*;
 use storm::sampling::RsTreeConfig;
 use storm::workload::{osm, queries};
+use storm_testkit::{
+    assert_exhausts_to, assert_same_distribution, assert_uniform, expected_ids, CoverageCheck,
+};
 
 fn setup(n: usize) -> (osm::OsmData, Rect2, usize) {
     let data = osm::generate(n, 99);
@@ -17,12 +24,7 @@ fn setup(n: usize) -> (osm::OsmData, Rect2, usize) {
 fn all_methods_exhaust_to_the_same_set() {
     let (data, query, q) = setup(20_000);
     assert!(q > 100);
-    let expected: HashSet<u64> = data
-        .items
-        .iter()
-        .filter(|it| query.contains_point(&it.point))
-        .map(|it| it.id)
-        .collect();
+    let expected: HashSet<u64> = expected_ids(&data.items, |it| query.contains_point(&it.point));
     let tree = RTree::bulk_load(
         data.items.clone(),
         RTreeConfig::with_fanout(32),
@@ -30,31 +32,23 @@ fn all_methods_exhaust_to_the_same_set() {
     );
     let mut rng = StdRng::seed_from_u64(5);
 
-    let drain = |sampler: &mut dyn SpatialSampler<2>, rng: &mut StdRng| -> HashSet<u64> {
-        let mut out = HashSet::new();
-        while let Some(item) = sampler.next_sample(rng) {
-            assert!(out.insert(item.id), "duplicate {}", item.id);
-        }
-        out
-    };
-
     let mut qf = QueryFirst::new(&tree, &query, SampleMode::WithoutReplacement);
-    assert_eq!(drain(&mut qf, &mut rng), expected, "QueryFirst");
+    assert_exhausts_to(&mut qf, &mut rng, &expected, "QueryFirst");
 
     let mut sf = SampleFirst::new(&data.items, query, SampleMode::WithoutReplacement);
-    assert_eq!(drain(&mut sf, &mut rng), expected, "SampleFirst");
+    assert_exhausts_to(&mut sf, &mut rng, &expected, "SampleFirst");
 
     let mut rp = RandomPath::new(&tree, query, SampleMode::WithoutReplacement)
         .with_attempt_budget(2_000_000);
-    assert_eq!(drain(&mut rp, &mut rng), expected, "RandomPath");
+    assert_exhausts_to(&mut rp, &mut rng, &expected, "RandomPath");
 
     let ls = LsTree::bulk_load(data.items.clone(), RTreeConfig::with_fanout(32), 17);
     let mut lss = ls.sampler(query);
-    assert_eq!(drain(&mut lss, &mut rng), expected, "LS-tree");
+    assert_exhausts_to(&mut lss, &mut rng, &expected, "LS-tree");
 
     let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(32));
     let mut rss = rs.sampler(query, SampleMode::WithoutReplacement);
-    assert_eq!(drain(&mut rss, &mut rng), expected, "RS-tree");
+    assert_exhausts_to(&mut rss, &mut rng, &expected, "RS-tree");
 }
 
 #[test]
@@ -71,10 +65,14 @@ fn estimates_from_every_method_agree_statistically() {
     let mut rng = StdRng::seed_from_u64(6);
     let k = (q / 4).clamp(500, 4000);
 
-    let check = |name: &str, samples: Vec<Item<2>>| {
+    let check = |name: &str, samples: Vec<Item<2>>| -> Vec<f64> {
         let mut stat = OnlineStat::without_replacement(q);
-        for item in &samples {
-            stat.push(data.altitudes[item.id as usize]);
+        let values: Vec<f64> = samples
+            .iter()
+            .map(|item| data.altitudes[item.id as usize])
+            .collect();
+        for &v in &values {
+            stat.push(v);
         }
         let est = stat.mean_estimate();
         let h = est.half_width(0.999);
@@ -83,10 +81,11 @@ fn estimates_from_every_method_agree_statistically() {
             "{name}: {} vs truth {truth} (±{h})",
             est.value
         );
+        values
     };
 
     let mut qf = QueryFirst::new(&tree, &query, SampleMode::WithoutReplacement);
-    check("QueryFirst", qf.draw(k, &mut rng));
+    let qf_values = check("QueryFirst", qf.draw(k, &mut rng));
     let mut sf = SampleFirst::new(&data.items, query, SampleMode::WithReplacement);
     check("SampleFirst", sf.draw(k, &mut rng));
     let mut rp = RandomPath::new(&tree, query, SampleMode::WithReplacement);
@@ -94,7 +93,11 @@ fn estimates_from_every_method_agree_statistically() {
     let mut lss = ls.sampler(query);
     check("LS-tree", lss.draw(k, &mut rng));
     let mut rss = rs.sampler(query, SampleMode::WithoutReplacement);
-    check("RS-tree", rss.draw(k, &mut rng));
+    let rs_values = check("RS-tree", rss.draw(k, &mut rng));
+
+    // Beyond matching the truth pointwise, the value streams drawn by the
+    // two index samplers must be draws from the same distribution.
+    assert_same_distribution(&qf_values, &rs_values, "QueryFirst vs RS-tree");
 }
 
 #[test]
@@ -106,7 +109,7 @@ fn rs_first_samples_match_marginal_frequencies_of_ls() {
     assert!((10..100).contains(&q), "q = {q}");
     let trials = 4000;
     let mut rng = StdRng::seed_from_u64(8);
-    let mut counts: std::collections::HashMap<u64, usize> = Default::default();
+    let mut counts: std::collections::HashMap<u64, u64> = Default::default();
     for t in 0..trials {
         // Fresh RS each trial isolates the per-query distribution.
         let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(16));
@@ -116,16 +119,30 @@ fn rs_first_samples_match_marginal_frequencies_of_ls() {
         let _ = t;
     }
     assert_eq!(counts.len(), q, "some items never drawn first");
-    let expected = trials as f64 / q as f64;
-    let chi: f64 = counts
-        .values()
-        .map(|&c| {
-            let d = c as f64 - expected;
-            d * d / expected
-        })
-        .sum();
-    // dof = q-1 ∈ [9,99]; generous p≈0.001 bound for the largest dof.
-    assert!(chi < 150.0, "chi² = {chi} over {q} items");
+    let freq: Vec<u64> = counts.values().copied().collect();
+    assert_uniform(&freq, "RS-tree first draws");
+}
+
+#[test]
+fn confidence_intervals_cover_the_truth() {
+    // The paper's honesty contract: a 95% interval reported after k draws
+    // contains the exact answer in at least ~95% of repeated runs.
+    let (data, query, q) = setup(20_000);
+    let truth = data.exact_avg_altitude(&query).unwrap();
+    let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(32));
+    let mut coverage = CoverageCheck::new();
+    for trial in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + trial);
+        let mut s = rs.sampler(query, SampleMode::WithReplacement);
+        let mut stat = OnlineStat::new();
+        for item in s.draw(200, &mut rng) {
+            stat.push(data.altitudes[item.id as usize]);
+        }
+        let est = stat.mean_estimate();
+        coverage.record(est.value, est.half_width(0.95), truth);
+        let _ = q;
+    }
+    coverage.assert_at_least(0.95, "RS-tree WR mean intervals");
 }
 
 #[test]

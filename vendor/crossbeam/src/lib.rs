@@ -14,7 +14,7 @@ pub mod channel {
     use std::sync::mpsc;
     use std::sync::{Arc, Mutex, PoisonError};
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// The sending half; clonable across threads.
     #[derive(Clone)]
@@ -66,6 +66,15 @@ pub mod channel {
             self.0.lock().unwrap_or_else(PoisonError::into_inner).recv()
         }
 
+        /// Blocks until a message arrives, all senders are gone, or
+        /// `timeout` elapses. Same lock caveat as [`Receiver::recv`].
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .recv_timeout(timeout)
+        }
+
         /// Returns a pending message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0
@@ -94,6 +103,17 @@ pub mod channel {
             assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
             drop(tx);
             assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded();
+            let d = std::time::Duration::from_millis(10);
+            assert_eq!(rx.recv_timeout(d), Err(RecvTimeoutError::Timeout));
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(d), Ok(7));
+            drop(tx);
+            assert_eq!(rx.recv_timeout(d), Err(RecvTimeoutError::Disconnected));
         }
 
         #[test]
