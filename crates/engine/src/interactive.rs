@@ -20,6 +20,7 @@ use crate::StormEngine;
 
 /// Events streamed from the worker.
 #[derive(Debug)]
+// storm-analyzer: allow(A3): Progress ticks are drained by callers' catch-all arms (only terminal events are matched by name in this file); nothing blocks on a Progress
 pub enum Event {
     /// A progress tick from the currently running query.
     Progress {

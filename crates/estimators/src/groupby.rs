@@ -11,16 +11,24 @@ use std::hash::Hash;
 use crate::online::{Estimate, OnlineStat};
 
 /// Running per-group means with confidence intervals.
+///
+/// Groups live in a `Vec` in first-seen order, with the `HashMap` serving
+/// only as a key → slot index (lookups never iterate it): `estimates()`
+/// must list equal-sized groups in a stable order, or two runs of the same
+/// seeded sampling session would disagree on the result — exactly the
+/// replay break storm-analyzer's A2 pass exists to catch.
 #[derive(Debug, Clone)]
 pub struct GroupedMeans<K: Eq + Hash> {
-    groups: HashMap<K, OnlineStat>,
+    index: HashMap<K, usize>,
+    stats: Vec<(K, OnlineStat)>,
     n: u64,
 }
 
 impl<K: Eq + Hash> Default for GroupedMeans<K> {
     fn default() -> Self {
         GroupedMeans {
-            groups: HashMap::new(),
+            index: HashMap::new(),
+            stats: Vec::new(),
             n: 0,
         }
     }
@@ -35,7 +43,11 @@ impl<K: Eq + Hash + Clone> GroupedMeans<K> {
     /// Feeds one observation for `key`.
     pub fn push(&mut self, key: K, value: f64) {
         self.n += 1;
-        self.groups.entry(key).or_default().push(value);
+        let slot = *self.index.entry(key.clone()).or_insert_with(|| {
+            self.stats.push((key, OnlineStat::default()));
+            self.stats.len() - 1
+        });
+        self.stats[slot].1.push(value);
     }
 
     /// Total observations across all groups.
@@ -45,18 +57,21 @@ impl<K: Eq + Hash + Clone> GroupedMeans<K> {
 
     /// Number of groups seen.
     pub fn num_groups(&self) -> usize {
-        self.groups.len()
+        self.stats.len()
     }
 
     /// The current estimate for one group.
     pub fn estimate(&self, key: &K) -> Option<Estimate> {
-        self.groups.get(key).map(OnlineStat::mean_estimate)
+        let slot = *self.index.get(key)?;
+        Some(self.stats[slot].1.mean_estimate())
     }
 
-    /// All `(key, estimate)` pairs, largest groups first.
+    /// All `(key, estimate)` pairs, largest groups first; equal-sized
+    /// groups tie-break by first appearance (stable sort over the
+    /// insertion-ordered `Vec`), so output is deterministic under seed.
     pub fn estimates(&self) -> Vec<(K, Estimate)> {
         let mut out: Vec<(K, Estimate)> = self
-            .groups
+            .stats
             .iter()
             .map(|(k, s)| (k.clone(), s.mean_estimate()))
             .collect();
@@ -67,8 +82,8 @@ impl<K: Eq + Hash + Clone> GroupedMeans<K> {
     /// Estimated fraction of the population in each group (the group's
     /// share of the samples — itself an unbiased proportion estimator).
     pub fn share(&self, key: &K) -> Option<f64> {
-        let stat = self.groups.get(key)?;
-        Some(stat.n() as f64 / self.n.max(1) as f64)
+        let slot = *self.index.get(key)?;
+        Some(self.stats[slot].1.n() as f64 / self.n.max(1) as f64)
     }
 }
 
@@ -106,6 +121,18 @@ mod tests {
         let est = g.estimates();
         assert_eq!(est[0].0, 2);
         assert_eq!(est[1].0, 1);
+    }
+
+    #[test]
+    fn equal_sized_groups_keep_first_seen_order() {
+        // The replay-determinism contract: ties in group size must not
+        // depend on hash iteration order.
+        let mut g: GroupedMeans<u32> = GroupedMeans::new();
+        for key in [7, 3, 9, 1, 5] {
+            g.push(key, f64::from(key));
+        }
+        let keys: Vec<u32> = g.estimates().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![7, 3, 9, 1, 5]);
     }
 
     #[test]

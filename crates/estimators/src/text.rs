@@ -8,7 +8,7 @@
 //! SpaceSaving summary (Metwally et al.), which guarantees every term with
 //! true frequency above `n/capacity` is retained.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// English stop words filtered out of term statistics.
 const STOP_WORDS: &[&str] = &[
@@ -45,11 +45,16 @@ pub struct HeavyHitter {
 /// Tracks at most `capacity` terms; any term whose true frequency exceeds
 /// `n / capacity` is guaranteed to be present, and every reported count
 /// overestimates the truth by at most the reported `error`.
+///
+/// The counters are a `BTreeMap` rather than a `HashMap`: eviction breaks
+/// count ties by iteration order, and term-ordered iteration makes that
+/// tie-break (and with it the whole summary) deterministic under seed,
+/// where RandomState ordering would differ run to run (storm-analyzer A2).
 #[derive(Debug, Clone)]
 pub struct SpaceSaving {
     capacity: usize,
     /// term → (count, error)
-    counters: HashMap<String, (u64, u64)>,
+    counters: BTreeMap<String, (u64, u64)>,
     n: u64,
 }
 
@@ -62,7 +67,7 @@ impl SpaceSaving {
         assert!(capacity > 0, "capacity must be positive");
         SpaceSaving {
             capacity,
-            counters: HashMap::with_capacity(capacity + 1),
+            counters: BTreeMap::new(),
             n: 0,
         }
     }
@@ -84,7 +89,9 @@ impl SpaceSaving {
             return;
         }
         // Evict the minimum counter; the newcomer inherits its count as
-        // both value and error bound.
+        // both value and error bound. Count ties evict the
+        // lexicographically smallest term (BTreeMap iteration order, and
+        // min_by_key keeps the first minimum) — any run replays identically.
         let (min_term, min_count) = self
             .counters
             .iter()
@@ -123,6 +130,7 @@ impl SpaceSaving {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn tokenizer_lowercases_and_filters() {
@@ -187,6 +195,20 @@ mod tests {
             assert!(h.count >= t, "{}: {} < {t}", h.term, h.count);
             assert!(h.count - h.error <= t, "{}: lower bound broken", h.term);
         }
+    }
+
+    #[test]
+    fn eviction_tie_break_is_deterministic() {
+        // At capacity, every counter ties at count 1; the eviction victim
+        // must be the lexicographically smallest term, not whichever a
+        // RandomState iteration happened to visit first.
+        let mut ss = SpaceSaving::new(3);
+        for t in ["mm", "zz", "aa", "new"] {
+            ss.push(t);
+        }
+        let terms: Vec<String> = ss.top(10).into_iter().map(|h| h.term).collect();
+        assert!(!terms.contains(&"aa".to_string()), "{terms:?}");
+        assert!(terms.contains(&"new".to_string()), "{terms:?}");
     }
 
     #[test]

@@ -1,0 +1,609 @@
+//! `storm-analyzer` — the A1–A3 structural passes over [`crate::front`]
+//! facts and the [`crate::callgraph`] workspace call graph.
+//!
+//! | pass | name | guards against |
+//! |------|------|----------------|
+//! | A1 | `lock-order` | cycles in the lock-acquisition graph of `storm-core`/`storm-store`/`storm-engine` — potential deadlocks |
+//! | A2 | `determinism-taint` | `HashMap`/`HashSet` iteration order, wall-clock (`Instant`/`SystemTime`), or thread-id values reachable from the sampler/estimator API — silent seeded-replay breaks (lint R2's structural sibling) |
+//! | A3 | `protocol-conformance` | shard-protocol enums (those sent over a channel) with variants never constructed or never consumed by a match arm, and `Fill` sends outside any timeout/retry gather wrapper |
+//!
+//! All three are *over-approximate*: the call graph links by name, lock
+//! identity is the receiver's textual path (qualified by the impl type for
+//! `self.…` receivers), and guard lifetimes are assumed to extend to the end
+//! of the acquiring function. A finding is therefore a *potential* problem;
+//! the escape hatches are the analyzer's own allow directive
+//!
+//! ```text
+//! // storm-analyzer: allow(A2): count() over values() is order-independent
+//! ```
+//!
+//! and the findings baseline (`crates/xtask/analyze.baseline`), which holds
+//! accepted pre-existing findings so CI only fails on *new* ones.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::callgraph::{self, CallGraph, FnId};
+use crate::front::{self, FactKind, FileFacts};
+use crate::rules::DirectiveSpec;
+use crate::Diagnostic;
+
+/// One analyzer pass, for `--list` output and CI rationale printing.
+#[derive(Debug, Clone, Copy)]
+pub struct Pass {
+    /// Short id (`A1`…`A3`).
+    pub id: &'static str,
+    /// Kebab-case name usable in allow directives.
+    pub name: &'static str,
+    /// What the pass enforces (one line).
+    pub rationale: &'static str,
+}
+
+/// All passes, in id order.
+pub const PASSES: [Pass; 3] = [
+    Pass {
+        id: "A1",
+        name: "lock-order",
+        rationale: "two threads taking the same locks in different orders can \
+                    deadlock the executor; the lock-acquisition graph across \
+                    core/store/engine must stay acyclic",
+    },
+    Pass {
+        id: "A2",
+        name: "determinism-taint",
+        rationale: "HashMap/HashSet iteration order, wall-clock reads, and \
+                    thread ids reaching the sampler/estimator output cone \
+                    break replay-under-seed — the substrate of the paper's \
+                    any-time sampling guarantee",
+    },
+    Pass {
+        id: "A3",
+        name: "protocol-conformance",
+        rationale: "every shard-protocol variant must be both constructed and \
+                    consumed by a match arm in its defining file, and every \
+                    Fill send must sit behind a timeout/retry gather wrapper, \
+                    or the scatter-gather executor can wedge on a lost message",
+    },
+];
+
+/// Renders a finding with the analyzer's own tool prefix
+/// ([`Diagnostic`]'s `Display` belongs to storm-lint).
+pub fn render(d: &Diagnostic) -> String {
+    format!(
+        "{}:{}:{}: storm-analyzer[{}]: {}",
+        d.path, d.line, d.col, d.rule, d.message
+    )
+}
+
+/// The storm-analyzer directive dialect
+/// (`// storm-analyzer: allow(A2): why`).
+pub fn analyzer_directives() -> DirectiveSpec {
+    DirectiveSpec {
+        tool: "storm-analyzer",
+        known: PASSES.iter().map(|p| (p.id, p.name)).collect(),
+        hint: "A1..A3 or their names",
+    }
+}
+
+/// Path prefixes A1 builds its lock graph from.
+const A1_SCOPE: [&str; 3] = [
+    "crates/core/src/",
+    "crates/store/src/",
+    "crates/engine/src/",
+];
+
+/// Path prefixes whose determinism facts A2 reports.
+const A2_SCOPE: [&str; 3] = [
+    "crates/core/src/",
+    "crates/estimators/src/",
+    "crates/rtree/src/",
+];
+
+/// Core sampling-API names that root the A2 output cone (alongside every
+/// public estimator function).
+const A2_CORE_ROOTS: [&str; 5] = ["next_sample", "next_batch", "draw", "prefill", "sampler"];
+
+fn in_scope(path: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|s| path.starts_with(s))
+}
+
+/// Analyzes a set of `(rel_path, source)` files: extracts facts, builds the
+/// call graph, runs A1–A3, and applies analyzer allow directives per file.
+pub fn analyze_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let lexed: Vec<crate::lexer::Lexed> = files.iter().map(|(_, s)| crate::lexer::lex(s)).collect();
+    let facts: Vec<FileFacts> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((p, _), l)| front::extract(p, l))
+        .collect();
+    let graph = callgraph::build(&facts);
+
+    let mut diags = Vec::new();
+    diags.extend(pass_lock_order(&graph));
+    diags.extend(pass_determinism_taint(&graph));
+    diags.extend(pass_protocol_conformance(&graph));
+
+    // Allow directives are per file: partition, apply, re-merge.
+    let mut final_diags = Vec::new();
+    let spec = analyzer_directives();
+    for ((path, _), lex) in files.iter().zip(&lexed) {
+        let mut file_diags: Vec<Diagnostic> =
+            diags.iter().filter(|d| &d.path == path).cloned().collect();
+        crate::rules::apply_allow_directives(&spec, path, lex, &mut file_diags);
+        final_diags.extend(file_diags);
+    }
+    final_diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    final_diags
+}
+
+/// Walks the workspace sources (same roots as [`crate::lint_workspace`])
+/// and analyzes every `.rs` file together, so the call graph crosses crate
+/// boundaries.
+pub fn analyze_workspace(repo_root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut sources = Vec::new();
+    for file in crate::workspace_rs_files(repo_root)? {
+        let rel = file
+            .strip_prefix(repo_root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel, std::fs::read_to_string(&file)?));
+    }
+    Ok(analyze_sources(&sources))
+}
+
+// ---------------------------------------------------------------------------
+// A1: lock-order
+// ---------------------------------------------------------------------------
+
+/// Identity of a lock for graph purposes: the receiver's textual path,
+/// prefixed by the impl type for `self.…` receivers so `self.meta` in two
+/// different types stays two locks.
+fn lock_key(f: &front::FnSummary, recv: &str) -> String {
+    if recv == "self" || recv.starts_with("self.") {
+        if let Some(q) = &f.qual {
+            return format!("{q}::{recv}");
+        }
+    }
+    recv.to_string()
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct EdgeProv {
+    path: String,
+    line: u32,
+    col: u32,
+    fn_key: String,
+}
+
+/// Builds the lock-acquisition graph and reports every strongly-connected
+/// component containing a cycle (including interprocedural self-loops: a
+/// function re-acquiring, via a callee, a lock it already holds).
+fn pass_lock_order(g: &CallGraph<'_>) -> Vec<Diagnostic> {
+    // edges[a][b] = example provenance for "b acquired while a held".
+    let mut edges: BTreeMap<String, BTreeMap<String, EdgeProv>> = BTreeMap::new();
+    let mut trans_locks: BTreeMap<FnId, BTreeSet<String>> = BTreeMap::new();
+    let mut locks_of = |g: &CallGraph<'_>, id: FnId| -> BTreeSet<String> {
+        if let Some(cached) = trans_locks.get(&id) {
+            return cached.clone();
+        }
+        let mut set = BTreeSet::new();
+        for r in g.reachable_from(&[id]) {
+            if !in_scope(g.path(r), &A1_SCOPE) {
+                continue;
+            }
+            let rf = g.fun(r);
+            for l in &rf.locks {
+                set.insert(lock_key(rf, &l.recv));
+            }
+        }
+        trans_locks.insert(id, set.clone());
+        set
+    };
+
+    for id in g.all_fns() {
+        let f = g.fun(id);
+        if f.in_test || !in_scope(g.path(id), &A1_SCOPE) || f.locks.is_empty() {
+            continue;
+        }
+        let fn_key = f.key();
+        // Intra: later acquisitions while earlier guards (lexically) held.
+        for (i, held) in f.locks.iter().enumerate() {
+            let held_key = lock_key(f, &held.recv);
+            for later in &f.locks[i + 1..] {
+                let later_key = lock_key(f, &later.recv);
+                if later_key == held_key {
+                    continue; // drop/re-lock of the same lock, not an order
+                }
+                edges
+                    .entry(held_key.clone())
+                    .or_default()
+                    .entry(later_key)
+                    .or_insert_with(|| EdgeProv {
+                        path: g.path(id).to_string(),
+                        line: later.line,
+                        col: later.col,
+                        fn_key: fn_key.clone(),
+                    });
+            }
+            // Inter: locks acquired by callees invoked after this point.
+            for call in &f.calls {
+                if call.order <= held.order {
+                    continue;
+                }
+                for callee in g.resolve_call(call) {
+                    if callee == id {
+                        continue;
+                    }
+                    for callee_lock in locks_of(g, callee) {
+                        edges
+                            .entry(held_key.clone())
+                            .or_default()
+                            .entry(callee_lock)
+                            .or_insert_with(|| EdgeProv {
+                                path: g.path(id).to_string(),
+                                line: call.line,
+                                col: 1,
+                                fn_key: fn_key.clone(),
+                            });
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection: node n is cyclic when n reaches itself through >= 1
+    // edge. Group mutually-reaching cyclic nodes into one report.
+    let reach = |from: &str| -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<&str> = edges
+            .get(from)
+            .map(|m| m.keys().map(String::as_str).collect())
+            .unwrap_or_default();
+        while let Some(n) = stack.pop() {
+            if seen.insert(n.to_string()) {
+                if let Some(next) = edges.get(n) {
+                    stack.extend(next.keys().map(String::as_str));
+                }
+            }
+        }
+        seen
+    };
+    let reachable: BTreeMap<&String, BTreeSet<String>> =
+        edges.keys().map(|n| (n, reach(n))).collect();
+
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut out = Vec::new();
+    for (node, reached) in &reachable {
+        if !reached.contains(node.as_str()) {
+            continue; // not on a cycle
+        }
+        // SCC of `node`: every cyclic partner that also reaches back.
+        let mut scc: Vec<String> = reached
+            .iter()
+            .filter(|m| reachable.get(m).is_some_and(|r| r.contains(node.as_str())))
+            .cloned()
+            .collect();
+        scc.sort();
+        if !reported.insert(scc.clone()) {
+            continue;
+        }
+        // Anchor the report at the smallest in-SCC edge provenance.
+        let prov = scc
+            .iter()
+            .filter_map(|a| edges.get(a))
+            .flat_map(|m| m.iter())
+            .filter(|(b, _)| scc.contains(b))
+            .map(|(_, p)| p)
+            .min()
+            .cloned()
+            .expect("cyclic SCC has at least one internal edge");
+        out.push(Diagnostic {
+            path: prov.path,
+            line: prov.line,
+            col: prov.col,
+            rule: "A1",
+            message: format!(
+                "lock-order cycle between {{{}}} — e.g. acquired in \
+                 conflicting order in `{}`; threads interleaving these \
+                 acquisitions can deadlock [lock-order]",
+                scc.join(", "),
+                prov.fn_key
+            ),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A2: determinism taint
+// ---------------------------------------------------------------------------
+
+/// Flags nondeterministic inputs (hash iteration order, wall clock, thread
+/// ids) in any function the sampler/estimator API can reach.
+fn pass_determinism_taint(g: &CallGraph<'_>) -> Vec<Diagnostic> {
+    // Roots: the core sampling API by name, plus every public estimator fn.
+    let mut roots: Vec<FnId> = Vec::new();
+    for id in g.all_fns() {
+        let f = g.fun(id);
+        if f.in_test {
+            continue;
+        }
+        let path = g.path(id);
+        let core_root =
+            path.starts_with("crates/core/src/") && A2_CORE_ROOTS.contains(&f.name.as_str());
+        let est_root = path.starts_with("crates/estimators/src/") && f.is_pub;
+        if core_root || est_root {
+            roots.push(id);
+        }
+    }
+    roots.sort();
+
+    // BFS from each root in order; first root to reach a function names it
+    // in the diagnostic (deterministic because roots are sorted).
+    let mut cone: BTreeMap<FnId, FnId> = BTreeMap::new();
+    for &root in &roots {
+        for id in g.reachable_from(&[root]) {
+            cone.entry(id).or_insert(root);
+        }
+    }
+
+    let mut out = Vec::new();
+    for (&id, &root) in &cone {
+        let f = g.fun(id);
+        if f.in_test || !in_scope(g.path(id), &A2_SCOPE) {
+            continue;
+        }
+        let root_key = g.fun(root).key();
+        for fact in &f.facts {
+            let message = match &fact.kind {
+                FactKind::HashIter { var, method } => format!(
+                    "`{var}` ({method}) iterates a HashMap/HashSet inside \
+                     `{}`, which the sampler/estimator API `{root_key}` can \
+                     reach — RandomState ordering differs per process and \
+                     breaks seeded replay; use BTreeMap or insertion-ordered \
+                     storage [determinism-taint]",
+                    f.key()
+                ),
+                FactKind::TimeSource { what } => format!(
+                    "`{what}::now()` inside `{}`, which the \
+                     sampler/estimator API `{root_key}` can reach — \
+                     wall-clock values differ per run and break seeded \
+                     replay [determinism-taint]",
+                    f.key()
+                ),
+                FactKind::ThreadId => format!(
+                    "thread-id inside `{}`, which the sampler/estimator API \
+                     `{root_key}` can reach — scheduler-dependent values \
+                     break seeded replay [determinism-taint]",
+                    f.key()
+                ),
+                FactKind::FloatAccum => continue, // summarised, not reported
+            };
+            out.push(Diagnostic {
+                path: g.path(id).to_string(),
+                line: fact.line,
+                col: fact.col,
+                rule: "A2",
+                message,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A3: protocol conformance
+// ---------------------------------------------------------------------------
+
+/// Checks shard-protocol enums — any enum some non-test function sends over
+/// a channel — for produced-and-consumed conformance, and `Fill` sends for
+/// a timeout/retry wrapper.
+fn pass_protocol_conformance(g: &CallGraph<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (fi, file) in g.files.iter().enumerate() {
+        // Protocol enums: declared here and sent by some non-test fn.
+        let sent: BTreeSet<&str> = file
+            .fns
+            .iter()
+            .filter(|f| !f.in_test)
+            .flat_map(|f| &f.variant_uses)
+            .filter(|u| u.in_send)
+            .map(|u| u.enum_name.as_str())
+            .collect();
+        for decl in &file.enums {
+            if !sent.contains(decl.name.as_str()) {
+                continue;
+            }
+            for variant in &decl.variants {
+                let mut produced = false;
+                let mut consumed = false;
+                for f in file.fns.iter().filter(|f| !f.in_test) {
+                    for u in &f.variant_uses {
+                        if u.enum_name == decl.name && &u.variant == variant {
+                            if u.is_consume {
+                                consumed = true;
+                            } else {
+                                produced = true;
+                            }
+                        }
+                    }
+                }
+                let missing = match (produced, consumed) {
+                    (true, true) => continue,
+                    (false, true) => "constructed by no producer site",
+                    (true, false) => "consumed by no match arm",
+                    (false, false) => "neither constructed nor consumed",
+                };
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: decl.line,
+                    col: 1,
+                    rule: "A3",
+                    message: format!(
+                        "protocol variant `{}::{variant}` is {missing} in \
+                         this file — a half-wired protocol arm wedges or \
+                         leaks shard workers [protocol-conformance]",
+                        decl.name
+                    ),
+                });
+            }
+        }
+
+        // Fill sends must sit in (or call into) a timeout/retry gather.
+        for (gi, f) in file.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            for u in &f.variant_uses {
+                if u.variant != "Fill"
+                    || u.is_consume
+                    || !u.in_send
+                    || !sent.contains(u.enum_name.as_str())
+                {
+                    continue;
+                }
+                let guarded = g
+                    .reachable_from(&[(fi, gi)])
+                    .iter()
+                    .any(|&id| g.fun(id).has_recv_timeout);
+                if !guarded {
+                    out.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: u.line,
+                        col: u.col,
+                        rule: "A3",
+                        message: format!(
+                            "`{}::Fill` sent from `{}` with no recv_timeout \
+                             in itself or any callee — a lost reply blocks \
+                             the gather forever [protocol-conformance]",
+                            u.enum_name,
+                            f.key()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+/// One accepted finding: `<pass> <path> <message>` (the line number is
+/// deliberately absent so accepted findings survive unrelated edits).
+fn baseline_entry(d: &Diagnostic) -> String {
+    format!("{} {} {}", d.rule, d.path, d.message)
+}
+
+/// Parses a baseline file: one entry per line, `#` comments and blank
+/// lines skipped.
+pub fn parse_baseline(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(ToString::to_string)
+        .collect()
+}
+
+/// Splits findings against a baseline: `(new, accepted, stale_entries)`.
+pub fn apply_baseline(
+    diags: Vec<Diagnostic>,
+    baseline: &BTreeSet<String>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>, Vec<String>) {
+    let mut matched: BTreeSet<&str> = BTreeSet::new();
+    let mut new = Vec::new();
+    let mut accepted = Vec::new();
+    for d in diags {
+        let entry = baseline_entry(&d);
+        if let Some(hit) = baseline.iter().find(|b| **b == entry) {
+            matched.insert(hit.as_str());
+            accepted.push(d);
+        } else {
+            new.push(d);
+        }
+    }
+    let stale = baseline
+        .iter()
+        .filter(|b| !matched.contains(b.as_str()))
+        .cloned()
+        .collect();
+    (new, accepted, stale)
+}
+
+/// Renders findings as baseline-file content (with a header comment).
+pub fn render_baseline(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "# storm-analyzer findings baseline.\n\
+         # One accepted finding per line: `<pass> <path> <message>`.\n\
+         # Regenerate with `cargo xtask analyze --update-baseline`; prefer\n\
+         # fixing findings or justifying them with an allow directive, and\n\
+         # keep an explanatory comment above anything accepted here.\n",
+    );
+    let mut entries: Vec<String> = diags.iter().map(baseline_entry).collect();
+    entries.sort();
+    entries.dedup();
+    for e in entries {
+        out.push_str(&e);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_one(path: &str, src: &str) -> Vec<Diagnostic> {
+        analyze_sources(&[(path.to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn a2_allow_directive_suppresses() {
+        let src = "\
+pub struct S { counts: HashMap<u32, u32> }
+impl S {
+    // storm-analyzer: allow(A2): count() is order-independent
+    pub fn total(&self) -> u32 { self.counts.values().sum() }
+}
+";
+        let diags = analyze_one("crates/estimators/src/demo.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn a2_unknown_rule_in_directive_is_flagged() {
+        let src = "// storm-analyzer: allow(A9): nope\nfn f() {}\n";
+        let diags = analyze_one("crates/core/src/demo.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "allow");
+        assert!(diags[0].message.contains("A1..A3"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_staleness() {
+        let d = Diagnostic {
+            path: "crates/core/src/x.rs".into(),
+            line: 10,
+            col: 2,
+            rule: "A2",
+            message: "msg [determinism-taint]".into(),
+        };
+        let baseline = parse_baseline(&render_baseline(std::slice::from_ref(&d)));
+        // Line drift must not invalidate the entry.
+        let mut moved = d.clone();
+        moved.line = 99;
+        let (new, accepted, stale) = apply_baseline(vec![moved], &baseline);
+        assert!(new.is_empty());
+        assert_eq!(accepted.len(), 1);
+        assert!(stale.is_empty());
+        // A fixed finding leaves its entry stale.
+        let (new, accepted, stale) = apply_baseline(Vec::new(), &baseline);
+        assert!(new.is_empty() && accepted.is_empty());
+        assert_eq!(stale.len(), 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Workspace call graph over [`crate::front`] summaries.
+//!
+//! Resolution is by *name*, deliberately over-approximate: a call site
+//! `gather_batch(…)` links to every known function named `gather_batch`;
+//! a qualified site `Executor::drain(…)` or method call on a known impl
+//! prefers the `Executor::drain` key when one exists. Over-approximation
+//! is the right bias for the analyzer's passes — A1 and A2 both report
+//! *potential* reachability, and a missed edge hides a real deadlock or
+//! replay break while a spurious edge at worst costs one allow directive.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::front::{FileFacts, FnSummary};
+
+/// A resolved function node: file index + fn index within that file.
+pub type FnId = (usize, usize);
+
+/// The workspace call graph.
+pub struct CallGraph<'a> {
+    /// The underlying per-file facts, in the order passed to [`build`].
+    pub files: &'a [FileFacts],
+    /// Adjacency: caller → callees (deduped, deterministic order).
+    pub edges: BTreeMap<FnId, BTreeSet<FnId>>,
+    by_name: BTreeMap<&'a str, Vec<FnId>>,
+    by_key: BTreeMap<String, Vec<FnId>>,
+}
+
+/// Builds the graph from extracted file facts.
+pub fn build(files: &[FileFacts]) -> CallGraph<'_> {
+    let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+    let mut by_key: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push((fi, gi));
+            by_key.entry(f.key()).or_default().push((fi, gi));
+        }
+    }
+    let mut graph = CallGraph {
+        files,
+        edges: BTreeMap::new(),
+        by_name,
+        by_key,
+    };
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, f) in file.fns.iter().enumerate() {
+            let callees: BTreeSet<FnId> =
+                f.calls.iter().flat_map(|c| graph.resolve_call(c)).collect();
+            graph.edges.insert((fi, gi), callees);
+        }
+    }
+    graph
+}
+
+impl<'a> CallGraph<'a> {
+    /// The summary behind an id.
+    pub fn fun(&self, id: FnId) -> &'a FnSummary {
+        &self.files[id.0].fns[id.1]
+    }
+
+    /// Repo-relative path of the file containing `id`.
+    pub fn path(&self, id: FnId) -> &'a str {
+        &self.files[id.0].path
+    }
+
+    /// All functions whose simple name matches.
+    pub fn named(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// All functions whose `Type::name` key matches.
+    pub fn keyed(&self, key: &str) -> &[FnId] {
+        self.by_key.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolves one call site: a qualified call prefers the exact
+    /// `Type::name` key; otherwise every function with the simple name
+    /// matches (the over-approximation documented on the module).
+    pub fn resolve_call(&self, call: &crate::front::CallSite) -> Vec<FnId> {
+        if let Some(q) = &call.qual {
+            let key = format!("{q}::{}", call.name);
+            if let Some(ids) = self.by_key.get(&key) {
+                return ids.clone();
+            }
+        }
+        self.by_name
+            .get(call.name.as_str())
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Every function id, in deterministic (file, index) order.
+    pub fn all_fns(&self) -> impl Iterator<Item = FnId> + '_ {
+        self.files
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, file)| (0..file.fns.len()).map(move |gi| (fi, gi)))
+    }
+
+    /// Transitive closure of callees from `roots` (roots included).
+    pub fn reachable_from(&self, roots: &[FnId]) -> BTreeSet<FnId> {
+        let mut seen: BTreeSet<FnId> = roots.iter().copied().collect();
+        let mut queue: VecDeque<FnId> = roots.iter().copied().collect();
+        while let Some(id) = queue.pop_front() {
+            if let Some(callees) = self.edges.get(&id) {
+                for &c in callees {
+                    if seen.insert(c) {
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reverse reachability: every function from which some root is
+    /// reachable (roots included). This is the "output cone" used by the
+    /// determinism pass: a fact in any of these functions can influence a
+    /// root's result.
+    pub fn reaching(&self, roots: &[FnId]) -> BTreeSet<FnId> {
+        let mut rev: BTreeMap<FnId, Vec<FnId>> = BTreeMap::new();
+        for (&caller, callees) in &self.edges {
+            for &callee in callees {
+                rev.entry(callee).or_default().push(caller);
+            }
+        }
+        let mut seen: BTreeSet<FnId> = roots.iter().copied().collect();
+        let mut queue: VecDeque<FnId> = roots.iter().copied().collect();
+        while let Some(id) = queue.pop_front() {
+            if let Some(callers) = rev.get(&id) {
+                for &c in callers {
+                    if seen.insert(c) {
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// One shortest caller→…→callee path between two ids, for diagnostics.
+    /// Returns the keys along the path, or `None` when unconnected.
+    pub fn path_between(&self, from: FnId, to: FnId) -> Option<Vec<String>> {
+        let mut prev: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = BTreeSet::from([from]);
+        while let Some(id) = queue.pop_front() {
+            if id == to {
+                let mut path = vec![self.fun(id).key()];
+                let mut at = id;
+                while at != from {
+                    at = prev[&at];
+                    path.push(self.fun(at).key());
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if let Some(callees) = self.edges.get(&id) {
+                for &c in callees {
+                    if seen.insert(c) {
+                        prev.insert(c, id);
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::front::extract_source;
+
+    fn graph_of(sources: &[(&str, &str)]) -> Vec<FileFacts> {
+        sources.iter().map(|(p, s)| extract_source(p, s)).collect()
+    }
+
+    #[test]
+    fn cross_file_edges_and_reachability() {
+        let files = graph_of(&[
+            ("a.rs", "pub fn root() { middle(); }"),
+            ("b.rs", "pub fn middle() { leaf(); }\nfn leaf() {}"),
+        ]);
+        let g = build(&files);
+        let root = g.named("root")[0];
+        let leaf = g.named("leaf")[0];
+        let fwd = g.reachable_from(&[root]);
+        assert!(fwd.contains(&leaf));
+        let cone = g.reaching(&[leaf]);
+        assert!(cone.contains(&root));
+        let path = g.path_between(root, leaf).expect("connected");
+        assert_eq!(path, vec!["root", "middle", "leaf"]);
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_typed_key() {
+        let files = graph_of(&[(
+            "a.rs",
+            "struct A; struct B;\n\
+             impl A { fn go(&self) {} }\n\
+             impl B { fn go(&self) {} }\n\
+             fn call() { A::go(&A); }\n",
+        )]);
+        let g = build(&files);
+        let call = g.named("call")[0];
+        let callees = &g.edges[&call];
+        assert_eq!(callees.len(), 1);
+        let target = g.fun(*callees.iter().next().expect("one callee"));
+        assert_eq!(target.key(), "A::go");
+    }
+
+    #[test]
+    fn unqualified_method_calls_over_approximate() {
+        let files = graph_of(&[(
+            "a.rs",
+            "struct A; struct B;\n\
+             impl A { fn go(&self) {} }\n\
+             impl B { fn go(&self) {} }\n\
+             fn call(x: &A) { x.go(); }\n",
+        )]);
+        let g = build(&files);
+        let call = g.named("call")[0];
+        assert_eq!(g.edges[&call].len(), 2, "method call links to every go()");
+    }
+}

@@ -30,6 +30,9 @@
 //! directly below, must carry a non-empty justification after the second
 //! colon, and is itself flagged if it never suppresses anything.
 
+pub mod analyze;
+pub mod callgraph;
+pub mod front;
 pub mod lexer;
 pub mod rules;
 
@@ -70,7 +73,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     for rule in &active {
         diags.extend(rule.check(rel_path, &lexed));
     }
-    rules::apply_allow_directives(rel_path, &lexed, &mut diags);
+    rules::apply_allow_directives(&rules::lint_directives(), rel_path, &lexed, &mut diags);
     diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     diags
 }
@@ -80,6 +83,25 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
 /// Scans `crates/*/src` and the facade `src/`; skips `vendor/` (the offline
 /// dependency shims are platform code, exempt by design) and `target/`.
 pub fn lint_workspace(repo_root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let files = workspace_rs_files(repo_root)?;
+    let mut diags = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(repo_root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        diags.extend(lint_source(&rel, &source));
+    }
+    Ok(diags)
+}
+
+/// Every `.rs` file under the workspace source roots (`crates/*/src` and
+/// the facade `src/`), sorted — the shared file set for lint and analyze.
+/// `vendor/` (offline dependency shims, platform code exempt by design) and
+/// `target/` are never visited.
+pub fn workspace_rs_files(repo_root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut files: Vec<PathBuf> = Vec::new();
     let crates_dir = repo_root.join("crates");
     for entry in std::fs::read_dir(&crates_dir)? {
@@ -94,18 +116,7 @@ pub fn lint_workspace(repo_root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         collect_rs_files(&facade_src, &mut files)?;
     }
     files.sort();
-
-    let mut diags = Vec::new();
-    for file in files {
-        let rel = file
-            .strip_prefix(repo_root)
-            .unwrap_or(&file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let source = std::fs::read_to_string(&file)?;
-        diags.extend(lint_source(&rel, &source));
-    }
-    Ok(diags)
+    Ok(files)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

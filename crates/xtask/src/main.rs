@@ -1,15 +1,18 @@
-//! `cargo xtask` — workspace automation. Currently one subcommand:
-//! `lint`, the storm-lint static-analysis pass (see the crate docs).
+//! `cargo xtask` — workspace automation: `lint` (storm-lint, the token-level
+//! R1–R6 pass) and `analyze` (storm-analyzer, the structural A1–A3 pass —
+//! see the crate docs and DESIGN.md §10).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use xtask::analyze::{self, PASSES};
 use xtask::rules::RULES;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("analyze") => run_analyze(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             ExitCode::SUCCESS
@@ -26,9 +29,16 @@ fn print_usage() {
     eprintln!(
         "usage: cargo xtask <command>\n\n\
          commands:\n  \
-         lint            run storm-lint over the workspace sources\n  \
-         lint --list     print the rule table and exit\n  \
-         lint <files..>  lint specific .rs files (paths relative to repo root)"
+         lint                       run storm-lint over the workspace sources\n  \
+         lint --list                print the rule table and exit\n  \
+         lint <files..>             lint specific .rs files (paths relative to repo root)\n  \
+         analyze                    run storm-analyzer (A1 lock-order, A2 determinism\n                             \
+                                    taint, A3 protocol conformance); baselined findings\n                             \
+                                    are reported but only new ones fail\n  \
+         analyze --list             print the pass table and exit\n  \
+         analyze --deny-new         same as plain `analyze` (spelled out for CI)\n  \
+         analyze --no-baseline      report every finding, baseline ignored\n  \
+         analyze --update-baseline  accept all current findings into the baseline"
     );
 }
 
@@ -78,6 +88,114 @@ fn lint(args: &[String]) -> ExitCode {
             diags.len(),
             files.len()
         );
+        // Why each violated rule exists, so a red CI wall explains itself.
+        let violated: std::collections::BTreeSet<&str> = diags.iter().map(|d| d.rule).collect();
+        println!("\nrule rationales:");
+        for rule in RULES.iter().filter(|r| violated.contains(r.id)) {
+            println!("  {:3} {:16} {}", rule.id, rule.name, rule.rationale);
+        }
+        if violated.contains("allow") {
+            println!(
+                "  allow: directives must read `// storm-lint: allow(<rule>): \
+                 <justification>` and actually suppress something"
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn run_analyze(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--list") {
+        for pass in &PASSES {
+            println!("{:3}  {:22} {}", pass.id, pass.name, pass.rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let no_baseline = args.iter().any(|a| a == "--no-baseline");
+    let update_baseline = args.iter().any(|a| a == "--update-baseline");
+    for a in args {
+        if !matches!(
+            a.as_str(),
+            "--no-baseline" | "--update-baseline" | "--deny-new"
+        ) {
+            eprintln!("storm-analyzer: unknown flag `{a}`\n");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let repo_root = repo_root();
+    let diags = match analyze::analyze_workspace(&repo_root) {
+        Ok(diags) => diags,
+        Err(err) => {
+            eprintln!("storm-analyzer: cannot walk {}: {err}", repo_root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let baseline_path = repo_root.join("crates/xtask/analyze.baseline");
+    if update_baseline {
+        let content = analyze::render_baseline(&diags);
+        if let Err(err) = std::fs::write(&baseline_path, content) {
+            eprintln!(
+                "storm-analyzer: cannot write {}: {err}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "storm-analyzer: baseline updated with {} finding(s)",
+            diags.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if no_baseline {
+        Default::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => analyze::parse_baseline(&text),
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Default::default(),
+            Err(err) => {
+                eprintln!(
+                    "storm-analyzer: cannot read {}: {err}",
+                    baseline_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let (new, accepted, stale) = analyze::apply_baseline(diags, &baseline);
+
+    for diag in &new {
+        println!("{}", analyze::render(diag));
+    }
+    for diag in &accepted {
+        println!("{} (baselined)", analyze::render(diag));
+    }
+    for entry in &stale {
+        println!("storm-analyzer: stale baseline entry (no longer found): {entry}");
+    }
+    if new.is_empty() {
+        println!(
+            "storm-analyzer: clean ({} baselined, {} stale)",
+            accepted.len(),
+            stale.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("storm-analyzer: {} new finding(s)", new.len());
+        let violated: std::collections::BTreeSet<&str> = new.iter().map(|d| d.rule).collect();
+        println!("\npass rationales:");
+        for pass in PASSES.iter().filter(|p| violated.contains(p.id)) {
+            println!("  {:3} {:22} {}", pass.id, pass.name, pass.rationale);
+        }
+        if violated.contains("allow") {
+            println!(
+                "  allow: directives must read `// storm-analyzer: allow(<pass>): \
+                 <justification>` and actually suppress something"
+            );
+        }
         ExitCode::FAILURE
     }
 }

@@ -343,12 +343,43 @@ fn is_float_num(toks: &[Token], i: usize) -> bool {
     )
 }
 
-/// Line ranges (inclusive) covered by `#[cfg(test)]` items.
-fn test_regions(toks: &[Token]) -> Vec<(u32, u32)> {
+/// Line ranges (inclusive) covered by `#[cfg(test)]` items and
+/// `#![cfg(test)]` inner attributes.
+///
+/// Outer attributes exempt the item they sit on (brace- or
+/// semicolon-delimited, at any nesting depth — a `mod tests` inside another
+/// module is covered the same as a top-level one). An *inner* attribute
+/// (`#![cfg(test)]`, the form a module places at its own top) exempts the
+/// enclosing brace block, or the whole file when it appears at file scope.
+pub(crate) fn test_regions(toks: &[Token]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        // `#` `[` cfg `(` … test … `)` `]`
+        // Inner attribute: `#` `!` `[` cfg `(` … test … `)` `]`.
+        if is_punct(toks, i, '#')
+            && is_punct(toks, i + 1, '!')
+            && is_punct(toks, i + 2, '[')
+            && ident_at(toks, i + 3) == Some("cfg")
+        {
+            let mut j = i + 4;
+            let mut bracket_depth = 1i32; // the `[` at i+2
+            let mut saw_test = false;
+            while j < toks.len() && bracket_depth > 0 {
+                match &toks[j].kind {
+                    TokKind::Punct('[') => bracket_depth += 1,
+                    TokKind::Punct(']') => bracket_depth -= 1,
+                    TokKind::Ident(name) if name == "test" => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_test {
+                regions.push(enclosing_brace_region(toks, i));
+            }
+            i = j;
+            continue;
+        }
+        // Outer attribute: `#` `[` cfg `(` … test … `)` `]`
         if is_punct(toks, i, '#')
             && is_punct(toks, i + 1, '[')
             && ident_at(toks, i + 2) == Some("cfg")
@@ -417,11 +448,50 @@ fn test_regions(toks: &[Token]) -> Vec<(u32, u32)> {
     regions
 }
 
-fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+/// The line range of the brace block enclosing token `i`, or the whole
+/// file when `i` sits at file scope (a crate-level `#![cfg(test)]`).
+fn enclosing_brace_region(toks: &[Token], i: usize) -> (u32, u32) {
+    // Walk backward to the nearest unmatched `{`.
+    let mut depth = 0i32;
+    let mut open = None;
+    for j in (0..i).rev() {
+        match &toks[j].kind {
+            TokKind::Punct('}') => depth += 1,
+            TokKind::Punct('{') => {
+                if depth == 0 {
+                    open = Some(j);
+                    break;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else {
+        return (1, u32::MAX); // file scope: exempt everything
+    };
+    // Forward brace-match from the opening `{`.
+    let mut depth = 0i32;
+    for (j, tok) in toks.iter().enumerate().skip(open) {
+        match &tok.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (toks[open].line, toks[j].line);
+                }
+            }
+            _ => {}
+        }
+    }
+    (toks[open].line, u32::MAX) // unterminated: tolerate
+}
+
+pub(crate) fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
     regions.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
 }
 
-/// A parsed `// storm-lint: allow(<rule>): <justification>` directive.
+/// A parsed `// <tool>: allow(<rule>): <justification>` directive.
 #[derive(Debug)]
 struct AllowDirective {
     line: u32,
@@ -431,30 +501,65 @@ struct AllowDirective {
     used: bool,
 }
 
+/// Which tool a set of allow directives belongs to. storm-lint and
+/// storm-analyzer share the directive grammar and hygiene checks but answer
+/// to different comment prefixes and rule tables, so one file can carry
+/// both kinds of exception independently.
+#[derive(Debug)]
+pub struct DirectiveSpec {
+    /// Comment prefix, e.g. `storm-lint` (the directive is `<tool>: …`).
+    pub tool: &'static str,
+    /// Known `(id, kebab-name)` pairs accepted inside `allow(…)`.
+    pub known: Vec<(&'static str, &'static str)>,
+    /// Shown in the unknown-rule message, e.g. `R1..R6 or their names`.
+    pub hint: &'static str,
+}
+
+/// The storm-lint directive dialect (`// storm-lint: allow(R1): why`).
+pub fn lint_directives() -> DirectiveSpec {
+    DirectiveSpec {
+        tool: "storm-lint",
+        known: RULES.iter().map(|r| (r.id, r.name)).collect(),
+        hint: "R1..R6 or their names",
+    }
+}
+
 /// Suppresses diagnostics covered by allow directives and appends directive
 /// hygiene findings (unknown rule, missing justification, unused allow).
-pub fn apply_allow_directives(rel_path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+pub fn apply_allow_directives(
+    spec: &DirectiveSpec,
+    rel_path: &str,
+    lexed: &Lexed,
+    diags: &mut Vec<Diagnostic>,
+) {
     let mut directives: Vec<AllowDirective> = Vec::new();
     let mut malformed: Vec<Diagnostic> = Vec::new();
+    let tool = spec.tool;
 
     for comment in &lexed.comments {
         let text = comment.text.trim();
         // Tolerate doc-comment forms (`/// storm-lint: …` lexes with a
         // leading `/`) by trimming slashes and `!`.
         let text = text.trim_start_matches(['/', '!']).trim();
-        let Some(rest) = text.strip_prefix("storm-lint:") else {
-            // Near-miss: looks like an attempted directive (leads with
-            // `storm-lint` and tries to `allow`) but is missing the colon.
-            // Plain prose that happens to mention storm-lint is fine.
-            if text.starts_with("storm-lint") && text.contains("allow") {
+        let Some(rest) = text.strip_prefix(tool).and_then(|r| r.strip_prefix(':')) else {
+            // Near-miss: looks like an attempted directive (leads with the
+            // tool name and tries to `allow`) but is missing the colon.
+            // Plain prose that happens to mention the tool is fine. The
+            // other tool's prefix extends past ours (`storm-lint` vs
+            // `storm-analyzer`), so each dialect only claims its own.
+            if text.starts_with(tool)
+                && !text[tool.len()..].starts_with(char::is_alphanumeric)
+                && !text[tool.len()..].starts_with('-')
+                && text.contains("allow")
+            {
                 malformed.push(Diagnostic {
                     path: rel_path.to_string(),
                     line: comment.line,
                     col: 1,
                     rule: "allow",
                     message: format!(
-                        "looks like a storm-lint directive but is missing the \
-                         colon — expected `storm-lint: allow(<rule>): \
+                        "looks like a {tool} directive but is missing the \
+                         colon — expected `{tool}: allow(<rule>): \
                          <justification>` (got `{text}`)"
                     ),
                 });
@@ -465,13 +570,13 @@ pub fn apply_allow_directives(rel_path: &str, lexed: &Lexed, diags: &mut Vec<Dia
         let parsed = parse_allow(rest);
         match parsed {
             Ok((rule_token, justification)) => {
-                let rule = RULES
+                let rule = spec
+                    .known
                     .iter()
-                    .find(|r| {
-                        r.id.eq_ignore_ascii_case(rule_token)
-                            || r.name.eq_ignore_ascii_case(rule_token)
+                    .find(|(id, name)| {
+                        id.eq_ignore_ascii_case(rule_token) || name.eq_ignore_ascii_case(rule_token)
                     })
-                    .map(|r| r.id);
+                    .map(|(id, _)| *id);
                 if rule.is_none() {
                     malformed.push(Diagnostic {
                         path: rel_path.to_string(),
@@ -479,8 +584,9 @@ pub fn apply_allow_directives(rel_path: &str, lexed: &Lexed, diags: &mut Vec<Dia
                         col: 1,
                         rule: "allow",
                         message: format!(
-                            "unknown rule `{rule_token}` in storm-lint allow \
-                             (known: R1..R6 or their names)"
+                            "unknown rule `{rule_token}` in {tool} allow \
+                             (known: {})",
+                            spec.hint
                         ),
                     });
                     continue;
@@ -499,7 +605,7 @@ pub fn apply_allow_directives(rel_path: &str, lexed: &Lexed, diags: &mut Vec<Dia
                     line: comment.line,
                     col: 1,
                     rule: "allow",
-                    message: format!("malformed storm-lint directive ({why}): `{rest}`"),
+                    message: format!("malformed {tool} directive ({why}): `{rest}`"),
                 });
             }
         }
@@ -527,7 +633,7 @@ pub fn apply_allow_directives(rel_path: &str, lexed: &Lexed, diags: &mut Vec<Dia
                 col: 1,
                 rule: "allow",
                 message: format!(
-                    "storm-lint allow without a justification — write \
+                    "{tool} allow without a justification — write \
                      `allow({}): <why this exception is sound>`",
                     directive.rule.unwrap_or("<rule>")
                 ),
@@ -539,7 +645,7 @@ pub fn apply_allow_directives(rel_path: &str, lexed: &Lexed, diags: &mut Vec<Dia
                 col: 1,
                 rule: "allow",
                 message: format!(
-                    "unused storm-lint allow (nothing to suppress here): `{}`",
+                    "unused {tool} allow (nothing to suppress here): `{}`",
                     directive.raw
                 ),
             });

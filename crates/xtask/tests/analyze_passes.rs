@@ -1,0 +1,173 @@
+//! Per-pass fixtures for storm-analyzer: each pass gets one known-bad
+//! fixture proving it fires (with exact diagnostic id and span) and one
+//! known-clean fixture proving it stays quiet, plus a whole-workspace run
+//! mirroring `whole_workspace_is_lint_clean`.
+
+use std::path::Path;
+
+use xtask::analyze::{analyze_sources, apply_baseline, parse_baseline, render_baseline};
+use xtask::Diagnostic;
+
+/// Loads a fixture from `tests/fixtures/` and analyzes it under a synthetic
+/// in-scope workspace path (the passes scope by path prefix, so the fixture
+/// must pretend to live in a real crate).
+fn analyze_fixture(fixture: &str, as_path: &str) -> Vec<Diagnostic> {
+    let disk = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let src = std::fs::read_to_string(&disk)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", disk.display()));
+    analyze_sources(&[(as_path.to_string(), src)])
+}
+
+// ---------------------------------------------------------------- A1
+
+#[test]
+fn a1_fires_on_conflicting_lock_order() {
+    let diags = analyze_fixture("a1_bad.rs", "crates/core/src/a1_bad.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    // Anchored at the second acquisition of the first conflicting pair:
+    // `data.lock()` on line 6, column of the `lock` token.
+    assert_eq!(
+        (d.rule, d.path.as_str(), d.line, d.col),
+        ("A1", "crates/core/src/a1_bad.rs", 6, 19)
+    );
+    assert!(
+        d.message.contains("lock-order cycle between {data, meta}"),
+        "{}",
+        d.message
+    );
+    assert!(d.message.contains("`meta_then_data`"), "{}", d.message);
+}
+
+#[test]
+fn a1_quiet_on_consistent_lock_order() {
+    let diags = analyze_fixture("a1_clean.rs", "crates/core/src/a1_clean.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- A2
+
+#[test]
+fn a2_fires_on_hash_iteration_in_the_output_cone() {
+    let diags = analyze_fixture("a2_bad.rs", "crates/estimators/src/a2_bad.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    // `self.counts.iter()` on line 17, column of the `iter` token.
+    assert_eq!(
+        (d.rule, d.path.as_str(), d.line, d.col),
+        ("A2", "crates/estimators/src/a2_bad.rs", 17, 35)
+    );
+    assert!(d.message.contains("`counts` (iter)"), "{}", d.message);
+    // The diagnostic names both the tainted helper and the public API
+    // function whose callers observe the nondeterminism.
+    assert!(d.message.contains("`Totals::sum_groups`"), "{}", d.message);
+    assert!(d.message.contains("`Totals::grand_total`"), "{}", d.message);
+}
+
+#[test]
+fn a2_quiet_on_point_lookups() {
+    let diags = analyze_fixture("a2_clean.rs", "crates/estimators/src/a2_clean.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn a2_quiet_outside_the_output_cone() {
+    // The same tainted code, analyzed under a path A2 does not scope to
+    // (xtask itself): scoping, not luck, is what keeps the pass quiet.
+    let diags = analyze_fixture("a2_bad.rs", "crates/xtask/src/a2_bad.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- A3
+
+#[test]
+fn a3_fires_on_unconsumed_variant_and_unguarded_fill() {
+    let diags = analyze_fixture("a3_bad.rs", "crates/engine/src/a3_bad.rs");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    // Sorted by line: the enum declaration first, the Fill send second.
+    let unconsumed = &diags[0];
+    assert_eq!(
+        (
+            unconsumed.rule,
+            unconsumed.path.as_str(),
+            unconsumed.line,
+            unconsumed.col
+        ),
+        ("A3", "crates/engine/src/a3_bad.rs", 4, 1)
+    );
+    assert!(
+        unconsumed
+            .message
+            .contains("`ShardCmd::Drain` is consumed by no match arm"),
+        "{}",
+        unconsumed.message
+    );
+    let unguarded = &diags[1];
+    // `ShardCmd::Fill` on line 12, column of the `Fill` token.
+    assert_eq!(
+        (
+            unguarded.rule,
+            unguarded.path.as_str(),
+            unguarded.line,
+            unguarded.col
+        ),
+        ("A3", "crates/engine/src/a3_bad.rs", 12, 31)
+    );
+    assert!(
+        unguarded
+            .message
+            .contains("`ShardCmd::Fill` sent from `scatter`"),
+        "{}",
+        unguarded.message
+    );
+}
+
+#[test]
+fn a3_quiet_on_fully_wired_protocol() {
+    let diags = analyze_fixture("a3_clean.rs", "crates/engine/src/a3_clean.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- baseline
+
+#[test]
+fn baseline_suppresses_fixture_findings_end_to_end() {
+    let diags = analyze_fixture("a3_bad.rs", "crates/engine/src/a3_bad.rs");
+    assert!(!diags.is_empty());
+    let baseline = parse_baseline(&render_baseline(&diags));
+    let (new, accepted, stale) = apply_baseline(diags, &baseline);
+    assert!(new.is_empty(), "{new:?}");
+    assert_eq!(accepted.len(), 2);
+    assert!(stale.is_empty(), "{stale:?}");
+}
+
+// ---------------------------------------------------------------- workspace
+
+#[test]
+fn whole_workspace_is_analyze_clean() {
+    // The shipped baseline is empty (header only): the workspace must
+    // carry no findings at all, matching what CI's `analyze` job enforces.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the repo root")
+        .to_path_buf();
+    let diags = xtask::analyze::analyze_workspace(&root).expect("workspace read");
+    assert!(
+        diags.is_empty(),
+        "unexpected analyzer findings:\n{}",
+        diags
+            .iter()
+            .map(xtask::analyze::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let baseline_text = std::fs::read_to_string(root.join("crates/xtask/analyze.baseline"))
+        .expect("baseline file ships with the repo");
+    assert!(
+        parse_baseline(&baseline_text).is_empty(),
+        "shipped baseline should hold no accepted findings"
+    );
+}

@@ -1,0 +1,12 @@
+//! Known-bad A1 fixture: two functions acquire the `meta` and `data`
+//! locks in opposite orders, closing a cycle in the lock graph.
+
+fn meta_then_data(meta: &Lock, data: &Lock) {
+    let _m = meta.lock();
+    let _d = data.lock();
+}
+
+fn data_then_meta(meta: &Lock, data: &Lock) {
+    let _d = data.lock();
+    let _m = meta.lock();
+}

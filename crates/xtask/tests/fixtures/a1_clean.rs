@@ -1,0 +1,12 @@
+//! Known-clean A1 fixture: every function acquires `meta` strictly
+//! before `data`; the lock-acquisition graph stays acyclic.
+
+fn prepare(meta: &Lock, data: &Lock) {
+    let _m = meta.lock();
+    let _d = data.lock();
+}
+
+fn flush(meta: &Lock, data: &Lock) {
+    let _m = meta.lock();
+    let _d = data.lock();
+}

@@ -1,0 +1,22 @@
+//! Known-bad A2 fixture: a public estimator entry point reaches a
+//! private helper that iterates a `HashMap` in RandomState order.
+
+use std::collections::HashMap;
+
+pub struct Totals {
+    counts: HashMap<u64, f64>,
+}
+
+impl Totals {
+    pub fn grand_total(&self) -> f64 {
+        self.sum_groups()
+    }
+
+    fn sum_groups(&self) -> f64 {
+        let mut total = 0.0;
+        for (_, v) in self.counts.iter() {
+            total += *v;
+        }
+        total
+    }
+}

@@ -1,0 +1,18 @@
+//! Known-clean A2 fixture: the estimator consults its `HashMap` only
+//! through point lookups; nothing observes iteration order.
+
+use std::collections::HashMap;
+
+pub struct Totals {
+    counts: HashMap<u64, f64>,
+}
+
+impl Totals {
+    pub fn record(&mut self, key: u64, value: f64) {
+        *self.counts.entry(key).or_insert(0.0) += value;
+    }
+
+    pub fn of(&self, key: u64) -> f64 {
+        self.counts.get(&key).copied().unwrap_or(0.0)
+    }
+}

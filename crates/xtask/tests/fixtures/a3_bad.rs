@@ -1,0 +1,22 @@
+//! Known-bad A3 fixture: `ShardCmd::Drain` is sent but never matched,
+//! and the `Fill` send has no timeout-guarded gather below it.
+
+enum ShardCmd {
+    Open,
+    Fill,
+    Drain,
+}
+
+fn scatter(tx: &Sender) {
+    let _ = tx.send(ShardCmd::Open);
+    let _ = tx.send(ShardCmd::Fill);
+    let _ = tx.send(ShardCmd::Drain);
+}
+
+fn worker(rx: &Receiver) {
+    match rx.recv() {
+        Ok(ShardCmd::Open) => {}
+        Ok(ShardCmd::Fill) => {}
+        _ => {}
+    }
+}

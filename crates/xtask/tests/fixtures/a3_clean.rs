@@ -1,0 +1,24 @@
+//! Known-clean A3 fixture: every `ShardCmd` variant is both produced
+//! and consumed, and the `Fill` send sits in a timeout-guarded gather.
+
+enum ShardCmd {
+    Open,
+    Fill,
+    Drain,
+}
+
+fn scatter_gather(tx: &Sender, rx: &Receiver) {
+    let _ = tx.send(ShardCmd::Open);
+    let _ = tx.send(ShardCmd::Fill);
+    let _ = tx.send(ShardCmd::Drain);
+    let _ = rx.recv_timeout(GATHER_TIMEOUT);
+}
+
+fn worker(rx: &Receiver) {
+    match rx.recv() {
+        Ok(ShardCmd::Open) => {}
+        Ok(ShardCmd::Fill) => {}
+        Ok(ShardCmd::Drain) => {}
+        _ => {}
+    }
+}

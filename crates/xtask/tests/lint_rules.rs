@@ -58,6 +58,42 @@ fn r1_exempt_inside_cfg_test() {
 }
 
 #[test]
+fn r1_exempt_inside_nested_cfg_test_module() {
+    // A `#[cfg(test)] mod tests` nested inside another module must be
+    // exempt exactly like a top-level one.
+    let src = "pub mod inner {\n\
+               \x20   pub fn lib() {}\n\
+               \x20   #[cfg(test)]\n\
+               \x20   mod tests {\n\
+               \x20       fn t() { Some(1).unwrap(); }\n\
+               \x20   }\n\
+               }\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+#[test]
+fn r1_exempt_under_inner_cfg_test_attribute() {
+    // Modules often gate themselves with an *inner* attribute. The exempt
+    // region is the enclosing block, so code after the module still lints.
+    let src = "mod tests {\n\
+               \x20   #![cfg(test)]\n\
+               \x20   fn t() { Some(1).unwrap(); }\n\
+               }\n\
+               fn lib(x: Option<u64>) -> u64 { x.unwrap() }\n";
+    let diags = lint_source(CORE, src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!((diags[0].rule, diags[0].line), ("R1", 5));
+}
+
+#[test]
+fn r1_exempt_everywhere_under_file_level_cfg_test() {
+    // `#![cfg(test)]` at file scope (a test-only module file) exempts the
+    // whole file.
+    let src = "#![cfg(test)]\n\nfn helper(x: Option<u64>) -> u64 { x.unwrap() }\n";
+    assert!(lint_source(CORE, src).is_empty());
+}
+
+#[test]
 fn r1_not_fooled_by_strings_or_comments() {
     let src = "// x.unwrap() in a comment\n\
                fn f() -> &'static str { \"x.unwrap()\" }\n";
