@@ -104,8 +104,13 @@ proptest! {
         };
         // Accountable completion: delivered + written-off == declared.
         prop_assert_eq!(first.ids.len() as u64 + first.lost, first.total);
-        // Anything written off must carry a dead-shard declaration.
-        prop_assert_eq!(first.lost > 0, !first.dead.is_empty());
+        // Anything written off must carry a dead-shard declaration. The
+        // converse does not hold: a shard that dies at *open* is declared
+        // dead with zero lost mass (its count never reached the
+        // coordinator, so its mass is not part of `total` — DESIGN.md §9),
+        // and since the coordinator prefetches, a shard can die after its
+        // banked surplus already covered everything it still owed.
+        prop_assert!(first.lost == 0 || !first.dead.is_empty());
         // Deterministic replay: identical items, identical dead shards.
         let again = {
             let plan = plan.clone();

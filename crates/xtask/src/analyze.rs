@@ -1,16 +1,21 @@
 //! `storm-analyzer` — the A1–A3 structural passes over [`crate::front`]
-//! facts and the [`crate::callgraph`] workspace call graph.
+//! facts and the [`crate::callgraph`] workspace call graph, plus the A4–A7
+//! hot-path cost passes over the [`crate::cfg`] loop-aware CFG.
 //!
 //! | pass | name | guards against |
 //! |------|------|----------------|
 //! | A1 | `lock-order` | cycles in the lock-acquisition graph of `storm-core`/`storm-store`/`storm-engine` — potential deadlocks |
 //! | A2 | `determinism-taint` | `HashMap`/`HashSet` iteration order, wall-clock (`Instant`/`SystemTime`), or thread-id values reachable from the sampler/estimator API — silent seeded-replay breaks (lint R2's structural sibling) |
 //! | A3 | `protocol-conformance` | shard-protocol enums (those sent over a channel) with variants never constructed or never consumed by a match arm, and `Fill` sends outside any timeout/retry gather wrapper |
+//! | A4 | `hot-loop-alloc` | allocation/`.clone()`/`.collect()` inside a loop of a function the core sampling API can reach — per-sample constant-factor cost on the hot path |
+//! | A5 | `per-item-channel` | per-item channel `send`/`recv` inside a loop when a batched protocol variant is in scope — each message is a context switch the batch variant amortizes |
+//! | A6 | `lock-across-blocking` | a lock guard held across a blocking call (`send`/`recv`/`recv_timeout`/`join`/`sleep`) — every contending thread stalls behind the block |
+//! | A7 | `unconfined-worker-panic` | panic-capable ops (`unwrap`/`expect`/indexing/integer div) on a spawned worker thread with no `catch_unwind` between — a panic silently kills the shard and wedges the gather |
 //!
-//! All three are *over-approximate*: the call graph links by name, lock
+//! All passes are *over-approximate*: the call graph links by name, lock
 //! identity is the receiver's textual path (qualified by the impl type for
 //! `self.…` receivers), and guard lifetimes are assumed to extend to the end
-//! of the acquiring function. A finding is therefore a *potential* problem;
+//! of the acquiring block. A finding is therefore a *potential* problem;
 //! the escape hatches are the analyzer's own allow directive
 //!
 //! ```text
@@ -22,8 +27,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
+use std::time::Duration;
 
 use crate::callgraph::{self, CallGraph, FnId};
+use crate::cfg::{self, Cfg, CostKind};
 use crate::front::{self, FactKind, FileFacts};
 use crate::rules::DirectiveSpec;
 use crate::Diagnostic;
@@ -40,7 +47,7 @@ pub struct Pass {
 }
 
 /// All passes, in id order.
-pub const PASSES: [Pass; 3] = [
+pub const PASSES: [Pass; 7] = [
     Pass {
         id: "A1",
         name: "lock-order",
@@ -64,6 +71,35 @@ pub const PASSES: [Pass; 3] = [
                     Fill send must sit behind a timeout/retry gather wrapper, \
                     or the scatter-gather executor can wedge on a lost message",
     },
+    Pass {
+        id: "A4",
+        name: "hot-loop-alloc",
+        rationale: "an allocation, clone, or collect inside a loop of a \
+                    function the core sampling API reaches is a per-sample \
+                    constant-factor cost — hoist it out of the loop or reuse \
+                    a buffer",
+    },
+    Pass {
+        id: "A5",
+        name: "per-item-channel",
+        rationale: "a per-item channel send/recv in a loop, with a batched \
+                    protocol variant in scope, pays one context switch per \
+                    item where the batch variant pays one per round",
+    },
+    Pass {
+        id: "A6",
+        name: "lock-across-blocking",
+        rationale: "a lock guard held across send/recv/recv_timeout/join/\
+                    sleep stalls every thread contending on that lock for \
+                    the full blocking duration — drop the guard first",
+    },
+    Pass {
+        id: "A7",
+        name: "unconfined-worker-panic",
+        rationale: "unwrap/expect/indexing/integer-div on a spawned worker \
+                    thread with no catch_unwind between kills the shard \
+                    silently; the executor's gather then waits on a corpse",
+    },
 ];
 
 /// Renders a finding with the analyzer's own tool prefix
@@ -81,7 +117,7 @@ pub fn analyzer_directives() -> DirectiveSpec {
     DirectiveSpec {
         tool: "storm-analyzer",
         known: PASSES.iter().map(|p| (p.id, p.name)).collect(),
-        hint: "A1..A3 or their names",
+        hint: "A1..A7 or their names",
     }
 }
 
@@ -103,13 +139,53 @@ const A2_SCOPE: [&str; 3] = [
 /// public estimator function).
 const A2_CORE_ROOTS: [&str; 5] = ["next_sample", "next_batch", "draw", "prefill", "sampler"];
 
+/// Path prefixes whose hot-loop costs A4 reports (the A2 scope plus the
+/// store, whose scan loops feed the executor).
+const A4_SCOPE: [&str; 4] = [
+    "crates/core/src/",
+    "crates/estimators/src/",
+    "crates/rtree/src/",
+    "crates/store/src/",
+];
+
+/// Paths A5 examines for per-item channel traffic: the scatter-gather
+/// executor and the store (the two places the workspace does channel IO).
+const A5_SCOPE: [&str; 2] = ["crates/core/src/parallel.rs", "crates/store/src/"];
+
+/// Path prefixes A7 scans for worker-thread panic exposure (where threads
+/// are spawned: executor, store, engine).
+const A7_SCOPE: [&str; 3] = [
+    "crates/core/src/",
+    "crates/store/src/",
+    "crates/engine/src/",
+];
+
 fn in_scope(path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|s| path.starts_with(s))
 }
 
+/// Wall-clock spent in each pass of one analysis run, in [`PASSES`] order.
+#[derive(Debug, Clone, Default)]
+pub struct PassTimings {
+    /// `(pass id, duration)` pairs, one per pass.
+    pub per_pass: Vec<(&'static str, Duration)>,
+    /// Lex + fact extraction + call-graph + CFG construction time.
+    pub front_end: Duration,
+    /// Whole-run wall clock (front end + passes + directive application).
+    pub total: Duration,
+}
+
 /// Analyzes a set of `(rel_path, source)` files: extracts facts, builds the
-/// call graph, runs A1–A3, and applies analyzer allow directives per file.
+/// call graph and per-fn CFGs, runs A1–A7, and applies analyzer allow
+/// directives per file.
 pub fn analyze_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
+    analyze_sources_timed(files).0
+}
+
+/// [`analyze_sources`] plus per-pass wall-clock timings (for `--timings`
+/// and the CI time budget).
+pub fn analyze_sources_timed(files: &[(String, String)]) -> (Vec<Diagnostic>, PassTimings) {
+    let t_start = std::time::Instant::now();
     let lexed: Vec<crate::lexer::Lexed> = files.iter().map(|(_, s)| crate::lexer::lex(s)).collect();
     let facts: Vec<FileFacts> = files
         .iter()
@@ -117,11 +193,36 @@ pub fn analyze_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
         .map(|((p, _), l)| front::extract(p, l))
         .collect();
     let graph = callgraph::build(&facts);
+    let cfgs: Vec<Vec<Cfg>> = facts
+        .iter()
+        .zip(&lexed)
+        .map(|(file, lex)| {
+            file.fns
+                .iter()
+                .map(|f| cfg::build(&lex.tokens, f.body_span))
+                .collect()
+        })
+        .collect();
+    let mut timings = PassTimings {
+        front_end: t_start.elapsed(),
+        ..PassTimings::default()
+    };
 
     let mut diags = Vec::new();
-    diags.extend(pass_lock_order(&graph));
-    diags.extend(pass_determinism_taint(&graph));
-    diags.extend(pass_protocol_conformance(&graph));
+    let passes: [(&'static str, &dyn Fn() -> Vec<Diagnostic>); 7] = [
+        ("A1", &|| pass_lock_order(&graph)),
+        ("A2", &|| pass_determinism_taint(&graph)),
+        ("A3", &|| pass_protocol_conformance(&graph)),
+        ("A4", &|| pass_hot_loop_alloc(&graph, &cfgs)),
+        ("A5", &|| pass_per_item_channel(&graph, &cfgs)),
+        ("A6", &|| pass_lock_across_blocking(&graph, &cfgs)),
+        ("A7", &|| pass_unconfined_worker_panic(&graph, &cfgs)),
+    ];
+    for (id, run) in passes {
+        let t = std::time::Instant::now();
+        diags.extend(run());
+        timings.per_pass.push((id, t.elapsed()));
+    }
 
     // Allow directives are per file: partition, apply, re-merge.
     let mut final_diags = Vec::new();
@@ -135,13 +236,21 @@ pub fn analyze_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
     final_diags.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });
-    final_diags
+    timings.total = t_start.elapsed();
+    (final_diags, timings)
 }
 
 /// Walks the workspace sources (same roots as [`crate::lint_workspace`])
 /// and analyzes every `.rs` file together, so the call graph crosses crate
 /// boundaries.
 pub fn analyze_workspace(repo_root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    Ok(analyze_workspace_timed(repo_root)?.0)
+}
+
+/// [`analyze_workspace`] with per-pass timings.
+pub fn analyze_workspace_timed(
+    repo_root: &Path,
+) -> std::io::Result<(Vec<Diagnostic>, PassTimings)> {
     let mut sources = Vec::new();
     for file in crate::workspace_rs_files(repo_root)? {
         let rel = file
@@ -151,7 +260,7 @@ pub fn analyze_workspace(repo_root: &Path) -> std::io::Result<Vec<Diagnostic>> {
             .replace('\\', "/");
         sources.push((rel, std::fs::read_to_string(&file)?));
     }
-    Ok(analyze_sources(&sources))
+    Ok(analyze_sources_timed(&sources))
 }
 
 // ---------------------------------------------------------------------------
@@ -321,10 +430,10 @@ fn pass_lock_order(g: &CallGraph<'_>) -> Vec<Diagnostic> {
 // A2: determinism taint
 // ---------------------------------------------------------------------------
 
-/// Flags nondeterministic inputs (hash iteration order, wall clock, thread
-/// ids) in any function the sampler/estimator API can reach.
-fn pass_determinism_taint(g: &CallGraph<'_>) -> Vec<Diagnostic> {
-    // Roots: the core sampling API by name, plus every public estimator fn.
+/// Roots of the sampling-API cone: the core sampling API by name, plus
+/// every public estimator fn. Shared by A2 (taint cone) and A4 (hot-path
+/// cone).
+fn sampling_api_roots(g: &CallGraph<'_>) -> Vec<FnId> {
     let mut roots: Vec<FnId> = Vec::new();
     for id in g.all_fns() {
         let f = g.fun(id);
@@ -340,6 +449,13 @@ fn pass_determinism_taint(g: &CallGraph<'_>) -> Vec<Diagnostic> {
         }
     }
     roots.sort();
+    roots
+}
+
+/// Flags nondeterministic inputs (hash iteration order, wall clock, thread
+/// ids) in any function the sampler/estimator API can reach.
+fn pass_determinism_taint(g: &CallGraph<'_>) -> Vec<Diagnostic> {
+    let roots = sampling_api_roots(g);
 
     // BFS from each root in order; first root to reach a function names it
     // in the diagnostic (deterministic because roots are sorted).
@@ -491,6 +607,267 @@ fn pass_protocol_conformance(g: &CallGraph<'_>) -> Vec<Diagnostic> {
 }
 
 // ---------------------------------------------------------------------------
+// A4: hot-loop-alloc
+// ---------------------------------------------------------------------------
+
+/// Flags allocations, `.clone()`, and `.collect()` at loop depth >= 1 in
+/// functions the core sampling API can reach — per-sample constant-factor
+/// costs on the hot path. Cold sites (assertion/panic macro arguments) are
+/// skipped by policy: failure-path formatting is not hot-path work.
+fn pass_hot_loop_alloc(g: &CallGraph<'_>, cfgs: &[Vec<Cfg>]) -> Vec<Diagnostic> {
+    let roots = sampling_api_roots(g);
+    let cone = g.reachable_from(&roots);
+    let mut out = Vec::new();
+    for &id in &cone {
+        let f = g.fun(id);
+        if f.in_test || !in_scope(g.path(id), &A4_SCOPE) {
+            continue;
+        }
+        let body = &cfgs[id.0][id.1];
+        for site in &body.sites {
+            if site.loop_depth == 0 || site.cold {
+                continue;
+            }
+            let what = match &site.kind {
+                CostKind::Alloc(w) => format!("allocation `{w}`"),
+                CostKind::Clone => "`.clone()`".to_string(),
+                CostKind::Collect => "`.collect()`".to_string(),
+                _ => continue,
+            };
+            out.push(Diagnostic {
+                path: g.path(id).to_string(),
+                line: site.line,
+                col: site.col,
+                rule: "A4",
+                message: format!(
+                    "{what} at loop depth {} inside `{}`, which the core \
+                     sampling API reaches — a per-item constant cost on the \
+                     hot path; hoist it out of the loop or reuse a buffer \
+                     [hot-loop-alloc]",
+                    site.loop_depth,
+                    f.key()
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A5: per-item-channel
+// ---------------------------------------------------------------------------
+
+/// Flags channel `send`/`recv` ops inside a loop when a batched protocol
+/// variant is in scope in the same file (an enum variant or function whose
+/// name contains "batch"): the batch variant amortizes one context switch
+/// per round where the per-item op pays one per item.
+///
+/// A send whose payload mentions the batched variant by name is the batch
+/// path itself — telling it to batch would be circular — so those sites
+/// are exempt.
+fn pass_per_item_channel(g: &CallGraph<'_>, cfgs: &[Vec<Cfg>]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (fi, file) in g.files.iter().enumerate() {
+        if !in_scope(&file.path, &A5_SCOPE) {
+            continue;
+        }
+        // "Batched variant in scope": a same-file protocol-enum variant or
+        // fn named after batching. Purely lexical, like the rest of the
+        // front end — the point is to fire only where a batched
+        // alternative demonstrably exists.
+        let batched: Option<String> = file
+            .enums
+            .iter()
+            .flat_map(|e| e.variants.iter().map(move |v| format!("{}::{v}", e.name)))
+            .find(|v| v.to_lowercase().contains("batch"))
+            .or_else(|| {
+                file.fns
+                    .iter()
+                    .find(|f| f.name.to_lowercase().contains("batch"))
+                    .map(front::FnSummary::key)
+            });
+        let Some(batched) = batched else { continue };
+        for (gi, f) in file.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            for site in &cfgs[fi][gi].sites {
+                if site.loop_depth == 0 || site.cold || site.sends_batch {
+                    continue;
+                }
+                let op = match &site.kind {
+                    CostKind::ChannelSend(m) | CostKind::ChannelRecv(m) => m,
+                    _ => continue,
+                };
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: site.line,
+                    col: site.col,
+                    rule: "A5",
+                    message: format!(
+                        "per-item `.{op}(…)` at loop depth {} inside `{}` \
+                         while a batched variant (`{batched}`) is in scope — \
+                         every message is a channel round-trip the batch \
+                         variant amortizes; send/receive batches per round \
+                         [per-item-channel]",
+                        site.loop_depth,
+                        f.key()
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A6: lock-across-blocking
+// ---------------------------------------------------------------------------
+
+/// Flags blocking calls (`send`, `recv`, `recv_timeout`, `recv_deadline`,
+/// `join`, `sleep` — never the `try_*` variants) made while a lock guard is
+/// held. The held region is the CFG's lexical approximation: acquisition to
+/// `drop(guard)`, statement end (temporary guards), or enclosing block
+/// close.
+fn pass_lock_across_blocking(g: &CallGraph<'_>, cfgs: &[Vec<Cfg>]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for id in g.all_fns() {
+        let f = g.fun(id);
+        if f.in_test || !in_scope(g.path(id), &A1_SCOPE) {
+            continue;
+        }
+        let body = &cfgs[id.0][id.1];
+        for region in &body.lock_regions {
+            for site in &body.sites {
+                if !site.kind.is_blocking() || !(region.held.0..=region.held.1).contains(&site.tok)
+                {
+                    continue;
+                }
+                let op = match &site.kind {
+                    CostKind::ChannelSend(m) | CostKind::ChannelRecv(m) | CostKind::Blocking(m) => {
+                        m
+                    }
+                    _ => unreachable!("is_blocking() admits only channel/blocking kinds"),
+                };
+                out.push(Diagnostic {
+                    path: g.path(id).to_string(),
+                    line: site.line,
+                    col: site.col,
+                    rule: "A6",
+                    message: format!(
+                        "blocking `.{op}(…)` inside `{}` while the `{}` \
+                         guard (acquired line {}) is held — every thread \
+                         contending on that lock stalls for the full \
+                         blocking duration; drop the guard first \
+                         [lock-across-blocking]",
+                        f.key(),
+                        region.recv,
+                        region.line
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A7: unconfined-worker-panic
+// ---------------------------------------------------------------------------
+
+/// Flags panic-capable ops that run on a spawned worker thread with no
+/// `catch_unwind` between the spawn and the op. Two layers:
+///
+/// 1. **lexical** — panic sites directly inside a `spawn(…)` argument list
+///    and not inside a `catch_unwind(…)` argument list;
+/// 2. **spawn entry** — one interprocedural hop: functions called directly
+///    from an unprotected spawn closure (the `spawn(move || run_shard(…))`
+///    pattern) have their own panic sites flagged too.
+///
+/// Propagation deliberately stops at one hop: the call graph links method
+/// calls by bare name, so following the spawn entry's calls transitively
+/// (e.g. `serve_stream` calling `.next_batch(…)`) would mark every
+/// same-named sampler method in the workspace — including coordinator-side
+/// code — as worker code. One precise hop plus the lexical layer keeps the
+/// pass honest; R1 (`no-unwrap`) covers general library-path panic hygiene.
+///
+/// Cold sites (assertion/panic macro arguments) are skipped: deliberate
+/// panics are the containment mechanism's job, not an accident.
+fn pass_unconfined_worker_panic(g: &CallGraph<'_>, cfgs: &[Vec<Cfg>]) -> Vec<Diagnostic> {
+    // Spawn entries: targets of unprotected calls inside spawn args.
+    let mut worker: BTreeSet<FnId> = BTreeSet::new();
+    let resolve = |c: &cfg::CfgCall| -> Vec<FnId> {
+        let synth = front::CallSite {
+            name: c.name.clone(),
+            qual: c.qual.clone(),
+            is_method: c.is_method,
+            line: c.line,
+            order: 0,
+        };
+        g.resolve_call(&synth)
+    };
+    for id in g.all_fns() {
+        if g.fun(id).in_test {
+            continue;
+        }
+        for c in &cfgs[id.0][id.1].calls {
+            if c.in_spawn && !c.in_catch {
+                worker.extend(resolve(c));
+            }
+        }
+    }
+
+    let mut seen: BTreeSet<(String, u32, u32)> = BTreeSet::new();
+    let mut out = Vec::new();
+    let mut report = |path: &str, f: &front::FnSummary, site: &cfg::CostSite, how: &str| {
+        let CostKind::PanicOp(op) = &site.kind else {
+            return;
+        };
+        if !seen.insert((path.to_string(), site.line, site.col)) {
+            return;
+        }
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: site.line,
+            col: site.col,
+            rule: "A7",
+            message: format!(
+                "panic-capable `{op}` {how} `{}` with no catch_unwind \
+                 between — a panic here kills the worker silently and the \
+                 gather waits on a corpse; contain it or return a Result \
+                 [unconfined-worker-panic]",
+                f.key()
+            ),
+        });
+    };
+    for id in g.all_fns() {
+        let f = g.fun(id);
+        let path = g.path(id);
+        if f.in_test || !in_scope(path, &A7_SCOPE) {
+            continue;
+        }
+        let body = &cfgs[id.0][id.1];
+        let in_worker_fn = worker.contains(&id);
+        for site in &body.sites {
+            if site.cold || !matches!(site.kind, CostKind::PanicOp(_)) {
+                continue;
+            }
+            let in_catch = cfg::in_ranges(&body.catch_args, site.tok);
+            if in_catch {
+                continue;
+            }
+            if cfg::in_ranges(&body.spawn_args, site.tok) {
+                report(path, f, site, "in the spawn closure of");
+            } else if in_worker_fn {
+                report(path, f, site, "on the worker-thread path through");
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.path.as_str(), a.line, a.col).cmp(&(b.path.as_str(), b.line, b.col)));
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Baseline
 // ---------------------------------------------------------------------------
 
@@ -554,6 +931,72 @@ pub fn render_baseline(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// JSON string escaping per RFC 8259 (the workspace is offline, no serde).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_finding(d: &Diagnostic) -> String {
+    format!(
+        "{{\"pass\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+        json_escape(d.rule),
+        json_escape(&d.path),
+        d.line,
+        d.col,
+        json_escape(&d.message)
+    )
+}
+
+/// Renders one analysis run as the machine-readable `--json` artifact CI
+/// uploads: new and baselined findings, stale baseline entries, and
+/// per-pass wall-clock timings (milliseconds).
+pub fn render_json(
+    new: &[Diagnostic],
+    accepted: &[Diagnostic],
+    stale: &[String],
+    timings: &PassTimings,
+) -> String {
+    let ms = |d: Duration| d.as_secs_f64() * 1000.0;
+    let list = |diags: &[Diagnostic]| diags.iter().map(json_finding).collect::<Vec<_>>().join(",");
+    let stale_list = stale
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let per_pass = timings
+        .per_pass
+        .iter()
+        .map(|(id, d)| format!("\"{}\":{:.3}", id, ms(*d)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\n  \"clean\": {},\n  \"new\": [{}],\n  \"baselined\": [{}],\n  \
+         \"stale_baseline\": [{}],\n  \"timings_ms\": {{\"front_end\":{:.3},\
+         \"total\":{:.3},\"per_pass\":{{{}}}}}\n}}\n",
+        new.is_empty(),
+        list(new),
+        list(accepted),
+        stale_list,
+        ms(timings.front_end),
+        ms(timings.total),
+        per_pass
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,7 +1024,7 @@ impl S {
         let diags = analyze_one("crates/core/src/demo.rs", src);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "allow");
-        assert!(diags[0].message.contains("A1..A3"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("A1..A7"), "{}", diags[0].message);
     }
 
     #[test]
@@ -605,5 +1048,43 @@ impl S {
         let (new, accepted, stale) = apply_baseline(Vec::new(), &baseline);
         assert!(new.is_empty() && accepted.is_empty());
         assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn json_report_escapes_and_carries_timings() {
+        let d = Diagnostic {
+            path: "crates/core/src/x.rs".into(),
+            line: 3,
+            col: 7,
+            rule: "A4",
+            message: "allocation `vec!` in \"hot\" loop\nsecond line \\ tab\t".into(),
+        };
+        let timings = PassTimings {
+            per_pass: vec![
+                ("A1", Duration::from_millis(2)),
+                ("A4", Duration::from_micros(1500)),
+            ],
+            front_end: Duration::from_millis(10),
+            total: Duration::from_millis(14),
+        };
+        let json = render_json(&[d], &[], &["A2 gone.rs old".into()], &timings);
+        // Escaping: the quote, newline, backslash, and tab survive as JSON.
+        assert!(
+            json.contains(r#"in \"hot\" loop\nsecond line \\ tab\t"#),
+            "{json}"
+        );
+        assert!(json.contains("\"clean\": false"), "{json}");
+        assert!(json.contains("\"line\":3"), "{json}");
+        assert!(json.contains("\"A4\":1.500"), "{json}");
+        assert!(json.contains("\"front_end\":10.000"), "{json}");
+        assert!(
+            json.contains("\"stale_baseline\": [\"A2 gone.rs old\"]"),
+            "{json}"
+        );
+        // No raw control characters may remain in the document.
+        assert!(
+            !json.chars().any(|c| (c as u32) < 0x20 && c != '\n'),
+            "{json}"
+        );
     }
 }

@@ -1,0 +1,1072 @@
+//! Loop-aware intraprocedural CFG + dataflow facts over lexed fn bodies.
+//!
+//! The A1–A3 passes work from flat per-function fact lists; the hot-path
+//! cost passes (A4–A7, see [`crate::analyze`]) need *where in the control
+//! flow* a fact occurs: an allocation at loop depth 2 of a sampling descent
+//! is a per-sample constant-factor cost, the same allocation in straight
+//! line setup code is free. This module rebuilds that structure from the
+//! tokens [`crate::front`] already brace-matched ([`FnSummary::body_span`]):
+//!
+//! * **basic blocks** with successor edges and a loop nesting depth —
+//!   `loop`/`while`/`for` bodies (and `while` conditions, which re-execute
+//!   per iteration) sit one deeper than their surroundings; `if`/`match`
+//!   fork and rejoin at the same depth;
+//! * **cost sites** per block: allocations (`Vec::new`, `vec!`,
+//!   `Box::new`, `.to_vec()`, …), `.clone()`, `.collect()`, channel
+//!   send/recv ops, blocking ops (`join`, `sleep`), and panic-capable ops
+//!   (`.unwrap()`, `.expect(…)`, indexing, integer `/` `%` with a
+//!   non-literal divisor);
+//! * **lock-held regions**: from a `.lock()`-family acquisition to the end
+//!   of its enclosing block, cut short by `drop(guard)` (let-bound guards)
+//!   or the end of the statement (temporary guards);
+//! * **closure regions**: `spawn(…)` and `catch_unwind(…)` argument
+//!   ranges, plus the argument ranges of assertion/panic macros ("cold"
+//!   regions the cost passes skip — an allocation in an `assert!` message
+//!   is not hot-path work).
+//!
+//! Like the front-end, everything is a lexical over-approximation
+//! (documented in DESIGN.md §11): `break`/`continue`/`?`/`return` edges are
+//! not modeled (depth, not path-sensitivity, is what the passes consume),
+//! closures run where they lexically sit, and types are never inferred.
+
+use crate::front::{ident_at, is_op, is_punct, match_delim};
+use crate::lexer::{TokKind, Token};
+
+/// What a cost site does. The payload is the human-facing operation name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostKind {
+    /// Heap allocation: constructor (`Vec::with_capacity`), allocating
+    /// method (`.to_vec()`), or allocating macro (`vec!`, `format!`).
+    Alloc(String),
+    /// `.clone()`.
+    Clone,
+    /// `.collect()` / `.collect::<T>()`.
+    Collect,
+    /// Channel send: `.send(…)` / `.try_send(…)`.
+    ChannelSend(String),
+    /// Channel receive: `.recv()` / `.try_recv()` / `.recv_timeout(…)` /
+    /// `.recv_deadline(…)`.
+    ChannelRecv(String),
+    /// Other blocking call: `.join()`, `sleep(…)`.
+    Blocking(String),
+    /// Panic-capable op: `unwrap`, `expect`, `index`, `div`, `rem`.
+    PanicOp(&'static str),
+}
+
+impl CostKind {
+    /// Whether this op can block its thread (the A6 list: `send`, `recv`,
+    /// `recv_timeout`/`recv_deadline`, `join`, `sleep` — `try_*` variants
+    /// return immediately and are excluded).
+    pub fn is_blocking(&self) -> bool {
+        match self {
+            CostKind::ChannelSend(m) | CostKind::ChannelRecv(m) => !m.starts_with("try_"),
+            CostKind::Blocking(_) => true,
+            _ => false,
+        }
+    }
+}
+
+/// One classified operation inside a fn body.
+#[derive(Debug, Clone)]
+pub struct CostSite {
+    /// What the op does.
+    pub kind: CostKind,
+    /// Token index of the op's anchor token.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Owning basic block.
+    pub block: usize,
+    /// Loop nesting depth of the owning block (0 = straight-line).
+    pub loop_depth: u32,
+    /// Inside an assertion/panic macro's argument list (cold path).
+    pub cold: bool,
+    /// For channel sends: the argument tokens mention a "batch"-named
+    /// identifier, i.e. the payload *is* the batched variant (A5 exempts
+    /// these — the batch path cannot be told to batch).
+    pub sends_batch: bool,
+}
+
+/// A lock acquisition with the token range its guard is assumed held.
+#[derive(Debug, Clone)]
+pub struct LockRegion {
+    /// Textual receiver of the `.lock()`-family call.
+    pub recv: String,
+    /// The let-bound guard name, when the acquisition is let-bound.
+    pub guard: Option<String>,
+    /// Token index of the acquisition method name.
+    pub tok: usize,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// 1-based column of the acquisition.
+    pub col: u32,
+    /// Held token range (exclusive of the acquisition itself): from just
+    /// after the call to `drop(guard)`, end of statement (temporary
+    /// guards), or the enclosing block's `}`.
+    pub held: (usize, usize),
+}
+
+/// One basic block.
+#[derive(Debug, Clone, Default)]
+pub struct BasicBlock {
+    /// Loop nesting depth (0 = function top level).
+    pub loop_depth: u32,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Indexes into [`Cfg::sites`], in token order.
+    pub sites: Vec<usize>,
+}
+
+/// A call site with its token position and region flags — the A7 pass
+/// propagates worker-thread panic exposure along these, which needs the
+/// spawn/catch containment the front-end's flat [`crate::front::CallSite`]
+/// list cannot express.
+#[derive(Debug, Clone)]
+pub struct CfgCall {
+    /// Called name.
+    pub name: String,
+    /// `Path::name(…)` qualifier.
+    pub qual: Option<String>,
+    /// Whether this is a `.name(…)` method call.
+    pub is_method: bool,
+    /// Token index of the name.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Inside a `spawn(…)` argument list (runs on a worker thread).
+    pub in_spawn: bool,
+    /// Inside a `catch_unwind(…)` argument list (panics are contained).
+    pub in_catch: bool,
+}
+
+/// The control-flow graph and dataflow facts of one fn body.
+#[derive(Debug, Clone, Default)]
+pub struct Cfg {
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// All cost sites, in token order.
+    pub sites: Vec<CostSite>,
+    /// Lock-held regions, in token order.
+    pub lock_regions: Vec<LockRegion>,
+    /// `spawn(…)` argument-list token ranges.
+    pub spawn_args: Vec<(usize, usize)>,
+    /// `catch_unwind(…)` argument-list token ranges.
+    pub catch_args: Vec<(usize, usize)>,
+    /// Call sites with spawn/catch containment flags.
+    pub calls: Vec<CfgCall>,
+}
+
+impl Cfg {
+    /// Maximum loop depth of any cost site (test/debug helper).
+    pub fn max_depth(&self) -> u32 {
+        self.blocks.iter().map(|b| b.loop_depth).max().unwrap_or(0)
+    }
+}
+
+/// Types whose `new`/`with_capacity`/`from` constructors allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "VecDeque", "String", "Box", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "Rc", "Arc",
+];
+
+/// Allocating constructor names (qualified by an [`ALLOC_TYPES`] type).
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Allocating zero-arg-ish methods.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "to_string", "into_owned"];
+
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Macros whose argument lists are cold paths (assertion messages, panic
+/// formatting) — cost sites inside them are flagged `cold` and skipped by
+/// the hot-path passes.
+const COLD_MACROS: &[&str] = &[
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "panic",
+    "unreachable",
+    "unimplemented",
+    "todo",
+];
+
+/// Keywords that are not call/cost sites even when followed by `(`.
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "break", "continue", "in", "let", "else",
+    "move", "unsafe", "as", "fn", "impl", "where", "pub", "use", "mod", "ref", "mut", "dyn",
+    "struct", "enum", "trait", "type", "const", "static", "await", "async", "yield", "box",
+];
+
+/// Builds the CFG for the fn body spanning `body` (`{` .. `}` token
+/// indexes, inclusive) of `toks`.
+pub fn build(toks: &[Token], body: (usize, usize)) -> Cfg {
+    let (open, close) = body;
+    let mut b = Builder {
+        toks,
+        cfg: Cfg::default(),
+        cold: Vec::new(),
+    };
+    if open >= close || close >= toks.len() {
+        b.cfg.blocks.push(BasicBlock::default());
+        return b.cfg;
+    }
+    b.collect_regions(open, close);
+    let entry = b.new_block(0);
+    debug_assert_eq!(entry, 0);
+    b.parse_seq(open + 1, close, entry, 0);
+    b.collect_lock_regions(open, close);
+    b.cfg
+}
+
+struct Builder<'t> {
+    toks: &'t [Token],
+    cfg: Cfg,
+    /// Cold-macro argument ranges.
+    cold: Vec<(usize, usize)>,
+}
+
+impl Builder<'_> {
+    fn new_block(&mut self, loop_depth: u32) -> usize {
+        self.cfg.blocks.push(BasicBlock {
+            loop_depth,
+            ..BasicBlock::default()
+        });
+        self.cfg.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.cfg.blocks[from].succs.contains(&to) {
+            self.cfg.blocks[from].succs.push(to);
+        }
+    }
+
+    fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
+        ranges.iter().any(|&(s, e)| (s..=e).contains(&i))
+    }
+
+    /// Pre-pass: spawn/catch_unwind argument ranges and cold-macro ranges.
+    fn collect_regions(&mut self, open: usize, close: usize) {
+        for i in open..=close {
+            match ident_at(self.toks, i) {
+                Some("spawn") if is_punct(self.toks, i + 1, '(') => {
+                    if let Some(c) = match_delim(self.toks, i + 1) {
+                        self.cfg.spawn_args.push((i + 1, c));
+                    }
+                }
+                Some("catch_unwind") if is_punct(self.toks, i + 1, '(') => {
+                    if let Some(c) = match_delim(self.toks, i + 1) {
+                        self.cfg.catch_args.push((i + 1, c));
+                    }
+                }
+                Some(m) if COLD_MACROS.contains(&m) && is_punct(self.toks, i + 1, '!') => {
+                    if let Some(c) = match_delim(self.toks, i + 2) {
+                        self.cold.push((i + 2, c));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Parses `toks[i..end)` appending facts/structure starting in block
+    /// `cur`; returns the exit block.
+    fn parse_seq(&mut self, mut i: usize, end: usize, mut cur: usize, depth: u32) -> usize {
+        while i < end {
+            match &self.toks[i].kind {
+                TokKind::Ident(kw) if kw == "loop" && is_punct(self.toks, i + 1, '{') => {
+                    let Some(body_close) = match_delim(self.toks, i + 1) else {
+                        i += 1;
+                        continue;
+                    };
+                    cur = self.parse_loop(i + 2, body_close, cur, depth, None);
+                    i = body_close + 1;
+                }
+                TokKind::Ident(kw) if kw == "while" => {
+                    let Some(brace) = self.scan_to_block_brace(i + 1, end) else {
+                        i += 1;
+                        continue;
+                    };
+                    let Some(body_close) = match_delim(self.toks, brace) else {
+                        i += 1;
+                        continue;
+                    };
+                    // The condition re-executes every iteration: it lives
+                    // in the loop header, one level deeper.
+                    cur = self.parse_loop(brace + 1, body_close, cur, depth, Some((i + 1, brace)));
+                    i = body_close + 1;
+                }
+                TokKind::Ident(kw) if kw == "for" => {
+                    let Some(brace) = self.scan_to_block_brace(i + 1, end) else {
+                        i += 1;
+                        continue;
+                    };
+                    let Some(body_close) = match_delim(self.toks, brace) else {
+                        i += 1;
+                        continue;
+                    };
+                    // The iterable expression evaluates once, at the
+                    // enclosing depth.
+                    self.collect_costs(i + 1, brace, cur);
+                    cur = self.parse_loop(brace + 1, body_close, cur, depth, None);
+                    i = body_close + 1;
+                }
+                TokKind::Ident(kw) if kw == "if" => {
+                    let (join, next) = self.parse_if(i, end, cur, depth);
+                    cur = join;
+                    i = next;
+                }
+                TokKind::Ident(kw) if kw == "match" => {
+                    let (join, next) = self.parse_match(i, end, cur, depth);
+                    cur = join;
+                    i = next;
+                }
+                // Nested `fn` item: its body is summarized separately;
+                // skip it so its costs are not attributed to this fn.
+                TokKind::Ident(kw)
+                    if kw == "fn"
+                        && matches!(
+                            self.toks.get(i + 1).map(|t| &t.kind),
+                            Some(TokKind::Ident(_))
+                        ) =>
+                {
+                    if let Some((_, nested_close)) = nested_fn_body(self.toks, i + 2, end) {
+                        i = nested_close + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                // Transparent brace group (plain block, closure body,
+                // struct literal): recurse at the same depth.
+                TokKind::Punct('{') => {
+                    let Some(c) = match_delim(self.toks, i) else {
+                        i += 1;
+                        continue;
+                    };
+                    cur = self.parse_seq(i + 1, c, cur, depth);
+                    i = c + 1;
+                }
+                _ => {
+                    self.classify_at(i, cur);
+                    i += 1;
+                }
+            }
+        }
+        cur
+    }
+
+    /// Builds header/body/after blocks for a loop whose body spans
+    /// `[body_start, body_close)`; `cond` is the `while` condition range.
+    fn parse_loop(
+        &mut self,
+        body_start: usize,
+        body_close: usize,
+        cur: usize,
+        depth: u32,
+        cond: Option<(usize, usize)>,
+    ) -> usize {
+        let header = self.new_block(depth + 1);
+        self.edge(cur, header);
+        if let Some((cs, ce)) = cond {
+            self.collect_costs(cs, ce, header);
+        }
+        let body_entry = self.new_block(depth + 1);
+        self.edge(header, body_entry);
+        let body_exit = self.parse_seq(body_start, body_close, body_entry, depth + 1);
+        self.edge(body_exit, header); // back edge
+        let after = self.new_block(depth);
+        self.edge(header, after);
+        after
+    }
+
+    /// Parses `if cond { … } [else if … ] [else { … }]` starting at the
+    /// `if` keyword; returns `(join_block, index_after_construct)`.
+    fn parse_if(&mut self, if_idx: usize, end: usize, cur: usize, depth: u32) -> (usize, usize) {
+        let Some(brace) = self.scan_to_block_brace(if_idx + 1, end) else {
+            return (cur, if_idx + 1);
+        };
+        let Some(then_close) = match_delim(self.toks, brace) else {
+            return (cur, if_idx + 1);
+        };
+        // Condition evaluates once on entry, in the current block.
+        self.collect_costs(if_idx + 1, brace, cur);
+        let then_blk = self.new_block(depth);
+        self.edge(cur, then_blk);
+        let then_exit = self.parse_seq(brace + 1, then_close, then_blk, depth);
+        let join = self.new_block(depth);
+        self.edge(then_exit, join);
+
+        let mut next = then_close + 1;
+        if ident_at(self.toks, next) == Some("else") {
+            if ident_at(self.toks, next + 1) == Some("if") {
+                let (else_join, after) = self.parse_if(next + 1, end, cur, depth);
+                self.edge(else_join, join);
+                next = after;
+            } else if is_punct(self.toks, next + 1, '{') {
+                if let Some(else_close) = match_delim(self.toks, next + 1) {
+                    let else_blk = self.new_block(depth);
+                    self.edge(cur, else_blk);
+                    let else_exit = self.parse_seq(next + 2, else_close, else_blk, depth);
+                    self.edge(else_exit, join);
+                    next = else_close + 1;
+                }
+            }
+        } else {
+            // No else: fall through past the then-branch.
+            self.edge(cur, join);
+        }
+        (join, next)
+    }
+
+    /// Parses `match scrutinee { arms }` starting at the `match` keyword;
+    /// returns `(join_block, index_after_construct)`.
+    fn parse_match(&mut self, m_idx: usize, end: usize, cur: usize, depth: u32) -> (usize, usize) {
+        let Some(brace) = self.scan_to_block_brace(m_idx + 1, end) else {
+            return (cur, m_idx + 1);
+        };
+        let Some(close) = match_delim(self.toks, brace) else {
+            return (cur, m_idx + 1);
+        };
+        self.collect_costs(m_idx + 1, brace, cur);
+        let join = self.new_block(depth);
+        let mut k = brace + 1;
+        while k < close {
+            if is_punct(self.toks, k, ',') {
+                k += 1;
+                continue;
+            }
+            // Pattern: scan for `=>` at delimiter depth 0.
+            let Some(arrow) = self.scan_for_arrow(k, close) else {
+                break;
+            };
+            let arm_blk = self.new_block(depth);
+            self.edge(cur, arm_blk);
+            // Guards (`Pat if cond =>`) execute per match: their costs
+            // belong to the arm.
+            self.collect_costs(k, arrow, arm_blk);
+            let body_start = arrow + 1;
+            let arm_exit;
+            if is_punct(self.toks, body_start, '{') {
+                match match_delim(self.toks, body_start) {
+                    Some(bc) => {
+                        arm_exit = self.parse_seq(body_start + 1, bc, arm_blk, depth);
+                        k = bc + 1;
+                    }
+                    None => break,
+                }
+            } else {
+                let expr_end = self.scan_arm_expr_end(body_start, close);
+                arm_exit = self.parse_seq(body_start, expr_end, arm_blk, depth);
+                k = expr_end;
+            }
+            self.edge(arm_exit, join);
+        }
+        (join, close + 1)
+    }
+
+    /// First `{` at paren/bracket depth 0 in `[from, end)` — the body
+    /// opener after an `if`/`while`/`for`/`match` head (Rust bans bare
+    /// struct literals there, so depth-0 `{` is unambiguous).
+    fn scan_to_block_brace(&self, from: usize, end: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for j in from..end {
+            match &self.toks[j].kind {
+                TokKind::Punct('(' | '[') => depth += 1,
+                TokKind::Punct(')' | ']') => depth -= 1,
+                TokKind::Punct('{') if depth == 0 => return Some(j),
+                TokKind::Punct(';') if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// First `=>` at delimiter depth 0 in `[from, end)`.
+    fn scan_for_arrow(&self, from: usize, end: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for j in from..end {
+            match &self.toks[j].kind {
+                TokKind::Punct('(' | '[' | '{') => depth += 1,
+                TokKind::Punct(')' | ']' | '}') => depth -= 1,
+                TokKind::Op("=>") if depth == 0 => return Some(j),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// End (exclusive) of a non-block match-arm expression: the top-level
+    /// `,` or the match's closing brace.
+    fn scan_arm_expr_end(&self, from: usize, close: usize) -> usize {
+        let mut depth = 0i32;
+        for j in from..close {
+            match &self.toks[j].kind {
+                TokKind::Punct('(' | '[' | '{') => depth += 1,
+                TokKind::Punct(')' | ']' | '}') => depth -= 1,
+                TokKind::Punct(',') if depth == 0 => return j,
+                _ => {}
+            }
+        }
+        close
+    }
+
+    /// Linear cost collection over `[from, end)` into `block` (no
+    /// structural parsing — used for conditions, scrutinees, guards).
+    fn collect_costs(&mut self, from: usize, end: usize, block: usize) {
+        for j in from..end {
+            self.classify_at(j, block);
+        }
+    }
+
+    /// Classifies the token at `i`, pushing a cost site and/or call onto
+    /// `block` when it anchors one.
+    fn classify_at(&mut self, i: usize, block: usize) {
+        let toks = self.toks;
+        let tok = &toks[i];
+        let (line, col) = (tok.line, tok.col);
+        let push = |b: &mut Builder, kind: CostKind| {
+            let sends_batch = if matches!(kind, CostKind::ChannelSend(_)) {
+                // The send's argument range: `name ( … )`.
+                match_delim(b.toks, i + 1).is_some_and(|close| {
+                    (i + 2..close).any(|j| {
+                        matches!(&b.toks[j].kind,
+                                 TokKind::Ident(n) if n.to_lowercase().contains("batch"))
+                    })
+                })
+            } else {
+                false
+            };
+            let depth = b.cfg.blocks[block].loop_depth;
+            let cold = Builder::in_ranges(&b.cold, i);
+            let idx = b.cfg.sites.len();
+            b.cfg.sites.push(CostSite {
+                kind,
+                tok: i,
+                line,
+                col,
+                block,
+                loop_depth: depth,
+                cold,
+                sends_batch,
+            });
+            b.cfg.blocks[block].sites.push(idx);
+        };
+        match &tok.kind {
+            TokKind::Ident(name) => {
+                let name = name.as_str();
+                // Allocating macro: `vec![…]` / `format!(…)`.
+                if ALLOC_MACROS.contains(&name) && is_punct(toks, i + 1, '!') {
+                    push(self, CostKind::Alloc(format!("{name}!")));
+                    return;
+                }
+                // Call shapes: `name(`, with optional `::<T>` turbofish.
+                let mut paren = i + 1;
+                if is_op(toks, i + 1, "::") && is_punct(toks, i + 2, '<') {
+                    let mut d = 0i32;
+                    let mut j = i + 2;
+                    while j < toks.len() {
+                        match &toks[j].kind {
+                            TokKind::Punct('<') => d += 1,
+                            TokKind::Punct('>') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            TokKind::Punct('(' | ';' | '{') => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    paren = j + 1;
+                }
+                if !is_punct(toks, paren, '(') || KEYWORDS.contains(&name) {
+                    return;
+                }
+                let is_method = i > 0 && is_punct(toks, i - 1, '.');
+                let qual = if i >= 2 && is_op(toks, i - 1, "::") {
+                    ident_at(toks, i - 2)
+                } else {
+                    None
+                };
+                // Record the call for A7 propagation.
+                self.cfg.calls.push(CfgCall {
+                    name: name.to_string(),
+                    qual: qual.map(ToString::to_string),
+                    is_method,
+                    tok: i,
+                    line,
+                    in_spawn: Builder::in_ranges(&self.cfg.spawn_args, i),
+                    in_catch: Builder::in_ranges(&self.cfg.catch_args, i),
+                });
+                let zero_arg = is_punct(toks, paren + 1, ')');
+                match name {
+                    "clone" if is_method && zero_arg => push(self, CostKind::Clone),
+                    "collect" if is_method && zero_arg => push(self, CostKind::Collect),
+                    m if is_method && ALLOC_METHODS.contains(&m) && zero_arg => {
+                        push(self, CostKind::Alloc(format!(".{m}()")));
+                    }
+                    "send" | "try_send" if is_method => {
+                        push(self, CostKind::ChannelSend(name.to_string()));
+                    }
+                    "recv" | "try_recv" | "recv_timeout" | "recv_deadline" if is_method => {
+                        push(self, CostKind::ChannelRecv(name.to_string()));
+                    }
+                    "join" if is_method && zero_arg => {
+                        push(self, CostKind::Blocking("join".to_string()));
+                    }
+                    "sleep" => push(self, CostKind::Blocking("sleep".to_string())),
+                    "unwrap" if is_method && zero_arg => push(self, CostKind::PanicOp("unwrap")),
+                    "expect" if is_method => push(self, CostKind::PanicOp("expect")),
+                    ctor if ALLOC_CTORS.contains(&ctor) => {
+                        if let Some(q) = qual {
+                            if ALLOC_TYPES.contains(&q) {
+                                push(self, CostKind::Alloc(format!("{q}::{ctor}")));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Index expression: `expr[…]` (not attributes `#[…]`, array
+            // literals, slice patterns, or full-range `[..]`).
+            TokKind::Punct('[') => {
+                let indexable_recv = i > 0
+                    && match &toks[i - 1].kind {
+                        TokKind::Ident(n) => !KEYWORDS.contains(&n.as_str()),
+                        TokKind::Punct(')' | ']') => true,
+                        _ => false,
+                    };
+                if !indexable_recv {
+                    return;
+                }
+                if let Some(c) = match_delim(toks, i) {
+                    // `[..]` / `[]` never panic.
+                    if c == i + 1 || (c == i + 2 && is_op(toks, i + 1, "..")) {
+                        return;
+                    }
+                }
+                push(self, CostKind::PanicOp("index"));
+            }
+            // Integer division/remainder with a non-literal divisor.
+            TokKind::Punct(op @ ('/' | '%')) => {
+                let valueish_lhs = i > 0
+                    && matches!(
+                        &toks[i - 1].kind,
+                        TokKind::Ident(_) | TokKind::Num { .. } | TokKind::Punct(')' | ']')
+                    );
+                if !valueish_lhs {
+                    return;
+                }
+                // Skip the `=` of a compound `/=` / `%=`.
+                let mut r = i + 1;
+                if is_punct(toks, r, '=') {
+                    r += 1;
+                }
+                match toks.get(r).map(|t| &t.kind) {
+                    // Literal divisor: cannot be an unknown zero.
+                    Some(TokKind::Num { .. }) => {}
+                    Some(TokKind::Ident(n)) if !KEYWORDS.contains(&n.as_str()) => {
+                        push(
+                            self,
+                            CostKind::PanicOp(if *op == '/' { "div" } else { "rem" }),
+                        );
+                    }
+                    Some(TokKind::Punct('(')) => {
+                        push(
+                            self,
+                            CostKind::PanicOp(if *op == '/' { "div" } else { "rem" }),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Post-pass: lock acquisitions and their held regions. Needs the
+    /// brace structure, so it runs over the raw body range with a stack of
+    /// enclosing block closers.
+    fn collect_lock_regions(&mut self, open: usize, close: usize) {
+        let toks = self.toks;
+        for i in open..=close {
+            let Some(name) = ident_at(toks, i) else {
+                continue;
+            };
+            if !matches!(
+                name,
+                "lock" | "try_lock" | "read" | "try_read" | "write" | "try_write"
+            ) {
+                continue;
+            }
+            // Zero-argument method call: `.name()`.
+            if !(i > 0
+                && is_punct(toks, i - 1, '.')
+                && is_punct(toks, i + 1, '(')
+                && is_punct(toks, i + 2, ')'))
+            {
+                continue;
+            }
+            let recv = receiver_of(toks, i - 1);
+            // Enclosing block close: smallest enclosing `}` within body.
+            let block_close = enclosing_brace_close(toks, open, close, i);
+            // Let-bound guard: `let [mut] NAME = recv.lock();`.
+            let guard = guard_name(toks, i);
+            let held_end = match &guard {
+                Some(g) => {
+                    // Cut at `drop(g)` when present before block close.
+                    let mut cut = block_close;
+                    let mut j = i + 3;
+                    while j + 2 < block_close {
+                        if ident_at(toks, j) == Some("drop")
+                            && is_punct(toks, j + 1, '(')
+                            && ident_at(toks, j + 2) == Some(g.as_str())
+                            && is_punct(toks, j + 3, ')')
+                        {
+                            cut = j;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    cut
+                }
+                None => {
+                    // Temporary guard: held to the end of the statement.
+                    let mut j = i + 3;
+                    let mut d = 0i32;
+                    loop {
+                        if j >= block_close {
+                            break block_close;
+                        }
+                        match &toks[j].kind {
+                            TokKind::Punct('(' | '[' | '{') => d += 1,
+                            TokKind::Punct(')' | ']' | '}') => d -= 1,
+                            TokKind::Punct(';') if d == 0 => break j,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                }
+            };
+            self.cfg.lock_regions.push(LockRegion {
+                recv,
+                guard,
+                tok: i,
+                line: toks[i].line,
+                col: toks[i].col,
+                held: (i + 3, held_end),
+            });
+        }
+    }
+}
+
+/// Closing `}` of the innermost block enclosing token `i`: the first `}`
+/// scanning forward that drops the brace depth below zero, bounded by the
+/// body's own `close`.
+fn enclosing_brace_close(toks: &[Token], _open: usize, close: usize, i: usize) -> usize {
+    let mut d = 0i32;
+    for (j, tok) in toks.iter().enumerate().take(close + 1).skip(i) {
+        match &tok.kind {
+            TokKind::Punct('{') => d += 1,
+            TokKind::Punct('}') => {
+                d -= 1;
+                if d < 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    close
+}
+
+/// Finds the nested fn body (`{ … }`) starting the scan just after `fn
+/// name`, bounded by `end`.
+fn nested_fn_body(toks: &[Token], mut i: usize, end: usize) -> Option<(usize, usize)> {
+    while i < end {
+        match &toks[i].kind {
+            TokKind::Punct('{') => {
+                let c = match_delim(toks, i)?;
+                return Some((i, c));
+            }
+            TokKind::Punct(';') => return None,
+            TokKind::Punct('(') | TokKind::Punct('[') => {
+                i = match_delim(toks, i)? + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Textual receiver before the `.` at `dot` (trailing path segments only).
+fn receiver_of(toks: &[Token], dot: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut j = dot;
+    while j > 0 {
+        if let Some(TokKind::Ident(n)) = toks.get(j - 1).map(|t| &t.kind) {
+            parts.push(n.clone());
+            j -= 1;
+            if j > 0 && is_punct(toks, j - 1, '.') {
+                j -= 1;
+                continue;
+            }
+        }
+        break;
+    }
+    parts.reverse();
+    if parts.is_empty() {
+        "<expr>".to_string()
+    } else {
+        parts.join(".")
+    }
+}
+
+/// The let-bound name for the acquisition at `lock_idx`, when the
+/// statement reads `let [mut] NAME = …lock();`.
+fn guard_name(toks: &[Token], lock_idx: usize) -> Option<String> {
+    // Walk back to the start of the statement (`;`, `{`, or `}`), then
+    // expect `let [mut] NAME =`.
+    let mut j = lock_idx;
+    while j > 0 {
+        match &toks[j - 1].kind {
+            TokKind::Punct(';' | '{' | '}') => break,
+            _ => j -= 1,
+        }
+    }
+    if ident_at(toks, j) != Some("let") {
+        return None;
+    }
+    let mut k = j + 1;
+    if ident_at(toks, k) == Some("mut") {
+        k += 1;
+    }
+    let name = ident_at(toks, k)?;
+    if is_punct(toks, k + 1, '=') {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+/// Whether token index `i` falls inside any of `ranges` (inclusive).
+pub fn in_ranges(ranges: &[(usize, usize)], i: usize) -> bool {
+    Builder::in_ranges(ranges, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::front::extract_source;
+    use crate::lexer::lex;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let lexed = lex(src);
+        let facts = extract_source("crates/demo/src/lib.rs", src);
+        build(&lexed.tokens, facts.fns[0].body_span)
+    }
+
+    #[test]
+    fn loop_depth_counts_nesting() {
+        let cfg = cfg_of(
+            "fn f() {\n\
+             \x20   let a = Vec::new();\n\
+             \x20   for x in xs {\n\
+             \x20       let b = Vec::new();\n\
+             \x20       while go() {\n\
+             \x20           let c = Vec::new();\n\
+             \x20       }\n\
+             \x20   }\n\
+             }\n",
+        );
+        let depths: Vec<u32> = cfg
+            .sites
+            .iter()
+            .filter(|s| matches!(s.kind, CostKind::Alloc(_)))
+            .map(|s| s.loop_depth)
+            .collect();
+        assert_eq!(depths, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn while_condition_is_inside_the_loop() {
+        let cfg = cfg_of("fn f() { while q.recv().is_ok() { work(); } }");
+        let recv = cfg
+            .sites
+            .iter()
+            .find(|s| matches!(s.kind, CostKind::ChannelRecv(_)))
+            .expect("recv site");
+        assert_eq!(recv.loop_depth, 1);
+    }
+
+    #[test]
+    fn for_iterable_stays_outside_the_loop() {
+        let cfg = cfg_of("fn f() { for x in items.clone() { work(); } }");
+        let clone = cfg
+            .sites
+            .iter()
+            .find(|s| matches!(s.kind, CostKind::Clone))
+            .expect("clone site");
+        assert_eq!(clone.loop_depth, 0);
+    }
+
+    #[test]
+    fn branches_fork_and_rejoin_at_same_depth() {
+        let cfg = cfg_of(
+            "fn f() {\n\
+             \x20   if c { a.clone(); } else { b.clone(); }\n\
+             \x20   match v { Some(x) => x.clone(), None => other() }\n\
+             }\n",
+        );
+        assert!(cfg.sites.iter().all(|s| s.loop_depth == 0));
+        // The if forks into then/else blocks that both reach a join.
+        assert!(cfg.blocks.len() >= 5, "{:?}", cfg.blocks.len());
+    }
+
+    #[test]
+    fn match_arms_inside_loops_are_loop_depth() {
+        let cfg = cfg_of(
+            "fn f() {\n\
+             \x20   loop {\n\
+             \x20       match rx.recv() {\n\
+             \x20           Ok(v) => buf.push(v.clone()),\n\
+             \x20           Err(_) => tx.send(1).ok(),\n\
+             \x20       };\n\
+             \x20   }\n\
+             }\n",
+        );
+        let clone = cfg
+            .sites
+            .iter()
+            .find(|s| matches!(s.kind, CostKind::Clone))
+            .expect("clone");
+        let send = cfg
+            .sites
+            .iter()
+            .find(|s| matches!(s.kind, CostKind::ChannelSend(_)))
+            .expect("send");
+        assert_eq!(clone.loop_depth, 1);
+        assert_eq!(send.loop_depth, 1);
+    }
+
+    #[test]
+    fn cold_macro_args_are_flagged() {
+        let cfg = cfg_of(
+            "fn f() {\n\
+             \x20   for x in xs {\n\
+             \x20       assert!(ok(x), \"bad {}\", x.to_string());\n\
+             \x20       let v = x.to_string();\n\
+             \x20   }\n\
+             }\n",
+        );
+        let allocs: Vec<bool> = cfg
+            .sites
+            .iter()
+            .filter(|s| matches!(s.kind, CostKind::Alloc(_)))
+            .map(|s| s.cold)
+            .collect();
+        assert_eq!(allocs, vec![true, false]);
+    }
+
+    #[test]
+    fn lock_region_ends_at_drop_or_block() {
+        let cfg = cfg_of(
+            "fn f(&self) {\n\
+             \x20   let g = self.state.lock();\n\
+             \x20   step();\n\
+             \x20   drop(g);\n\
+             \x20   after();\n\
+             }\n",
+        );
+        assert_eq!(cfg.lock_regions.len(), 1);
+        let r = &cfg.lock_regions[0];
+        assert_eq!(r.recv, "self.state");
+        assert_eq!(r.guard.as_deref(), Some("g"));
+        // `after()`'s call token is outside the held range.
+        let lexed_after = cfg
+            .calls
+            .iter()
+            .find(|c| c.name == "after")
+            .expect("after call");
+        assert!(lexed_after.tok > r.held.1);
+        let step = cfg.calls.iter().find(|c| c.name == "step").expect("step");
+        assert!((r.held.0..=r.held.1).contains(&step.tok));
+    }
+
+    #[test]
+    fn temporary_guard_is_held_to_statement_end() {
+        let cfg = cfg_of(
+            "fn f(&self) {\n\
+             \x20   self.state.lock().push(1);\n\
+             \x20   after();\n\
+             }\n",
+        );
+        let r = &cfg.lock_regions[0];
+        assert!(r.guard.is_none());
+        let after = cfg.calls.iter().find(|c| c.name == "after").expect("after");
+        assert!(after.tok > r.held.1);
+    }
+
+    #[test]
+    fn spawn_and_catch_regions_flag_calls() {
+        let cfg = cfg_of(
+            "fn f() {\n\
+             \x20   thread::spawn(move || {\n\
+             \x20       let _ = catch_unwind(AssertUnwindSafe(|| inner()));\n\
+             \x20       outer();\n\
+             \x20   });\n\
+             \x20   main_line();\n\
+             }\n",
+        );
+        let call = |n: &str| cfg.calls.iter().find(|c| c.name == n).expect("call");
+        assert!(call("inner").in_spawn && call("inner").in_catch);
+        assert!(call("outer").in_spawn && !call("outer").in_catch);
+        assert!(!call("main_line").in_spawn);
+    }
+
+    #[test]
+    fn panic_ops_are_classified() {
+        let cfg = cfg_of(
+            "fn f(v: &[u32], n: u32, d: u32) {\n\
+             \x20   let a = v[3];\n\
+             \x20   let b = opt.unwrap();\n\
+             \x20   let c = n / d;\n\
+             \x20   let e = n / 2;\n\
+             \x20   let s = &v[..];\n\
+             }\n",
+        );
+        let ops: Vec<&str> = cfg
+            .sites
+            .iter()
+            .filter_map(|s| match &s.kind {
+                CostKind::PanicOp(o) => Some(*o),
+                _ => None,
+            })
+            .collect();
+        // Index in the param list `&[u32]` is a type, skipped (preceded by
+        // `&`); `v[3]`, `.unwrap()`, `n / d` flagged; `n / 2` (literal
+        // divisor) and `&v[..]` (full range) are not.
+        assert_eq!(ops, vec!["index", "unwrap", "div"]);
+    }
+
+    #[test]
+    fn nested_fn_costs_are_not_attributed_to_outer() {
+        let src = "fn outer() {\n\
+                   \x20   fn inner() { for x in xs { x.clone(); } }\n\
+                   \x20   straight();\n\
+                   }\n";
+        let lexed = lex(src);
+        let facts = extract_source("crates/demo/src/lib.rs", src);
+        let outer = facts.fns.iter().find(|f| f.name == "outer").unwrap();
+        let cfg = build(&lexed.tokens, outer.body_span);
+        assert!(
+            cfg.sites.iter().all(|s| !matches!(s.kind, CostKind::Clone)),
+            "outer must not own inner's clone"
+        );
+    }
+}

@@ -153,6 +153,10 @@ pub struct FnSummary {
     /// Whether the body calls `recv_timeout`/`recv_deadline` (the signal
     /// A3 accepts as a timeout/retry gather wrapper).
     pub has_recv_timeout: bool,
+    /// Token-index span of the body braces (`{` .. `}`, inclusive) in the
+    /// file's token stream — [`crate::cfg`] rebuilds block structure from
+    /// the retained tokens rather than duplicating them here.
+    pub body_span: (usize, usize),
 }
 
 impl FnSummary {
@@ -252,6 +256,7 @@ pub fn extract(rel_path: &str, lexed: &Lexed) -> FileFacts {
                         facts: Vec::new(),
                         variant_uses: Vec::new(),
                         has_recv_timeout: false,
+                        body_span: (body_start, body_end),
                     };
                     extract_body_facts(
                         toks,
@@ -285,23 +290,23 @@ pub fn extract_source(rel_path: &str, source: &str) -> FileFacts {
     extract(rel_path, &crate::lexer::lex(source))
 }
 
-fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+pub(crate) fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
     match toks.get(i).map(|t| &t.kind) {
         Some(TokKind::Ident(s)) => Some(s.as_str()),
         _ => None,
     }
 }
 
-fn is_punct(toks: &[Token], i: usize, want: char) -> bool {
+pub(crate) fn is_punct(toks: &[Token], i: usize, want: char) -> bool {
     matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Punct(c)) if *c == want)
 }
 
-fn is_op(toks: &[Token], i: usize, want: &str) -> bool {
+pub(crate) fn is_op(toks: &[Token], i: usize, want: &str) -> bool {
     matches!(toks.get(i).map(|t| &t.kind), Some(TokKind::Op(op)) if *op == want)
 }
 
 /// Finds the matching close for the open delimiter at `open` (`{`/`(`/`[`).
-fn match_delim(toks: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn match_delim(toks: &[Token], open: usize) -> Option<usize> {
     let (o, c) = match toks.get(open).map(|t| &t.kind) {
         Some(TokKind::Punct('{')) => ('{', '}'),
         Some(TokKind::Punct('(')) => ('(', ')'),

@@ -7,7 +7,10 @@
 /// Token kinds storm-lint distinguishes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokKind {
-    /// Identifier or keyword (raw identifiers keep their `r#` stripped).
+    /// Identifier or keyword. Raw identifiers keep their `r#` prefix in
+    /// the text: `r#loop` is a *name*, not the `loop` keyword, and the
+    /// keyword-driven structural parsing in [`crate::front`] and
+    /// [`crate::cfg`] relies on the two never colliding.
     Ident(String),
     /// Integer or float literal; `is_float` is true for literals with a
     /// fractional part, exponent, or `f32`/`f64` suffix.
@@ -239,8 +242,12 @@ pub fn lex(source: &str) -> Lexed {
             }
             c if c == '_' || c.is_alphabetic() => {
                 let mut ident = String::new();
-                // Raw identifier prefix.
+                // Raw identifier prefix — kept in the token text. Stripping
+                // it (as this lexer once did) turned `r#fn`/`r#loop` into
+                // tokens indistinguishable from the `fn`/`loop` keywords and
+                // desynced every keyword-driven consumer downstream.
                 if c == 'r' && cur.peek2() == Some('#') && cur.peek3().is_some_and(is_ident_char) {
+                    ident.push_str("r#");
                     cur.bump();
                     cur.bump();
                 }
@@ -518,7 +525,23 @@ mod tests {
     fn byte_and_raw_idents() {
         let lexed = lex(r#"let b = b"bytes"; let r#fn = 1; let rx = r2;"#);
         let idents = lexed.idents();
-        assert!(idents.contains(&"fn"));
+        // `r#fn` keeps its prefix: it must never collide with the keyword.
+        assert!(idents.contains(&"r#fn"), "{idents:?}");
+        assert!(!idents.contains(&"fn"), "{idents:?}");
         assert!(idents.contains(&"r2"));
+    }
+
+    #[test]
+    fn raw_idents_never_alias_keywords() {
+        let lexed = lex("fn f() { let r#loop = 1; let r#fn = 2; r#match(r#loop); }");
+        let idents = lexed.idents();
+        assert_eq!(
+            idents.iter().filter(|i| **i == "fn").count(),
+            1,
+            "only the real `fn` keyword: {idents:?}"
+        );
+        assert!(!idents.contains(&"loop"), "{idents:?}");
+        assert!(!idents.contains(&"match"), "{idents:?}");
+        assert!(idents.contains(&"r#loop"), "{idents:?}");
     }
 }

@@ -32,6 +32,7 @@
 
 pub mod analyze;
 pub mod callgraph;
+pub mod cfg;
 pub mod front;
 pub mod lexer;
 pub mod rules;

@@ -32,13 +32,16 @@ fn print_usage() {
          lint                       run storm-lint over the workspace sources\n  \
          lint --list                print the rule table and exit\n  \
          lint <files..>             lint specific .rs files (paths relative to repo root)\n  \
-         analyze                    run storm-analyzer (A1 lock-order, A2 determinism\n                             \
-                                    taint, A3 protocol conformance); baselined findings\n                             \
-                                    are reported but only new ones fail\n  \
+         analyze                    run storm-analyzer (A1-A3 interprocedural, A4-A7\n                             \
+                                    CFG/dataflow); baselined findings are reported\n                             \
+                                    but only new ones fail\n  \
          analyze --list             print the pass table and exit\n  \
          analyze --deny-new         same as plain `analyze` (spelled out for CI)\n  \
          analyze --no-baseline      report every finding, baseline ignored\n  \
-         analyze --update-baseline  accept all current findings into the baseline"
+         analyze --update-baseline  accept all current findings into the baseline\n  \
+         analyze --json <path>      also write findings + timings as a JSON report\n  \
+         analyze --timings          print per-pass wall time\n  \
+         analyze --budget-secs <n>  fail if the whole analysis exceeds n seconds"
     );
 }
 
@@ -111,22 +114,45 @@ fn run_analyze(args: &[String]) -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let no_baseline = args.iter().any(|a| a == "--no-baseline");
-    let update_baseline = args.iter().any(|a| a == "--update-baseline");
-    for a in args {
-        if !matches!(
-            a.as_str(),
-            "--no-baseline" | "--update-baseline" | "--deny-new"
-        ) {
-            eprintln!("storm-analyzer: unknown flag `{a}`\n");
-            print_usage();
-            return ExitCode::FAILURE;
+    let mut no_baseline = false;
+    let mut update_baseline = false;
+    let mut show_timings = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut budget_secs: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-baseline" => no_baseline = true,
+            "--update-baseline" => update_baseline = true,
+            "--deny-new" => {}
+            "--timings" => show_timings = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("storm-analyzer: `--json` needs a path\n");
+                    print_usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--budget-secs" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => budget_secs = Some(n),
+                _ => {
+                    eprintln!("storm-analyzer: `--budget-secs` needs a whole number of seconds\n");
+                    print_usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("storm-analyzer: unknown flag `{other}`\n");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
         }
     }
 
     let repo_root = repo_root();
-    let diags = match analyze::analyze_workspace(&repo_root) {
-        Ok(diags) => diags,
+    let (diags, timings) = match analyze::analyze_workspace_timed(&repo_root) {
+        Ok(out) => out,
         Err(err) => {
             eprintln!("storm-analyzer: cannot walk {}: {err}", repo_root.display());
             return ExitCode::FAILURE;
@@ -167,6 +193,29 @@ fn run_analyze(args: &[String]) -> ExitCode {
     };
     let (new, accepted, stale) = analyze::apply_baseline(diags, &baseline);
 
+    if show_timings {
+        println!("storm-analyzer timings:");
+        println!(
+            "  front-end  {:>8.1} ms",
+            timings.front_end.as_secs_f64() * 1000.0
+        );
+        for (id, d) in &timings.per_pass {
+            println!("  {id:<10} {:>8.1} ms", d.as_secs_f64() * 1000.0);
+        }
+        println!(
+            "  total      {:>8.1} ms",
+            timings.total.as_secs_f64() * 1000.0
+        );
+    }
+    if let Some(path) = &json_path {
+        let report = analyze::render_json(&new, &accepted, &stale, &timings);
+        if let Err(err) = std::fs::write(path, report) {
+            eprintln!("storm-analyzer: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let over_budget = budget_secs.is_some_and(|b| timings.total.as_secs_f64() > b as f64);
+
     for diag in &new {
         println!("{}", analyze::render(diag));
     }
@@ -175,6 +224,14 @@ fn run_analyze(args: &[String]) -> ExitCode {
     }
     for entry in &stale {
         println!("storm-analyzer: stale baseline entry (no longer found): {entry}");
+    }
+    if over_budget {
+        eprintln!(
+            "storm-analyzer: analysis took {:.1}s, over the --budget-secs {} ceiling",
+            timings.total.as_secs_f64(),
+            budget_secs.unwrap_or(0)
+        );
+        return ExitCode::FAILURE;
     }
     if new.is_empty() {
         println!(

@@ -1,0 +1,23 @@
+//! A4 known-bad fixture: a per-item allocation inside a loop of a helper
+//! the core sampling API (`next_batch`) reaches through the call graph.
+
+pub struct S;
+
+impl S {
+    pub fn next_batch(&mut self, k: usize) -> usize {
+        let mut total = 0;
+        for _ in 0..k {
+            total += fill_one();
+        }
+        total
+    }
+}
+
+fn fill_one() -> usize {
+    let mut out = 0;
+    for i in 0..4 {
+        let buf = vec![0u8; 16];
+        out += buf.len() + i;
+    }
+    out
+}

@@ -1,0 +1,26 @@
+//! A4 known-clean fixture: the same shape as `a4_bad.rs`, but the buffer
+//! is hoisted out of the loop and reused — the hot path allocates nothing
+//! per item.
+
+pub struct S;
+
+impl S {
+    pub fn next_batch(&mut self, k: usize) -> usize {
+        let mut total = 0;
+        for _ in 0..k {
+            total += fill_one();
+        }
+        total
+    }
+}
+
+fn fill_one() -> usize {
+    let mut buf = Vec::with_capacity(16);
+    let mut out = 0;
+    for i in 0..4 {
+        buf.clear();
+        buf.push(i);
+        out += buf.len();
+    }
+    out
+}

@@ -1,0 +1,24 @@
+//! A5 known-bad fixture: a per-item channel send in a loop while the
+//! protocol enum has a batched variant in the same file.
+
+pub enum Reply {
+    Item(u64),
+    Batch(Vec<u64>),
+}
+
+pub fn stream_items(tx: &Sender<Reply>, items: &[u64]) {
+    for &it in items {
+        tx.send(Reply::Item(it)).ok();
+    }
+}
+
+pub fn flush(tx: &Sender<Reply>, buf: Vec<u64>) {
+    tx.send(Reply::Batch(buf)).ok();
+}
+
+pub fn on_reply(r: Reply) -> usize {
+    match r {
+        Reply::Item(_) => 1,
+        Reply::Batch(items) => items.len(),
+    }
+}

@@ -1,0 +1,25 @@
+//! A5 known-clean fixture: the loop sends the *batched* variant — one
+//! message per chunk, not per item — so the pass must stay quiet (telling
+//! the batch path to batch would be circular).
+
+pub enum Reply {
+    Item(u64),
+    Batch(Vec<u64>),
+}
+
+pub fn stream_batches(tx: &Sender<Reply>, chunks: &[Vec<u64>]) {
+    for c in chunks {
+        tx.send(Reply::Batch(c.to_owned())).ok();
+    }
+}
+
+pub fn send_one(tx: &Sender<Reply>, it: u64) {
+    tx.send(Reply::Item(it)).ok();
+}
+
+pub fn on_reply(r: Reply) -> usize {
+    match r {
+        Reply::Item(_) => 1,
+        Reply::Batch(items) => items.len(),
+    }
+}

@@ -1,0 +1,10 @@
+//! A6 known-bad fixture: a channel send inside the held region of a lock
+//! guard — every thread contending on `m` stalls while the send blocks.
+
+pub fn flush(m: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let guard = m.lock();
+    for &v in guard.iter() {
+        tx.send(v).ok();
+    }
+    drop(guard);
+}

@@ -1,0 +1,11 @@
+//! A6 known-clean fixture: the guard is dropped before any blocking call;
+//! the send loop runs on a lock-free snapshot.
+
+pub fn flush(m: &Mutex<Vec<u64>>, tx: &Sender<u64>) {
+    let guard = m.lock();
+    let snapshot = guard.to_owned();
+    drop(guard);
+    for v in snapshot {
+        tx.send(v).ok();
+    }
+}

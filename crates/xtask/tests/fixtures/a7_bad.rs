@@ -1,0 +1,19 @@
+//! A7 known-bad fixture: panic-capable ops on a worker thread with no
+//! catch_unwind — one lexically inside the spawn closure, one in the
+//! function the closure calls (the one-hop spawn-entry layer).
+
+pub fn launch(xs: Vec<u64>) -> u64 {
+    let h = std::thread::spawn(move || {
+        let first = xs[0];
+        first + run_worker(&xs)
+    });
+    h.join().unwrap_or(0)
+}
+
+fn run_worker(xs: &[u64]) -> u64 {
+    let mut total = 0;
+    for i in 0..xs.len() {
+        total += xs[i];
+    }
+    total
+}

@@ -1,0 +1,22 @@
+//! A7 known-clean fixture: the same worker, but every panic-capable op is
+//! dominated by `catch_unwind` — a panic is contained, the thread reports
+//! instead of dying silently.
+
+pub fn launch(xs: Vec<u64>) -> u64 {
+    let h = std::thread::spawn(move || {
+        std::panic::catch_unwind(move || {
+            let first = xs[0];
+            first + run_worker(&xs)
+        })
+        .unwrap_or(0)
+    });
+    h.join().unwrap_or(0)
+}
+
+fn run_worker(xs: &[u64]) -> u64 {
+    let mut total = 0;
+    for i in 0..xs.len() {
+        total += xs[i];
+    }
+    total
+}

@@ -1,0 +1,32 @@
+//! Lexer regression fixture: nested block comments carrying braces,
+//! quotes, and comment-opener lookalikes. A depth-tracking bug here makes
+//! the front-end swallow or split the functions below.
+
+fn nested_comment_with_braces() {
+    /* outer { /* inner } */ still outer { */
+    marker_one();
+}
+
+fn comment_with_stray_quote() {
+    /* a lone " quote and a } */
+    marker_two();
+}
+
+fn doc_style_block_comments() {
+    /** outer doc } */
+    /*! inner doc { */
+    marker_three();
+}
+
+fn slash_star_slash_opens_nested() {
+    /* a /*/ b */ c */
+    marker_four();
+}
+
+fn comment_between_items() {
+    marker_five(); /* trailing { comment */
+}
+/* free-floating /* nested */ comment with fn fake_item() { } inside */
+fn after_the_comment_block() {
+    marker_six();
+}

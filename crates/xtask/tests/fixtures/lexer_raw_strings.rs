@@ -1,0 +1,35 @@
+//! Lexer regression fixture: raw strings, byte strings, and raw
+//! identifiers placed where a mis-lex would desync the front-end's
+//! brace-matched function extraction. Each fn body hides unbalanced
+//! braces/quotes inside literals; `marker_*` calls let the test assert the
+//! extractor still attributes calls to the right function.
+
+fn braces_in_raw_string() {
+    let _pattern = r#"^\{\d{2}} } { }"#;
+    marker_one();
+}
+
+fn multi_hash_terminator() {
+    let _tricky = r##"quote "# inside, and a stray } brace"##;
+    marker_two();
+}
+
+fn zero_hash_and_bytes() {
+    let _plain = r"} closing brace, no hashes";
+    let _bytes = b"{ \" }";
+    let _raw_bytes = br#"} { "#;
+    marker_three();
+}
+
+fn raw_idents_are_names_not_keywords() {
+    let r#loop = 1;
+    let r#fn = r#loop + 1;
+    marker_four(r#fn);
+}
+
+fn multiline_raw_string_keeps_positions() {
+    let _s = r#"line one {
+line two }
+line three "quoted""#;
+    marker_five();
+}

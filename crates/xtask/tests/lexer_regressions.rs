@@ -1,0 +1,112 @@
+//! Regression tests for the constructs that historically broke the
+//! hand-rolled lexer or threatened the front-end's brace matching: raw
+//! strings (`r"…"`, `r#"…"#`, `br#"…"#`), nested block comments, and raw
+//! identifiers (`r#loop`), which were once stripped to bare keyword text.
+
+use std::path::Path;
+
+use xtask::front::extract_source;
+use xtask::lexer::lex;
+
+fn fixture(name: &str) -> String {
+    let disk = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&disk).unwrap_or_else(|e| panic!("cannot read {}: {e}", disk.display()))
+}
+
+/// The fixtures are real Rust modulo the undefined `marker_*` calls: every
+/// fn must come out of extraction whole, with exactly its own marker call
+/// attributed to it — any brace desync merges, splits, or drops one.
+fn assert_markers(fixture_name: &str, expected: &[(&str, &str)]) {
+    let src = fixture(fixture_name);
+    let facts = extract_source("crates/core/src/fixture.rs", &src);
+    let got: Vec<(String, Vec<String>)> = facts
+        .fns
+        .iter()
+        .map(|f| {
+            (
+                f.name.clone(),
+                f.calls
+                    .iter()
+                    .filter(|c| c.name.starts_with("marker_"))
+                    .map(|c| c.name.clone())
+                    .collect(),
+            )
+        })
+        .collect();
+    let want: Vec<(String, Vec<String>)> = expected
+        .iter()
+        .map(|(f, m)| ((*f).to_string(), vec![(*m).to_string()]))
+        .collect();
+    assert_eq!(got, want, "fixture {fixture_name}");
+}
+
+#[test]
+fn raw_strings_do_not_desync_brace_matching() {
+    assert_markers(
+        "lexer_raw_strings.rs",
+        &[
+            ("braces_in_raw_string", "marker_one"),
+            ("multi_hash_terminator", "marker_two"),
+            ("zero_hash_and_bytes", "marker_three"),
+            ("raw_idents_are_names_not_keywords", "marker_four"),
+            ("multiline_raw_string_keeps_positions", "marker_five"),
+        ],
+    );
+}
+
+#[test]
+fn nested_comments_do_not_desync_brace_matching() {
+    assert_markers(
+        "lexer_nested_comments.rs",
+        &[
+            ("nested_comment_with_braces", "marker_one"),
+            ("comment_with_stray_quote", "marker_two"),
+            ("doc_style_block_comments", "marker_three"),
+            ("slash_star_slash_opens_nested", "marker_four"),
+            ("comment_between_items", "marker_five"),
+            ("after_the_comment_block", "marker_six"),
+        ],
+    );
+}
+
+#[test]
+fn raw_string_literals_leave_no_phantom_tokens() {
+    let lexed = lex(&fixture("lexer_raw_strings.rs"));
+    let idents = lexed.idents();
+    // Content of the literals must never surface as identifiers.
+    assert!(!idents.contains(&"quote"), "{idents:?}");
+    assert!(!idents.contains(&"inside"), "{idents:?}");
+    assert!(!idents.contains(&"line"), "{idents:?}");
+    // Raw identifiers keep their prefix; the only `fn` idents are the five
+    // real keyword uses.
+    assert!(idents.contains(&"r#loop"), "{idents:?}");
+    assert!(idents.contains(&"r#fn"), "{idents:?}");
+    assert_eq!(idents.iter().filter(|i| **i == "fn").count(), 5);
+    assert!(!idents.contains(&"loop"), "{idents:?}");
+}
+
+#[test]
+fn nested_comment_content_is_fully_swallowed() {
+    let lexed = lex(&fixture("lexer_nested_comments.rs"));
+    let idents = lexed.idents();
+    assert!(!idents.contains(&"outer"), "{idents:?}");
+    assert!(!idents.contains(&"inner"), "{idents:?}");
+    assert!(!idents.contains(&"fake_item"), "{idents:?}");
+    // Six real functions — the `fn fake_item` inside the comment is text.
+    assert_eq!(idents.iter().filter(|i| **i == "fn").count(), 6);
+}
+
+#[test]
+fn multiline_raw_string_keeps_line_and_column_tracking() {
+    let src = "fn f() {\n    let x = r#\"a\nb } \"\nc\"#; tail_call();\n}\n";
+    let lexed = lex(src);
+    let tail = lexed
+        .tokens
+        .iter()
+        .find(|t| matches!(&t.kind, xtask::lexer::TokKind::Ident(s) if s == "tail_call"))
+        .expect("tail_call token");
+    // The literal spans lines 2-4; `tail_call` sits on line 4 after `"#; `.
+    assert_eq!((tail.line, tail.col), (4, 6));
+}
