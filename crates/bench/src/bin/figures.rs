@@ -6,11 +6,14 @@
 //! ```
 //!
 //! Subcommands: `fig3a fig3b fig5 fig6a fig6b updates io ablate crossover
-//! scaling batch faults all`. `--n <N>` scales the data set (default 200 000; the
-//! paper used ~10⁹ OSM points on a cluster — shapes, not absolute numbers,
-//! are the reproduction target). `--seed <S>` changes the workload seed.
-//! `batch` additionally writes machine-readable measurements to
-//! `results/BENCH_results.json` (override the path with `--json <PATH>`).
+//! scaling batch kernel faults all`. `--n <N>` scales the data set (default
+//! 200 000; the paper used ~10⁹ OSM points on a cluster — shapes, not
+//! absolute numbers, are the reproduction target). `--seed <S>` changes the
+//! workload seed. `batch` additionally writes machine-readable measurements
+//! (E12 + the E14 kernel points) to `results/BENCH_results.json` (override
+//! the path with `--json <PATH>`). `kernel` runs E14 alone; with
+//! `--floor <SAMPLES/S>` it exits non-zero when the best frozen-kernel
+//! throughput falls below the floor (the CI bench smoke).
 
 use storm_bench::*;
 
@@ -20,9 +23,18 @@ fn main() {
     let mut n = 200_000usize;
     let mut seed = 42u64;
     let mut json_path = String::from("results/BENCH_results.json");
+    let mut floor: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--floor" => {
+                i += 1;
+                floor = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--floor needs a samples/sec number")),
+                );
+            }
             "--n" => {
                 i += 1;
                 n = args
@@ -54,7 +66,7 @@ fn main() {
     let command = command.unwrap_or_else(|| usage("missing subcommand"));
 
     let run = |name: &str| {
-        println!("{}", dispatch(name, n, seed, &json_path));
+        println!("{}", dispatch(name, n, seed, &json_path, floor));
     };
     match command.as_str() {
         "all" => {
@@ -79,7 +91,7 @@ fn main() {
     }
 }
 
-fn dispatch(name: &str, n: usize, seed: u64, json_path: &str) -> String {
+fn dispatch(name: &str, n: usize, seed: u64, json_path: &str, floor: Option<f64>) -> String {
     match name {
         "fig3a" => format_table(
             &format!("Figure 3(a) — online sample generation cost (N={n}, q/N=10%)"),
@@ -126,7 +138,9 @@ fn dispatch(name: &str, n: usize, seed: u64, json_path: &str) -> String {
             &run_crossover(n, 64, seed),
         ),
         "batch" => {
-            let points = run_batch_throughput(n, &[1, 2, 4, 8], &[16, 64, 256], seed);
+            let mut points = run_batch_throughput(n, &[1, 2, 4, 8], &[16, 64, 256], seed);
+            let split = points.len();
+            points.extend(run_kernel_bench(n, &[1, 256, 1024], seed));
             let json = batch_json(&points);
             if let Some(dir) = std::path::Path::new(json_path).parent() {
                 if !dir.as_os_str().is_empty() {
@@ -139,8 +153,34 @@ fn dispatch(name: &str, n: usize, seed: u64, json_path: &str) -> String {
             }
             format_table(
                 &format!("E12 — batched scatter-gather throughput (N={n}, q/N=10%, WOR)"),
-                &batch_rows(&points),
+                &batch_rows(&points[..split]),
+            ) + &format_table(
+                &format!("E14 — frozen single-thread sampling kernel (N={n}, 1 shard, WOR)"),
+                &batch_rows(&points[split..]),
             )
+        }
+        "kernel" => {
+            let points = run_kernel_bench(n, &[1, 256, 1024], seed);
+            let best = points
+                .iter()
+                .filter(|p| p.method == "kernel-frozen")
+                .map(|p| p.samples_per_sec())
+                .fold(0.0f64, f64::max);
+            let table = format_table(
+                &format!("E14 — frozen single-thread sampling kernel (N={n}, 1 shard, WOR)"),
+                &batch_rows(&points),
+            );
+            if let Some(floor) = floor {
+                if best < floor {
+                    println!("{table}");
+                    eprintln!(
+                        "error: frozen kernel throughput {best:.0} samples/s below floor {floor:.0}"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("kernel floor ok: {best:.0} >= {floor:.0} samples/s");
+            }
+            table
         }
         "faults" => format_table(
             &format!("E13 — degraded-mode recovery vs fault rate (N={n}, 4 shards, WOR)"),
@@ -154,7 +194,7 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: figures <fig3a|fig3b|fig5|fig6a|fig6b|updates|io|ablate|crossover|scaling|batch\
-         |all> [--n N] [--seed S] [--json PATH]"
+         |kernel|faults|all> [--n N] [--seed S] [--json PATH] [--floor SAMPLES/S]"
     );
     std::process::exit(2);
 }

@@ -784,6 +784,17 @@ pub fn run_batch_throughput(
         // First sequential one-at-a-time gather — a `Fill(1)` round-trip
         // per draw — then the batched configurations.
         let mut parallel = cluster.into_parallel();
+        // Untimed warm-up: each worker builds its frozen snapshot at
+        // thread start, and on a small host that startup cost would land
+        // on whichever timed series runs first. One tiny drain forces an
+        // Open/Fill round-trip through every worker, so all snapshots
+        // exist before the clock starts.
+        {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x33AA);
+            let mut s = parallel.sampler(query, SampleMode::WithReplacement, seed ^ 0x77);
+            let mut buf: Vec<Item<2>> = Vec::with_capacity(8);
+            let _ = s.next_batch(&mut rng, &mut buf, 8);
+        }
         for (method, batches) in [("sequential", &[1usize][..]), ("parallel", batch_sizes)] {
             for &batch in batches {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0xBA ^ batch as u64);
@@ -813,6 +824,77 @@ pub fn run_batch_throughput(
                 });
             }
         }
+    }
+    points
+}
+
+/// E14: the single-thread frozen-kernel microbenchmark. One shard, the
+/// Figure-3(a) workload (q/N = 10% WOR stream), comparing the boxed
+/// RS-tree sampler (the E12 `inline` methodology at 1 shard) against the
+/// frozen flat-array kernel — same tree contents, same stream semantics,
+/// no executor or messaging in either series, so the ratio isolates what
+/// the SoA arena + implicit indexing + alias descents buy a single core.
+///
+/// Points: `kernel-boxed` (per-draw `next_sample` loop, batch column 1),
+/// then `kernel-frozen` once per entry of `batches` (arena `next_batch`
+/// drains; batch 1 shows the layout win alone, larger batches add the
+/// amortised-dispatch win).
+pub fn run_kernel_bench(n: usize, batches: &[usize], seed: u64) -> Vec<BatchPoint> {
+    let data = osm::generate(n, seed);
+    let (query, q) =
+        queries::rect_with_selectivity(&data.items, 0.10, seed ^ 0xABCD).expect("non-empty");
+    let total = q.min(65_536);
+    let mut rs = RsTree::bulk_load(data.items.clone(), RsTreeConfig::with_fanout(FANOUT));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+    rs.prefill(&mut rng);
+    let mut points = Vec::new();
+
+    // Boxed baseline: one draw per pass through the buffered cone.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E0);
+    let start = Instant::now();
+    let mut s = rs.sampler(query, SampleMode::WithoutReplacement);
+    let mut drawn = 0usize;
+    while drawn < total && s.next_sample(&mut rng).is_some() {
+        drawn += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    drop(s);
+    points.push(BatchPoint {
+        method: "kernel-boxed",
+        n,
+        q,
+        batch: 1,
+        shards: 1,
+        samples: drawn,
+        secs,
+    });
+
+    // Frozen kernel over the same tree contents.
+    let frozen = std::sync::Arc::new(rs.freeze());
+    for &batch in batches {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5E0);
+        let start = Instant::now();
+        let mut s = frozen.sampler(&query, SampleMode::WithoutReplacement);
+        let mut buf: Vec<Item<2>> = Vec::with_capacity(batch);
+        let mut drawn = 0usize;
+        while drawn < total {
+            buf.clear();
+            let got = s.next_batch(&mut rng, &mut buf, batch.min(total - drawn));
+            if got == 0 {
+                break;
+            }
+            drawn += got;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        points.push(BatchPoint {
+            method: "kernel-frozen",
+            n,
+            q,
+            batch,
+            shards: 1,
+            samples: drawn,
+            secs,
+        });
     }
     points
 }
@@ -1099,6 +1181,19 @@ mod tests {
             assert_eq!(json.matches(field).count(), 8, "missing {field}");
         }
         assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn kernel_bench_drains_every_configuration() {
+        let points = run_kernel_bench(20_000, &[1, 1024], 42);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].method, "kernel-boxed");
+        let total = points[0].q.min(65_536);
+        for p in &points {
+            assert_eq!(p.shards, 1);
+            assert_eq!(p.samples, total, "{} b={}", p.method, p.batch);
+            assert!(p.samples_per_sec() > 0.0);
+        }
     }
 
     #[test]

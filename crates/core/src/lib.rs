@@ -27,6 +27,7 @@
 
 pub mod cost;
 pub mod distributed;
+mod frozen;
 mod ls_tree;
 pub mod parallel;
 mod query_first;
@@ -37,6 +38,10 @@ pub mod validate;
 mod weighted;
 
 pub use distributed::{DistributedRsTree, DistributedSampler};
+pub use frozen::{
+    frozen_query_first, FrozenLsForest, FrozenLsSampler, FrozenRsTree, FrozenSampleFirst,
+    FrozenSampler,
+};
 pub use ls_tree::{LsSampler, LsTree};
 pub use parallel::{ParallelRsCluster, ParallelSampler};
 pub use query_first::QueryFirst;

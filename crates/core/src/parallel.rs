@@ -256,11 +256,16 @@ enum StreamExit {
 /// tree survives, the coordinator is told via [`ShardReply::Aborted`], and
 /// the worker keeps serving subsequent queries.
 fn run_shard(
-    mut tree: RsTree<2>,
+    tree: RsTree<2>,
     shard: usize,
     cmd: &Receiver<ShardCmd>,
     reply: &Sender<ShardReply>,
 ) -> RsTree<2> {
+    // Freeze once at worker start: every stream this worker serves runs
+    // the read-optimized kernel (SoA arena + alias descents) instead of
+    // walking the boxed tree. The boxed tree is kept intact purely as the
+    // ingest-facing form handed back at join time.
+    let frozen = Arc::new(tree.freeze());
     // Monotone count of streams opened on this worker: the op coordinate
     // for open-site fault decisions.
     let mut open_ops: u64 = 0;
@@ -290,7 +295,7 @@ fn run_shard(
             let op = open_ops;
             open_ops += 1;
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                serve_query(&mut tree, shard, op, &args, cmd, reply)
+                serve_query(&frozen, shard, op, &args, cmd, reply)
             }));
             match outcome {
                 Ok(StreamExit::Shutdown) => return tree,
@@ -308,9 +313,10 @@ fn run_shard(
     }
 }
 
-/// Opens one stream (count + serve) on the worker thread.
+/// Opens one stream (count + serve) on the worker thread, over the
+/// shard's frozen index.
 fn serve_query(
-    tree: &mut RsTree<2>,
+    tree: &Arc<crate::FrozenRsTree<2>>,
     shard: usize,
     op: u64,
     args: &OpenArgs,
@@ -331,7 +337,7 @@ fn serve_query(
         }
     }
     let mut rng = StdRng::seed_from_u64(args.seed);
-    let mut sampler = tree.sampler(args.query, args.mode);
+    let mut sampler = tree.sampler(&args.query, args.mode);
     let count = sampler.result_size().unwrap_or(0);
     if !drop_reply
         && reply
@@ -358,8 +364,8 @@ fn serve_query(
 /// Serves one open stream until it is closed, replaced, or the worker must
 /// exit.
 #[allow(clippy::too_many_arguments)]
-fn serve_stream(
-    sampler: &mut crate::RsSampler<'_, 2>,
+fn serve_stream<S: SpatialSampler<2>>(
+    sampler: &mut S,
     rng: &mut StdRng,
     shard: usize,
     epoch: u64,

@@ -59,6 +59,7 @@ impl<'a, const D: usize> RandomPath<'a, D> {
         let mut id = self.tree.root_id()?;
         let mut accept_prob = 1.0f64;
         loop {
+            // storm-analyzer: allow(A8): RandomPath charges one read per visited node by definition — the visit IS the algorithm
             let view = self.tree.visit(id);
             if view.is_leaf() {
                 let items = view.items();
@@ -77,6 +78,7 @@ impl<'a, const D: usize> RandomPath<'a, D> {
             let children = view.children();
             let mut mass = 0u64;
             for &c in children {
+                // storm-analyzer: allow(A8): RandomPath is the paper's boxed baseline; its per-node walk is the measured cost model
                 let cv = self.tree.view_free_of_charge(c);
                 if cv.rect.intersects(&self.query) {
                     mass += cv.count as u64;
@@ -90,6 +92,7 @@ impl<'a, const D: usize> RandomPath<'a, D> {
             let mut target = rng.random_range(0..mass);
             let mut chosen = None;
             for &c in children {
+                // storm-analyzer: allow(A8): RandomPath is the paper's boxed baseline; its per-node walk is the measured cost model
                 let cv = self.tree.view_free_of_charge(c);
                 if cv.rect.intersects(&self.query) {
                     if target < cv.count as u64 {

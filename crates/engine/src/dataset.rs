@@ -1,10 +1,11 @@
 //! Data sets: storage + ST-indexing for one imported source.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::Rng;
 use storm_connector::StRecord;
-use storm_core::{LsTree, RsTree, RsTreeConfig};
+use storm_core::{FrozenRsTree, LsTree, RsTree, RsTreeConfig};
 use storm_geo::{Point2, Rect2, StPoint};
 use storm_query::DatasetStats;
 use storm_rtree::{Item, RTreeConfig};
@@ -47,6 +48,9 @@ pub struct Dataset {
     item_pos: HashMap<u64, usize>,
     pub(crate) rs: RsTree<3>,
     pub(crate) ls: Option<LsTree<3>>,
+    /// Read-optimized snapshot of `rs` serving RS-tree sampling plans;
+    /// invalidated by updates and rebuilt on the next query.
+    pub(crate) frozen: Option<Arc<FrozenRsTree<3>>>,
     pub(crate) cfg: DatasetConfig,
     /// Cached 2-D extent (grow-only; queries use it for defaults).
     bounds2: Option<Rect2>,
@@ -78,6 +82,7 @@ impl Dataset {
                 0x5702_u64,
             )
         });
+        let frozen = Some(Arc::new(rs.freeze()));
         Dataset {
             name,
             collection,
@@ -85,6 +90,7 @@ impl Dataset {
             item_pos,
             rs,
             ls,
+            frozen,
             cfg,
             bounds2,
         }
@@ -131,9 +137,28 @@ impl Dataset {
         &self.rs
     }
 
-    /// Mutable RS-tree access (for opening RS sampling streams).
+    /// Mutable RS-tree access (for opening boxed RS sampling streams).
+    /// Invalidates the frozen snapshot: the caller may mutate buffers or
+    /// structure, and a stale arena must never serve a later query.
     pub fn rs_mut(&mut self) -> &mut RsTree<3> {
+        self.frozen = None;
         &mut self.rs
+    }
+
+    /// The frozen RS-tree snapshot, rebuilding it if an update (or a
+    /// `rs_mut` borrow) invalidated it since the last query.
+    pub fn ensure_frozen(&mut self) -> Arc<FrozenRsTree<3>> {
+        if let Some(frozen) = &self.frozen {
+            return Arc::clone(frozen);
+        }
+        let frozen = Arc::new(self.rs.freeze());
+        self.frozen = Some(Arc::clone(&frozen));
+        frozen
+    }
+
+    /// The frozen snapshot if it is current (no rebuild).
+    pub fn frozen(&self) -> Option<&Arc<FrozenRsTree<3>>> {
+        self.frozen.as_ref()
     }
 
     /// The LS forest, if enabled.
@@ -181,6 +206,7 @@ impl Dataset {
         self.item_pos.insert(id.0, self.items.len());
         self.items.push(item);
         self.rs.insert(item, rng);
+        self.frozen = None;
         if let Some(ls) = &mut self.ls {
             ls.insert(item);
         }
@@ -202,6 +228,7 @@ impl Dataset {
         }
         self.collection.remove(id);
         let removed_rs = self.rs.remove(&item.point, item.id, rng);
+        self.frozen = None;
         debug_assert!(removed_rs, "index out of sync with scan file");
         if let Some(ls) = &mut self.ls {
             let removed_ls = ls.remove(&item.point, item.id);

@@ -5,8 +5,8 @@ use std::time::{Duration, Instant};
 
 use rand::Rng;
 use storm_core::{
-    LsSampler, QueryFirst, RandomPath, RsSampler, SampleFirst, SampleMode, SamplerKind,
-    SpatialSampler,
+    FrozenSampler, LsSampler, QueryFirst, RandomPath, RsSampler, SampleFirst, SampleMode,
+    SamplerKind, SpatialSampler,
 };
 use storm_estimators::cluster::OnlineKMeans;
 use storm_estimators::groupby::GroupedMeans;
@@ -64,6 +64,9 @@ enum AnySampler<'a> {
     Rp(RandomPath<'a, 3>),
     Ls(LsSampler<'a, 3>),
     Rs(Box<RsSampler<'a, 3>>),
+    /// Frozen RS kernel; owns an `Arc` of the snapshot, no borrow of the
+    /// data set at all.
+    Frz(FrozenSampler<3>),
 }
 
 impl SpatialSampler<3> for AnySampler<'_> {
@@ -74,6 +77,7 @@ impl SpatialSampler<3> for AnySampler<'_> {
             AnySampler::Rp(s) => s.next_sample(rng),
             AnySampler::Ls(s) => s.next_sample(rng),
             AnySampler::Rs(s) => s.next_sample(rng),
+            AnySampler::Frz(s) => s.next_sample(rng),
         }
     }
 
@@ -86,6 +90,7 @@ impl SpatialSampler<3> for AnySampler<'_> {
             AnySampler::Rp(s) => s.next_batch(rng, buf, k),
             AnySampler::Ls(s) => s.next_batch(rng, buf, k),
             AnySampler::Rs(s) => s.next_batch(rng, buf, k),
+            AnySampler::Frz(s) => s.next_batch(rng, buf, k),
         }
     }
 
@@ -96,6 +101,7 @@ impl SpatialSampler<3> for AnySampler<'_> {
             AnySampler::Rp(_) => SamplerKind::RandomPath,
             AnySampler::Ls(_) => SamplerKind::LsTree,
             AnySampler::Rs(_) => SamplerKind::RsTree,
+            AnySampler::Frz(_) => SamplerKind::RsTree,
         }
     }
 }
@@ -481,6 +487,10 @@ pub(crate) fn run_plan(
 
     let mut state = TaskState::new(plan, &ds.cfg, q)?;
 
+    // RS-tree plans run the frozen kernel; (re)build the snapshot before
+    // splitting the borrows below.
+    let frozen = matches!(plan.sampler, SamplerKind::RsTree).then(|| ds.ensure_frozen());
+
     // Build the sampler over disjoint field borrows so the estimator can
     // still read the collection while RS holds its mutable borrow.
     let Dataset {
@@ -505,7 +515,12 @@ pub(crate) fn run_plan(
                 .ok_or(EngineError::IndexUnavailable("LS-tree"))?
                 .sampler(rect3),
         ),
-        SamplerKind::RsTree => AnySampler::Rs(Box::new(rs.sampler(rect3, plan.query.mode))),
+        SamplerKind::RsTree => match &frozen {
+            Some(f) => AnySampler::Frz(f.sampler(&rect3, plan.query.mode)),
+            // Unreachable in practice (`frozen` is built for RsTree
+            // plans above); the boxed stream remains as the fallback.
+            None => AnySampler::Rs(Box::new(rs.sampler(rect3, plan.query.mode))),
+        },
     };
 
     let term = plan.query.termination;

@@ -155,6 +155,7 @@ impl<const D: usize> RTree<D> {
         let mut stack = vec![idx];
         while let Some(i) = stack.pop() {
             self.io.record_reads(1);
+            // storm-analyzer: allow(A4): delete-and-reinsert maintenance — one empty Vec per orphaned node, never on the draw path
             match std::mem::replace(&mut self.node_mut(i).entries, Entries::Inner(Vec::new())) {
                 Entries::Leaf(mut items) => out.append(&mut items),
                 Entries::Inner(children) => stack.extend(children.iter().map(|c| c.0)),

@@ -29,6 +29,7 @@ mod bulk;
 mod canonical;
 mod delete;
 mod events;
+mod frozen;
 mod insert;
 mod io;
 mod node;
@@ -38,6 +39,7 @@ pub mod validate;
 
 pub use canonical::{CanonicalPart, CanonicalSet};
 pub use events::{UpdateEvent, UpdateObserver};
+pub use frozen::{FrozenCone, FrozenConeEntry, FrozenRTree};
 pub use io::IoStats;
 pub use node::{Item, NodeId};
 pub use tree::{BulkMethod, NodeView, RTree, RTreeConfig};

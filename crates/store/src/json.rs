@@ -331,6 +331,7 @@ fn write_string(s: &str, out: &mut String) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
+                // storm-analyzer: allow(A4): persistence-path escape of rare control chars, not sampling work
                 out.push_str(&format!("\\u{:04x}", c as u32));
             }
             c => out.push(c),

@@ -109,6 +109,58 @@ impl Partitioner for HilbertPartitioner {
     }
 }
 
+/// Construction-time layout plan for frozen shard arenas.
+///
+/// The frozen tree layout (storm-rtree `FrozenRTree`) wants each shard's
+/// records as one contiguous, Hilbert-coherent run. This plan computes
+/// that layout once at shard-construction time: `order` lists record
+/// positions shard by shard, sorted along the Hilbert curve within each
+/// shard, and `ranges` gives each shard's contiguous slice of `order`.
+/// Feeding `order[ranges[s]]` to a per-shard arena build hands the
+/// packer an already-coherent run, and the assignment agrees exactly
+/// with [`Partitioner::route`] so online routing and bulk construction
+/// can never disagree about ownership.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenShardPlan {
+    /// Input record positions in arena order (shard-major, curve-sorted).
+    pub order: Vec<usize>,
+    /// Each shard's contiguous range over `order` (empty when the shard
+    /// owns no records).
+    pub ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl HilbertPartitioner {
+    /// Plans the frozen arena layout for `records` (id + optional
+    /// location, as routed by [`Partitioner::route`]). Deterministic:
+    /// ties sort by input position.
+    pub fn frozen_plan(&self, records: &[(u64, Option<Point2>)]) -> FrozenShardPlan {
+        let mut keyed: Vec<(usize, u64, usize)> = records
+            .iter()
+            .enumerate()
+            .map(|(pos, &(id, loc))| {
+                let shard = self.route(id, loc);
+                // Location-less records sort to the shard's tail (their
+                // placement is hash-driven, not spatial).
+                let key = match loc {
+                    Some(p) => self.curve.index_of_point(&self.bounds, &p),
+                    None => u64::MAX,
+                };
+                (shard, key, pos)
+            })
+            .collect();
+        keyed.sort_unstable();
+        let order: Vec<usize> = keyed.iter().map(|&(_, _, pos)| pos).collect();
+        let mut ranges = vec![0..0; self.shards];
+        let mut start = 0usize;
+        for shard in 0..self.shards {
+            let end = start + keyed[start..].iter().take_while(|k| k.0 == shard).count();
+            ranges[shard] = start..end;
+            start = end;
+        }
+        FrozenShardPlan { order, ranges }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +221,62 @@ mod tests {
         }
         // Everything dead: no route.
         assert_eq!(p.route_surviving(7, None, &[true; 4]), None);
+    }
+
+    #[test]
+    fn frozen_plan_partitions_and_agrees_with_route() {
+        let bounds = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(100.0, 100.0));
+        let p = HilbertPartitioner::new(bounds, 4);
+        let records: Vec<(u64, Option<Point2>)> = (0..500u64)
+            .map(|i| {
+                let loc = (i % 7 != 0).then(|| {
+                    Point2::xy(
+                        ((i * 37) % 101) as f64 * 0.99,
+                        ((i * 61) % 97) as f64 * 1.01,
+                    )
+                });
+                (i, loc)
+            })
+            .collect();
+        let plan = p.frozen_plan(&records);
+        // `order` is a permutation of record positions.
+        let mut sorted = plan.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..records.len()).collect::<Vec<_>>());
+        // Ranges tile `order` exactly, in shard order.
+        assert_eq!(plan.ranges.len(), 4);
+        let mut cursor = 0;
+        for r in &plan.ranges {
+            assert_eq!(r.start, cursor);
+            cursor = r.end;
+        }
+        assert_eq!(cursor, records.len());
+        // Every record sits inside the range of its routed shard, and
+        // located records within a shard run in Hilbert order.
+        let curve = HilbertCurve::new(16).unwrap();
+        for (shard, r) in plan.ranges.iter().enumerate() {
+            let mut last_key = 0u64;
+            for &pos in &plan.order[r.clone()] {
+                let (id, loc) = records[pos];
+                assert_eq!(p.route(id, loc), shard);
+                let key = match loc {
+                    Some(pt) => curve.index_of_point(&bounds, &pt),
+                    None => u64::MAX,
+                };
+                assert!(key >= last_key, "arena run not curve-sorted");
+                last_key = key;
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_plan_is_deterministic() {
+        let bounds = Rect2::from_corners(Point2::xy(0.0, 0.0), Point2::xy(10.0, 10.0));
+        let p = HilbertPartitioner::new(bounds, 3);
+        let records: Vec<(u64, Option<Point2>)> = (0..200u64)
+            .map(|i| (i, Some(Point2::xy((i % 11) as f64, (i % 13) as f64))))
+            .collect();
+        assert_eq!(p.frozen_plan(&records), p.frozen_plan(&records));
     }
 
     #[test]

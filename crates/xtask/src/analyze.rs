@@ -1,5 +1,5 @@
 //! `storm-analyzer` — the A1–A3 structural passes over [`crate::front`]
-//! facts and the [`crate::callgraph`] workspace call graph, plus the A4–A7
+//! facts and the [`crate::callgraph`] workspace call graph, plus the A4–A8
 //! hot-path cost passes over the [`crate::cfg`] loop-aware CFG.
 //!
 //! | pass | name | guards against |
@@ -11,6 +11,7 @@
 //! | A5 | `per-item-channel` | per-item channel `send`/`recv` inside a loop when a batched protocol variant is in scope — each message is a context switch the batch variant amortizes |
 //! | A6 | `lock-across-blocking` | a lock guard held across a blocking call (`send`/`recv`/`recv_timeout`/`join`/`sleep`) — every contending thread stalls behind the block |
 //! | A7 | `unconfined-worker-panic` | panic-capable ops (`unwrap`/`expect`/indexing/integer div) on a spawned worker thread with no `catch_unwind` between — a panic silently kills the shard and wedges the gather |
+//! | A8 | `node-view-in-loop` | `NodeView` construction (`.visit(…)`/`.view_free_of_charge(…)`) inside a loop of a function the core sampling API reaches — per-iteration boxed-node pointer chases the frozen flat-array layout answers arithmetically |
 //!
 //! All passes are *over-approximate*: the call graph links by name, lock
 //! identity is the receiver's textual path (qualified by the impl type for
@@ -47,7 +48,7 @@ pub struct Pass {
 }
 
 /// All passes, in id order.
-pub const PASSES: [Pass; 7] = [
+pub const PASSES: [Pass; 8] = [
     Pass {
         id: "A1",
         name: "lock-order",
@@ -100,6 +101,15 @@ pub const PASSES: [Pass; 7] = [
                     thread with no catch_unwind between kills the shard \
                     silently; the executor's gather then waits on a corpse",
     },
+    Pass {
+        id: "A8",
+        name: "node-view-in-loop",
+        rationale: "a NodeView built per loop iteration on a sampling-cone \
+                    path chases a boxed-node pointer per item; the frozen \
+                    flat-array layout answers the same counts and ranges \
+                    arithmetically — descend on the frozen tree or hoist \
+                    the view",
+    },
 ];
 
 /// Renders a finding with the analyzer's own tool prefix
@@ -117,7 +127,7 @@ pub fn analyzer_directives() -> DirectiveSpec {
     DirectiveSpec {
         tool: "storm-analyzer",
         known: PASSES.iter().map(|p| (p.id, p.name)).collect(),
-        hint: "A1..A7 or their names",
+        hint: "A1..A8 or their names",
     }
 }
 
@@ -159,6 +169,10 @@ const A7_SCOPE: [&str; 3] = [
     "crates/store/src/",
     "crates/engine/src/",
 ];
+
+/// Path prefixes A8 scans for per-iteration `NodeView` construction (the
+/// boxed tree and the samplers over it).
+const A8_SCOPE: [&str; 2] = ["crates/rtree/src/", "crates/core/src/"];
 
 fn in_scope(path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|s| path.starts_with(s))
@@ -209,7 +223,7 @@ pub fn analyze_sources_timed(files: &[(String, String)]) -> (Vec<Diagnostic>, Pa
     };
 
     let mut diags = Vec::new();
-    let passes: [(&'static str, &dyn Fn() -> Vec<Diagnostic>); 7] = [
+    let passes: [(&'static str, &dyn Fn() -> Vec<Diagnostic>); 8] = [
         ("A1", &|| pass_lock_order(&graph)),
         ("A2", &|| pass_determinism_taint(&graph)),
         ("A3", &|| pass_protocol_conformance(&graph)),
@@ -217,6 +231,7 @@ pub fn analyze_sources_timed(files: &[(String, String)]) -> (Vec<Diagnostic>, Pa
         ("A5", &|| pass_per_item_channel(&graph, &cfgs)),
         ("A6", &|| pass_lock_across_blocking(&graph, &cfgs)),
         ("A7", &|| pass_unconfined_worker_panic(&graph, &cfgs)),
+        ("A8", &|| pass_node_view_in_loop(&graph, &cfgs)),
     ];
     for (id, run) in passes {
         let t = std::time::Instant::now();
@@ -868,6 +883,58 @@ fn pass_unconfined_worker_panic(g: &CallGraph<'_>, cfgs: &[Vec<Cfg>]) -> Vec<Dia
 }
 
 // ---------------------------------------------------------------------------
+// A8: node-view-in-loop
+// ---------------------------------------------------------------------------
+
+/// Methods that materialise a boxed-tree `NodeView`.
+const NODE_VIEW_CTORS: [&str; 2] = ["visit", "view_free_of_charge"];
+
+/// Flags `NodeView` construction at loop depth >= 1 in functions the core
+/// sampling API can reach. Each view is a boxed-node pointer chase (plus a
+/// simulated block read for the charged `visit`); the frozen flat-array
+/// layout (`FrozenRTree`) answers the same child counts and item ranges
+/// with index arithmetic over contiguous columns. A view built per
+/// iteration on the sampling cone is therefore exactly the cost the frozen
+/// kernel exists to remove — descend on the frozen tree, or hoist the view
+/// out of the loop when the node is loop-invariant.
+fn pass_node_view_in_loop(g: &CallGraph<'_>, cfgs: &[Vec<Cfg>]) -> Vec<Diagnostic> {
+    let roots = sampling_api_roots(g);
+    let cone = g.reachable_from(&roots);
+    let mut out = Vec::new();
+    for &id in &cone {
+        let f = g.fun(id);
+        if f.in_test || !in_scope(g.path(id), &A8_SCOPE) {
+            continue;
+        }
+        for call in &cfgs[id.0][id.1].calls {
+            if call.loop_depth == 0
+                || !call.is_method
+                || !NODE_VIEW_CTORS.contains(&call.name.as_str())
+            {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: g.path(id).to_string(),
+                line: call.line,
+                col: call.col,
+                rule: "A8",
+                message: format!(
+                    "NodeView built by `.{}(…)` at loop depth {} inside \
+                     `{}`, which the core sampling API reaches — one boxed-\
+                     node pointer chase per iteration; the frozen flat-array \
+                     layout answers the same counts/ranges arithmetically \
+                     [node-view-in-loop]",
+                    call.name,
+                    call.loop_depth,
+                    f.key()
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Baseline
 // ---------------------------------------------------------------------------
 
@@ -1020,11 +1087,54 @@ impl S {
 
     #[test]
     fn a2_unknown_rule_in_directive_is_flagged() {
-        let src = "// storm-analyzer: allow(A9): nope\nfn f() {}\n";
+        let src = "// storm-analyzer: allow(A99): nope\nfn f() {}\n";
         let diags = analyze_one("crates/core/src/demo.rs", src);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "allow");
-        assert!(diags[0].message.contains("A1..A7"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("A1..A8"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn a8_flags_node_view_in_sampling_loop() {
+        let src = "\
+impl S {
+    pub fn next_sample(&mut self) -> u32 {
+        self.descend()
+    }
+    fn descend(&self) -> u32 {
+        let mut id = 0;
+        loop {
+            let view = self.tree.visit(id);
+            if view.is_leaf() { return id; }
+            id += 1;
+        }
+    }
+}
+";
+        let diags = analyze_one("crates/core/src/demo.rs", src);
+        let a8: Vec<_> = diags.iter().filter(|d| d.rule == "A8").collect();
+        assert_eq!(a8.len(), 1, "{diags:?}");
+        assert!(a8[0].message.contains("node-view-in-loop"));
+    }
+
+    #[test]
+    fn a8_ignores_views_outside_loops_and_allows() {
+        // Straight-line view: not flagged. Looped view under an allow
+        // directive: suppressed.
+        let src = "\
+impl S {
+    pub fn next_sample(&mut self) -> u32 {
+        let v = self.tree.visit(0);
+        loop {
+            // storm-analyzer: allow(A8): boxed baseline by design
+            let w = self.tree.view_free_of_charge(1);
+            if w.is_leaf() { return 1; }
+        }
+    }
+}
+";
+        let diags = analyze_one("crates/core/src/demo.rs", src);
+        assert!(diags.iter().all(|d| d.rule != "A8"), "{diags:?}");
     }
 
     #[test]

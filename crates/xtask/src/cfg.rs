@@ -1,7 +1,7 @@
 //! Loop-aware intraprocedural CFG + dataflow facts over lexed fn bodies.
 //!
 //! The A1–A3 passes work from flat per-function fact lists; the hot-path
-//! cost passes (A4–A7, see [`crate::analyze`]) need *where in the control
+//! cost passes (A4–A8, see [`crate::analyze`]) need *where in the control
 //! flow* a fact occurs: an allocation at loop depth 2 of a sampling descent
 //! is a per-sample constant-factor cost, the same allocation in straight
 //! line setup code is free. This module rebuilds that structure from the
@@ -135,10 +135,14 @@ pub struct CfgCall {
     pub tok: usize,
     /// 1-based line.
     pub line: u32,
+    /// 1-based column.
+    pub col: u32,
     /// Inside a `spawn(…)` argument list (runs on a worker thread).
     pub in_spawn: bool,
     /// Inside a `catch_unwind(…)` argument list (panics are contained).
     pub in_catch: bool,
+    /// Loop nesting depth of the enclosing basic block (0 = top level).
+    pub loop_depth: u32,
 }
 
 /// The control-flow graph and dataflow facts of one fn body.
@@ -600,8 +604,10 @@ impl Builder<'_> {
                     is_method,
                     tok: i,
                     line,
+                    col,
                     in_spawn: Builder::in_ranges(&self.cfg.spawn_args, i),
                     in_catch: Builder::in_ranges(&self.cfg.catch_args, i),
+                    loop_depth: self.cfg.blocks[block].loop_depth,
                 });
                 let zero_arg = is_punct(toks, paren + 1, ')');
                 match name {
