@@ -79,7 +79,7 @@ fn batch_cluster(c: &mut Criterion) {
         });
 
         // Parallel batched scatter-gather over the same shards.
-        let mut parallel = cluster.into_parallel();
+        let parallel = cluster.into_parallel();
         for batch in [16usize, 256] {
             group.bench_with_input(
                 BenchmarkId::new(format!("parallel/k={batch}"), shards),

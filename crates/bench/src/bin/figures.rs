@@ -6,14 +6,19 @@
 //! ```
 //!
 //! Subcommands: `fig3a fig3b fig5 fig6a fig6b updates io ablate crossover
-//! scaling batch kernel faults all`. `--n <N>` scales the data set (default
-//! 200 000; the paper used ~10⁹ OSM points on a cluster — shapes, not
-//! absolute numbers, are the reproduction target). `--seed <S>` changes the
-//! workload seed. `batch` additionally writes machine-readable measurements
-//! (E12 + the E14 kernel points) to `results/BENCH_results.json` (override
-//! the path with `--json <PATH>`). `kernel` runs E14 alone; with
+//! scaling batch kernel faults serve all`. `--n <N>` scales the data set
+//! (default 200 000; the paper used ~10⁹ OSM points on a cluster — shapes,
+//! not absolute numbers, are the reproduction target). `--seed <S>` changes
+//! the workload seed. `batch` additionally writes machine-readable
+//! measurements (E12 + the E14 kernel points) to `results/BENCH_results.json`
+//! (override the path with `--json <PATH>`). `kernel` runs E14 alone; with
 //! `--floor <SAMPLES/S>` it exits non-zero when the best frozen-kernel
-//! throughput falls below the floor (the CI bench smoke).
+//! throughput falls below the floor (the CI bench smoke). `serve` runs E15
+//! (multi-session serving vs the naive one-query-at-a-time loop) at
+//! 64/256/1024 concurrent sessions — `--smoke` restricts it to 64 — merging
+//! its entries into the JSON file; with `--floor <SPEEDUP>` it exits
+//! non-zero when serve-vs-naive queries/sec at the largest session count
+//! falls below the floor.
 
 use storm_bench::*;
 
@@ -24,9 +29,11 @@ fn main() {
     let mut seed = 42u64;
     let mut json_path = String::from("results/BENCH_results.json");
     let mut floor: Option<f64> = None;
+    let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--smoke" => smoke = true,
             "--floor" => {
                 i += 1;
                 floor = Some(
@@ -66,7 +73,7 @@ fn main() {
     let command = command.unwrap_or_else(|| usage("missing subcommand"));
 
     let run = |name: &str| {
-        println!("{}", dispatch(name, n, seed, &json_path, floor));
+        println!("{}", dispatch(name, n, seed, &json_path, floor, smoke));
     };
     match command.as_str() {
         "all" => {
@@ -83,6 +90,7 @@ fn main() {
                 "scaling",
                 "batch",
                 "faults",
+                "serve",
             ] {
                 run(name);
             }
@@ -91,7 +99,14 @@ fn main() {
     }
 }
 
-fn dispatch(name: &str, n: usize, seed: u64, json_path: &str, floor: Option<f64>) -> String {
+fn dispatch(
+    name: &str,
+    n: usize,
+    seed: u64,
+    json_path: &str,
+    floor: Option<f64>,
+    smoke: bool,
+) -> String {
     match name {
         "fig3a" => format_table(
             &format!("Figure 3(a) — online sample generation cost (N={n}, q/N=10%)"),
@@ -164,7 +179,7 @@ fn dispatch(name: &str, n: usize, seed: u64, json_path: &str, floor: Option<f64>
             let best = points
                 .iter()
                 .filter(|p| p.method == "kernel-frozen")
-                .map(|p| p.samples_per_sec())
+                .map(storm_bench::BatchPoint::samples_per_sec)
                 .fold(0.0f64, f64::max);
             let table = format_table(
                 &format!("E14 — frozen single-thread sampling kernel (N={n}, 1 shard, WOR)"),
@@ -182,6 +197,47 @@ fn dispatch(name: &str, n: usize, seed: u64, json_path: &str, floor: Option<f64>
             }
             table
         }
+        "serve" => {
+            let sessions: &[usize] = if smoke { &[64] } else { &[64, 256, 1024] };
+            let points = run_serve_bench(n, sessions, seed);
+            let existing = std::fs::read_to_string(json_path).ok();
+            let json = merge_results_json(existing.as_deref(), &serve_json(&points), "sessions");
+            if let Some(dir) = std::path::Path::new(json_path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+            }
+            match std::fs::write(json_path, &json) {
+                Ok(()) => eprintln!("wrote {json_path}"),
+                Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+            }
+            let table = format_table(
+                &format!(
+                    "E15 — multi-session serving vs naive one-at-a-time loop (N={n}, {} shards, WR)",
+                    points.first().map_or(0, |p| p.shards)
+                ),
+                &serve_rows(&points),
+            );
+            if let Some(floor) = floor {
+                let top = sessions.iter().copied().max().unwrap_or(0);
+                let qps = |method: &str| {
+                    points
+                        .iter()
+                        .find(|p| p.method == method && p.sessions == top)
+                        .map_or(0.0, ServePoint::queries_per_sec)
+                };
+                let speedup = qps("serve") / qps("naive").max(1e-12);
+                if speedup < floor {
+                    println!("{table}");
+                    eprintln!(
+                        "error: serve speedup {speedup:.2}x at {top} sessions below floor {floor:.2}x"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("serve floor ok: {speedup:.2}x >= {floor:.2}x at {top} sessions");
+            }
+            table
+        }
         "faults" => format_table(
             &format!("E13 — degraded-mode recovery vs fault rate (N={n}, 4 shards, WOR)"),
             &run_fault_recovery(n, &[0, 50, 100, 200, 400], seed),
@@ -194,7 +250,8 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: figures <fig3a|fig3b|fig5|fig6a|fig6b|updates|io|ablate|crossover|scaling|batch\
-         |kernel|faults|all> [--n N] [--seed S] [--json PATH] [--floor SAMPLES/S]"
+         |kernel|faults|serve|all> [--n N] [--seed S] [--json PATH] \
+         [--floor SAMPLES/S (kernel) | SPEEDUP (serve)] [--smoke]"
     );
     std::process::exit(2);
 }

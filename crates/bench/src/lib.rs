@@ -783,7 +783,7 @@ pub fn run_batch_throughput(
         // left the trees intact: a fresh sampler restarts the stream).
         // First sequential one-at-a-time gather — a `Fill(1)` round-trip
         // per draw — then the batched configurations.
-        let mut parallel = cluster.into_parallel();
+        let parallel = cluster.into_parallel();
         // Untimed warm-up: each worker builds its frozen snapshot at
         // thread start, and on a small host that startup cost would land
         // on whichever timed series runs first. One tiny drain forces an
@@ -938,6 +938,317 @@ pub fn batch_json(points: &[BatchPoint]) -> String {
             p.secs
         );
         out.push_str(if i + 1 == points.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// One measured configuration of the multi-session serving experiment
+/// (E15): `sessions` concurrent online-aggregation queries drained to a
+/// fixed per-session sample budget, either through the shared-pool
+/// [`storm_server::SessionServer`] (`"serve"`) or a naive
+/// one-query-at-a-time loop over [`storm_core::ParallelSampler`]
+/// (`"naive"`, the pre-server serving story: each query pays its own
+/// open/fill round-trips and no work overlaps across queries).
+#[derive(Debug, Clone)]
+pub struct ServePoint {
+    /// `"serve"` or `"naive"`.
+    pub method: &'static str,
+    /// Data-set size `N`.
+    pub n: usize,
+    /// Concurrent sessions submitted at `t = 0`.
+    pub sessions: usize,
+    /// Shard-worker count.
+    pub shards: usize,
+    /// Per-session sample budget.
+    pub budget: u64,
+    /// Total samples delivered across all sessions.
+    pub samples: u64,
+    /// Wall-clock seconds until every session finished.
+    pub secs: f64,
+    /// Median time from batch submission to a session's first estimate.
+    pub p50_first_ms: f64,
+    /// 99th-percentile time to first estimate.
+    pub p99_first_ms: f64,
+}
+
+impl ServePoint {
+    /// Completed queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.sessions as f64 / self.secs.max(1e-12)
+    }
+}
+
+/// Percentile (nearest-rank on the sorted copy) of `values`, in place.
+fn percentile_ms(values: &mut [f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let idx = ((p / 100.0) * (values.len() - 1) as f64).round() as usize;
+    values[idx.min(values.len() - 1)]
+}
+
+/// The deterministic per-session workload: a window covering ~10% of the
+/// data extent per axis at a seed-chosen position, plus the session seed.
+fn serve_session_query(lo: Point2, hi: Point2, seed: u64, i: usize) -> (Rect2, u64) {
+    use rand::RngExt;
+    let qseed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(qseed);
+    let mut corner = [0.0f64; 2];
+    let mut side = [0.0f64; 2];
+    for axis in 0..2 {
+        let span = hi.get(axis) - lo.get(axis);
+        side[axis] = span * 0.02;
+        corner[axis] = lo.get(axis) + rng.random::<f64>() * (span - side[axis]);
+    }
+    let a = Point2::new(corner);
+    let b = Point2::new([corner[0] + side[0], corner[1] + side[1]]);
+    (Rect2::from_corners(a, b), qseed)
+}
+
+/// E15: multi-session serving throughput and time-to-first-estimate.
+///
+/// All `sessions` queries "arrive" at `t = 0` (the interactive burst the
+/// paper's multi-user setting implies). The `naive` leg serves them one
+/// query at a time through a fresh [`storm_core::ParallelSampler`] each —
+/// per query it pays the open scatter-gather, the first fill round-trip,
+/// and the merge, with every co-tenant queued behind it, so its
+/// first-estimate tail is the whole batch wall time. The `serve` leg
+/// submits all of them to one [`storm_server::SessionServer`] over the
+/// *same* worker pool: admissions settle in one batched gather, per-tick
+/// fills coalesce into one `FillMany` per shard, and deficit-round-robin
+/// credit advances every session together, so first estimates land within
+/// a tick or two of submission for the whole population.
+///
+/// Both legs drain the identical per-session budget in identical block
+/// sizes over the same shards (equal total sample throughput); the
+/// acceptance ratio is `serve` vs `naive` queries/sec at the largest
+/// session count.
+pub fn run_serve_bench(n: usize, session_counts: &[usize], seed: u64) -> Vec<ServePoint> {
+    use storm_core::DistributedRsTree;
+    use storm_server::{QuerySpec, ServeConfig, SessionEvent, SessionServer};
+    const SHARDS: usize = 16;
+    const BUDGET: u64 = 64;
+    const BLOCK: usize = 16;
+    let data = osm::generate(n, seed);
+    let (mut lo, mut hi) = (data.items[0].point, data.items[0].point);
+    for item in &data.items {
+        for axis in 0..2 {
+            lo = lo.with(axis, lo.get(axis).min(item.point.get(axis)));
+            hi = hi.with(axis, hi.get(axis).max(item.point.get(axis)));
+        }
+    }
+    let mut cluster = DistributedRsTree::bulk_load(
+        data.items.clone(),
+        SHARDS,
+        RsTreeConfig::with_fanout(FANOUT),
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE15);
+    cluster.prefill(&mut rng);
+    // Moved into each serve leg's server and handed back by `shutdown`.
+    let mut parallel = cluster.into_parallel();
+    // Untimed warm-up (worker snapshot builds; see run_batch_throughput).
+    {
+        let (query, qseed) = serve_session_query(lo, hi, seed, usize::MAX);
+        let mut rng = StdRng::seed_from_u64(qseed);
+        let mut s = parallel.sampler(query, SampleMode::WithReplacement, qseed);
+        let mut buf: Vec<Item<2>> = Vec::with_capacity(8);
+        let _ = s.next_batch(&mut rng, &mut buf, 8);
+    }
+    let mut points = Vec::new();
+    for &sessions in session_counts {
+        // Naive leg: one query at a time over the shared pool.
+        let t0 = Instant::now();
+        let mut first_ms: Vec<f64> = Vec::with_capacity(sessions);
+        let mut total = 0u64;
+        for i in 0..sessions {
+            let (query, qseed) = serve_session_query(lo, hi, seed, i);
+            let mut rng = StdRng::seed_from_u64(qseed);
+            let mut s = parallel.sampler(query, SampleMode::WithReplacement, qseed);
+            let mut stat = OnlineStat::new();
+            let mut buf: Vec<Item<2>> = Vec::with_capacity(BLOCK);
+            let mut drawn = 0u64;
+            let mut first: Option<f64> = None;
+            while drawn < BUDGET {
+                buf.clear();
+                let want = BLOCK.min((BUDGET - drawn) as usize);
+                let got = s.next_batch(&mut rng, &mut buf, want);
+                if got == 0 {
+                    break;
+                }
+                for item in &buf {
+                    stat.push(item.point.get(0));
+                }
+                drawn += got as u64;
+                if first.is_none() {
+                    let _ = stat.mean_estimate();
+                    first = Some(t0.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            total += drawn;
+            first_ms.push(first.unwrap_or_else(|| t0.elapsed().as_secs_f64() * 1e3));
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        points.push(ServePoint {
+            method: "naive",
+            n,
+            sessions,
+            shards: SHARDS,
+            budget: BUDGET,
+            samples: total,
+            secs,
+            p50_first_ms: percentile_ms(&mut first_ms, 50.0),
+            p99_first_ms: percentile_ms(&mut first_ms, 99.0),
+        });
+
+        // Serve leg: the same burst through the session scheduler.
+        let server = SessionServer::start(
+            parallel,
+            ServeConfig {
+                max_sessions: sessions,
+                queue_limit: sessions,
+                // A whole budget of credit per tick: every session's four
+                // 16-sample rounds run back-to-back inside one tick, so
+                // the per-tick costs (grant scan, progress emission) are
+                // paid once per session instead of once per round. Round
+                // *sizes* stay `block` — quantum only gates when rounds
+                // run, so the determinism contract is untouched.
+                quantum: BUDGET as usize,
+                block: BLOCK,
+                confidence: 0.95,
+            },
+        );
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| {
+                let (query, qseed) = serve_session_query(lo, hi, seed, i);
+                server.open(QuerySpec {
+                    query,
+                    mode: SampleMode::WithReplacement,
+                    seed: qseed,
+                    sample_budget: Some(BUDGET),
+                    time_budget_ms: None,
+                    target_error: None,
+                })
+            })
+            .collect();
+        // Drain handle by handle with blocking recvs: every session has
+        // its own event channel, so events queue while the collector is
+        // busy elsewhere and the scheduler thread keeps the core. The
+        // observed first-event time is an upper bound on the true
+        // first-estimate latency (late-walked handles are charged the
+        // drain skew), which keeps the serve percentiles conservative.
+        let mut first_ms: Vec<f64> = Vec::with_capacity(sessions);
+        let mut total = 0u64;
+        for h in &handles {
+            let mut first: Option<f64> = None;
+            while let Some(ev) = h.recv_event() {
+                match ev {
+                    SessionEvent::Progress { .. } => {
+                        if first.is_none() {
+                            first = Some(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                    }
+                    SessionEvent::Done { outcome, .. } => {
+                        if first.is_none() {
+                            first = Some(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        total += outcome.samples;
+                        break;
+                    }
+                    SessionEvent::Admitted { .. } => {}
+                    SessionEvent::Rejected { .. } => break,
+                }
+            }
+            first_ms.push(first.unwrap_or_else(|| t0.elapsed().as_secs_f64() * 1e3));
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        points.push(ServePoint {
+            method: "serve",
+            n,
+            sessions,
+            shards: SHARDS,
+            budget: BUDGET,
+            samples: total,
+            secs,
+            p50_first_ms: percentile_ms(&mut first_ms, 50.0),
+            p99_first_ms: percentile_ms(&mut first_ms, 99.0),
+        });
+        parallel = server.shutdown();
+    }
+    let _ = parallel;
+    points
+}
+
+/// Formats serve points as printable [`Row`]s.
+pub fn serve_rows(points: &[ServePoint]) -> Vec<Row> {
+    points
+        .iter()
+        .map(|p| {
+            Row::new(
+                format!("{}/S={}", p.method, p.sessions),
+                vec![
+                    ("queries/s", p.queries_per_sec()),
+                    ("samples", p.samples as f64),
+                    ("time(s)", p.secs),
+                    ("p50-first(ms)", p.p50_first_ms),
+                    ("p99-first(ms)", p.p99_first_ms),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Serialises serve points in the `BENCH_results.json` entry format
+/// (hand-rolled like [`batch_json`]; `sessions` marks E15 entries).
+pub fn serve_json(points: &[ServePoint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"method\": \"{}\", \"n\": {}, \"sessions\": {}, \"shards\": {}, \
+             \"budget\": {}, \"samples\": {}, \"queries_per_sec\": {:.1}, \
+             \"wall_time_s\": {:.6}, \"p50_first_ms\": {:.3}, \"p99_first_ms\": {:.3}}}",
+            p.method,
+            p.n,
+            p.sessions,
+            p.shards,
+            p.budget,
+            p.samples,
+            p.queries_per_sec(),
+            p.secs,
+            p.p50_first_ms,
+            p.p99_first_ms
+        );
+        out.push_str(if i + 1 == points.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Merges a freshly produced entry array into an existing
+/// `BENCH_results.json` payload: prior entries of the same experiment
+/// (matched by `marker`, e.g. `"sessions"` for E15) are replaced, entries
+/// of other experiments are kept. Both inputs must be in the one-entry-
+/// per-line format the writers here produce.
+pub fn merge_results_json(existing: Option<&str>, new_entries: &str, marker: &str) -> String {
+    let key = format!("\"{marker}\":");
+    let mut entries: Vec<String> = Vec::new();
+    let keep = |line: &str| {
+        let t = line.trim().trim_end_matches(',');
+        (t.starts_with('{') && t.ends_with('}')).then(|| t.to_owned())
+    };
+    if let Some(text) = existing {
+        entries.extend(text.lines().filter_map(keep).filter(|e| !e.contains(&key)));
+    }
+    entries.extend(new_entries.lines().filter_map(keep));
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(e);
+        out.push_str(if i + 1 == entries.len() { "\n" } else { ",\n" });
     }
     out.push_str("]\n");
     out

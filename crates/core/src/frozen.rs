@@ -171,7 +171,7 @@ impl<const D: usize> LsTree<D> {
     /// Snapshots every level of the LS-forest into frozen arenas.
     pub fn freeze(&self) -> FrozenLsForest<D> {
         FrozenLsForest {
-            levels: self.levels.iter().map(|t| t.freeze()).collect(),
+            levels: self.levels.iter().map(storm_rtree::RTree::freeze).collect(),
             salt: self.salt,
         }
     }

@@ -43,7 +43,10 @@ pub use frozen::{
     FrozenSampler,
 };
 pub use ls_tree::{LsSampler, LsTree};
-pub use parallel::{ParallelRsCluster, ParallelSampler};
+pub use parallel::{
+    CloseError, FillReq, JoinOutcome, OpenReq, ParallelRsCluster, ParallelSampler, SessionBatch,
+    SessionOpen, ShardReply, StreamCore,
+};
 pub use query_first::QueryFirst;
 pub use random_path::RandomPath;
 pub use rs_tree::{RsSampler, RsTree, RsTreeConfig};

@@ -22,7 +22,7 @@ use storm_rtree::Item;
 use storm_store::{Collection, DocId, Document};
 
 use crate::dataset::{Dataset, DatasetConfig};
-use crate::session::{CancelToken, Progress, QueryOutcome, StopReason, TaskResult};
+use crate::session::{CancelToken, Progress, QueryOutcome, StopCheck, StopReason, TaskResult};
 use crate::EngineError;
 
 /// How often (in samples) the loop re-evaluates budgets, quality, and
@@ -533,27 +533,27 @@ pub(crate) fn run_plan(
     let mut block: Vec<Item<3>> = Vec::with_capacity(CHECK_EVERY as usize);
     let mut next_progress = PROGRESS_EVERY;
     let reason = loop {
-        if cancel.is_cancelled() {
-            break StopReason::Cancelled;
+        let check = StopCheck {
+            cancelled: cancel.is_cancelled(),
+            samples,
+            sample_budget: term.sample_budget.map(|b| b as u64),
+            elapsed: start.elapsed(),
+            time_budget: term.time_budget_ms.map(Duration::from_millis),
+            // Only pay the snapshot when an ERROR clause can use it.
+            rel_error: if term.target_error.is_some() {
+                state.rel_error(confidence)
+            } else {
+                None
+            },
+            target_error: term.target_error,
+        };
+        if let Some(reason) = check.decide() {
+            break reason;
         }
         let mut want = CHECK_EVERY;
         if let Some(budget) = term.sample_budget {
-            let budget = budget as u64;
-            if samples >= budget {
-                break StopReason::SampleBudget;
-            }
             // Clamp the block so the budget is hit exactly.
-            want = want.min(budget - samples);
-        }
-        if let Some(ms) = term.time_budget_ms {
-            if start.elapsed() >= Duration::from_millis(ms) {
-                break StopReason::TimeBudget;
-            }
-        }
-        if let (Some(target), Some(err)) = (term.target_error, state.rel_error(confidence)) {
-            if samples > 1 && err <= target {
-                break StopReason::QualityReached;
-            }
+            want = want.min(budget as u64 - samples);
         }
         block.clear();
         if sampler.next_batch(rng, &mut block, want as usize) == 0 {

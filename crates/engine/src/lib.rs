@@ -29,7 +29,7 @@ pub mod viz;
 
 pub use dataset::{Dataset, DatasetConfig};
 pub use engine::{ImportReport, StormEngine};
-pub use session::{Progress, QueryOutcome, StopReason, TaskResult};
+pub use session::{CancelToken, Progress, QueryOutcome, StopCheck, StopReason, TaskResult};
 // Fault-injection / degraded-execution vocabulary, re-exported so engine
 // users can configure chaos runs and inspect degradation without a direct
 // storm-faultkit dependency.

@@ -141,6 +141,58 @@ pub struct QueryOutcome {
     pub reason: StopReason,
 }
 
+/// One evaluation of the online loop's stop rule.
+///
+/// Both the single-query executor (`exec::run_plan`) and the multi-session
+/// scheduler (`storm-server`) check the same conditions between sample
+/// blocks; this struct pins the canonical priority order in one place:
+/// cancellation, then the sample budget, then the time budget, then the
+/// quality target. Exhaustion is not here — only the sampler itself knows
+/// when the stream dried up, so callers break with
+/// [`StopReason::Exhausted`] when a batch comes back empty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StopCheck {
+    /// The session's cancellation flag at check time.
+    pub cancelled: bool,
+    /// Samples consumed so far.
+    pub samples: u64,
+    /// The `SAMPLES` budget, if one was requested.
+    pub sample_budget: Option<u64>,
+    /// Wall-clock time since the query started.
+    pub elapsed: Duration,
+    /// The `WITHIN` budget, if one was requested.
+    pub time_budget: Option<Duration>,
+    /// Current relative CI half-width (callers may skip computing it when
+    /// no target is set).
+    pub rel_error: Option<f64>,
+    /// The `ERROR` target, if one was requested.
+    pub target_error: Option<f64>,
+}
+
+impl StopCheck {
+    /// Applies the stop rule: `Some(reason)` ends the loop now, `None`
+    /// means keep sampling. The quality test requires more than one sample
+    /// so a lucky first draw (variance still undefined) cannot satisfy an
+    /// `ERROR` clause.
+    pub fn decide(&self) -> Option<StopReason> {
+        if self.cancelled {
+            return Some(StopReason::Cancelled);
+        }
+        if self.sample_budget.is_some_and(|b| self.samples >= b) {
+            return Some(StopReason::SampleBudget);
+        }
+        if self.time_budget.is_some_and(|b| self.elapsed >= b) {
+            return Some(StopReason::TimeBudget);
+        }
+        if let (Some(target), Some(err)) = (self.target_error, self.rel_error) {
+            if self.samples > 1 && err <= target {
+                return Some(StopReason::QualityReached);
+            }
+        }
+        None
+    }
+}
+
 impl QueryOutcome {
     /// The aggregate estimate, if this was an aggregate query.
     pub fn estimate(&self) -> Option<Estimate> {
@@ -164,6 +216,48 @@ impl QueryOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stop_check_priority_order() {
+        // Cancellation beats every budget; budgets beat quality.
+        let all = StopCheck {
+            cancelled: true,
+            samples: 100,
+            sample_budget: Some(50),
+            elapsed: Duration::from_secs(10),
+            time_budget: Some(Duration::from_secs(1)),
+            rel_error: Some(0.0),
+            target_error: Some(0.1),
+        };
+        assert_eq!(all.decide(), Some(StopReason::Cancelled));
+        let budgets = StopCheck {
+            cancelled: false,
+            ..all
+        };
+        assert_eq!(budgets.decide(), Some(StopReason::SampleBudget));
+        let timed = StopCheck {
+            sample_budget: None,
+            ..budgets
+        };
+        assert_eq!(timed.decide(), Some(StopReason::TimeBudget));
+        let quality = StopCheck {
+            time_budget: None,
+            ..timed
+        };
+        assert_eq!(quality.decide(), Some(StopReason::QualityReached));
+        assert_eq!(StopCheck::default().decide(), None);
+    }
+
+    #[test]
+    fn stop_check_quality_needs_two_samples() {
+        let first_draw = StopCheck {
+            samples: 1,
+            rel_error: Some(0.0),
+            target_error: Some(0.1),
+            ..StopCheck::default()
+        };
+        assert_eq!(first_draw.decide(), None);
+    }
 
     #[test]
     fn cancel_token_flags() {

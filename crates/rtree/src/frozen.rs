@@ -141,8 +141,8 @@ impl<const D: usize> FrozenRTree<D> {
                 while i < hi {
                     let end = (i + fanout).min(hi);
                     let mut r = rects[i];
-                    for j in i + 1..end {
-                        r = r.union(&rects[j]);
+                    for other in &rects[i + 1..end] {
+                        r = r.union(other);
                     }
                     rects.push(r);
                     i = end;

@@ -1,0 +1,347 @@
+//! Integration tests for the multi-session server: the determinism
+//! contract (solo vs co-tenant estimate sequences), cancellation credit
+//! reclamation, admission control, fairness, and the wire protocol.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use storm_core::{DistributedRsTree, ParallelRsCluster, RsTreeConfig, SampleMode};
+use storm_engine::session::StopReason;
+use storm_geo::{Point2, Rect2};
+use storm_rtree::Item;
+use storm_server::{
+    QuerySpec, ServeConfig, SessionEvent, SessionServer, WireClient, WireEvent, WireServer,
+};
+
+fn grid_items(n: usize) -> Vec<Item<2>> {
+    (0..n)
+        .map(|i| Item::new(Point2::xy((i % 100) as f64, (i / 100) as f64), i as u64))
+        .collect()
+}
+
+fn cluster(n: usize, shards: usize) -> ParallelRsCluster {
+    DistributedRsTree::bulk_load(grid_items(n), shards, RsTreeConfig::with_fanout(16))
+        .into_parallel()
+}
+
+fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect2 {
+    Rect2::from_corners(Point2::xy(x0, y0), Point2::xy(x1, y1))
+}
+
+/// Collects one session's full event history as comparable fingerprints:
+/// `(samples, estimate bits, std-err bits)` per Progress tick plus the
+/// final `(reason, samples, bits, bits)` — everything except wall-clock.
+fn fingerprint(handle: &storm_server::SessionHandle) -> Vec<(u64, u64, u64, Option<StopReason>)> {
+    let mut out = Vec::new();
+    loop {
+        match handle
+            .recv_event_timeout(Duration::from_secs(30))
+            .expect("server event before timeout")
+        {
+            SessionEvent::Admitted { .. } => {}
+            SessionEvent::Rejected { .. } => panic!("unexpected rejection"),
+            SessionEvent::Progress { progress, .. } => {
+                let est = match progress.result {
+                    storm_engine::TaskResult::Aggregate { estimate, .. } => estimate,
+                    other => panic!("unexpected task result {other:?}"),
+                };
+                out.push((
+                    progress.samples,
+                    est.value.to_bits(),
+                    est.std_err.to_bits(),
+                    None,
+                ));
+            }
+            SessionEvent::Done { outcome, .. } => {
+                let est = outcome.estimate().expect("aggregate outcome");
+                out.push((
+                    outcome.samples,
+                    est.value.to_bits(),
+                    est.std_err.to_bits(),
+                    Some(outcome.reason),
+                ));
+                return out;
+            }
+        }
+    }
+}
+
+fn target_spec(seed: u64) -> QuerySpec {
+    QuerySpec {
+        sample_budget: Some(512),
+        seed,
+        ..QuerySpec::new(rect(10.0, 10.0, 80.0, 150.0))
+    }
+}
+
+/// The determinism contract: the same seeded query produces a
+/// bit-identical estimate sequence alone and under 256 co-tenant
+/// sessions, at three seeds (ISSUE 8 acceptance criterion).
+#[test]
+fn solo_vs_co_tenant_estimate_sequences_identical() {
+    for seed in [3u64, 17, 99] {
+        // Solo run.
+        let server = SessionServer::start(cluster(20_000, 4), ServeConfig::default());
+        let solo = fingerprint(&server.open(target_spec(seed)));
+        drop(server);
+
+        // Same query under 256 co-tenants (half admitted before the
+        // target, half after), every co-tenant on a different seed,
+        // query, and mode mix.
+        let server = SessionServer::start(cluster(20_000, 4), ServeConfig::default());
+        let mut tenants = Vec::new();
+        let tenant_spec = |i: u64| QuerySpec {
+            seed: 1000 + i,
+            sample_budget: Some(192),
+            mode: if i.is_multiple_of(3) {
+                SampleMode::WithReplacement
+            } else {
+                SampleMode::WithoutReplacement
+            },
+            ..QuerySpec::new(rect(
+                (i % 7) as f64 * 9.0,
+                (i % 11) as f64 * 13.0,
+                (i % 7) as f64 * 9.0 + 40.0,
+                (i % 11) as f64 * 13.0 + 55.0,
+            ))
+        };
+        for i in 0..128 {
+            tenants.push(server.open(tenant_spec(i)));
+        }
+        let target = server.open(target_spec(seed));
+        for i in 128..256 {
+            tenants.push(server.open(tenant_spec(i)));
+        }
+        let loaded = fingerprint(&target);
+        for t in &tenants {
+            assert!(t.wait().is_some(), "co-tenant session died");
+        }
+        assert_eq!(
+            solo, loaded,
+            "seed {seed}: estimate sequence perturbed by co-tenants"
+        );
+    }
+}
+
+/// Terminated sessions free their worker credit within one tick: the
+/// cancelled session gets `Done(Cancelled)`, drops out of the live
+/// table, and the surviving session keeps refining.
+#[test]
+fn cancellation_reclaims_credit_within_one_tick() {
+    let server = SessionServer::start(cluster(20_000, 4), ServeConfig::default());
+    // Both unbounded: they run until terminated.
+    let spec = QuerySpec {
+        mode: SampleMode::WithReplacement,
+        ..QuerySpec::new(rect(0.0, 0.0, 99.0, 199.0))
+    };
+    let a = server.open(QuerySpec { seed: 1, ..spec });
+    let b = server.open(QuerySpec { seed: 2, ..spec });
+
+    // Wait until both have produced at least one estimate.
+    for h in [&a, &b] {
+        loop {
+            match h.recv_event_timeout(Duration::from_secs(30)).unwrap() {
+                SessionEvent::Progress { .. } => break,
+                _ => continue,
+            }
+        }
+    }
+    assert_eq!(server.stats().unwrap().live, 2);
+
+    a.terminate();
+    let outcome = a.wait().expect("cancelled session still reports Done");
+    assert_eq!(outcome.reason, StopReason::Cancelled);
+    assert!(outcome.samples > 0);
+
+    // stats() is a control barrier: the reply proves the terminate was
+    // applied (same tick boundary), so the credit is already reclaimed.
+    let stats = server.stats().unwrap();
+    assert_eq!(stats.live, 1);
+    assert_eq!(stats.done, 1);
+
+    // The survivor keeps making progress after the cancellation.
+    let before = loop {
+        if let SessionEvent::Progress { progress, .. } =
+            b.recv_event_timeout(Duration::from_secs(30)).unwrap()
+        {
+            break progress.samples;
+        }
+    };
+    let after = loop {
+        if let SessionEvent::Progress { progress, .. } =
+            b.recv_event_timeout(Duration::from_secs(30)).unwrap()
+        {
+            break progress.samples;
+        }
+    };
+    assert!(after > before);
+    b.terminate();
+    assert_eq!(b.wait().unwrap().reason, StopReason::Cancelled);
+    let cluster = server.shutdown();
+    assert_eq!(cluster.dropped_sends(), 0);
+}
+
+/// Admission control: the live table is bounded, the overflow queue is
+/// bounded, and a queued session is admitted once a slot frees up.
+#[test]
+fn admission_control_bounds_table_and_queue() {
+    let cfg = ServeConfig {
+        max_sessions: 2,
+        queue_limit: 1,
+        ..ServeConfig::default()
+    };
+    let server = SessionServer::start(cluster(5_000, 2), cfg);
+    let spec = QuerySpec {
+        mode: SampleMode::WithReplacement,
+        ..QuerySpec::new(rect(0.0, 0.0, 99.0, 49.0))
+    };
+    let a = server.open(QuerySpec { seed: 1, ..spec });
+    let b = server.open(QuerySpec { seed: 2, ..spec });
+    let c = server.open(QuerySpec { seed: 3, ..spec });
+    let d = server.open(QuerySpec { seed: 4, ..spec });
+
+    // a and b fill the table; c waits in the queue; d overflows.
+    assert!(matches!(
+        d.recv_event_timeout(Duration::from_secs(30)).unwrap(),
+        SessionEvent::Rejected { .. }
+    ));
+    let stats = server.stats().unwrap();
+    assert_eq!((stats.live, stats.queued, stats.rejected), (2, 1, 1));
+
+    // Freeing a slot admits the queued session.
+    a.terminate();
+    assert_eq!(a.wait().unwrap().reason, StopReason::Cancelled);
+    assert!(matches!(
+        c.recv_event_timeout(Duration::from_secs(30)).unwrap(),
+        SessionEvent::Admitted { .. }
+    ));
+    b.terminate();
+    c.terminate();
+    assert!(b.wait().is_some());
+    assert!(c.wait().is_some());
+}
+
+/// The fairness invariant: concurrently admitted sessions advance at the
+/// same sample cadence (quantum per tick) regardless of their query
+/// sizes.
+#[test]
+fn fair_share_is_query_size_independent() {
+    let cfg = ServeConfig::default();
+    let server = SessionServer::start(cluster(20_000, 4), cfg);
+    // A big scan vs a small lookup, both with-replacement (infinite).
+    let big = server.open(QuerySpec {
+        mode: SampleMode::WithReplacement,
+        seed: 5,
+        ..QuerySpec::new(rect(0.0, 0.0, 99.0, 199.0))
+    });
+    let small = server.open(QuerySpec {
+        mode: SampleMode::WithReplacement,
+        seed: 6,
+        ..QuerySpec::new(rect(40.0, 40.0, 45.0, 45.0))
+    });
+    let first = |h: &storm_server::SessionHandle| loop {
+        if let SessionEvent::Progress { progress, .. } =
+            h.recv_event_timeout(Duration::from_secs(30)).unwrap()
+        {
+            break progress.samples;
+        }
+    };
+    // Both first progress ticks deliver exactly the per-tick quantum.
+    assert_eq!(first(&big), cfg.quantum as u64);
+    assert_eq!(first(&small), cfg.quantum as u64);
+    big.terminate();
+    small.terminate();
+    assert!(big.wait().is_some());
+    assert!(small.wait().is_some());
+}
+
+/// A without-replacement session with no budget drains `P ∩ Q` exactly
+/// and reports `Exhausted`.
+#[test]
+fn exhaustion_reports_exact_result() {
+    let server = SessionServer::start(cluster(20_000, 4), ServeConfig::default());
+    let handle = server.open(QuerySpec {
+        seed: 9,
+        ..QuerySpec::new(rect(10.0, 10.0, 19.0, 19.0))
+    });
+    let outcome = handle.wait().expect("session completes");
+    assert_eq!(outcome.reason, StopReason::Exhausted);
+    assert_eq!(outcome.q, Some(100)); // 10×10 grid cells
+    assert_eq!(outcome.samples, 100);
+}
+
+/// Wire protocol round trip over TCP: open → poll to Done, with the
+/// estimate fields surviving the encode/decode.
+#[test]
+fn wire_tcp_round_trip() {
+    let server = Arc::new(SessionServer::start(
+        cluster(20_000, 4),
+        ServeConfig::default(),
+    ));
+    let wire = WireServer::bind_tcp(Arc::clone(&server), "127.0.0.1:0").unwrap();
+    let addr = wire.local_addr().unwrap();
+    let mut client = WireClient::connect_tcp(addr).unwrap();
+
+    let session = client.open(&target_spec(42)).unwrap();
+    let mut admitted = false;
+    let mut progressed = false;
+    let done = loop {
+        match client.poll(session).unwrap() {
+            None => std::thread::sleep(Duration::from_millis(1)),
+            Some(WireEvent::Admitted { session: s }) => {
+                assert_eq!(s, session);
+                admitted = true;
+            }
+            Some(WireEvent::Progress { samples, value, .. }) => {
+                assert!(samples > 0);
+                assert!(value.is_finite());
+                progressed = true;
+            }
+            Some(done @ WireEvent::Done { .. }) => break done,
+            Some(other) => panic!("unexpected event {other:?}"),
+        }
+    };
+    assert!(admitted && progressed);
+    let WireEvent::Done {
+        reason,
+        samples,
+        value,
+        ..
+    } = done
+    else {
+        unreachable!()
+    };
+    assert_eq!(reason, StopReason::SampleBudget);
+    assert_eq!(samples, 512);
+    assert!(value.is_finite());
+}
+
+/// The same protocol over a unix-domain socket, exercising terminate.
+#[test]
+fn wire_unix_socket_terminate() {
+    let server = Arc::new(SessionServer::start(
+        cluster(5_000, 2),
+        ServeConfig::default(),
+    ));
+    let path = std::env::temp_dir().join(format!("storm-wire-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let wire = WireServer::bind_unix(Arc::clone(&server), &path).unwrap();
+    let mut client = WireClient::connect_unix(&path).unwrap();
+
+    let session = client
+        .open(&QuerySpec {
+            mode: SampleMode::WithReplacement,
+            ..QuerySpec::new(rect(0.0, 0.0, 99.0, 49.0))
+        })
+        .unwrap();
+    client.terminate(session).unwrap();
+    let reason = loop {
+        match client.poll(session).unwrap() {
+            Some(WireEvent::Done { reason, .. }) => break reason,
+            _ => std::thread::sleep(Duration::from_millis(1)),
+        }
+    };
+    assert_eq!(reason, StopReason::Cancelled);
+    drop(wire);
+    let _ = std::fs::remove_file(&path);
+}

@@ -152,9 +152,9 @@ impl HilbertPartitioner {
         let order: Vec<usize> = keyed.iter().map(|&(_, _, pos)| pos).collect();
         let mut ranges = vec![0..0; self.shards];
         let mut start = 0usize;
-        for shard in 0..self.shards {
+        for (shard, range) in ranges.iter_mut().enumerate() {
             let end = start + keyed[start..].iter().take_while(|k| k.0 == shard).count();
-            ranges[shard] = start..end;
+            *range = start..end;
             start = end;
         }
         FrozenShardPlan { order, ranges }

@@ -16,6 +16,9 @@
 //!   across repeated runs;
 //! * [`CoverageCheck`] — reported confidence intervals cover the truth at
 //!   (at least) their nominal rate;
+//! * [`stress_concurrent`] — a barrier-released interleaving harness for
+//!   assertion-based concurrency tests (exact atomic-counter totals under
+//!   contention);
 //! * [`watchdog`] — a hang guard for fault-injection suites: the test
 //!   fails loudly instead of wedging CI.
 //!
@@ -317,6 +320,41 @@ impl CoverageCheck {
 }
 
 // ---------------------------------------------------------------------------
+// Concurrency stress harness
+// ---------------------------------------------------------------------------
+
+/// Runs `op(thread, iter)` from `threads` OS threads concurrently, `iters`
+/// times each, released together from a start barrier so the interleaving
+/// window is as wide as the scheduler allows. Returns once every thread
+/// finished; a panic in any `op` propagates to the caller.
+///
+/// This is the assertion-based stand-in for a loom-style interleaving
+/// test: pair it with an exact-count assertion (e.g. an atomic statistic
+/// counter must equal `threads * iters` afterwards) to pin lock-free
+/// bookkeeping like `ParallelRsCluster::dropped_sends` under real
+/// contention. It explores real schedules, not the exhaustive model —
+/// run it with a high iteration count.
+///
+/// # Panics
+/// Propagates the first panic raised inside `op` (scoped threads re-raise
+/// on join).
+pub fn stress_concurrent(threads: usize, iters: usize, op: impl Fn(usize, usize) + Sync) {
+    let barrier = std::sync::Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let barrier = &barrier;
+            let op = &op;
+            scope.spawn(move || {
+                barrier.wait();
+                for i in 0..iters {
+                    op(t, i);
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
 // Watchdog
 // ---------------------------------------------------------------------------
 
@@ -437,6 +475,26 @@ mod tests {
             bad.record(if miss { 10.0 } else { 0.1 }, 1.0, 0.0);
         }
         let panicked = std::panic::catch_unwind(move || bad.assert_at_least(0.95, "permissive"));
+        assert!(panicked.is_err());
+    }
+
+    #[test]
+    fn stress_harness_runs_every_op_exactly_once() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hits = AtomicU64::new(0);
+        stress_concurrent(8, 500, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8 * 500);
+    }
+
+    #[test]
+    fn stress_harness_propagates_op_panics() {
+        let panicked = std::panic::catch_unwind(|| {
+            stress_concurrent(2, 10, |t, i| {
+                assert!(!(t == 1 && i == 5), "injected");
+            });
+        });
         assert!(panicked.is_err());
     }
 

@@ -1,5 +1,5 @@
 //! `storm-analyzer` — the A1–A3 structural passes over [`crate::front`]
-//! facts and the [`crate::callgraph`] workspace call graph, plus the A4–A8
+//! facts and the [`crate::callgraph`] workspace call graph, plus the A4–A9
 //! hot-path cost passes over the [`crate::cfg`] loop-aware CFG.
 //!
 //! | pass | name | guards against |
@@ -12,6 +12,7 @@
 //! | A6 | `lock-across-blocking` | a lock guard held across a blocking call (`send`/`recv`/`recv_timeout`/`join`/`sleep`) — every contending thread stalls behind the block |
 //! | A7 | `unconfined-worker-panic` | panic-capable ops (`unwrap`/`expect`/indexing/integer div) on a spawned worker thread with no `catch_unwind` between — a panic silently kills the shard and wedges the gather |
 //! | A8 | `node-view-in-loop` | `NodeView` construction (`.visit(…)`/`.view_free_of_charge(…)`) inside a loop of a function the core sampling API reaches — per-iteration boxed-node pointer chases the frozen flat-array layout answers arithmetically |
+//! | A9 | `tick-loop-alloc` | allocation/`.clone()`/`.collect()` inside a loop of a function the session scheduler's tick path reaches — the tick loops iterate live sessions, so each such site is a per-session-per-tick cost that caps serving throughput |
 //!
 //! All passes are *over-approximate*: the call graph links by name, lock
 //! identity is the receiver's textual path (qualified by the impl type for
@@ -48,7 +49,7 @@ pub struct Pass {
 }
 
 /// All passes, in id order.
-pub const PASSES: [Pass; 8] = [
+pub const PASSES: [Pass; 9] = [
     Pass {
         id: "A1",
         name: "lock-order",
@@ -110,6 +111,15 @@ pub const PASSES: [Pass; 8] = [
                     arithmetically — descend on the frozen tree or hoist \
                     the view",
     },
+    Pass {
+        id: "A9",
+        name: "tick-loop-alloc",
+        rationale: "the session scheduler's tick loops iterate every live \
+                    session, so an allocation, clone, or collect inside one \
+                    is a per-session-per-tick cost that caps multi-tenant \
+                    serving throughput — hoist it into reused scheduler \
+                    scratch",
+    },
 ];
 
 /// Renders a finding with the analyzer's own tool prefix
@@ -127,7 +137,7 @@ pub fn analyzer_directives() -> DirectiveSpec {
     DirectiveSpec {
         tool: "storm-analyzer",
         known: PASSES.iter().map(|p| (p.id, p.name)).collect(),
-        hint: "A1..A8 or their names",
+        hint: "A1..A9 or their names",
     }
 }
 
@@ -173,6 +183,14 @@ const A7_SCOPE: [&str; 3] = [
 /// Path prefixes A8 scans for per-iteration `NodeView` construction (the
 /// boxed tree and the samplers over it).
 const A8_SCOPE: [&str; 2] = ["crates/rtree/src/", "crates/core/src/"];
+
+/// Path prefix A9 scans: the serving layer, whose scheduler tick loops
+/// iterate live sessions.
+const A9_SCOPE: [&str; 1] = ["crates/server/src/"];
+
+/// Function names rooting the A9 tick cone within the server crate: the
+/// scheduler thread's entry loop and its per-tick driver.
+const A9_ROOTS: [&str; 2] = ["run", "tick"];
 
 fn in_scope(path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|s| path.starts_with(s))
@@ -223,7 +241,7 @@ pub fn analyze_sources_timed(files: &[(String, String)]) -> (Vec<Diagnostic>, Pa
     };
 
     let mut diags = Vec::new();
-    let passes: [(&'static str, &dyn Fn() -> Vec<Diagnostic>); 8] = [
+    let passes: [(&'static str, &dyn Fn() -> Vec<Diagnostic>); 9] = [
         ("A1", &|| pass_lock_order(&graph)),
         ("A2", &|| pass_determinism_taint(&graph)),
         ("A3", &|| pass_protocol_conformance(&graph)),
@@ -232,6 +250,7 @@ pub fn analyze_sources_timed(files: &[(String, String)]) -> (Vec<Diagnostic>, Pa
         ("A6", &|| pass_lock_across_blocking(&graph, &cfgs)),
         ("A7", &|| pass_unconfined_worker_panic(&graph, &cfgs)),
         ("A8", &|| pass_node_view_in_loop(&graph, &cfgs)),
+        ("A9", &|| pass_tick_loop_alloc(&graph, &cfgs)),
     ];
     for (id, run) in passes {
         let t = std::time::Instant::now();
@@ -935,6 +954,67 @@ fn pass_node_view_in_loop(g: &CallGraph<'_>, cfgs: &[Vec<Cfg>]) -> Vec<Diagnosti
 }
 
 // ---------------------------------------------------------------------------
+// A9: tick-loop-alloc
+// ---------------------------------------------------------------------------
+
+/// Flags allocations, `.clone()`, and `.collect()` at loop depth >= 1 in
+/// functions the session scheduler's tick path ([`A9_ROOTS`] within the
+/// server crate) can reach. The scheduler's loops iterate live sessions,
+/// so each such site is a per-session-per-tick cost: at S sessions it
+/// scales the tick by S allocator round-trips, exactly the overhead the
+/// scheduler's reused scratch buffers exist to avoid (A4's sibling for the
+/// serving layer). Cold sites (assertion/panic macro arguments) are
+/// skipped, as in A4.
+fn pass_tick_loop_alloc(g: &CallGraph<'_>, cfgs: &[Vec<Cfg>]) -> Vec<Diagnostic> {
+    let mut roots: Vec<FnId> = Vec::new();
+    for id in g.all_fns() {
+        let f = g.fun(id);
+        if f.in_test || !in_scope(g.path(id), &A9_SCOPE) {
+            continue;
+        }
+        if A9_ROOTS.contains(&f.name.as_str()) {
+            roots.push(id);
+        }
+    }
+    roots.sort();
+    let cone = g.reachable_from(&roots);
+    let mut out = Vec::new();
+    for &id in &cone {
+        let f = g.fun(id);
+        if f.in_test || !in_scope(g.path(id), &A9_SCOPE) {
+            continue;
+        }
+        let body = &cfgs[id.0][id.1];
+        for site in &body.sites {
+            if site.loop_depth == 0 || site.cold {
+                continue;
+            }
+            let what = match &site.kind {
+                CostKind::Alloc(w) => format!("allocation `{w}`"),
+                CostKind::Clone => "`.clone()`".to_string(),
+                CostKind::Collect => "`.collect()`".to_string(),
+                _ => continue,
+            };
+            out.push(Diagnostic {
+                path: g.path(id).to_string(),
+                line: site.line,
+                col: site.col,
+                rule: "A9",
+                message: format!(
+                    "{what} at loop depth {} inside `{}`, which the session \
+                     scheduler's tick path reaches — a per-session cost paid \
+                     every tick; hoist it into reused scheduler scratch \
+                     [tick-loop-alloc]",
+                    site.loop_depth,
+                    f.key()
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Baseline
 // ---------------------------------------------------------------------------
 
@@ -1091,7 +1171,7 @@ impl S {
         let diags = analyze_one("crates/core/src/demo.rs", src);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "allow");
-        assert!(diags[0].message.contains("A1..A8"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("A1..A9"), "{}", diags[0].message);
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn print_usage() {
          lint                       run storm-lint over the workspace sources\n  \
          lint --list                print the rule table and exit\n  \
          lint <files..>             lint specific .rs files (paths relative to repo root)\n  \
-         analyze                    run storm-analyzer (A1-A3 interprocedural, A4-A8\n                             \
+         analyze                    run storm-analyzer (A1-A3 interprocedural, A4-A9\n                             \
                                     CFG/dataflow); baselined findings are reported\n                             \
                                     but only new ones fail\n  \
          analyze --list             print the pass table and exit\n  \

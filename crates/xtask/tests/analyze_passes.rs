@@ -272,6 +272,39 @@ fn a7_quiet_when_catch_unwind_dominates() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+// ---------------------------------------------------------------- A9
+
+#[test]
+fn a9_fires_on_per_session_alloc_in_tick_loop() {
+    let diags = analyze_fixture("a9_bad.rs", "crates/server/src/a9_bad.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    // `vec![0u64; 16]` on line 19, column of the `vec` token — inside
+    // `tick`, the scheduler's per-tick driver rooting the A9 cone.
+    assert_eq!(
+        (d.rule, d.path.as_str(), d.line, d.col),
+        ("A9", "crates/server/src/a9_bad.rs", 19, 25)
+    );
+    assert!(d.message.contains("allocation `vec!`"), "{}", d.message);
+    assert!(d.message.contains("loop depth 1"), "{}", d.message);
+    assert!(d.message.contains("per-session cost"), "{}", d.message);
+}
+
+#[test]
+fn a9_quiet_when_scratch_is_hoisted() {
+    let diags = analyze_fixture("a9_clean.rs", "crates/server/src/a9_clean.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn a9_quiet_outside_the_serving_layer() {
+    // The same tick-loop allocation, analyzed under a path A9 does not
+    // scope to: scoping, not luck, keeps the pass quiet (and no other
+    // pass roots at `run`/`tick`, so the whole run is silent).
+    let diags = analyze_fixture("a9_bad.rs", "crates/core/src/a9_bad.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
 // ---------------------------------------------------------------- baseline
 
 #[test]

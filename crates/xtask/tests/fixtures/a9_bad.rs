@@ -1,0 +1,23 @@
+//! A9 known-bad fixture: a per-session allocation inside the scheduler's
+//! tick loop — one fresh buffer per live session per tick, reached from
+//! the scheduler thread's `run` entry through the call graph.
+
+pub struct Sched {
+    sessions: Vec<u64>,
+}
+
+impl Sched {
+    pub fn run(&mut self) {
+        loop {
+            self.tick();
+            break;
+        }
+    }
+
+    fn tick(&mut self) {
+        for i in 0..self.sessions.len() {
+            let batch = vec![0u64; 16];
+            let _ = batch.len() + self.sessions[i] as usize;
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! A9 known-clean fixture: the same tick shape as `a9_bad.rs`, but the
+//! per-session batch buffer is hoisted into the scheduler and reused
+//! across sessions — the tick loop allocates nothing per session.
+
+pub struct Sched {
+    sessions: Vec<u64>,
+    scratch: Vec<u64>,
+}
+
+impl Sched {
+    pub fn run(&mut self) {
+        loop {
+            self.tick();
+            break;
+        }
+    }
+
+    fn tick(&mut self) {
+        for i in 0..self.sessions.len() {
+            self.scratch.clear();
+            self.scratch.push(self.sessions[i]);
+        }
+    }
+}

@@ -17,8 +17,15 @@ pub mod channel {
     pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// The sending half; clonable across threads.
-    #[derive(Clone)]
     pub struct Sender<T>(mpsc::Sender<T>);
+
+    // Manual impl: like real crossbeam (and the inner `mpsc::Sender`),
+    // cloning the handle must not require `T: Clone`.
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
 
     /// The receiving half. Clonable like crossbeam's: every clone drains the
     /// same queue and each message is delivered to exactly one caller.
