@@ -18,7 +18,11 @@
 //! 64/256/1024 concurrent sessions — `--smoke` restricts it to 64 — merging
 //! its entries into the JSON file; with `--floor <SPEEDUP>` it exits
 //! non-zero when serve-vs-naive queries/sec at the largest session count
-//! falls below the floor.
+//! falls below the floor. `ingest` runs E16 (live ingestion through the
+//! delta+runs index, alone and under concurrent queries), writing its
+//! measurements to the `--json` path (use `results/BENCH_ingest.json`);
+//! `--smoke` caps the feed at 30 000 tweets and `--floor <INSERTS/S>`
+//! gates the concurrent-ingest rate.
 
 use storm_bench::*;
 
@@ -91,6 +95,7 @@ fn main() {
                 "batch",
                 "faults",
                 "serve",
+                "ingest",
             ] {
                 run(name);
             }
@@ -242,6 +247,46 @@ fn dispatch(
             &format!("E13 — degraded-mode recovery vs fault rate (N={n}, 4 shards, WOR)"),
             &run_fault_recovery(n, &[0, 50, 100, 200, 400], seed),
         ),
+        "ingest" => {
+            let tweets = if smoke { n.min(30_000) } else { n };
+            let points = run_ingest_bench(tweets, seed);
+            let json = ingest_json(&points);
+            // E16 owns its own artifact: never clobber the E12/E15 file
+            // when `--json` was left at its default.
+            let json_path = if json_path == "results/BENCH_results.json" {
+                "results/BENCH_ingest.json"
+            } else {
+                json_path
+            };
+            if let Some(dir) = std::path::Path::new(json_path).parent() {
+                if !dir.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+            }
+            match std::fs::write(json_path, &json) {
+                Ok(()) => eprintln!("wrote {json_path}"),
+                Err(e) => eprintln!("warning: could not write {json_path}: {e}"),
+            }
+            let table = format_table(
+                &format!("E16 — live ingestion: delta+runs index under load (N={tweets} tweets)"),
+                &ingest_rows(&points),
+            );
+            if let Some(floor) = floor {
+                let live = points
+                    .iter()
+                    .find(|p| p.method == "ingest+query")
+                    .map_or(0.0, IngestPoint::inserts_per_sec);
+                if live < floor {
+                    println!("{table}");
+                    eprintln!(
+                        "error: concurrent ingest throughput {live:.0} inserts/s below floor {floor:.0}"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("ingest floor ok: {live:.0} >= {floor:.0} inserts/s");
+            }
+            table
+        }
         other => usage(&format!("unknown subcommand '{other}'")),
     }
 }
@@ -250,8 +295,8 @@ fn usage(problem: &str) -> ! {
     eprintln!("error: {problem}");
     eprintln!(
         "usage: figures <fig3a|fig3b|fig5|fig6a|fig6b|updates|io|ablate|crossover|scaling|batch\
-         |kernel|faults|serve|all> [--n N] [--seed S] [--json PATH] \
-         [--floor SAMPLES/S (kernel) | SPEEDUP (serve)] [--smoke]"
+         |kernel|faults|serve|ingest|all> [--n N] [--seed S] [--json PATH] \
+         [--floor SAMPLES/S (kernel) | SPEEDUP (serve) | INSERTS/S (ingest)] [--smoke]"
     );
     std::process::exit(2);
 }

@@ -1254,6 +1254,205 @@ pub fn merge_results_json(existing: Option<&str>, new_entries: &str, marker: &st
     out
 }
 
+/// One measured configuration of the live-ingestion experiment (E16):
+/// the LSM-style delta+runs [`storm_core::IngestIndex`] absorbing the
+/// synthetic tweet firehose, alone or while a query thread keeps drawing.
+#[derive(Debug, Clone)]
+pub struct IngestPoint {
+    /// `"stream-ingest"` (writer only), `"query-frozen"` (reader only,
+    /// fully ingested + compacted data), or `"ingest+query"` (both at
+    /// once — the live-ingestion setting).
+    pub method: &'static str,
+    /// Total records in the feed.
+    pub n: usize,
+    /// Inserts performed inside the timed window.
+    pub inserts: usize,
+    /// Samples drawn inside the timed window.
+    pub samples: u64,
+    /// Epochs published (minor freezes + compactions) inside the window.
+    pub epochs: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+}
+
+impl IngestPoint {
+    /// Ingest throughput in inserts per second.
+    pub fn inserts_per_sec(&self) -> f64 {
+        self.inserts as f64 / self.secs.max(1e-12)
+    }
+
+    /// Sampling throughput in samples per second.
+    pub fn samples_per_sec(&self) -> f64 {
+        self.samples as f64 / self.secs.max(1e-12)
+    }
+}
+
+/// E16: ingest-while-query throughput on the tweet firehose.
+///
+/// Three timed windows over the same `n`-tweet feed:
+///
+/// 1. `stream-ingest` — the whole feed streamed batch-by-batch into a
+///    fresh [`storm_core::IngestIndex`] (auto minor-freezes included):
+///    pure writer throughput through the delta+runs path.
+/// 2. `query-frozen` — WR samples drawn from the fully ingested and
+///    compacted index: pure reader throughput, the no-writer baseline.
+/// 3. `ingest+query` — the second half of the feed streamed in by a
+///    writer thread while the query thread draws continuously, reopening
+///    its stream whenever a freeze publishes a new epoch (open sessions
+///    pin their epoch; new opens get the latest). Both rates measured
+///    over the same overlap window.
+pub fn run_ingest_bench(n: usize, seed: u64) -> Vec<IngestPoint> {
+    use storm_core::{IngestConfig, IngestIndex};
+    let cfg = tweets::TweetConfig {
+        tweets: n,
+        seed,
+        ..Default::default()
+    };
+    let items: Vec<Item<2>> = tweets::generate(&cfg)
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Item::new(r.point.xy, i as u64))
+        .collect();
+    let query = tweets::us_bounds();
+    let index_cfg = IngestConfig::default();
+    let mut points = Vec::new();
+
+    // 1. Pure streaming ingest.
+    let idx = IngestIndex::<2>::new(index_cfg);
+    let start = Instant::now();
+    for batch in items.chunks(512) {
+        idx.insert_batch(batch.iter().copied());
+    }
+    let secs = start.elapsed().as_secs_f64();
+    points.push(IngestPoint {
+        method: "stream-ingest",
+        n,
+        inserts: n,
+        samples: 0,
+        epochs: idx.epoch(),
+        secs,
+    });
+
+    // 2. Reader baseline over the compacted result.
+    idx.compact();
+    let target = (n as u64).min(262_144);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE16);
+    let mut s = idx.sampler(&query, SampleMode::WithReplacement);
+    let mut buf: Vec<Item<2>> = Vec::with_capacity(256);
+    let mut drawn = 0u64;
+    let start = Instant::now();
+    while drawn < target {
+        buf.clear();
+        let want = 256.min((target - drawn) as usize);
+        let got = s.next_batch(&mut rng, &mut buf, want);
+        if got == 0 {
+            break;
+        }
+        drawn += got as u64;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    points.push(IngestPoint {
+        method: "query-frozen",
+        n,
+        inserts: 0,
+        samples: drawn,
+        epochs: 0,
+        secs,
+    });
+
+    // 3. The live setting: ingest and query concurrently.
+    let idx = std::sync::Arc::new(IngestIndex::<2>::new(index_cfg));
+    let half = items.len() / 2;
+    for batch in items[..half].chunks(512) {
+        idx.insert_batch(batch.iter().copied());
+    }
+    let epoch_before = idx.epoch();
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let mut samples = 0u64;
+    let tail = &items[half..];
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let idx_w = std::sync::Arc::clone(&idx);
+        let done_w = &done;
+        scope.spawn(move || {
+            for batch in tail.chunks(512) {
+                idx_w.insert_batch(batch.iter().copied());
+            }
+            done_w.store(true, std::sync::atomic::Ordering::Release);
+        });
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1E16);
+        let mut s = idx.sampler(&query, SampleMode::WithReplacement);
+        let mut buf: Vec<Item<2>> = Vec::with_capacity(256);
+        // Draw-then-check: even if the writer wins the race outright the
+        // reader still measures at least one mid-ingest batch.
+        loop {
+            if s.epoch() != idx.epoch() {
+                s = idx.sampler(&query, SampleMode::WithReplacement);
+            }
+            buf.clear();
+            samples += s.next_batch(&mut rng, &mut buf, 256) as u64;
+            if done.load(std::sync::atomic::Ordering::Acquire) {
+                break;
+            }
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    points.push(IngestPoint {
+        method: "ingest+query",
+        n,
+        inserts: items.len() - half,
+        samples,
+        epochs: idx.epoch() - epoch_before,
+        secs,
+    });
+    points
+}
+
+/// Formats ingest points as printable [`Row`]s.
+pub fn ingest_rows(points: &[IngestPoint]) -> Vec<Row> {
+    points
+        .iter()
+        .map(|p| {
+            Row::new(
+                p.method,
+                vec![
+                    ("inserts", p.inserts as f64),
+                    ("inserts/s", p.inserts_per_sec()),
+                    ("samples", p.samples as f64),
+                    ("samples/s", p.samples_per_sec()),
+                    ("epochs", p.epochs as f64),
+                    ("time(s)", p.secs),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Serialises ingest points in the machine-readable `BENCH_ingest.json`
+/// format (hand-rolled like [`batch_json`]).
+pub fn ingest_json(points: &[IngestPoint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"method\": \"{}\", \"n\": {}, \"inserts\": {}, \"inserts_per_sec\": {:.1}, \
+             \"samples\": {}, \"samples_per_sec\": {:.1}, \"epochs\": {}, \"wall_time_s\": {:.6}}}",
+            p.method,
+            p.n,
+            p.inserts,
+            p.inserts_per_sec(),
+            p.samples,
+            p.samples_per_sec(),
+            p.epochs,
+            p.secs
+        );
+        out.push_str(if i + 1 == points.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// E13 — degraded-mode recovery vs injected fault rate.
 ///
 /// For each per-mille fault rate, a 4-shard parallel cluster runs the
@@ -1504,6 +1703,35 @@ mod tests {
             assert_eq!(p.shards, 1);
             assert_eq!(p.samples, total, "{} b={}", p.method, p.batch);
             assert!(p.samples_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn ingest_bench_measures_all_three_windows() {
+        let points = run_ingest_bench(6_000, 42);
+        assert_eq!(points.len(), 3);
+        let by = |m: &str| points.iter().find(|p| p.method == m).unwrap();
+        let stream = by("stream-ingest");
+        assert_eq!(stream.inserts, 6_000);
+        assert!(stream.inserts_per_sec() > 0.0);
+        assert!(
+            stream.epochs >= 1,
+            "6k inserts at delta_limit 4096 must freeze"
+        );
+        let frozen = by("query-frozen");
+        assert_eq!(frozen.samples, 6_000);
+        assert!(frozen.samples_per_sec() > 0.0);
+        let live = by("ingest+query");
+        assert_eq!(live.inserts, 3_000);
+        assert!(live.samples_per_sec() > 0.0, "reader starved during ingest");
+        let json = ingest_json(&points);
+        assert_eq!(json.matches("\"method\"").count(), 3);
+        for field in [
+            "\"inserts_per_sec\":",
+            "\"samples_per_sec\":",
+            "\"epochs\":",
+        ] {
+            assert_eq!(json.matches(field).count(), 3, "missing {field}");
         }
     }
 

@@ -68,6 +68,7 @@ impl DistributedRsTree {
         let mut start = 0usize;
         for s in 0..num_shards {
             let end = ((s + 1) * per_shard).min(items.len());
+            // storm-analyzer: allow(A4): bulk-load sharding — one chunk copy per shard per build, never per draw
             let chunk: Vec<Item<2>> = items[start.min(end)..end].to_vec();
             if s + 1 < num_shards {
                 // The boundary key is the first key of the *next* chunk (or

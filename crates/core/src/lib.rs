@@ -28,6 +28,7 @@
 pub mod cost;
 pub mod distributed;
 mod frozen;
+pub mod ingest;
 mod ls_tree;
 pub mod parallel;
 mod query_first;
@@ -42,6 +43,7 @@ pub use frozen::{
     frozen_query_first, FrozenLsForest, FrozenLsSampler, FrozenRsTree, FrozenSampleFirst,
     FrozenSampler,
 };
+pub use ingest::{CompositeSampler, DeltaBuffer, EpochState, IngestConfig, IngestIndex};
 pub use ls_tree::{LsSampler, LsTree};
 pub use parallel::{
     CloseError, FillReq, JoinOutcome, OpenReq, ParallelRsCluster, ParallelSampler, SessionBatch,

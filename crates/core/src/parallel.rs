@@ -111,7 +111,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -261,6 +261,12 @@ enum ShardCmd {
     /// The scheduler's coalesced close: every session finished since the
     /// last flush torn down in one message (no reply).
     CloseMany(Vec<u64>),
+    /// Epoch handoff: replace this shard's tree with a re-frozen snapshot
+    /// (no reply). Channel FIFO order is the handoff contract: opens sent
+    /// before the swap see the old snapshot, opens sent after see the new
+    /// one, and in-flight streams keep the snapshot `Arc` they pinned at
+    /// open, so no open session ever observes the switch.
+    Swap(Box<RsTree<2>>),
     /// Exit the worker loop, returning the shard tree to the joiner.
     Shutdown,
 }
@@ -359,8 +365,9 @@ pub struct JoinOutcome {
 struct WorkerHandle {
     cmd: Sender<ShardCmd>,
     thread: Option<JoinHandle<RsTree<2>>>,
-    /// Points owned by this shard (recorded before the move).
-    len: usize,
+    /// Points owned by this shard (recorded before the move; refreshed by
+    /// epoch swaps — Relaxed, see the cluster's counter ordering policy).
+    len: AtomicUsize,
     /// This shard's index (for fault coordinates and error reporting).
     shard: usize,
     /// Cluster-wide count of control sends that found a dead worker.
@@ -445,6 +452,11 @@ enum StreamSlot {
     /// state advances at open time, so the stream drawn later is
     /// identical to one built eagerly.
     Lazy {
+        /// The shard snapshot this stream is pinned to. Captured at open
+        /// time so an epoch swap ([`ShardCmd::Swap`]) between open and
+        /// first fill cannot change the stream's view: a session always
+        /// samples the epoch it opened against, byte-identically.
+        frozen: Arc<crate::FrozenRsTree<2>>,
         /// The range query.
         query: Rect2,
         /// With or without replacement.
@@ -492,12 +504,12 @@ enum FillOutcome {
 /// hit. The tree survives, the stream's coordinator is told via
 /// [`ShardReply::Aborted`], and the worker keeps serving every other
 /// stream.
-fn run_shard(tree: RsTree<2>, shard: usize, cmd: &Receiver<ShardCmd>) -> RsTree<2> {
-    // Freeze once at worker start: every stream this worker serves runs
-    // the read-optimized kernel (SoA arena + alias descents) instead of
-    // walking the boxed tree. The boxed tree is kept intact purely as the
-    // ingest-facing form handed back at join time.
-    let frozen = Arc::new(tree.freeze());
+fn run_shard(mut tree: RsTree<2>, shard: usize, cmd: &Receiver<ShardCmd>) -> RsTree<2> {
+    // Freeze once at worker start (and again per epoch swap): every stream
+    // this worker serves runs the read-optimized kernel (SoA arena + alias
+    // descents) instead of walking the boxed tree. The boxed tree is kept
+    // intact purely as the ingest-facing form handed back at join time.
+    let mut frozen = Arc::new(tree.freeze());
     // The session table: every open stream (or poisoned husk thereof).
     let mut streams: HashMap<u64, StreamEntry> = HashMap::new();
     // Monotone count of streams opened on this worker: the op coordinate
@@ -511,6 +523,16 @@ fn run_shard(tree: RsTree<2>, shard: usize, cmd: &Receiver<ShardCmd>) -> RsTree<
         };
         match msg {
             ShardCmd::Shutdown => return tree,
+            ShardCmd::Swap(new_tree) => {
+                // Epoch handoff: subsequent opens snapshot the new frozen
+                // form; streams already tabled keep their pinned Arcs (in
+                // `StreamSlot::Lazy` or inside their `FrozenSampler`), so
+                // open sessions are untouched. The old snapshot is freed
+                // when its last pinning stream closes.
+                tree = *new_tree;
+                // storm-analyzer: allow(A4): one re-freeze per epoch install — a control-path event, not per-draw work
+                frozen = Arc::new(tree.freeze());
+            }
             ShardCmd::Close { session } => {
                 streams.remove(&session);
             }
@@ -535,7 +557,7 @@ fn run_shard(tree: RsTree<2>, shard: usize, cmd: &Receiver<ShardCmd>) -> RsTree<
                 let Some(entry) = streams.get_mut(&session) else {
                     continue;
                 };
-                let reply = match fill_stream(&frozen, shard, n, seq, entry) {
+                let reply = match fill_stream(shard, n, seq, entry) {
                     FillOutcome::Served(items) => Some(ShardReply::Batch {
                         shard,
                         items,
@@ -551,7 +573,7 @@ fn run_shard(tree: RsTree<2>, shard: usize, cmd: &Receiver<ShardCmd>) -> RsTree<
                     streams.remove(&session);
                 }
             }
-            ShardCmd::FillMany(reqs) => serve_fill_many(&frozen, shard, &reqs, &mut streams),
+            ShardCmd::FillMany(reqs) => serve_fill_many(shard, &reqs, &mut streams),
         }
     }
 }
@@ -617,6 +639,7 @@ fn open_stream(
                     StreamEntry {
                         reply,
                         slot: StreamSlot::Lazy {
+                            frozen: Arc::clone(frozen),
                             query,
                             mode,
                             seed,
@@ -704,11 +727,14 @@ fn serve_open_many(
                     streams.insert(
                         session,
                         StreamEntry {
+                            // storm-analyzer: allow(A4): admission path — one Arc bump per opened session, not per draw
                             reply: reply.clone(),
                             slot: StreamSlot::Lazy {
+                                frozen: Arc::clone(frozen),
                                 query,
                                 mode,
                                 seed,
+                                // storm-analyzer: allow(A4): admission path — one hook Arc bump per opened session, not per draw
                                 hook: hook.clone(),
                                 recover,
                             },
@@ -729,6 +755,7 @@ fn serve_open_many(
                 streams.insert(
                     session,
                     StreamEntry {
+                        // storm-analyzer: allow(A4): stillborn-stream bookkeeping — once per failed open, not per draw
                         reply: reply.clone(),
                         slot: StreamSlot::Poisoned,
                     },
@@ -747,15 +774,12 @@ fn serve_open_many(
 /// Serves one fill against one table entry, containing panics by
 /// poisoning the entry. A first fill against a [`StreamSlot::Lazy`] entry
 /// materialises the sampler here (a panic during the build poisons the
-/// entry, same as a panic mid-fill).
-fn fill_stream(
-    frozen: &Arc<crate::FrozenRsTree<2>>,
-    shard: usize,
-    n: usize,
-    seq: u64,
-    entry: &mut StreamEntry,
-) -> FillOutcome {
+/// entry, same as a panic mid-fill) — from the snapshot `Arc` the entry
+/// pinned at open, never the worker's current one, so an epoch swap
+/// between open and first fill is invisible to the stream.
+fn fill_stream(shard: usize, n: usize, seq: u64, entry: &mut StreamEntry) -> FillOutcome {
     if let StreamSlot::Lazy {
+        frozen,
         query,
         mode,
         seed,
@@ -765,6 +789,7 @@ fn fill_stream(
     {
         let (query, mode, seed, recover) = (*query, *mode, *seed, *recover);
         let hook = hook.clone();
+        let frozen = Arc::clone(frozen);
         let built = catch_unwind(AssertUnwindSafe(|| frozen.sampler(&query, mode)));
         match built {
             Ok(sampler) => {
@@ -832,12 +857,7 @@ fn fill_stream(
 /// in request order, answered with one [`ShardReply::Batches`] on the
 /// first named stream's reply channel (the scheduler invariant: all
 /// sessions in one `FillMany` share a channel).
-fn serve_fill_many(
-    frozen: &Arc<crate::FrozenRsTree<2>>,
-    shard: usize,
-    reqs: &[FillReq],
-    streams: &mut HashMap<u64, StreamEntry>,
-) {
+fn serve_fill_many(shard: usize, reqs: &[FillReq], streams: &mut HashMap<u64, StreamEntry>) {
     let mut replies = Vec::with_capacity(reqs.len());
     let mut reply_to: Option<Sender<ShardReply>> = None;
     for r in reqs {
@@ -848,9 +868,10 @@ fn serve_fill_many(
             continue;
         };
         if reply_to.is_none() {
+            // storm-analyzer: allow(A4): one Arc bump per FillMany round (first request only), amortised across the batch
             reply_to = Some(entry.reply.clone());
         }
-        match fill_stream(frozen, shard, r.n, r.seq, entry) {
+        match fill_stream(shard, r.n, r.seq, entry) {
             FillOutcome::Served(items) => replies.push(SessionBatch {
                 session: r.session,
                 seq: r.seq,
@@ -908,6 +929,9 @@ pub struct ParallelRsCluster {
     /// Count of control sends that found a dead worker (see
     /// [`ParallelRsCluster::dropped_sends`]).
     dropped_sends: Arc<AtomicU64>,
+    /// Count of epoch installs (Relaxed; a statistic, not a fence — the
+    /// real handoff ordering is the per-worker channel FIFO).
+    epoch: AtomicU64,
 }
 
 impl ParallelRsCluster {
@@ -925,7 +949,7 @@ impl ParallelRsCluster {
                 WorkerHandle {
                     cmd: cmd_tx,
                     thread: Some(thread),
-                    len,
+                    len: AtomicUsize::new(len),
                     shard: s,
                     dropped_sends: Arc::clone(&dropped_sends),
                 }
@@ -940,7 +964,49 @@ impl ParallelRsCluster {
             retry: None,
             next_session: AtomicU64::new(0),
             dropped_sends,
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// Installs a new data epoch: every shard worker's tree is replaced by
+    /// the corresponding shard of `next` (one [`ShardCmd::Swap`] per
+    /// worker, same shard count required) and subsequent opens snapshot
+    /// the new data. Open sessions are never broken: each stream pinned
+    /// its shard snapshots at open and keeps drawing from them until it
+    /// closes, byte-identically to a run with no swap (the epoch-handoff
+    /// determinism contract, certified by `tests/epoch_handoff.rs`).
+    ///
+    /// The cluster's routing metadata (curve boundaries) is kept from
+    /// construction; build `next` with the same shard count and the swap
+    /// is transparent to the open/fill protocol, which consults workers —
+    /// not boundaries — for per-shard counts. Returns the new epoch
+    /// number.
+    ///
+    /// # Panics
+    /// Panics if `next` does not have exactly one shard per worker.
+    pub fn install_epoch(&self, next: DistributedRsTree) -> u64 {
+        let (shards, _boundaries, _curve, _bounds) = next.into_parts();
+        assert_eq!(
+            shards.len(),
+            self.workers.len(),
+            "epoch install requires one shard tree per worker"
+        );
+        for (w, tree) in self.workers.iter().zip(shards) {
+            w.len.store(tree.len(), Ordering::Relaxed);
+            // storm-analyzer: allow(A4): one boxed tree per shard per epoch install — a control-path event, not per-draw work
+            let swap = ShardCmd::Swap(Box::new(tree));
+            // storm-analyzer: allow(A5): each worker owns a private channel and a distinct tree — there is no batched form spanning workers, and installs happen once per epoch
+            if w.cmd.send(swap).is_err() {
+                w.note_dropped_send("epoch swap");
+            }
+        }
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// How many epochs have been installed (0 = still serving the build
+    /// the cluster started with).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// Number of shard workers.
@@ -951,7 +1017,10 @@ impl ParallelRsCluster {
     /// Total points across the cluster (as of the move; the parallel
     /// executor serves reads only).
     pub fn len(&self) -> usize {
-        self.workers.iter().map(|w| w.len).sum()
+        self.workers
+            .iter()
+            .map(|w| w.len.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// True when the cluster holds no data.
@@ -1056,15 +1125,20 @@ impl ParallelRsCluster {
                     mode: r.mode,
                     seed: shard_seed(r.seed, s),
                 })
+                // storm-analyzer: allow(A4): admission flush — one spec Vec per shard per OpenMany, not per draw
                 .collect();
             let args = OpenManyArgs {
                 reqs: specs,
+                // storm-analyzer: allow(A4): admission flush — one hook Arc bump per shard per OpenMany, not per draw
                 hook: self.fault_hook.clone(),
                 recover,
+                // storm-analyzer: allow(A4): admission flush — one reply Arc bump per shard per OpenMany, not per draw
                 reply: reply.clone(),
             };
+            // storm-analyzer: allow(A4): admission flush — one boxed args block per shard per OpenMany, not per draw
+            let cmd = ShardCmd::OpenMany(Box::new(args));
             // storm-analyzer: allow(A5): one OpenMany control message per shard carries the whole admission batch — the opposite of per-item traffic
-            if w.cmd.send(ShardCmd::OpenMany(Box::new(args))).is_err() {
+            if w.cmd.send(cmd).is_err() {
                 w.note_dropped_send("open-many");
             } else {
                 reached += 1;
@@ -1113,8 +1187,10 @@ impl ParallelRsCluster {
     pub fn close_many(&self, sessions: &[u64]) -> Result<(), CloseError> {
         let mut err = None;
         for w in &self.workers {
+            // storm-analyzer: allow(A4): teardown flush — one session-list copy per shard per CloseMany, not per draw
+            let cmd = ShardCmd::CloseMany(sessions.to_vec());
             // storm-analyzer: allow(A5): one CloseMany control message per shard carries every finished session since the last flush
-            if w.cmd.send(ShardCmd::CloseMany(sessions.to_vec())).is_err() {
+            if w.cmd.send(cmd).is_err() {
                 w.note_dropped_send("close-many");
                 err.get_or_insert(CloseError { shard: w.shard });
             }

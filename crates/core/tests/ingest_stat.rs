@@ -1,0 +1,247 @@
+//! Mid-ingest unbiasedness: the statistical suite for the LSM-style
+//! delta+runs ingest tier.
+//!
+//! The contract under test: a [`CompositeSampler`] stream stays a uniform
+//! sampler over the **live** delta+runs union *while* a writer thread is
+//! inserting — every item live for the whole observation window must be
+//! drawn equally often (chi-square gated at three seeds), and once the
+//! writer finishes, draws must be uniform over the full enlarged union.
+//! A scripted single-thread variant replays an exact insert/draw/freeze
+//! interleaving twice and demands byte-identical sample sequences.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use storm_core::{IngestConfig, IngestIndex, SampleMode, SpatialSampler};
+use storm_geo::{Point2, Rect2};
+use storm_rtree::Item;
+use storm_testkit::{assert_deterministic, assert_uniform, watchdog};
+
+/// Items on a 64-wide grid; id doubles as the identity tallied below.
+fn grid_item(i: usize) -> Item<2> {
+    Item::new(Point2::xy((i % 64) as f64, (i / 64) as f64), i as u64)
+}
+
+/// A query rectangle that matches every grid item.
+fn everything() -> Rect2 {
+    Rect2::from_corners(Point2::xy(-1.0, -1.0), Point2::xy(1e6, 1e6))
+}
+
+const INITIAL_RUN: usize = 512;
+const INITIAL: usize = 768; // 512 frozen + 256 delta at open
+const WRITER: usize = 512; // inserted concurrently, ids 768..1280
+const TOTAL: usize = INITIAL + WRITER;
+
+/// One concurrent-writer round at one seed. The writer is rate-locked to
+/// the reader — one insert released per 64-draw batch — so the schedule
+/// always interleaves inserts with draws (a free-running writer could
+/// finish before the reader tallies anything on a slow machine), while
+/// the insert itself still races the next batch.
+fn concurrent_writer_round(seed: u64) {
+    // delta_limit far above the writer's volume: an auto-freeze would
+    // publish a new epoch, and the open stream — correctly pinned to its
+    // own epoch — would stop seeing the writer's inserts.
+    let idx = Arc::new(IngestIndex::<2>::new(IngestConfig {
+        fanout: 16,
+        delta_limit: 100_000,
+        max_runs: 8,
+    }));
+    idx.insert_batch((0..INITIAL_RUN).map(grid_item));
+    idx.minor_freeze();
+    idx.insert_batch((INITIAL_RUN..INITIAL).map(grid_item));
+    assert_eq!(idx.run_count(), 1);
+    assert_eq!(idx.len(), INITIAL);
+
+    let query = everything();
+    // Opened before the writer starts: both streams are pinned to the
+    // pre-writer epoch, whose delta is exactly what the writer grows.
+    let mut wr = idx.sampler(&query, SampleMode::WithReplacement);
+    let mut wor = idx.sampler(&query, SampleMode::WithoutReplacement);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tally = vec![0u64; TOTAL];
+    let mut concurrent_draws = 0u64;
+
+    let done = AtomicBool::new(false);
+    let (tick_tx, tick_rx) = unbounded::<()>();
+    std::thread::scope(|scope| {
+        let idx_w = Arc::clone(&idx);
+        let done_w = &done;
+        scope.spawn(move || {
+            for i in INITIAL..TOTAL {
+                if tick_rx.recv().is_err() {
+                    break;
+                }
+                idx_w.insert(grid_item(i));
+            }
+            done_w.store(true, Ordering::Release);
+        });
+        let mut buf = Vec::new();
+        while !done.load(Ordering::Acquire) {
+            buf.clear();
+            let got = wr.next_batch(&mut rng, &mut buf, 64);
+            assert_eq!(got, 64, "WR stream must never end");
+            for item in &buf {
+                tally[item.id as usize] += 1;
+            }
+            concurrent_draws += got as u64;
+            let _ = tick_tx.send(());
+        }
+    });
+    assert_eq!(idx.len(), TOTAL, "writer inserts lost");
+
+    // Items live for the entire window (the initial 768) are symmetric:
+    // at every draw each had the same inclusion probability, whatever the
+    // union size was at that instant — so their tallies must be uniform.
+    assert!(
+        concurrent_draws >= (WRITER * 64) as u64,
+        "writer was rate-locked to batches, got only {concurrent_draws} draws"
+    );
+    assert_uniform(
+        &tally[..INITIAL],
+        &format!("seed {seed}: mid-ingest draws over always-live items"),
+    );
+
+    // After the writer joins, draws are uniform over the full union.
+    let mut post = vec![0u64; TOTAL];
+    let mut buf = Vec::new();
+    for _ in 0..256 {
+        buf.clear();
+        wr.next_batch(&mut rng, &mut buf, 64);
+        for item in &buf {
+            post[item.id as usize] += 1;
+        }
+    }
+    assert_uniform(
+        &post,
+        &format!("seed {seed}: post-ingest draws over full union"),
+    );
+    assert_eq!(
+        wr.result_size(),
+        Some(TOTAL),
+        "estimators must see the live union size"
+    );
+
+    // The WOR stream opened before any insert drains the full union
+    // exactly once — late arrivals included, nothing duplicated.
+    let mut seen = vec![0u32; TOTAL];
+    while let Some(item) = wor.next_sample(&mut rng) {
+        seen[item.id as usize] += 1;
+    }
+    assert!(
+        seen.iter().all(|&c| c == 1),
+        "seed {seed}: WOR drain must cover the union exactly once"
+    );
+}
+
+#[test]
+fn mid_ingest_draws_stay_uniform_under_concurrent_writer() {
+    for seed in [0xA1u64, 0xB2, 0xC3] {
+        watchdog(
+            Duration::from_secs(120),
+            &format!("concurrent writer round, seed {seed}"),
+            move || concurrent_writer_round(seed),
+        );
+    }
+}
+
+/// The deterministic-schedule variant: a seeded script interleaves
+/// inserts, WR draws, WOR draws, and freezes on one thread; the full
+/// emitted id sequences must replay byte-identically.
+fn run_script(seed: u64) -> (Vec<u64>, Vec<u64>, u64, usize) {
+    let idx = IngestIndex::<2>::new(IngestConfig {
+        fanout: 8,
+        delta_limit: 10_000,
+        max_runs: 4,
+    });
+    idx.insert_batch((0..200).map(grid_item));
+    idx.minor_freeze();
+    let query = everything();
+    let mut wr = idx.sampler(&query, SampleMode::WithReplacement);
+    let mut wor = idx.sampler(&query, SampleMode::WithoutReplacement);
+    let mut draw_rng = StdRng::seed_from_u64(seed);
+    let mut script_rng = StdRng::seed_from_u64(seed ^ 0x5C41_77ED);
+    let mut next_id = 200usize;
+    let (mut wr_ids, mut wor_ids) = (Vec::new(), Vec::new());
+    for _ in 0..600 {
+        match script_rng.random_range(0..10u32) {
+            // Inserts land in whichever epoch is current; once a freeze
+            // has retired the streams' epoch they (correctly) stop seeing
+            // new inserts — the replay must reproduce that too.
+            0..=3 => {
+                idx.insert(grid_item(next_id));
+                next_id += 1;
+            }
+            4..=6 => {
+                if let Some(item) = wr.next_sample(&mut draw_rng) {
+                    wr_ids.push(item.id);
+                }
+            }
+            7..=8 => {
+                if let Some(item) = wor.next_sample(&mut draw_rng) {
+                    wor_ids.push(item.id);
+                }
+            }
+            _ => {
+                idx.minor_freeze();
+            }
+        }
+    }
+    (wr_ids, wor_ids, idx.epoch(), idx.len())
+}
+
+#[test]
+fn scripted_interleaving_replays_identically() {
+    for seed in [1u64, 2, 3] {
+        assert_deterministic(
+            2,
+            &format!("scripted ingest interleaving, seed {seed}"),
+            || run_script(seed),
+        );
+    }
+}
+
+/// WOR draws made *between* scripted inserts stay uniform: run the same
+/// deterministic interleaving many times with varying draw seeds and
+/// tally which item each (insert-count, draw-index) slot produced. Any
+/// position bias (e.g. favouring frozen runs over fresh delta items)
+/// would show up as a skewed marginal.
+#[test]
+fn interleaved_wor_draws_are_uniform_over_the_live_union() {
+    watchdog(
+        Duration::from_secs(120),
+        "interleaved WOR uniformity",
+        || {
+            const LIVE: usize = 40;
+            let mut first_draw = HashMap::<u64, u64>::new();
+            for trial in 0..4_000u64 {
+                let idx = IngestIndex::<2>::new(IngestConfig {
+                    fanout: 4,
+                    delta_limit: 10_000,
+                    max_runs: 4,
+                });
+                // 30 frozen + 5 delta at open, 5 inserted mid-stream.
+                idx.insert_batch((0..30).map(grid_item));
+                idx.minor_freeze();
+                idx.insert_batch((30..35).map(grid_item));
+                let query = everything();
+                let mut s = idx.sampler(&query, SampleMode::WithoutReplacement);
+                let mut rng = StdRng::seed_from_u64(trial);
+                for i in 35..LIVE {
+                    idx.insert(grid_item(i));
+                }
+                // First draw after the inserts: must be uniform over all 40.
+                let item = s.next_sample(&mut rng).expect("union is non-empty");
+                *first_draw.entry(item.id).or_default() += 1;
+            }
+            let counts: Vec<u64> = (0..LIVE as u64)
+                .map(|id| first_draw.get(&id).copied().unwrap_or(0))
+                .collect();
+            assert_uniform(&counts, "first WOR draw after mid-stream inserts");
+        },
+    );
+}

@@ -139,6 +139,23 @@ impl StormEngine {
         Ok(ds.insert(record, rng))
     }
 
+    /// Inserts a batch of records into a data set — the streaming-ingest
+    /// entry point: a live feed (e.g. `storm_workload::tweets::TweetStream`
+    /// arrival batches) is absorbed one batch at a time while queries
+    /// between batches see every record inserted so far.
+    pub fn insert_batch(
+        &mut self,
+        dataset: &str,
+        records: Vec<StRecord>,
+    ) -> Result<Vec<DocId>, EngineError> {
+        let rng = &mut self.rng;
+        let ds = self
+            .datasets
+            .get_mut(dataset)
+            .ok_or_else(|| EngineError::NoSuchDataset(dataset.to_owned()))?;
+        Ok(records.into_iter().map(|r| ds.insert(r, rng)).collect())
+    }
+
     /// Removes one record from a data set.
     pub fn remove(&mut self, dataset: &str, id: DocId) -> Result<bool, EngineError> {
         let rng = &mut self.rng;
@@ -538,6 +555,50 @@ mod tests {
             .execute("ESTIMATE COUNT FROM weather RANGE 200 200 300 300")
             .unwrap();
         assert!(matches!(after.result, TaskResult::Count { q: 5 }));
+    }
+
+    #[test]
+    fn streamed_tweet_feed_is_queryable_between_batches() {
+        use storm_workload::tweets::{TweetConfig, TweetStream};
+        // A true streaming scenario: open the synthetic firehose, absorb it
+        // batch by batch through the update manager, and query mid-stream —
+        // every count must equal exactly the records delivered so far.
+        let cfg = TweetConfig {
+            users: 20,
+            tweets: 2_000,
+            ..Default::default()
+        };
+        let mut e = StormEngine::new(11);
+        e.create_dataset("tweets", Vec::new(), DatasetConfig::default())
+            .unwrap();
+        let mut delivered = 0usize;
+        for batch in TweetStream::new(&cfg, 500) {
+            let arrived = batch.len();
+            delivered += arrived;
+            let ids = e.insert_batch("tweets", batch).unwrap();
+            assert_eq!(ids.len(), arrived);
+            let outcome = e.execute("ESTIMATE COUNT FROM tweets").unwrap();
+            match outcome.result {
+                TaskResult::Count { q } => assert_eq!(q, delivered),
+                other => panic!("expected count, got {other:?}"),
+            }
+        }
+        assert_eq!(delivered, 2_000);
+        // The fully-streamed data set answers the same aggregate as a
+        // bulk-loaded one over the identical timeline.
+        let mut bulk = StormEngine::new(11);
+        bulk.create_dataset(
+            "tweets",
+            storm_workload::tweets::generate(&cfg),
+            DatasetConfig::default(),
+        )
+        .unwrap();
+        let a = e.execute("ESTIMATE COUNT FROM tweets").unwrap();
+        let b = bulk.execute("ESTIMATE COUNT FROM tweets").unwrap();
+        match (a.result, b.result) {
+            (TaskResult::Count { q: qa }, TaskResult::Count { q: qb }) => assert_eq!(qa, qb),
+            other => panic!("expected counts, got {other:?}"),
+        }
     }
 
     #[test]

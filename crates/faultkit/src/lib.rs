@@ -69,6 +69,13 @@ pub enum FaultSite {
     Fill,
     /// The storage engine reading one document block.
     BlockRead,
+    /// The ingest tier building a new run-set (minor freeze or compaction).
+    /// `op` is the merge step index inside one build, so a hook can crash
+    /// the build at an exact seeded step. The vocabulary is
+    /// [`FaultKind::WorkerPanic`] (unwind mid-merge; the old epoch must
+    /// survive intact) and [`FaultKind::DropReply`] (the build is silently
+    /// abandoned without publishing — a crash without an unwind).
+    Compaction,
 }
 
 /// The injection interface: every fault-capable call site asks its hook
@@ -171,6 +178,7 @@ impl FaultPlan {
             FaultSite::Open => 0x4F50_454E,
             FaultSite::Fill => 0x4649_4C4C,
             FaultSite::BlockRead => 0x424C_4F43,
+            FaultSite::Compaction => 0x434F_4D50,
         };
         let x =
             mix64(self.seed ^ mix64(site_tag ^ mix64((shard as u64) << 32 | (op & 0xFFFF_FFFF))));
@@ -194,7 +202,44 @@ impl FaultHook for FaultPlan {
                 .or_else(|| hit(self.delay_permille, FaultKind::DelayReplyMs(self.delay_ms))),
             FaultSite::BlockRead => hit(self.corrupt_permille, FaultKind::CorruptBlock)
                 .or_else(|| hit(self.transient_permille, FaultKind::TransientIo)),
+            FaultSite::Compaction => hit(self.panic_permille, FaultKind::WorkerPanic)
+                .or_else(|| hit(self.drop_permille, FaultKind::DropReply)),
         }
+    }
+}
+
+/// A surgical [`FaultHook`]: faults exactly once, at one exact
+/// `(site, shard, op)` coordinate, and is quiet everywhere else. This is
+/// the crash-matrix primitive — a proptest can sweep `op` over every merge
+/// step of a compaction and assert the invariant at each crash point,
+/// something a rate-based [`FaultPlan`] cannot pin down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepFault {
+    /// The site to fault at.
+    pub site: FaultSite,
+    /// The shard coordinate to match.
+    pub shard: usize,
+    /// The exact operation/step index to fault at.
+    pub op: u64,
+    /// What to inject there.
+    pub kind: FaultKind,
+}
+
+impl StepFault {
+    /// A hook that injects `kind` at step `op` of any shard-0 compaction.
+    pub fn at_compaction_step(op: u64, kind: FaultKind) -> Self {
+        StepFault {
+            site: FaultSite::Compaction,
+            shard: 0,
+            op,
+            kind,
+        }
+    }
+}
+
+impl FaultHook for StepFault {
+    fn fault(&self, site: FaultSite, shard: usize, op: u64) -> Option<FaultKind> {
+        (site == self.site && shard == self.shard && op == self.op).then_some(self.kind)
     }
 }
 
@@ -441,6 +486,46 @@ mod tests {
                 other => panic!("wrong block fault: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn step_fault_hits_exactly_one_coordinate() {
+        let hook = StepFault::at_compaction_step(3, FaultKind::WorkerPanic);
+        for shard in 0..4 {
+            for op in 0..16 {
+                let got = hook.fault(FaultSite::Compaction, shard, op);
+                if shard == 0 && op == 3 {
+                    assert_eq!(got, Some(FaultKind::WorkerPanic));
+                } else {
+                    assert_eq!(got, None, "spurious fault at shard {shard} op {op}");
+                }
+            }
+        }
+        // Other sites never trigger it, even at the matching coordinate.
+        assert_eq!(hook.fault(FaultSite::Fill, 0, 3), None);
+    }
+
+    #[test]
+    fn compaction_site_uses_panic_drop_vocabulary() {
+        let plan = FaultPlan::seeded(13)
+            .with_panics(400)
+            .with_drops(400)
+            .with_delays(200, 9)
+            .with_block_corruption(500);
+        for op in 0..300 {
+            match plan.fault(FaultSite::Compaction, 0, op) {
+                Some(FaultKind::WorkerPanic | FaultKind::DropReply) | None => {}
+                other => panic!("wrong compaction fault: {other:?}"),
+            }
+        }
+        // And it is an independent schedule domain from Fill.
+        let comp: Vec<_> = (0..300u64)
+            .map(|op| plan.fault(FaultSite::Compaction, 0, op))
+            .collect();
+        let fill: Vec<_> = (0..300u64)
+            .map(|op| plan.fault(FaultSite::Fill, 0, op))
+            .collect();
+        assert_ne!(comp, fill);
     }
 
     #[test]

@@ -91,7 +91,7 @@ fn str_order<const D: usize>(items: &mut [Item<D>], dim: usize, cap: usize) {
 /// Reorders `items` along the Hilbert curve — the exact ordering
 /// `BulkMethod::Hilbert` packs leaves with, shared with the frozen
 /// arena builder so both layouts agree on item order.
-pub(crate) fn hilbert_sort<const D: usize>(items: &mut [Item<D>]) {
+pub fn hilbert_sort<const D: usize>(items: &mut [Item<D>]) {
     curve_order(items, CurveKind::Hilbert);
 }
 

@@ -98,12 +98,30 @@ impl<const D: usize> FrozenRTree<D> {
     /// Panics if `fanout < 2` or `items.len() > u32::MAX` (samplers use
     /// `u32` arena offsets).
     pub fn build(mut items: Vec<Item<D>>, fanout: usize, io: Arc<IoStats>) -> Self {
+        crate::bulk::hilbert_sort(&mut items);
+        Self::build_presorted(&items, fanout, io)
+    }
+
+    /// Packs already-ordered `items` into a frozen arena **without
+    /// re-sorting** — the ingest tier's run builder uses this when it has
+    /// presorted a batch itself via [`hilbert_sort`](crate::hilbert_sort).
+    ///
+    /// Caller contract: `items` must be in the order [`hilbert_sort`]
+    /// would produce **for this exact item set** — Hilbert keys are
+    /// computed over the set's own bounding box, so an order inherited
+    /// from a different (e.g. larger or merged) set is *not* valid here.
+    /// Structure invariants (rect containment) hold for any order, but
+    /// range-query locality degrades if the contract is broken.
+    ///
+    /// # Panics
+    /// Panics if `fanout < 2` or `items.len() > u32::MAX` (samplers use
+    /// `u32` arena offsets).
+    pub fn build_presorted(items: &[Item<D>], fanout: usize, io: Arc<IoStats>) -> Self {
         assert!(fanout >= 2, "frozen fanout must be at least 2");
         assert!(
             u32::try_from(items.len()).is_ok(),
             "frozen arena limited to u32::MAX items"
         );
-        crate::bulk::hilbert_sort(&mut items);
         let n = items.len();
         let mut ids = Vec::with_capacity(n);
         let mut coords = vec![0.0f64; n * D];
@@ -422,6 +440,32 @@ mod tests {
         );
         let f = t.freeze();
         (t, f)
+    }
+
+    #[test]
+    fn build_presorted_matches_build_on_sorted_input() {
+        for n in [1usize, 7, 64, 513] {
+            let items = random_items(n, 99);
+            let via_build = FrozenRTree::build(items.clone(), 8, Arc::new(IoStats::default()));
+            let mut sorted = items;
+            crate::bulk::hilbert_sort(&mut sorted);
+            let via_presorted =
+                FrozenRTree::build_presorted(&sorted, 8, Arc::new(IoStats::default()));
+            assert_eq!(via_build.len(), via_presorted.len());
+            for i in 0..n {
+                assert_eq!(via_build.id(i), via_presorted.id(i), "n={n} slot {i}");
+                assert_eq!(via_build.point(i), via_presorted.point(i), "n={n} slot {i}");
+            }
+            for level in 0..via_build.height() {
+                for idx in 0..via_build.nodes_at(level) {
+                    assert_eq!(
+                        via_build.node_rect(level, idx),
+                        via_presorted.node_rect(level, idx),
+                        "n={n} level={level} node={idx}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

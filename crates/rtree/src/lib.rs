@@ -37,6 +37,7 @@ mod split;
 mod tree;
 pub mod validate;
 
+pub use bulk::hilbert_sort;
 pub use canonical::{CanonicalPart, CanonicalSet};
 pub use events::{UpdateEvent, UpdateObserver};
 pub use frozen::{FrozenCone, FrozenConeEntry, FrozenRTree};

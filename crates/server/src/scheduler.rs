@@ -67,7 +67,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use storm_core::{
-    FillReq, OpenReq, ParallelRsCluster, SampleMode, SamplerKind, ShardReply, StreamCore,
+    DistributedRsTree, FillReq, OpenReq, ParallelRsCluster, SampleMode, SamplerKind, ShardReply,
+    StreamCore,
 };
 use storm_engine::session::{Progress, QueryOutcome, StopCheck, StopReason, TaskResult};
 use storm_estimators::OnlineStat;
@@ -198,6 +199,16 @@ enum Ctrl {
     Stats {
         reply: Sender<ServerStats>,
     },
+    /// Epoch handoff: swap the worker pool to a re-frozen data set at the
+    /// next tick boundary. Applied between ticks — never mid-round — so
+    /// no fill is in flight when the swap commands go out; live sessions
+    /// keep their pinned shard snapshots, new admissions open on the new
+    /// epoch.
+    Install {
+        next: Box<DistributedRsTree>,
+        /// Acked with the cluster's new epoch number once applied.
+        reply: Sender<u64>,
+    },
     Shutdown,
 }
 
@@ -249,6 +260,24 @@ impl SessionServer {
             events: events_rx,
             ctrl: self.ctrl.clone(),
         }
+    }
+
+    /// Installs a new data epoch: the worker pool swaps to `next` at the
+    /// next tick boundary (between rounds, never mid-fill). Sessions open
+    /// across the swap keep their pinned shard snapshots and finish on
+    /// the epoch they started with; sessions admitted after it serve the
+    /// new data. Blocks until the swap is applied and returns the
+    /// cluster's new epoch number (`None` if the server is gone). `next`
+    /// must have the same shard count as the serving cluster.
+    pub fn install_epoch(&self, next: DistributedRsTree) -> Option<u64> {
+        let (tx, rx) = unbounded();
+        self.ctrl
+            .send(Ctrl::Install {
+                next: Box::new(next),
+                reply: tx,
+            })
+            .ok()?;
+        rx.recv().ok()
     }
 
     /// Round-trips the scheduler for its live counters (also a barrier:
@@ -514,6 +543,14 @@ impl Sched {
                 }
             }
             Ctrl::Terminate { session } => self.terminate(session),
+            Ctrl::Install { next, reply } => {
+                // handle_ctrl runs only at tick boundaries ("on entry no
+                // fills are in flight"), so the swap slots cleanly between
+                // rounds: every stream already open has pinned its shard
+                // snapshots, every open after this sees the new epoch.
+                let epoch = self.cluster.install_epoch(*next);
+                let _ = reply.send(epoch);
+            }
             Ctrl::Stats { reply } => {
                 let _ = reply.send(ServerStats {
                     live: self.table.len() + self.opening.len(),

@@ -1,0 +1,136 @@
+//! Server-level epoch handoff: `SessionServer::install_epoch` swaps the
+//! worker pool between scheduler ticks. Sessions admitted before the
+//! install keep their pinned shard snapshots and finish with the exact
+//! estimate sequence a no-swap run produces; sessions admitted after it
+//! aggregate the new data.
+
+use std::time::Duration;
+
+use storm_core::{DistributedRsTree, ParallelRsCluster, RsTreeConfig, SampleMode};
+use storm_engine::session::StopReason;
+use storm_geo::{Point2, Rect2};
+use storm_rtree::Item;
+use storm_server::{QuerySpec, ServeConfig, SessionEvent, SessionServer};
+
+const N: usize = 8_000;
+
+/// Epoch-0 data: x-coordinates in `0..100`, so AVG(x) over the full
+/// range is ≈ 49.5.
+fn old_items() -> Vec<Item<2>> {
+    (0..N)
+        .map(|i| Item::new(Point2::xy((i % 100) as f64, (i / 100) as f64), i as u64))
+        .collect()
+}
+
+/// Epoch-1 data: the same grid shifted by +500 in x — any session that
+/// aggregates it is unmistakable from one on the old data.
+fn new_items() -> Vec<Item<2>> {
+    (0..N)
+        .map(|i| {
+            Item::new(
+                Point2::xy(500.0 + (i % 100) as f64, (i / 100) as f64),
+                (N + i) as u64,
+            )
+        })
+        .collect()
+}
+
+fn cluster(items: Vec<Item<2>>) -> ParallelRsCluster {
+    DistributedRsTree::bulk_load(items, 4, RsTreeConfig::with_fanout(16)).into_parallel()
+}
+
+fn spec(seed: u64) -> QuerySpec {
+    QuerySpec {
+        seed,
+        mode: SampleMode::WithoutReplacement,
+        sample_budget: Some(1_024),
+        ..QuerySpec::new(Rect2::from_corners(
+            Point2::xy(-10.0, -10.0),
+            Point2::xy(1_000.0, 1_000.0),
+        ))
+    }
+}
+
+/// Collects one session's whole estimate history (bit-exact) plus its
+/// final value and stop reason.
+fn fingerprint(handle: &storm_server::SessionHandle) -> (Vec<(u64, u64)>, f64, StopReason) {
+    let mut ticks = Vec::new();
+    loop {
+        match handle
+            .recv_event_timeout(Duration::from_secs(30))
+            .expect("server event before timeout")
+        {
+            SessionEvent::Admitted { .. } => {}
+            SessionEvent::Rejected { .. } => panic!("unexpected rejection"),
+            SessionEvent::Progress { progress, .. } => {
+                if let storm_engine::TaskResult::Aggregate { estimate, .. } = progress.result {
+                    ticks.push((progress.samples, estimate.value.to_bits()));
+                }
+            }
+            SessionEvent::Done { outcome, .. } => {
+                let est = outcome.estimate().expect("aggregate outcome");
+                return (ticks, est.value, outcome.reason);
+            }
+        }
+    }
+}
+
+#[test]
+fn session_admitted_before_install_replays_the_no_swap_run() {
+    // Solo reference: same seed, no swap ever happens.
+    let server = SessionServer::start(cluster(old_items()), ServeConfig::default());
+    let solo = fingerprint(&server.open(spec(21)));
+    drop(server);
+
+    // Same query, but a new epoch is installed while it runs. The
+    // install lands at some tick boundary relative to the session's
+    // progress — the point of the pinning contract is that *any*
+    // interleaving leaves the session's sequence untouched.
+    let server = SessionServer::start(cluster(old_items()), ServeConfig::default());
+    let target = server.open(spec(21));
+    let epoch = server
+        .install_epoch(DistributedRsTree::bulk_load(
+            new_items(),
+            4,
+            RsTreeConfig::with_fanout(16),
+        ))
+        .expect("scheduler alive");
+    assert_eq!(epoch, 1);
+    let across = fingerprint(&target);
+    assert_eq!(across, solo, "pre-install session must be swap-invariant");
+    // The old data's x-range tops out at 99: the session aggregated the
+    // epoch it opened on.
+    assert!(
+        across.1 < 100.0,
+        "AVG(x) {} came from new-epoch data",
+        across.1
+    );
+
+    // A session admitted after the install aggregates the shifted data.
+    let (_, value, reason) = fingerprint(&server.open(spec(22)));
+    assert_eq!(reason, StopReason::SampleBudget);
+    assert!(
+        value > 500.0,
+        "post-install session still on old data: AVG(x) = {value}"
+    );
+}
+
+#[test]
+fn shutdown_returns_the_last_installed_epoch() {
+    let server = SessionServer::start(cluster(old_items()), ServeConfig::default());
+    // Install a *differently sized* data set so the returned cluster is
+    // unambiguous about which epoch it ended on.
+    let half: Vec<Item<2>> = new_items().into_iter().take(N / 2).collect();
+    server
+        .install_epoch(DistributedRsTree::bulk_load(
+            half,
+            4,
+            RsTreeConfig::with_fanout(16),
+        ))
+        .expect("scheduler alive");
+    // The cluster handed back on shutdown is the swapped one: joining it
+    // yields the new data set, not the one the server started on.
+    let cluster = server.shutdown();
+    assert_eq!(cluster.len(), N / 2);
+    assert_eq!(cluster.join().len(), N / 2);
+}

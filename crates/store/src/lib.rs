@@ -14,7 +14,9 @@
 //! * [`shard`] — hash and Hilbert-range partitioning of documents across
 //!   simulated cluster nodes (the substrate under the paper's
 //!   "distributed Hilbert R-tree");
-//! * [`persist`] — JSON-lines save/load for collections.
+//! * [`persist`] — JSON-lines save/load for collections;
+//! * [`runs`] — the epoch-pinned run registry under the LSM-style ingest
+//!   tier (atomic delta/run-set replacement with crash-safe publishes).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ mod collection;
 mod document;
 pub mod json;
 pub mod persist;
+pub mod runs;
 pub mod shard;
 pub mod validate;
 mod value;

@@ -49,15 +49,19 @@ pub fn load(name: &str, path: &Path) -> Result<Collection, StoreError> {
         let mut map = match value {
             Value::Object(map) => map,
             other => {
+                // storm-analyzer: allow(A4): startup persistence path — one wrapper map per non-object document at load, not sampling work
                 let mut m = std::collections::BTreeMap::new();
+                // storm-analyzer: allow(A4): startup persistence path — one key string per wrapped document at load, not sampling work
                 m.insert("_value".to_owned(), other);
                 m
             }
         };
         let orig = map.remove("_id");
+        // storm-analyzer: allow(A4): startup persistence path — one document copy per loaded row, not sampling work
         let new_id = collection.insert(Value::Object(map.clone()));
         if let Some(Value::Int(orig_id)) = orig {
             if orig_id as u64 != new_id.0 {
+                // storm-analyzer: allow(A4): startup persistence path — one key string per re-keyed document at load, not sampling work
                 map.insert("_orig_id".to_owned(), Value::Int(orig_id));
                 collection.update(new_id, Value::Object(map))?;
             }

@@ -137,6 +137,56 @@ pub fn generate(cfg: &TweetConfig) -> Vec<StRecord> {
     records
 }
 
+/// A time-ordered tweet feed delivered in arrival batches — the live
+/// Twitter-firehose stand-in for streaming-ingestion scenarios.
+///
+/// [`generate`] hands back the whole timeline at once, which is the right
+/// shape for bulk-loading a frozen index but the wrong one for exercising
+/// the LSM-style ingest tier: a live feed arrives incrementally, and the
+/// index must absorb each batch *while* open sampling sessions keep
+/// drawing. `TweetStream` replays the exact same deterministic timeline
+/// (same `TweetConfig` ⇒ byte-identical records) as a sequence of
+/// contiguous, time-ordered batches, so a streaming run and a bulk run
+/// over the same config see the same data — only the arrival schedule
+/// differs.
+#[derive(Debug)]
+pub struct TweetStream {
+    feed: std::vec::IntoIter<StRecord>,
+    batch: usize,
+}
+
+impl TweetStream {
+    /// Opens the feed: generates the full timeline for `cfg` and serves it
+    /// `batch` tweets at a time (the final batch may be shorter).
+    ///
+    /// # Panics
+    /// Panics if `batch` is zero.
+    pub fn new(cfg: &TweetConfig, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        TweetStream {
+            feed: generate(cfg).into_iter(),
+            batch,
+        }
+    }
+
+    /// Tweets not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.feed.len()
+    }
+}
+
+impl Iterator for TweetStream {
+    type Item = Vec<StRecord>;
+
+    fn next(&mut self) -> Option<Vec<StRecord>> {
+        let take = self.batch.min(self.feed.len());
+        if take == 0 {
+            return None;
+        }
+        Some(self.feed.by_ref().take(take).collect())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +264,32 @@ mod tests {
             .filter(|r| window.contains(r.point.t) && atlanta.contains_point(&r.point.xy))
             .count();
         assert!(in_atl < 50, "unexpected Atlanta cluster: {in_atl}");
+    }
+
+    #[test]
+    fn stream_batches_reassemble_the_bulk_feed() {
+        let cfg = TweetConfig {
+            tweets: 1_003,
+            ..Default::default()
+        };
+        let bulk = generate(&cfg);
+        let mut stream = TweetStream::new(&cfg, 100);
+        assert_eq!(stream.remaining(), 1_003);
+        let mut streamed = Vec::new();
+        let mut sizes = Vec::new();
+        for batch in stream.by_ref() {
+            sizes.push(batch.len());
+            streamed.extend(batch);
+        }
+        assert_eq!(stream.remaining(), 0);
+        assert_eq!(sizes.len(), 11);
+        assert!(sizes[..10].iter().all(|&s| s == 100));
+        assert_eq!(sizes[10], 3);
+        assert_eq!(streamed.len(), bulk.len());
+        for (a, b) in streamed.iter().zip(&bulk) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.body, b.body);
+        }
     }
 
     #[test]
