@@ -66,11 +66,17 @@ impl<const D: usize> DeltaBuffer<D> {
         // reported cycle comes from name-aliased callees).
         // storm-analyzer: allow(A1): leaf lock — no registry acquisition is reachable while `items` is held
         g.push(item);
+        // Pairing invariant (A10): this Release store publishes the push
+        // above, and the Acquire load in `len()` synchronizes with it —
+        // every index below a loaded `len` therefore reads a fully settled
+        // item. Relaxed on either side would let a reader observe the new
+        // count before the item's bytes.
         self.len.store(g.len(), Ordering::Release);
     }
 
     /// The published length: every index below it holds a settled item.
     pub fn len(&self) -> usize {
+        // Acquire side of the settled-prefix pair — see `push`.
         self.len.load(Ordering::Acquire)
     }
 

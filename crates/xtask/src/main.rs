@@ -33,14 +33,15 @@ fn print_usage() {
          lint --list                print the rule table and exit\n  \
          lint <files..>             lint specific .rs files (paths relative to repo root)\n  \
          analyze                    run storm-analyzer (A1-A3 interprocedural, A4-A9\n                             \
-                                    CFG/dataflow); baselined findings are reported\n                             \
-                                    but only new ones fail\n  \
+                                    CFG/dataflow, A10-A13 concurrency); baselined\n                             \
+                                    findings are reported but only new ones fail\n  \
          analyze --list             print the pass table and exit\n  \
          analyze --deny-new         same as plain `analyze` (spelled out for CI)\n  \
          analyze --no-baseline      report every finding, baseline ignored\n  \
          analyze --update-baseline  accept all current findings into the baseline\n  \
          analyze --json <path>      also write findings + timings as a JSON report\n  \
          analyze --timings          print per-pass wall time\n  \
+         analyze --parallel         run the passes on one thread each\n  \
          analyze --budget-secs <n>  fail if the whole analysis exceeds n seconds"
     );
 }
@@ -117,6 +118,7 @@ fn run_analyze(args: &[String]) -> ExitCode {
     let mut no_baseline = false;
     let mut update_baseline = false;
     let mut show_timings = false;
+    let mut parallel = false;
     let mut json_path: Option<PathBuf> = None;
     let mut budget_secs: Option<u64> = None;
     let mut it = args.iter();
@@ -126,6 +128,7 @@ fn run_analyze(args: &[String]) -> ExitCode {
             "--update-baseline" => update_baseline = true,
             "--deny-new" => {}
             "--timings" => show_timings = true,
+            "--parallel" => parallel = true,
             "--json" => match it.next() {
                 Some(p) => json_path = Some(PathBuf::from(p)),
                 None => {
@@ -151,7 +154,7 @@ fn run_analyze(args: &[String]) -> ExitCode {
     }
 
     let repo_root = repo_root();
-    let (diags, timings) = match analyze::analyze_workspace_timed(&repo_root) {
+    let (diags, timings) = match analyze::analyze_workspace_opts(&repo_root, parallel) {
         Ok(out) => out,
         Err(err) => {
             eprintln!("storm-analyzer: cannot walk {}: {err}", repo_root.display());

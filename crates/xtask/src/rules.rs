@@ -612,12 +612,26 @@ pub fn apply_allow_directives(
     }
 
     // Suppress: a directive covers its own line and the line directly below
-    // (attribute style — the directive sits above the flagged code).
+    // (attribute style — the directive sits above the flagged code). Stacked
+    // directives chain: when the line below is itself a directive comment of
+    // either dialect, coverage extends past it, so several allows — even from
+    // both tools — can guard the same statement and still satisfy rustfmt.
+    let directive_lines: std::collections::HashSet<u32> = lexed
+        .comments
+        .iter()
+        .filter(|c| {
+            let t = c.text.trim().trim_start_matches(['/', '!']).trim();
+            t.starts_with("storm-") && t.contains("allow(")
+        })
+        .map(|c| c.line)
+        .collect();
     diags.retain(|d| {
         for directive in &mut directives {
-            if directive.rule == Some(d.rule)
-                && (directive.line == d.line || directive.line + 1 == d.line)
-            {
+            let mut below = directive.line + 1;
+            while directive_lines.contains(&below) {
+                below += 1;
+            }
+            if directive.rule == Some(d.rule) && (directive.line..=below).contains(&d.line) {
                 directive.used = true;
                 return false;
             }

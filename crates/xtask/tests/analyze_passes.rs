@@ -305,6 +305,250 @@ fn a9_quiet_outside_the_serving_layer() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+// ---------------------------------------------------------------- A10
+
+#[test]
+fn a10_fires_on_half_synchronized_atomic_pairs() {
+    let diags = analyze_fixture("a10_bad.rs", "crates/core/src/a10_bad.rs");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    // Sorted by line: the Relaxed guard load first, the Relaxed publish
+    // store second — each anchored at the method-name token.
+    let guard = &diags[0];
+    assert_eq!(
+        (guard.rule, guard.path.as_str(), guard.line, guard.col),
+        ("A10", "crates/core/src/a10_bad.rs", 16, 18)
+    );
+    assert!(
+        guard.message.contains("guard-without-Acquire"),
+        "{}",
+        guard.message
+    );
+    assert!(
+        guard.message.contains("`Buf::self.len`"),
+        "{}",
+        guard.message
+    );
+    let publish = &diags[1];
+    assert_eq!(
+        (
+            publish.rule,
+            publish.path.as_str(),
+            publish.line,
+            publish.col
+        ),
+        ("A10", "crates/core/src/a10_bad.rs", 20, 18)
+    );
+    assert!(
+        publish.message.contains("publish-without-Release"),
+        "{}",
+        publish.message
+    );
+    assert!(
+        publish.message.contains("`Buf::self.seq`"),
+        "{}",
+        publish.message
+    );
+}
+
+#[test]
+fn a10_quiet_on_paired_and_pure_relaxed_groups() {
+    let diags = analyze_fixture("a10_clean.rs", "crates/core/src/a10_clean.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn a10_quiet_outside_the_shared_atomics_scope() {
+    // The same half-synchronized pairs, analyzed under a path A10 does not
+    // scope to: scoping, not luck, keeps the pass quiet.
+    let diags = analyze_fixture("a10_bad.rs", "crates/xtask/src/a10_bad.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- A11
+
+#[test]
+fn a11_fires_on_publish_under_read_lock_and_loop_repin() {
+    let diags = analyze_fixture("a11_bad.rs", "crates/core/src/a11_bad.rs");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    // Sorted by line: the publish-in-closure site first, the loop re-pin
+    // second.
+    let publish = &diags[0];
+    assert_eq!(
+        (
+            publish.rule,
+            publish.path.as_str(),
+            publish.line,
+            publish.col
+        ),
+        ("A11", "crates/core/src/a11_bad.rs", 14, 31)
+    );
+    assert!(
+        publish.message.contains("publish-class `try_publish`"),
+        "{}",
+        publish.message
+    );
+    assert!(
+        publish.message.contains("opened at line 12"),
+        "{}",
+        publish.message
+    );
+    let repin = &diags[1];
+    assert_eq!(
+        (repin.rule, repin.path.as_str(), repin.line, repin.col),
+        ("A11", "crates/core/src/a11_bad.rs", 28, 34)
+    );
+    assert!(
+        repin.message.contains("epoch re-read: `.pin(…)`"),
+        "{}",
+        repin.message
+    );
+    assert!(
+        repin.message.contains("`Sampler::draw`"),
+        "{}",
+        repin.message
+    );
+}
+
+#[test]
+fn a11_quiet_on_publish_after_closure_and_hoisted_pin() {
+    let diags = analyze_fixture("a11_clean.rs", "crates/core/src/a11_clean.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- A12
+
+#[test]
+fn a12_fires_on_untimely_swap_and_fill_after_close() {
+    let diags = analyze_fixture("a12_bad.rs", "crates/server/src/a12_bad.rs");
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    // Sorted by line: the rogue Swap send, the Fill after Close, the
+    // rogue install_epoch call.
+    let swap = &diags[0];
+    assert_eq!(
+        (swap.rule, swap.path.as_str(), swap.line, swap.col),
+        ("A12", "crates/server/src/a12_bad.rs", 25, 28)
+    );
+    assert!(
+        swap.message
+            .contains("`Cmd::Swap` sent from `Lane::hot_swap`"),
+        "{}",
+        swap.message
+    );
+    let fill = &diags[1];
+    assert_eq!(
+        (fill.rule, fill.path.as_str(), fill.line, fill.col),
+        ("A12", "crates/server/src/a12_bad.rs", 30, 28)
+    );
+    assert!(
+        fill.message
+            .contains("`Cmd::Fill` sent after a Close-class op"),
+        "{}",
+        fill.message
+    );
+    assert!(
+        fill.message.contains("`Lane::teardown`"),
+        "{}",
+        fill.message
+    );
+    let install = &diags[2];
+    assert_eq!(
+        (
+            install.rule,
+            install.path.as_str(),
+            install.line,
+            install.col
+        ),
+        ("A12", "crates/server/src/a12_bad.rs", 41, 22)
+    );
+    assert!(
+        install
+            .message
+            .contains("`install_epoch` called from `Rebuilder::rebuild`"),
+        "{}",
+        install.message
+    );
+}
+
+#[test]
+fn a12_quiet_on_disciplined_protocol_paths() {
+    // Fill-then-close, close-then-fill across a loop back edge (legal
+    // per-iteration discipline), and Swap from install_epoch only.
+    let diags = analyze_fixture("a12_clean.rs", "crates/server/src/a12_clean.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn a12_quiet_outside_the_protocol_scope() {
+    let diags = analyze_fixture("a12_bad.rs", "crates/core/src/a12_bad.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------- A13
+
+#[test]
+fn a13_fires_on_blocked_lock_tick_recv_and_unwrap() {
+    let diags = analyze_fixture("a13_bad.rs", "crates/server/src/a13_bad.rs");
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    // Sorted by line: send under guard, timeout-less tick recv, unwrapped
+    // channel result.
+    let under_lock = &diags[0];
+    assert_eq!(
+        (
+            under_lock.rule,
+            under_lock.path.as_str(),
+            under_lock.line,
+            under_lock.col
+        ),
+        ("A13", "crates/server/src/a13_bad.rs", 14, 17)
+    );
+    assert!(
+        under_lock.message.contains("blocking `.send(…)`"),
+        "{}",
+        under_lock.message
+    );
+    let tick_recv = &diags[1];
+    assert_eq!(
+        (
+            tick_recv.rule,
+            tick_recv.path.as_str(),
+            tick_recv.line,
+            tick_recv.col
+        ),
+        ("A13", "crates/server/src/a13_bad.rs", 19, 37)
+    );
+    assert!(
+        tick_recv.message.contains("timeout-less `.recv()`"),
+        "{}",
+        tick_recv.message
+    );
+    assert!(
+        tick_recv.message.contains("`Hub::run`"),
+        "{}",
+        tick_recv.message
+    );
+    let unwrapped = &diags[2];
+    assert_eq!(
+        (
+            unwrapped.rule,
+            unwrapped.path.as_str(),
+            unwrapped.line,
+            unwrapped.col
+        ),
+        ("A13", "crates/server/src/a13_bad.rs", 25, 25)
+    );
+    assert!(
+        unwrapped.message.contains("`.send(…).unwrap(…)`"),
+        "{}",
+        unwrapped.message
+    );
+}
+
+#[test]
+fn a13_quiet_on_bounded_and_handled_channel_ops() {
+    let diags = analyze_fixture("a13_clean.rs", "crates/server/src/a13_clean.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
 // ---------------------------------------------------------------- baseline
 
 #[test]

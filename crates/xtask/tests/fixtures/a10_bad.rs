@@ -1,0 +1,26 @@
+//! A10 known-bad fixture: two half-synchronized atomic groups — a
+//! Relaxed load guarding a Release-published `len`, and a Relaxed store
+//! publishing a `seq` that a reader guards with Acquire.
+
+pub struct Buf {
+    len: AtomicUsize,
+    seq: AtomicU64,
+}
+
+impl Buf {
+    pub fn push(&self) {
+        self.len.store(1, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn bump(&self) {
+        self.seq.store(1, Ordering::Relaxed);
+    }
+
+    pub fn wait(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+}

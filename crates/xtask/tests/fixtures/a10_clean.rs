@@ -1,0 +1,26 @@
+//! A10 known-clean fixture: the `len` publish/guard pair is fully
+//! Release/Acquire, and `hits` is a pure-Relaxed statistics counter —
+//! both group shapes the pass accepts.
+
+pub struct Buf {
+    len: AtomicUsize,
+    hits: AtomicU64,
+}
+
+impl Buf {
+    pub fn push(&self) {
+        self.len.store(1, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    pub fn note(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn total(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,32 @@
+//! A11 known-bad fixture: a publish-class call inside the `with_current`
+//! closure (the write lock waits on this very reader: self-deadlock), and
+//! a pin-class re-read inside a sampling-cone loop (`draw` roots the
+//! cone).
+
+pub struct Ingest {
+    registry: RunRegistry,
+}
+
+impl Ingest {
+    pub fn insert(&self, item: u64) {
+        self.registry.with_current(|p| {
+            if p.wants(item) {
+                self.registry.try_publish(item);
+            }
+        });
+    }
+}
+
+pub struct Sampler {
+    registry: RunRegistry,
+}
+
+impl Sampler {
+    pub fn draw(&self, k: usize) -> u64 {
+        let mut acc = 0;
+        for _ in 0..k {
+            acc += self.registry.pin();
+        }
+        acc
+    }
+}

@@ -1,0 +1,30 @@
+//! A11 known-clean fixture: publish runs after the `with_current`
+//! closure returns, and the sampler pins once before its draw loop.
+
+pub struct Ingest {
+    registry: RunRegistry,
+}
+
+impl Ingest {
+    pub fn insert(&self, item: u64) {
+        let full = self.registry.with_current(|p| p.wants(item));
+        if full {
+            self.registry.try_publish(item);
+        }
+    }
+}
+
+pub struct Sampler {
+    registry: RunRegistry,
+}
+
+impl Sampler {
+    pub fn draw(&self, k: usize) -> u64 {
+        let pinned = self.registry.pin();
+        let mut acc = 0;
+        for _ in 0..k {
+            acc += pinned;
+        }
+        acc
+    }
+}

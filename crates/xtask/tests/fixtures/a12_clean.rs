@@ -1,0 +1,52 @@
+//! A12 known-clean fixture: fills precede closes on every path, a Close
+//! in one loop iteration followed by a Fill in the next rides the back
+//! edge (per-iteration discipline — legal by design), and Swap is issued
+//! only by `install_epoch`, called only from `handle_ctrl`.
+
+pub enum Cmd {
+    Open(u64),
+    Fill(u64),
+    Close(u64),
+    Swap(u64),
+}
+
+pub struct Lane {
+    cmd: Sender<Cmd>,
+    reply: Receiver<u64>,
+}
+
+impl Lane {
+    pub fn serve(&self, session: u64) {
+        self.cmd.send(Cmd::Open(session)).ok();
+        self.cmd.send(Cmd::Fill(session)).ok();
+        let _ = self.reply.recv_timeout(Duration::from_millis(5));
+        self.cmd.send(Cmd::Close(session)).ok();
+    }
+
+    pub fn drive(&self, sessions: &[u64]) {
+        for &s in sessions {
+            self.cmd.send(Cmd::Fill(s)).ok();
+            let _ = self.reply.recv_timeout(Duration::from_millis(5));
+            self.cmd.send(Cmd::Close(s)).ok();
+        }
+    }
+
+    pub fn install_epoch(&self, epoch: u64) {
+        self.cmd.send(Cmd::Swap(epoch)).ok();
+    }
+
+    pub fn handle_ctrl(&self, epoch: u64) {
+        self.install_epoch(epoch);
+    }
+}
+
+pub fn pump(rx: &Receiver<Cmd>) {
+    while let Ok(cmd) = rx.recv_timeout(Duration::from_millis(5)) {
+        match cmd {
+            Cmd::Open(_) => {}
+            Cmd::Fill(_) => {}
+            Cmd::Close(_) => {}
+            Cmd::Swap(_) => {}
+        }
+    }
+}

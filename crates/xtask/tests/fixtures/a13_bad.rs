@@ -1,0 +1,27 @@
+//! A13 known-bad fixture: a blocking send while a lock guard is held, a
+//! timeout-less recv on the scheduler tick path (`run` roots the cone),
+//! and a channel result unwrapped at the call site.
+
+pub struct Hub {
+    m: Mutex<Vec<u64>>,
+    tx: Sender<u64>,
+    ctrl: Receiver<u64>,
+}
+
+impl Hub {
+    pub fn flush(&self) {
+        let guard = self.m.lock();
+        self.tx.send(guard.len() as u64).ok();
+        drop(guard);
+    }
+
+    pub fn run(&self) {
+        while let Ok(v) = self.ctrl.recv() {
+            let _ = v;
+        }
+    }
+
+    pub fn announce(&self, v: u64) {
+        self.tx.send(v).unwrap();
+    }
+}

@@ -1,0 +1,27 @@
+//! A13 known-clean fixture: the guard is dropped before the send, the
+//! tick-path recv is time-bounded, and channel results are handled.
+
+pub struct Hub {
+    m: Mutex<Vec<u64>>,
+    tx: Sender<u64>,
+    ctrl: Receiver<u64>,
+}
+
+impl Hub {
+    pub fn flush(&self) {
+        let guard = self.m.lock();
+        let n = guard.len() as u64;
+        drop(guard);
+        self.tx.send(n).ok();
+    }
+
+    pub fn run(&self) {
+        while let Ok(v) = self.ctrl.recv_timeout(Duration::from_millis(5)) {
+            let _ = v;
+        }
+    }
+
+    pub fn announce(&self, v: u64) {
+        self.tx.send(v).ok();
+    }
+}
